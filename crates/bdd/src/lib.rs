@@ -1,0 +1,616 @@
+//! A reduced ordered binary decision diagram (ROBDD) package.
+//!
+//! This is the workspace's stand-in for the "SIS 1.2 ROBDD package" the
+//! paper builds on (Bryant, 1986). It provides a [`BddManager`] arena with a
+//! unique table (so equivalent functions share one canonical node and
+//! equivalence checking is pointer comparison), the usual apply operations,
+//! cofactors, satisfy counting and conversion to and from the
+//! representations in [`xsynth_boolean`].
+//!
+//! # Examples
+//!
+//! ```
+//! use xsynth_bdd::BddManager;
+//!
+//! let mut m = BddManager::new(3);
+//! let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+//! let ab = m.and(a, b);
+//! let f = m.or(ab, c);
+//! let g = m.ite(a, b, c); // a·b + ¬a·c
+//! assert_ne!(f, g);
+//! assert_eq!(m.eval(f, 0b011), true);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use xsynth_boolean::{Sop, TruthTable, VarSet};
+
+/// A handle to a BDD node inside a [`BddManager`].
+///
+/// Handles are canonical: two handles from the same manager are equal if
+/// and only if they denote the same Boolean function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant-zero function.
+    pub const ZERO: Bdd = Bdd(0);
+    /// The constant-one function.
+    pub const ONE: Bdd = Bdd(1);
+
+    /// Whether this is a terminal (constant) node.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Raw index, for debugging and statistics.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: Bdd,
+    hi: Bdd,
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+/// An arena of shared, reduced, ordered BDD nodes over a fixed number of
+/// variables in natural index order.
+#[derive(Debug)]
+pub struct BddManager {
+    n: usize,
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, Bdd, Bdd), Bdd>,
+    cache: HashMap<(Op, Bdd, Bdd), Bdd>,
+    not_cache: HashMap<Bdd, Bdd>,
+}
+
+impl BddManager {
+    /// Creates a manager for functions of `n` variables.
+    pub fn new(n: usize) -> Self {
+        let nodes = vec![
+            Node { var: TERMINAL_VAR, lo: Bdd::ZERO, hi: Bdd::ZERO },
+            Node { var: TERMINAL_VAR, lo: Bdd::ONE, hi: Bdd::ONE },
+        ];
+        BddManager {
+            n,
+            nodes,
+            unique: HashMap::new(),
+            cache: HashMap::new(),
+            not_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of nodes allocated (including both terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant function `value`.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::ONE
+        } else {
+            Bdd::ZERO
+        }
+    }
+
+    /// The projection function of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`.
+    pub fn var(&mut self, var: usize) -> Bdd {
+        assert!(var < self.n, "variable {var} out of range");
+        self.mk(var as u32, Bdd::ZERO, Bdd::ONE)
+    }
+
+    /// The complemented projection `¬var`.
+    pub fn nvar(&mut self, var: usize) -> Bdd {
+        assert!(var < self.n, "variable {var} out of range");
+        self.mk(var as u32, Bdd::ONE, Bdd::ZERO)
+    }
+
+    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&b) = self.unique.get(&(var, lo, hi)) {
+            return b;
+        }
+        let id = Bdd(self.nodes.len() as u32);
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        id
+    }
+
+    fn node(&self, b: Bdd) -> Node {
+        self.nodes[b.0 as usize]
+    }
+
+    /// The top variable of `b`, or `None` for constants.
+    pub fn top_var(&self, b: Bdd) -> Option<usize> {
+        if b.is_const() {
+            None
+        } else {
+            Some(self.node(b).var as usize)
+        }
+    }
+
+    /// The low (var = 0) child; `b` itself for constants.
+    pub fn low(&self, b: Bdd) -> Bdd {
+        if b.is_const() {
+            b
+        } else {
+            self.node(b).lo
+        }
+    }
+
+    /// The high (var = 1) child; `b` itself for constants.
+    pub fn high(&self, b: Bdd) -> Bdd {
+        if b.is_const() {
+            b
+        } else {
+            self.node(b).hi
+        }
+    }
+
+    fn apply(&mut self, op: Op, f: Bdd, g: Bdd) -> Bdd {
+        match op {
+            Op::And => {
+                if f == Bdd::ZERO || g == Bdd::ZERO {
+                    return Bdd::ZERO;
+                }
+                if f == Bdd::ONE {
+                    return g;
+                }
+                if g == Bdd::ONE || f == g {
+                    return f;
+                }
+            }
+            Op::Or => {
+                if f == Bdd::ONE || g == Bdd::ONE {
+                    return Bdd::ONE;
+                }
+                if f == Bdd::ZERO {
+                    return g;
+                }
+                if g == Bdd::ZERO || f == g {
+                    return f;
+                }
+            }
+            Op::Xor => {
+                if f == Bdd::ZERO {
+                    return g;
+                }
+                if g == Bdd::ZERO {
+                    return f;
+                }
+                if f == g {
+                    return Bdd::ZERO;
+                }
+                if f == Bdd::ONE {
+                    return self.not(g);
+                }
+                if g == Bdd::ONE {
+                    return self.not(f);
+                }
+            }
+        }
+        // commutative ops: normalize operand order for the cache
+        let key = if f <= g { (op, f, g) } else { (op, g, f) };
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let (nf, ng) = (self.node(f), self.node(g));
+        let var = nf.var.min(ng.var);
+        let (f0, f1) = if nf.var == var { (nf.lo, nf.hi) } else { (f, f) };
+        let (g0, g1) = if ng.var == var { (ng.lo, ng.hi) } else { (g, g) };
+        let lo = self.apply(op, f0, g0);
+        let hi = self.apply(op, f1, g1);
+        let r = self.mk(var, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(Op::And, f, g)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(Op::Or, f, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(Op::Xor, f, g)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        if f == Bdd::ZERO {
+            return Bdd::ONE;
+        }
+        if f == Bdd::ONE {
+            return Bdd::ZERO;
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.mk(n.var, lo, hi);
+        self.not_cache.insert(f, r);
+        self.not_cache.insert(r, f);
+        r
+    }
+
+    /// If-then-else: `c·t + ¬c·e`.
+    pub fn ite(&mut self, c: Bdd, t: Bdd, e: Bdd) -> Bdd {
+        let ct = self.and(c, t);
+        let nc = self.not(c);
+        let nce = self.and(nc, e);
+        self.or(ct, nce)
+    }
+
+    /// Cofactor of `f` with `var` fixed to `phase`.
+    pub fn cofactor(&mut self, f: Bdd, var: usize, phase: bool) -> Bdd {
+        let var = var as u32;
+        let mut memo = HashMap::new();
+        self.cofactor_rec(f, var, phase, &mut memo)
+    }
+
+    fn cofactor_rec(
+        &mut self,
+        f: Bdd,
+        var: u32,
+        phase: bool,
+        memo: &mut HashMap<Bdd, Bdd>,
+    ) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        let n = self.node(f);
+        if n.var > var {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let r = if n.var == var {
+            if phase {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let lo = self.cofactor_rec(n.lo, var, phase, memo);
+            let hi = self.cofactor_rec(n.hi, var, phase, memo);
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Evaluates `f` on the assignment encoded in `minterm` (bit `i` =
+    /// variable `i`).
+    pub fn eval(&self, f: Bdd, minterm: u64) -> bool {
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.node(cur);
+            cur = if minterm & (1u64 << n.var) != 0 {
+                n.hi
+            } else {
+                n.lo
+            };
+        }
+        cur == Bdd::ONE
+    }
+
+    /// Number of satisfying assignments over all `n` variables.
+    pub fn count_sat(&self, f: Bdd) -> u64 {
+        (self.sat_fraction(f) * (1u128 << self.n) as f64).round() as u64
+    }
+
+    /// Fraction of the input space on which `f` is one (the signal
+    /// probability under uniform independent inputs).
+    pub fn sat_fraction(&self, f: Bdd) -> f64 {
+        let mut memo = HashMap::new();
+        self.sat_frac(f, &mut memo)
+    }
+
+    fn sat_frac(&self, f: Bdd, memo: &mut HashMap<Bdd, f64>) -> f64 {
+        if f == Bdd::ZERO {
+            return 0.0;
+        }
+        if f == Bdd::ONE {
+            return 1.0;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let r = 0.5 * self.sat_frac(n.lo, memo) + 0.5 * self.sat_frac(n.hi, memo);
+        memo.insert(f, r);
+        r
+    }
+
+    /// The set of variables `f` depends on.
+    pub fn support(&self, f: Bdd) -> VarSet {
+        let mut seen = std::collections::HashSet::new();
+        let mut sup = VarSet::new();
+        let mut stack = vec![f];
+        while let Some(b) = stack.pop() {
+            if b.is_const() || !seen.insert(b) {
+                continue;
+            }
+            let n = self.node(b);
+            sup.insert(n.var as usize);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        sup
+    }
+
+    /// Number of distinct internal nodes in the DAG rooted at `f`.
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(b) = stack.pop() {
+            if b.is_const() || !seen.insert(b) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(b);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    #[allow(clippy::wrong_self_convention)] // manager-style constructor, as in CUDD
+    /// Builds a BDD from a truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table's arity differs from the manager's.
+    pub fn from_table(&mut self, t: &TruthTable) -> Bdd {
+        assert_eq!(t.num_vars(), self.n, "arity mismatch");
+        self.from_table_rec(t, 0, 0)
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    fn from_table_rec(&mut self, t: &TruthTable, var: usize, prefix: u64) -> Bdd {
+        if var == self.n {
+            return self.constant(t.eval(prefix));
+        }
+        let lo = self.from_table_rec(t, var + 1, prefix);
+        let hi = self.from_table_rec(t, var + 1, prefix | (1 << var));
+        self.mk(var as u32, lo, hi)
+    }
+
+    /// Builds a BDD from a sum-of-products cover.
+    pub fn from_sop(&mut self, s: &Sop) -> Bdd {
+        let mut acc = Bdd::ZERO;
+        for c in s.cubes() {
+            let mut cube = Bdd::ONE;
+            // AND literals from highest variable down so intermediate BDDs
+            // stay small under the natural order.
+            let mut lits: Vec<(usize, bool)> = c
+                .positive()
+                .iter()
+                .map(|v| (v, true))
+                .chain(c.negative().iter().map(|v| (v, false)))
+                .collect();
+            lits.sort_unstable_by_key(|l| std::cmp::Reverse(l.0));
+            for (v, ph) in lits {
+                let lit = if ph { self.var(v) } else { self.nvar(v) };
+                cube = self.and(cube, lit);
+            }
+            acc = self.or(acc, cube);
+        }
+        acc
+    }
+
+    /// Converts `f` to a truth table (requires `n ≤ MAX_TT_VARS`).
+    pub fn to_table(&self, f: Bdd) -> TruthTable {
+        TruthTable::from_fn(self.n, |m| self.eval(f, m))
+    }
+
+    /// One satisfying assignment of `f` (variables outside the support are
+    /// set to 0), or `None` when `f` is unsatisfiable.
+    pub fn any_sat(&self, f: Bdd) -> Option<Vec<bool>> {
+        if f == Bdd::ZERO {
+            return None;
+        }
+        let mut assignment = vec![false; self.n];
+        let mut cur = f;
+        while !cur.is_const() {
+            let node = self.node(cur);
+            if node.lo != Bdd::ZERO {
+                cur = node.lo;
+            } else {
+                assignment[node.var as usize] = true;
+                cur = node.hi;
+            }
+        }
+        debug_assert_eq!(cur, Bdd::ONE, "reduced BDDs reach 1 by avoiding 0");
+        Some(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsynth_boolean::Cube;
+
+    #[test]
+    fn canonical_equality() {
+        let mut m = BddManager::new(3);
+        let (a, b) = (m.var(0), m.var(1));
+        let ab = m.and(a, b);
+        let ba = m.and(b, a);
+        assert_eq!(ab, ba);
+        let na = m.not(a);
+        let nna = m.not(na);
+        assert_eq!(a, nna);
+    }
+
+    #[test]
+    fn demorgan() {
+        let mut m = BddManager::new(2);
+        let (a, b) = (m.var(0), m.var(1));
+        let and = m.and(a, b);
+        let nand = m.not(and);
+        let (na, nb) = (m.not(a), m.not(b));
+        let or = m.or(na, nb);
+        assert_eq!(nand, or);
+    }
+
+    #[test]
+    fn xor_identities() {
+        let mut m = BddManager::new(4);
+        let (a, b) = (m.var(0), m.var(1));
+        let x = m.xor(a, b);
+        let x2 = m.xor(x, b);
+        assert_eq!(x2, a);
+        let zero = m.xor(a, a);
+        assert_eq!(zero, Bdd::ZERO);
+        let one = m.constant(true);
+        let nx = m.xor(x, one);
+        let notx = m.not(x);
+        assert_eq!(nx, notx);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut m = BddManager::new(3);
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        for mt in 0..8u64 {
+            let expect = (mt & 1 != 0 && mt & 2 != 0) || mt & 4 != 0;
+            assert_eq!(m.eval(f, mt), expect);
+        }
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let t = TruthTable::from_fn(6, |m| (m * 37 + 11) % 5 < 2);
+        let mut m = BddManager::new(6);
+        let f = m.from_table(&t);
+        assert_eq!(m.to_table(f), t);
+        assert_eq!(m.count_sat(f), t.count_ones());
+    }
+
+    #[test]
+    fn sop_agrees_with_table() {
+        let s = Sop::from_cubes([
+            Cube::new([0, 2], []).unwrap(),
+            Cube::new([1], [3]).unwrap(),
+            Cube::new([], [0, 1]).unwrap(),
+        ]);
+        let t = s.to_table(4);
+        let mut m = BddManager::new(4);
+        let via_sop = m.from_sop(&s);
+        let via_tab = m.from_table(&t);
+        assert_eq!(via_sop, via_tab);
+    }
+
+    #[test]
+    fn cofactor_and_support() {
+        let mut m = BddManager::new(3);
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let bc = m.and(b, c);
+        let f = m.ite(a, bc, c);
+        let f1 = m.cofactor(f, 0, true);
+        assert_eq!(f1, bc);
+        let f0 = m.cofactor(f, 0, false);
+        assert_eq!(f0, c);
+        let sup = m.support(f);
+        assert_eq!(sup, VarSet::from_vars([0, 1, 2]));
+        assert!(m.support(c).contains(2));
+        assert_eq!(m.support(Bdd::ONE), VarSet::new());
+    }
+
+    #[test]
+    fn sat_fraction_of_var() {
+        let mut m = BddManager::new(5);
+        let a = m.var(3);
+        assert_eq!(m.sat_fraction(a), 0.5);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        assert_eq!(m.sat_fraction(ab), 0.25);
+        assert_eq!(m.count_sat(ab), 8);
+    }
+
+    #[test]
+    fn adder_bdd_is_compact() {
+        // carry-out of an 8-bit adder has a linear-size BDD with interleaved
+        // variable order.
+        let n = 16;
+        let mut m = BddManager::new(n);
+        let mut carry = Bdd::ZERO;
+        for i in 0..8 {
+            let a = m.var(2 * i);
+            let b = m.var(2 * i + 1);
+            let ab = m.and(a, b);
+            let axb = m.xor(a, b);
+            let t = m.and(axb, carry);
+            carry = m.or(ab, t);
+        }
+        assert!(m.size(carry) <= 3 * 8, "adder carry BDD should be linear");
+    }
+
+    #[test]
+    fn size_counts_shared_nodes_once() {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        assert_eq!(m.size(a), 1);
+        let b = m.var(1);
+        let x = m.xor(a, b);
+        assert_eq!(m.size(x), 3);
+    }
+
+    #[test]
+    fn any_sat_finds_witnesses() {
+        let mut m = BddManager::new(4);
+        let (a, b) = (m.var(0), m.var(3));
+        let nb = m.not(b);
+        let f = m.and(a, nb);
+        let w = m.any_sat(f).expect("satisfiable");
+        assert!(w[0] && !w[3]);
+        assert!(m.any_sat(Bdd::ZERO).is_none());
+        assert_eq!(m.any_sat(Bdd::ONE), Some(vec![false; 4]));
+    }
+
+    #[test]
+    fn cofactor_of_unrelated_var_is_identity() {
+        let mut m = BddManager::new(4);
+        let (a, b) = (m.var(0), m.var(1));
+        let f = m.and(a, b);
+        assert_eq!(m.cofactor(f, 3, true), f);
+        assert_eq!(m.cofactor(f, 3, false), f);
+    }
+}

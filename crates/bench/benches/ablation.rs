@@ -1,0 +1,46 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! polarity search mode, factorization method, the Reduction rules, the
+//! sharing pass and redundancy removal. Each variant's runtime is measured
+//! and its quality (two-input literals) printed once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xsynth_core::{synthesize, FactorMethod, PolarityMode, SynthOptions};
+
+fn variants() -> Vec<(&'static str, SynthOptions)> {
+    let base = SynthOptions::default;
+    vec![
+        ("default", base()),
+        ("polarity_positive", SynthOptions { polarity: PolarityMode::AllPositive, ..base() }),
+        ("polarity_greedy", SynthOptions { polarity: PolarityMode::Greedy, ..base() }),
+        ("method_cube", SynthOptions { method: FactorMethod::Cube, ..base() }),
+        ("method_ofdd", SynthOptions { method: FactorMethod::Ofdd, ..base() }),
+        ("method_kfdd", SynthOptions { method: FactorMethod::Kfdd, ..base() }),
+        ("no_rules", SynthOptions { apply_rules: false, ..base() }),
+        ("no_redundancy", SynthOptions { redundancy_removal: false, ..base() }),
+        ("no_sharing", SynthOptions { share: false, ..base() }),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let circuits = ["z4ml", "rd73", "t481", "5xp1"];
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for name in circuits {
+        let spec = xsynth_circuits::build(name).expect("registered");
+        for (label, opts) in variants() {
+            // print quality once, bench time repeatedly
+            let (out, _) = synthesize(&spec, &opts);
+            let (_, lits) = out.two_input_cost();
+            eprintln!("ablation quality: {name:8} {label:18} {lits:4} lits");
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &(&spec, opts),
+                |b, (spec, opts)| b.iter(|| synthesize(spec, opts)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Per-circuit flow diagnostics: FPRM cube counts, chosen polarities,
+//! extracted divisors, redundancy-removal statistics.
+//!
+//! Usage: `flow_report <circuit> [...]`
+
+use xsynth_core::{synthesize, SynthOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        vec!["z4ml".into(), "t481".into()]
+    } else {
+        args
+    };
+    for name in names {
+        let Some(spec) = xsynth_circuits::build(&name) else {
+            eprintln!("unknown circuit {name}");
+            continue;
+        };
+        let t0 = std::time::Instant::now();
+        let (out, report) = synthesize(&spec, &SynthOptions::default());
+        let dt = t0.elapsed();
+        let (gates, lits) = out.two_input_cost();
+        println!("{name}: {spec}");
+        for (oname, cubes, pol) in &report.outputs {
+            println!("  output {oname}: {cubes} FPRM cubes, polarity {pol:?}");
+        }
+        println!(
+            "  divisors {} | blocks {} | cube-cap fallbacks {}",
+            report.divisors, report.blocks, report.cube_cap_fallbacks
+        );
+        println!("  redundancy: {:?}", report.redundancy);
+        println!("  result: {gates} two-input gates / {lits} literals in {dt:.2?}");
+        println!();
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates the paper's Table 2 over the rebuilt benchmark suite.
+//!
+//! Usage: `table2 [circuit ...]` — with no arguments the full 41-circuit
+//! suite runs; otherwise only the named circuits.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // names are 'static, so they outlive the temporary registry
+    let known: Vec<&'static str> = xsynth_circuits::registry().iter().map(|b| b.name).collect();
+    for a in &args {
+        if !known.contains(&a.as_str()) {
+            eprintln!("unknown circuit '{a}' — known circuits:");
+            eprintln!("  {}", known.join(" "));
+            std::process::exit(2);
+        }
+    }
+    let rows = if args.is_empty() {
+        xsynth_bench::run_table2(None)
+    } else {
+        let names: Vec<&str> = args.iter().map(String::as_str).collect();
+        xsynth_bench::run_table2(Some(&names))
+    };
+    print!("{}", xsynth_bench::render_table2(&rows));
+}

@@ -1,0 +1,241 @@
+//! Benchmark harness reproducing the paper's evaluation (Table 2 and the
+//! worked examples).
+//!
+//! The harness runs two flows over the rebuilt IWLS'91 suite:
+//!
+//! * the **baseline** — the SIS-style SOP script from [`xsynth_sop`]
+//!   (standing in for the best of `rugged`/`boolean`/`algebraic`), and
+//! * **ours** — the paper's FPRM flow from [`xsynth_core`],
+//!
+//! then measures literals before mapping (two-input AND/OR form, XOR = 3
+//! gates), gate/literal counts after technology mapping onto the mcnc-like
+//! library, the `power_estimate` model, wall-clock time, and functional
+//! equivalence of every result against the specification.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+use xsynth_circuits::{registry, Benchmark};
+use xsynth_core::{synthesize, EquivChecker, SynthOptions};
+use xsynth_map::{map_network, Library};
+use xsynth_net::Network;
+use xsynth_sim::power_estimate;
+use xsynth_sop::{script_algebraic, ScriptOptions};
+
+/// Metrics of one synthesized implementation.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Two-input AND/OR gates before mapping.
+    pub premap_gates: usize,
+    /// Literals before mapping (2 × gates — the paper's accounting).
+    pub premap_lits: usize,
+    /// Mapped cell count.
+    pub map_gates: usize,
+    /// Mapped literal (pin) count.
+    pub map_lits: usize,
+    /// Mapped area.
+    pub map_area: f64,
+    /// Normalized switching power of the mapped netlist.
+    pub power: f64,
+    /// Flow wall-clock seconds (synthesis only, excluding mapping).
+    pub seconds: f64,
+    /// Whether the result checked equivalent to the specification.
+    pub verified: bool,
+}
+
+/// Runs one synthesized network through mapping/power/verification.
+fn evaluate(spec: &Network, result: &Network, lib: &Library, seconds: f64) -> FlowResult {
+    let (premap_gates, premap_lits) = result.two_input_cost();
+    let mapped = map_network(result, lib);
+    let mapped_net = mapped.to_network(lib);
+    let power = power_estimate(&mapped_net).total;
+    let mut checker = EquivChecker::new(spec);
+    let verified = checker.check(result);
+    FlowResult {
+        premap_gates,
+        premap_lits,
+        map_gates: mapped.num_gates(),
+        map_lits: mapped.num_literals(),
+        map_area: mapped.area(),
+        power,
+        seconds,
+        verified,
+    }
+}
+
+/// Runs the paper's FPRM flow on `spec` and evaluates it.
+pub fn run_fprm_flow(spec: &Network, opts: &SynthOptions, lib: &Library) -> FlowResult {
+    let t0 = Instant::now();
+    let (result, _report) = synthesize(spec, opts);
+    let seconds = t0.elapsed().as_secs_f64();
+    evaluate(spec, &result, lib, seconds)
+}
+
+/// Runs the SIS-style SOP baseline on `spec` and evaluates it.
+pub fn run_sop_flow(spec: &Network, opts: &ScriptOptions, lib: &Library) -> FlowResult {
+    let t0 = Instant::now();
+    let result = script_algebraic(spec, opts);
+    let seconds = t0.elapsed().as_secs_f64();
+    evaluate(spec, &result, lib, seconds)
+}
+
+/// One completed Table 2 row: both flows on one benchmark.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// The benchmark (with the paper's reference numbers).
+    pub bench: Benchmark,
+    /// Baseline (SIS-style) result.
+    pub sop: FlowResult,
+    /// FPRM-flow result.
+    pub fprm: FlowResult,
+}
+
+impl Table2Row {
+    /// Percentage improvement of mapped literals (positive = FPRM wins),
+    /// the paper's `improve%lits` column.
+    pub fn improve_lits(&self) -> f64 {
+        percent(self.sop.map_lits as f64, self.fprm.map_lits as f64)
+    }
+
+    /// Percentage improvement of estimated power.
+    pub fn improve_power(&self) -> f64 {
+        percent(self.sop.power, self.fprm.power)
+    }
+}
+
+fn percent(base: f64, ours: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        100.0 * (base - ours) / base
+    }
+}
+
+/// Runs the full Table 2 experiment over the registry (optionally
+/// restricted to names in `filter`).
+pub fn run_table2(filter: Option<&[&str]>) -> Vec<Table2Row> {
+    let lib = Library::mcnc();
+    let synth_opts = SynthOptions::default();
+    let sop_opts = ScriptOptions::default();
+    let mut rows = Vec::new();
+    for bench in registry() {
+        if let Some(f) = filter {
+            if !f.contains(&bench.name) {
+                continue;
+            }
+        }
+        let spec = xsynth_circuits::build(bench.name).expect("registered circuit builds");
+        let sop = run_sop_flow(&spec, &sop_opts, &lib);
+        let fprm = run_fprm_flow(&spec, &synth_opts, &lib);
+        rows.push(Table2Row { bench, sop, fprm });
+    }
+    rows
+}
+
+/// Renders rows in the paper's Table 2 layout, with subtotals and the
+/// paper's reference improvements alongside.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<10} {:>7} | {:>6} {:>7} | {:>6} {:>7} | {:>5} {:>5} | {:>5} {:>5} | {:>6} {:>6} | {:>6} {:>6} | {}\n",
+        "circuit", "I/O", "base", "t(s)", "ours", "t(s)", "bGate", "bLits", "oGate", "oLits",
+        "impr%L", "papr%L", "impr%P", "papr%P", "ok"
+    ));
+    s.push_str(&"-".repeat(132));
+    s.push('\n');
+    let emit_group = |s: &mut String, rows: &[&Table2Row], label: &str| {
+        let sum = |f: &dyn Fn(&Table2Row) -> f64| rows.iter().map(|r| f(r)).sum::<f64>();
+        let b_lits = sum(&|r| r.sop.map_lits as f64);
+        let o_lits = sum(&|r| r.fprm.map_lits as f64);
+        let b_pow = sum(&|r| r.sop.power);
+        let o_pow = sum(&|r| r.fprm.power);
+        let avg_l = rows.iter().map(|r| r.improve_lits()).sum::<f64>() / rows.len().max(1) as f64;
+        let avg_p = rows.iter().map(|r| r.improve_power()).sum::<f64>() / rows.len().max(1) as f64;
+        s.push_str(&format!(
+            "{:<10} {:>7} | {:>6.0} {:>7.2} | {:>6.0} {:>7.2} | {:>5.0} {:>5.0} | {:>5.0} {:>5.0} | {:>6.1} {:>6} | {:>6.1} {:>6} | (avg impr {:.1}%L {:.1}%P)\n",
+            label,
+            rows.len(),
+            sum(&|r| r.sop.premap_lits as f64),
+            sum(&|r| r.sop.seconds),
+            sum(&|r| r.fprm.premap_lits as f64),
+            sum(&|r| r.fprm.seconds),
+            sum(&|r| r.sop.map_gates as f64),
+            b_lits,
+            sum(&|r| r.fprm.map_gates as f64),
+            o_lits,
+            percent(b_lits, o_lits),
+            "",
+            percent(b_pow, o_pow),
+            "",
+            avg_l,
+            avg_p,
+        ));
+    };
+    for r in rows {
+        let flag = if r.bench.substituted { "~" } else { " " };
+        s.push_str(&format!(
+            "{:<9}{} {:>3}/{:<3} | {:>6} {:>7.2} | {:>6} {:>7.2} | {:>5} {:>5} | {:>5} {:>5} | {:>6.0} {:>6} | {:>6.0} {:>6} | {}{}\n",
+            r.bench.name,
+            flag,
+            r.bench.io.0,
+            r.bench.io.1,
+            r.sop.premap_lits,
+            r.sop.seconds,
+            r.fprm.premap_lits,
+            r.fprm.seconds,
+            r.sop.map_gates,
+            r.sop.map_lits,
+            r.fprm.map_gates,
+            r.fprm.map_lits,
+            r.improve_lits(),
+            r.bench.paper.improve_lits,
+            r.improve_power(),
+            r.bench.paper.improve_power,
+            if r.sop.verified { "" } else { "BASE-UNVERIFIED " },
+            if r.fprm.verified { "ok" } else { "FPRM-UNVERIFIED" },
+        ));
+    }
+    s.push_str(&"-".repeat(132));
+    s.push('\n');
+    let arith: Vec<&Table2Row> = rows.iter().filter(|r| r.bench.arithmetic).collect();
+    let all: Vec<&Table2Row> = rows.iter().collect();
+    if !arith.is_empty() {
+        emit_group(&mut s, &arith, "Σ arith");
+    }
+    emit_group(&mut s, &all, "Σ all");
+    s.push_str("~ = substituted synthetic circuit (original MCNC function not public)\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_small_circuits() {
+        let rows = run_table2(Some(&["z4ml", "f2", "majority"]));
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.sop.verified, "{} baseline unverified", r.bench.name);
+            assert!(r.fprm.verified, "{} fprm unverified", r.bench.name);
+            assert!(r.fprm.map_lits > 0);
+        }
+        let text = render_table2(&rows);
+        assert!(text.contains("z4ml"));
+        assert!(text.contains("Σ all"));
+    }
+
+    #[test]
+    fn t481_fprm_flow_crushes_baseline() {
+        let rows = run_table2(Some(&["t481"]));
+        let r = &rows[0];
+        assert!(r.fprm.verified);
+        // the paper reports 50 premap literals for t481; anything in that
+        // ballpark demonstrates the reproduction (SIS needed 474)
+        assert!(
+            r.fprm.premap_lits <= 80,
+            "t481 premap lits {} too high",
+            r.fprm.premap_lits
+        );
+    }
+}

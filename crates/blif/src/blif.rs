@@ -1,0 +1,556 @@
+//! BLIF reading and writing.
+
+use crate::ParseError;
+use std::collections::HashMap;
+use xsynth_net::{GateKind, Network, NodeKind, SignalId};
+
+/// One `.names` definition: a single-output SOP node.
+#[derive(Debug, Clone)]
+struct NamesNode {
+    inputs: Vec<String>,
+    /// cube patterns over the inputs, each a vector of `Some(phase)`/`None`
+    cubes: Vec<Vec<Option<bool>>>,
+    /// `true` if the cover describes the on-set, `false` for the off-set
+    on_set: bool,
+    line: usize,
+}
+
+/// Parses a BLIF model into a [`Network`].
+///
+/// Supports the combinational subset used by the IWLS'91 benchmarks:
+/// `.model`, `.inputs`, `.outputs`, `.names` with on-set or off-set covers,
+/// line continuations and comments. Latches and subcircuits are rejected.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input, unknown directives,
+/// undefined signals, or cyclic definitions.
+pub fn parse_blif(src: &str) -> Result<Network, ParseError> {
+    // Join continuation lines, strip comments, keep line numbers.
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in src.lines().enumerate() {
+        let no_comment = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let mut text = no_comment.trim_end().to_string();
+        let continued = text.ends_with('\\');
+        if continued {
+            text.pop();
+        }
+        match pending.take() {
+            Some((l0, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(text.trim());
+                if continued {
+                    pending = Some((l0, acc));
+                } else {
+                    lines.push((l0, acc));
+                }
+            }
+            None => {
+                if continued {
+                    pending = Some((i + 1, text));
+                } else if !text.trim().is_empty() {
+                    lines.push((i + 1, text));
+                }
+            }
+        }
+    }
+    if let Some((l, acc)) = pending {
+        lines.push((l, acc));
+    }
+
+    let mut model_name = String::from("model");
+    let mut input_names: Vec<String> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    let mut nodes: HashMap<String, NamesNode> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+
+    let mut current: Option<(String, NamesNode)> = None;
+    let finish_current =
+        |current: &mut Option<(String, NamesNode)>,
+         nodes: &mut HashMap<String, NamesNode>,
+         order: &mut Vec<String>| {
+            if let Some((name, node)) = current.take() {
+                order.push(name.clone());
+                nodes.insert(name, node);
+            }
+        };
+
+    for (lineno, line) in &lines {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix('.') {
+            finish_current(&mut current, &mut nodes, &mut order);
+            let mut tok = rest.split_whitespace();
+            let dir = tok.next().unwrap_or("");
+            match dir {
+                "model" => {
+                    if let Some(n) = tok.next() {
+                        model_name = n.to_string();
+                    }
+                }
+                "inputs" => input_names.extend(tok.map(str::to_string)),
+                "outputs" => output_names.extend(tok.map(str::to_string)),
+                "names" => {
+                    let mut sig: Vec<String> = tok.map(str::to_string).collect();
+                    let out = sig.pop().ok_or_else(|| {
+                        ParseError::new(*lineno, ".names needs an output signal")
+                    })?;
+                    current = Some((
+                        out,
+                        NamesNode {
+                            inputs: sig,
+                            cubes: Vec::new(),
+                            on_set: true,
+                            line: *lineno,
+                        },
+                    ));
+                }
+                "end" => {}
+                "exdc" => {
+                    return Err(ParseError::new(*lineno, ".exdc is not supported"));
+                }
+                "latch" | "subckt" | "gate" | "mlatch" => {
+                    return Err(ParseError::new(
+                        *lineno,
+                        format!(".{dir} is not supported (combinational BLIF only)"),
+                    ));
+                }
+                // benign directives some writers emit
+                "default_input_arrival" | "default_output_required" | "wire_load_slope"
+                | "area" | "delay" | "search" => {}
+                other => {
+                    return Err(ParseError::new(*lineno, format!("unknown directive .{other}")));
+                }
+            }
+        } else {
+            // cover row for the current .names
+            let Some((_, node)) = current.as_mut() else {
+                return Err(ParseError::new(*lineno, "cover row outside .names"));
+            };
+            let mut parts = line.split_whitespace();
+            let (pattern, value) = if node.inputs.is_empty() {
+                ("", parts.next().ok_or_else(|| ParseError::new(*lineno, "empty cover row"))?)
+            } else {
+                let p = parts
+                    .next()
+                    .ok_or_else(|| ParseError::new(*lineno, "missing cube pattern"))?;
+                let v = parts
+                    .next()
+                    .ok_or_else(|| ParseError::new(*lineno, "missing output value"))?;
+                (p, v)
+            };
+            if parts.next().is_some() {
+                return Err(ParseError::new(*lineno, "trailing tokens in cover row"));
+            }
+            if pattern.len() != node.inputs.len() {
+                return Err(ParseError::new(
+                    *lineno,
+                    format!(
+                        "cube width {} does not match {} inputs",
+                        pattern.len(),
+                        node.inputs.len()
+                    ),
+                ));
+            }
+            let cube: Vec<Option<bool>> = pattern
+                .chars()
+                .map(|c| match c {
+                    '1' => Ok(Some(true)),
+                    '0' => Ok(Some(false)),
+                    '-' => Ok(None),
+                    other => Err(ParseError::new(*lineno, format!("bad cube character '{other}'"))),
+                })
+                .collect::<Result<_, _>>()?;
+            let on = match value {
+                "1" => true,
+                "0" => false,
+                other => {
+                    return Err(ParseError::new(*lineno, format!("bad output value '{other}'")))
+                }
+            };
+            if !node.cubes.is_empty() && on != node.on_set {
+                return Err(ParseError::new(
+                    *lineno,
+                    "mixed on-set and off-set rows in one .names",
+                ));
+            }
+            node.on_set = on;
+            node.cubes.push(cube);
+        }
+    }
+    finish_current(&mut current, &mut nodes, &mut order);
+
+    // Instantiate the network, resolving dependencies depth-first.
+    let mut net = Network::new(model_name);
+    let mut sig: HashMap<String, SignalId> = HashMap::new();
+    for name in &input_names {
+        let s = net.add_input(name.clone());
+        if sig.insert(name.clone(), s).is_some() {
+            return Err(ParseError::new(0, format!("duplicate input {name}")));
+        }
+    }
+
+    fn instantiate(
+        name: &str,
+        nodes: &HashMap<String, NamesNode>,
+        net: &mut Network,
+        sig: &mut HashMap<String, SignalId>,
+        visiting: &mut Vec<String>,
+    ) -> Result<SignalId, ParseError> {
+        if let Some(&s) = sig.get(name) {
+            return Ok(s);
+        }
+        let Some(node) = nodes.get(name) else {
+            return Err(ParseError::new(0, format!("undefined signal {name}")));
+        };
+        if visiting.iter().any(|v| v == name) {
+            return Err(ParseError::new(node.line, format!("cyclic definition of {name}")));
+        }
+        visiting.push(name.to_string());
+        let fanins: Vec<SignalId> = node
+            .inputs
+            .iter()
+            .map(|i| instantiate(i, nodes, net, sig, visiting))
+            .collect::<Result<_, _>>()?;
+        visiting.pop();
+        // Build the SOP.
+        let mut cube_sigs: Vec<SignalId> = Vec::new();
+        for cube in &node.cubes {
+            let lits: Vec<SignalId> = cube
+                .iter()
+                .enumerate()
+                .filter_map(|(i, ph)| ph.map(|p| (i, p)))
+                .map(|(i, p)| {
+                    if p {
+                        fanins[i]
+                    } else {
+                        net.add_gate(GateKind::Not, vec![fanins[i]])
+                    }
+                })
+                .collect();
+            let c = match lits.len() {
+                0 => net.add_gate(GateKind::Const1, vec![]),
+                1 => lits[0],
+                _ => net.add_gate(GateKind::And, lits),
+            };
+            cube_sigs.push(c);
+        }
+        let mut s = match cube_sigs.len() {
+            0 => net.add_gate(GateKind::Const0, vec![]),
+            1 => cube_sigs[0],
+            _ => net.add_gate(GateKind::Or, cube_sigs),
+        };
+        if !node.on_set {
+            s = net.add_gate(GateKind::Not, vec![s]);
+        }
+        sig.insert(name.to_string(), s);
+        Ok(s)
+    }
+
+    let mut visiting = Vec::new();
+    for out in &output_names {
+        let s = instantiate(out, &nodes, &mut net, &mut sig, &mut visiting)?;
+        net.add_output(out.clone(), s);
+    }
+    Ok(net)
+}
+
+/// Serializes a network as BLIF text.
+///
+/// Every gate becomes a `.names` node; n-ary XOR/XNOR gates are written as
+/// explicit parity covers, so their fanin counts should be modest (they are
+/// at most a handful in synthesized networks).
+pub fn write_blif(net: &Network) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", sanitize(net.name())));
+    out.push_str(".inputs");
+    for &i in net.inputs() {
+        out.push(' ');
+        out.push_str(&node_label(net, i));
+    }
+    out.push('\n');
+    out.push_str(".outputs");
+    for (name, _) in net.outputs() {
+        out.push(' ');
+        out.push_str(&sanitize(name));
+    }
+    out.push('\n');
+
+    for id in net.topo_order() {
+        let NodeKind::Gate(kind) = net.kind(id) else {
+            continue;
+        };
+        let fanins = net.fanins(id);
+        let label = node_label(net, id);
+        let header = |out: &mut String| {
+            out.push_str(".names");
+            for &f in fanins {
+                out.push(' ');
+                out.push_str(&node_label(net, f));
+            }
+            out.push(' ');
+            out.push_str(&label);
+            out.push('\n');
+        };
+        match kind {
+            GateKind::Const0 => {
+                out.push_str(&format!(".names {label}\n"));
+            }
+            GateKind::Const1 => {
+                out.push_str(&format!(".names {label}\n1\n"));
+            }
+            GateKind::Buf => {
+                header(&mut out);
+                out.push_str("1 1\n");
+            }
+            GateKind::Not => {
+                header(&mut out);
+                out.push_str("0 1\n");
+            }
+            GateKind::And => {
+                header(&mut out);
+                out.push_str(&"1".repeat(fanins.len()));
+                out.push_str(" 1\n");
+            }
+            GateKind::Nand => {
+                header(&mut out);
+                out.push_str(&"1".repeat(fanins.len()));
+                out.push_str(" 0\n");
+            }
+            GateKind::Or => {
+                header(&mut out);
+                for i in 0..fanins.len() {
+                    let mut row = vec!['-'; fanins.len()];
+                    row[i] = '1';
+                    out.push_str(&row.iter().collect::<String>());
+                    out.push_str(" 1\n");
+                }
+            }
+            GateKind::Nor => {
+                header(&mut out);
+                out.push_str(&"0".repeat(fanins.len()));
+                out.push_str(" 1\n");
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                header(&mut out);
+                let k = fanins.len();
+                let want_odd = *kind == GateKind::Xor;
+                for m in 0..(1u64 << k) {
+                    let odd = m.count_ones() % 2 == 1;
+                    if odd == want_odd {
+                        let row: String = (0..k)
+                            .map(|b| if m & (1 << b) != 0 { '1' } else { '0' })
+                            .collect();
+                        out.push_str(&row);
+                        out.push_str(" 1\n");
+                    }
+                }
+            }
+        }
+    }
+
+    // outputs that alias internal signals need a buffer row when the signal
+    // name differs from the output name
+    for (name, sig) in net.outputs() {
+        let label = node_label(net, *sig);
+        if sanitize(name) != label {
+            out.push_str(&format!(".names {label} {} \n", sanitize(name)));
+            // fix trailing space for cleanliness
+            out.pop();
+            out.pop();
+            out.push('\n');
+            out.push_str("1 1\n");
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+fn node_label(net: &Network, id: SignalId) -> String {
+    match net.node_name(id) {
+        Some(n) => sanitize(n),
+        None => format!("n{}", id.index()),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XOR2: &str = "\
+.model xor2
+.inputs a b
+.outputs y
+.names a b y
+10 1
+01 1
+.end
+";
+
+    #[test]
+    fn parse_xor2() {
+        let net = parse_blif(XOR2).unwrap();
+        assert_eq!(net.inputs().len(), 2);
+        assert_eq!(net.outputs().len(), 1);
+        for m in 0..4u64 {
+            assert_eq!(net.eval_u64(m)[0], (m & 1 != 0) ^ (m & 2 != 0));
+        }
+    }
+
+    #[test]
+    fn parse_offset_cover() {
+        // f defined by its zero rows: f = NOT(a·b)
+        let src = "\
+.model nand
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+";
+        let net = parse_blif(src).unwrap();
+        for m in 0..4u64 {
+            assert_eq!(net.eval_u64(m)[0], !(m & 1 != 0 && m & 2 != 0));
+        }
+    }
+
+    #[test]
+    fn parse_constants_and_wires() {
+        let src = "\
+.model k
+.inputs a
+.outputs one zero w
+.names one
+1
+.names zero
+.names a w
+1 1
+.end
+";
+        let net = parse_blif(src).unwrap();
+        assert_eq!(net.eval_u64(0), vec![true, false, false]);
+        assert_eq!(net.eval_u64(1), vec![true, false, true]);
+    }
+
+    #[test]
+    fn parse_out_of_order_definitions() {
+        let src = "\
+.model ooo
+.inputs a b
+.outputs y
+.names t y
+0 1
+.names a b t
+11 1
+.end
+";
+        let net = parse_blif(src).unwrap();
+        for m in 0..4u64 {
+            assert_eq!(net.eval_u64(m)[0], !(m & 1 != 0 && m & 2 != 0));
+        }
+    }
+
+    #[test]
+    fn parse_continuation_and_comments() {
+        let src = "\
+.model c # a comment
+.inputs a \\
+b
+.outputs y
+.names a b y # cover follows
+11 1
+.end
+";
+        let net = parse_blif(src).unwrap();
+        assert_eq!(net.inputs().len(), 2);
+        assert!(net.eval_u64(0b11)[0]);
+    }
+
+    #[test]
+    fn error_on_bad_cube() {
+        let src = ".model e\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n";
+        let err = parse_blif(src).unwrap_err();
+        assert_eq!(err.line(), 5);
+        assert!(err.message().contains("bad cube"));
+    }
+
+    #[test]
+    fn error_on_width_mismatch() {
+        let src = ".model e\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n";
+        let err = parse_blif(src).unwrap_err();
+        assert!(err.message().contains("width"));
+    }
+
+    #[test]
+    fn error_on_undefined_signal() {
+        let src = ".model e\n.inputs a\n.outputs y\n.end\n";
+        let err = parse_blif(src).unwrap_err();
+        assert!(err.message().contains("undefined"));
+    }
+
+    #[test]
+    fn error_on_latch() {
+        let src = ".model e\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n";
+        let err = parse_blif(src).unwrap_err();
+        assert!(err.message().contains("latch"));
+    }
+
+    #[test]
+    fn error_on_cycle() {
+        let src = "\
+.model cyc
+.inputs a
+.outputs y
+.names a x y
+11 1
+.names y x
+1 1
+.end
+";
+        let err = parse_blif(src).unwrap_err();
+        assert!(err.message().contains("cyclic"));
+    }
+
+    #[test]
+    fn roundtrip_all_gate_kinds() {
+        use xsynth_net::{GateKind, Network};
+        let mut n = Network::new("rt");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.add_gate(GateKind::Nand, vec![a, b]);
+        let g2 = n.add_gate(GateKind::Nor, vec![b, c]);
+        let g3 = n.add_gate(GateKind::Xor, vec![g1, g2, a]);
+        let g4 = n.add_gate(GateKind::Xnor, vec![g3, c]);
+        let g5 = n.add_gate(GateKind::Or, vec![g4, g1]);
+        let g6 = n.add_gate(GateKind::Not, vec![g5]);
+        n.add_output("y", g6);
+        n.add_output("z", g3);
+        let text = write_blif(&n);
+        let back = parse_blif(&text).unwrap();
+        for m in 0..8u64 {
+            assert_eq!(back.eval_u64(m), n.eval_u64(m), "at {m}\n{text}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_output_aliasing_input() {
+        use xsynth_net::Network;
+        let mut n = Network::new("alias");
+        let a = n.add_input("a");
+        n.add_output("y", a);
+        let text = write_blif(&n);
+        let back = parse_blif(&text).unwrap();
+        assert_eq!(back.eval_u64(1), vec![true]);
+        assert_eq!(back.eval_u64(0), vec![false]);
+    }
+}

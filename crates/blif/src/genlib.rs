@@ -1,0 +1,347 @@
+//! SIS genlib gate-library parsing.
+
+use crate::ParseError;
+use xsynth_boolean::TruthTable;
+
+/// A combinational cell parsed from a genlib file: name, area, and the
+/// single-output Boolean expression over its pins.
+///
+/// # Examples
+///
+/// ```
+/// use xsynth_blif::parse_genlib;
+///
+/// let lib = parse_genlib("GATE nand2 2.0 y=!(a*b); PIN * INV 1 999 1 0 1 0")?;
+/// assert_eq!(lib.len(), 1);
+/// assert_eq!(lib[0].name(), "nand2");
+/// let (pins, tt) = lib[0].truth_table();
+/// assert_eq!(pins, ["a", "b"]);
+/// assert!(tt.eval(0b01));
+/// assert!(!tt.eval(0b11));
+/// # Ok::<(), xsynth_blif::ParseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GenlibGate {
+    name: String,
+    area: f64,
+    output: String,
+    expr: Expr,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    Const(bool),
+    Var(String),
+    Not(Box<Expr>),
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+}
+
+impl GenlibGate {
+    /// Cell name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cell area.
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Output pin name.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// The input pins in first-appearance order and the cell function as a
+    /// truth table over them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell has more than [`xsynth_boolean::MAX_TT_VARS`]
+    /// pins (no real standard cell does).
+    pub fn truth_table(&self) -> (Vec<String>, TruthTable) {
+        let mut pins = Vec::new();
+        collect_pins(&self.expr, &mut pins);
+        let n = pins.len();
+        let tt = TruthTable::from_fn(n, |m| {
+            eval(&self.expr, &|name| {
+                let i = pins.iter().position(|p| p == name).expect("pin collected");
+                m & (1 << i) != 0
+            })
+        });
+        (pins, tt)
+    }
+
+    /// Number of input pins.
+    pub fn num_pins(&self) -> usize {
+        let mut pins = Vec::new();
+        collect_pins(&self.expr, &mut pins);
+        pins.len()
+    }
+}
+
+fn collect_pins(e: &Expr, pins: &mut Vec<String>) {
+    match e {
+        Expr::Const(_) => {}
+        Expr::Var(v) => {
+            if !pins.iter().any(|p| p == v) {
+                pins.push(v.clone());
+            }
+        }
+        Expr::Not(x) => collect_pins(x, pins),
+        Expr::And(xs) | Expr::Or(xs) => {
+            for x in xs {
+                collect_pins(x, pins);
+            }
+        }
+    }
+}
+
+fn eval(e: &Expr, env: &dyn Fn(&str) -> bool) -> bool {
+    match e {
+        Expr::Const(c) => *c,
+        Expr::Var(v) => env(v),
+        Expr::Not(x) => !eval(x, env),
+        Expr::And(xs) => xs.iter().all(|x| eval(x, env)),
+        Expr::Or(xs) => xs.iter().any(|x| eval(x, env)),
+    }
+}
+
+/// Parses genlib text into its gate list. Only the `GATE` lines matter for
+/// mapping; `PIN` annotations and `LATCH` blocks are skipped.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed `GATE` lines or expressions.
+pub fn parse_genlib(src: &str) -> Result<Vec<GenlibGate>, ParseError> {
+    let mut gates = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = i + 1;
+        let line = match raw.find('#') {
+            Some(p) => raw[..p].trim(),
+            None => raw.trim(),
+        };
+        if !line.starts_with("GATE") {
+            continue;
+        }
+        let rest = line["GATE".len()..].trim();
+        let mut tok = rest.split_whitespace();
+        let name = tok
+            .next()
+            .ok_or_else(|| ParseError::new(lineno, "GATE missing name"))?
+            .trim_matches('"')
+            .to_string();
+        let area: f64 = tok
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| ParseError::new(lineno, "GATE missing area"))?;
+        // the function is everything up to the ';'
+        let fn_text: String = tok.collect::<Vec<_>>().join(" ");
+        let fn_text = fn_text.split(';').next().unwrap_or("").trim().to_string();
+        let (output, expr_text) = fn_text
+            .split_once('=')
+            .ok_or_else(|| ParseError::new(lineno, "GATE function needs out=expr"))?;
+        let expr = ExprParser::new(expr_text, lineno).parse()?;
+        gates.push(GenlibGate {
+            name,
+            area,
+            output: output.trim().to_string(),
+            expr,
+        });
+    }
+    Ok(gates)
+}
+
+struct ExprParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn new(text: &'a str, line: usize) -> Self {
+        ExprParser {
+            chars: text.chars().peekable(),
+            line,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn parse(mut self) -> Result<Expr, ParseError> {
+        let e = self.parse_or()?;
+        self.skip_ws();
+        if self.chars.peek().is_some() {
+            return Err(ParseError::new(self.line, "trailing characters in expression"));
+        }
+        Ok(e)
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut terms = vec![self.parse_and()?];
+        loop {
+            self.skip_ws();
+            if matches!(self.chars.peek(), Some('+')) {
+                self.chars.next();
+                terms.push(self.parse_and()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Expr::Or(terms)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut factors = vec![self.parse_unary()?];
+        loop {
+            self.skip_ws();
+            match self.chars.peek() {
+                Some('*') => {
+                    self.chars.next();
+                    factors.push(self.parse_unary()?);
+                }
+                // implicit AND by juxtaposition: next token starts an atom
+                Some(c) if c.is_alphanumeric() || *c == '(' || *c == '!' || *c == '_' => {
+                    factors.push(self.parse_unary()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(if factors.len() == 1 {
+            factors.pop().expect("one factor")
+        } else {
+            Expr::And(factors)
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some('!')) {
+            self.chars.next();
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        let mut e = self.parse_atom()?;
+        // postfix complement: a'
+        loop {
+            if matches!(self.chars.peek(), Some('\'')) {
+                self.chars.next();
+                e = Expr::Not(Box::new(e));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        match self.chars.peek() {
+            Some('(') => {
+                self.chars.next();
+                let e = self.parse_or()?;
+                self.skip_ws();
+                if self.chars.next() != Some(')') {
+                    return Err(ParseError::new(self.line, "missing ')'"));
+                }
+                Ok(e)
+            }
+            Some(c) if c.is_alphanumeric() || *c == '_' => {
+                let mut name = String::new();
+                while matches!(self.chars.peek(), Some(c) if c.is_alphanumeric() || *c == '_') {
+                    name.push(self.chars.next().expect("peeked"));
+                }
+                match name.as_str() {
+                    "CONST0" => Ok(Expr::Const(false)),
+                    "CONST1" => Ok(Expr::Const(true)),
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            other => Err(ParseError::new(
+                self.line,
+                format!("unexpected character {other:?} in expression"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_inv_and_nand() {
+        let lib = parse_genlib(
+            "GATE inv 1 y=!a; PIN * INV 1 999 1 0 1 0\nGATE nand2 2 y=!(a*b); PIN * INV 1 999 1 0 1 0\n",
+        )
+        .unwrap();
+        assert_eq!(lib.len(), 2);
+        let (pins, tt) = lib[0].truth_table();
+        assert_eq!(pins, ["a"]);
+        assert!(tt.eval(0));
+        assert!(!tt.eval(1));
+        assert_eq!(lib[1].num_pins(), 2);
+    }
+
+    #[test]
+    fn parse_aoi22() {
+        let lib = parse_genlib("GATE aoi22 4 y=!(a*b+c*d);").unwrap();
+        let (pins, tt) = lib[0].truth_table();
+        assert_eq!(pins.len(), 4);
+        // y = !(ab + cd)
+        for m in 0..16u64 {
+            let (a, b, c, d) = (m & 1 != 0, m & 2 != 0, m & 4 != 0, m & 8 != 0);
+            assert_eq!(tt.eval(m), !((a && b) || (c && d)));
+        }
+    }
+
+    #[test]
+    fn parse_xor_as_sop() {
+        let lib = parse_genlib("GATE xor2 5 y=a*!b+!a*b;").unwrap();
+        let (pins, tt) = lib[0].truth_table();
+        assert_eq!(pins, ["a", "b"]);
+        for m in 0..4u64 {
+            assert_eq!(tt.eval(m), (m & 1 != 0) ^ (m & 2 != 0));
+        }
+    }
+
+    #[test]
+    fn postfix_complement_and_juxtaposition() {
+        let lib = parse_genlib("GATE g 1 y=a b' + c;").unwrap();
+        let (pins, tt) = lib[0].truth_table();
+        assert_eq!(pins, ["a", "b", "c"]);
+        for m in 0..8u64 {
+            let (a, b, c) = (m & 1 != 0, m & 2 != 0, m & 4 != 0);
+            assert_eq!(tt.eval(m), (a && !b) || c);
+        }
+    }
+
+    #[test]
+    fn constants() {
+        let lib = parse_genlib("GATE tie1 0 y=CONST1;").unwrap();
+        let (pins, tt) = lib[0].truth_table();
+        assert!(pins.is_empty());
+        assert!(tt.eval(0));
+    }
+
+    #[test]
+    fn error_on_missing_equals() {
+        let err = parse_genlib("GATE bad 1 noequals;").unwrap_err();
+        assert!(err.message().contains("out=expr"));
+    }
+
+    #[test]
+    fn area_is_kept() {
+        let lib = parse_genlib("GATE inv 0.875 y=!a;").unwrap();
+        assert!((lib[0].area() - 0.875).abs() < 1e-9);
+        assert_eq!(lib[0].output(), "y");
+    }
+}

@@ -1,0 +1,74 @@
+//! Readers and writers for the logic-synthesis interchange formats the
+//! paper's experimental setup relies on:
+//!
+//! * **BLIF** (Berkeley Logic Interchange Format) — the IWLS'91 multilevel
+//!   benchmark format; `.names` nodes carry sum-of-products covers.
+//! * **PLA** (espresso format) — the two-level benchmark format.
+//! * **genlib** — the SIS gate-library format used for technology mapping
+//!   (`mcnc.genlib` in the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use xsynth_blif::parse_blif;
+//!
+//! let src = "\
+//! .model xor2
+//! .inputs a b
+//! .outputs y
+//! .names a b y
+//! 10 1
+//! 01 1
+//! .end
+//! ";
+//! let net = parse_blif(src)?;
+//! assert_eq!(net.eval_u64(0b01), vec![true]);
+//! assert_eq!(net.eval_u64(0b11), vec![false]);
+//! # Ok::<(), xsynth_blif::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod blif;
+mod genlib;
+mod pla;
+
+pub use blif::{parse_blif, write_blif};
+pub use genlib::{parse_genlib, GenlibGate};
+pub use pla::{parse_pla, write_pla, Pla};
+
+use std::fmt;
+
+/// An error produced while parsing BLIF, PLA or genlib text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    line: usize,
+    message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number where the error occurred (0 = end of input).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

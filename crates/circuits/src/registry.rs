@@ -1,0 +1,228 @@
+//! The benchmark registry: every circuit of the paper's Table 2 with its
+//! published reference numbers.
+
+use crate::suite;
+use xsynth_net::Network;
+
+/// One row of the paper's Table 2 (the published reference values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// SIS literals before mapping.
+    pub sis_lits: u32,
+    /// SIS CPU seconds (Sparc 5, 1996).
+    pub sis_time: f64,
+    /// The paper's literals before mapping.
+    pub ours_lits: u32,
+    /// The paper's CPU seconds.
+    pub ours_time: f64,
+    /// SIS mapped gate count.
+    pub sis_gates: u32,
+    /// SIS mapped literal count.
+    pub sis_map_lits: u32,
+    /// The paper's mapped gate count.
+    pub ours_gates: u32,
+    /// The paper's mapped literal count.
+    pub ours_map_lits: u32,
+    /// The paper's `improve%lits` column.
+    pub improve_lits: i32,
+    /// The paper's `improve%power` column.
+    pub improve_power: i32,
+}
+
+/// A registered benchmark circuit.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Circuit name (Table 2 spelling).
+    pub name: &'static str,
+    /// `(inputs, outputs)`.
+    pub io: (usize, usize),
+    /// Whether the paper counts it in the `Total arith.` row (recovered by
+    /// exactly fitting all six subtotal columns of Table 2; the fit is
+    /// unique).
+    pub arithmetic: bool,
+    /// Whether our rebuild substitutes a synthetic function because the
+    /// original MCNC function is not public.
+    pub substituted: bool,
+    /// The paper's published numbers for this row.
+    pub paper: PaperRow,
+}
+
+macro_rules! row {
+    ($sl:expr, $st:expr, $ol:expr, $ot:expr, $sg:expr, $sml:expr, $og:expr, $oml:expr, $il:expr, $ip:expr) => {
+        PaperRow {
+            sis_lits: $sl,
+            sis_time: $st,
+            ours_lits: $ol,
+            ours_time: $ot,
+            sis_gates: $sg,
+            sis_map_lits: $sml,
+            ours_gates: $og,
+            ours_map_lits: $oml,
+            improve_lits: $il,
+            improve_power: $ip,
+        }
+    };
+}
+
+/// The full Table 2 registry, in the paper's row order.
+pub fn registry() -> Vec<Benchmark> {
+    let b = |name, io, arithmetic, substituted, paper| Benchmark {
+        name,
+        io,
+        arithmetic,
+        substituted,
+        paper,
+    };
+    vec![
+        b("5xp1", (7, 10), true, false, row!(213, 6.7, 181, 5.21, 78, 207, 66, 161, 22, 16)),
+        b("9sym", (9, 1), true, false, row!(414, 14.5, 156, 2.45, 139, 372, 64, 146, 61, 57)),
+        b("adr4", (8, 5), true, false, row!(62, 1.8, 48, 0.45, 28, 59, 23, 48, 19, 31)),
+        b("add6", (12, 7), true, false, row!(114, 3.2, 76, 0.91, 48, 106, 44, 82, 23, 42)),
+        b("addm4", (9, 8), true, true, row!(700, 465.0, 588, 42.22, 221, 573, 224, 539, 6, 13)),
+        b("bcd-div3", (4, 4), true, false, row!(52, 0.9, 52, 0.43, 20, 51, 22, 54, -6, -1)),
+        b("cc", (21, 20), false, true, row!(84, 2.8, 84, 2.68, 44, 89, 42, 88, 1, 3)),
+        b("co14", (14, 1), true, true, row!(128, 5.8, 88, 2.73, 50, 118, 50, 98, 17, 14)),
+        b("cm163a", (16, 5), false, true, row!(74, 2.2, 66, 1.33, 28, 65, 30, 68, -5, 13)),
+        b("cm82a", (5, 3), false, false, row!(34, 0.6, 28, 0.5, 14, 31, 16, 32, -3, 29)),
+        b("cm85a", (11, 3), false, true, row!(80, 1.7, 84, 1.48, 33, 77, 41, 84, -9, 1)),
+        b("cmb", (16, 4), false, true, row!(86, 2.2, 37, 0.22, 32, 83, 17, 50, 40, 35)),
+        b("f2", (4, 4), true, false, row!(36, 1.2, 34, 0.73, 16, 40, 16, 34, 15, 12)),
+        b("f51m", (8, 8), true, true, row!(187, 8.6, 137, 2.71, 66, 160, 63, 132, 17, 27)),
+        b("frg1", (28, 3), false, true, row!(183, 7.9, 146, 56.8, 82, 192, 57, 141, 27, 44)),
+        b("i1", (25, 13), false, true, row!(70, 2.1, 61, 1.9, 33, 73, 34, 69, 5, 3)),
+        b("i3", (132, 6), false, true, row!(252, 7.7, 260, 8.41, 58, 184, 90, 224, -22, 24)),
+        b("i4", (192, 6), false, true, row!(436, 13.9, 448, 67.9, 114, 380, 145, 384, -1, 7)),
+        b("i5", (133, 66), false, true, row!(264, 9.5, 264, 28.33, 165, 330, 165, 330, 0, 0)),
+        b("m181", (15, 9), true, true, row!(148, 5.1, 148, 5.17, 54, 144, 56, 162, -13, -4)),
+        b("majority", (5, 1), false, false, row!(18, 0.4, 16, 0.21, 8, 17, 7, 16, 6, 14)),
+        b("misg", (56, 23), false, true, row!(138, 4.4, 100, 6.11, 52, 132, 41, 95, 28, 27)),
+        b("mish", (94, 34), false, true, row!(180, 4.6, 143, 2.31, 63, 153, 64, 157, -3, 0)),
+        b("mlp4", (8, 8), true, false, row!(534, 19.3, 452, 12.72, 176, 503, 171, 411, 18, 21)),
+        b("my_adder", (33, 17), true, false, row!(336, 6.9, 224, 13.04, 111, 290, 113, 226, 22, 38)),
+        b("parity", (16, 1), true, false, row!(90, 1.2, 90, 0.28, 15, 60, 15, 60, 0, 0)),
+        b("pcle", (19, 9), false, true, row!(110, 2.5, 96, 2.09, 50, 121, 44, 92, 24, 26)),
+        b("pcler8", (27, 17), false, true, row!(156, 4.8, 135, 5.12, 73, 153, 73, 137, 10, 4)),
+        b("pm1", (16, 13), false, true, row!(69, 2.8, 65, 1.44, 33, 67, 39, 73, -9, 2)),
+        b("radd", (8, 5), true, false, row!(64, 2.7, 48, 0.41, 26, 58, 25, 52, 10, 41)),
+        b("rd53", (5, 3), true, false, row!(52, 2.0, 50, 0.33, 24, 53, 25, 50, 6, 0)),
+        b("rd73", (7, 3), true, false, row!(108, 9.3, 90, 0.87, 46, 103, 41, 88, 15, 9)),
+        b("rd84", (8, 4), true, false, row!(256, 97.2, 138, 1.11, 83, 225, 66, 137, 39, 38)),
+        b("shift", (19, 16), false, true, row!(398, 6.6, 306, 16.36, 114, 313, 86, 307, 2, -8)),
+        b("sqr6", (6, 12), true, false, row!(212, 4.2, 217, 4.05, 72, 194, 82, 223, -15, 1)),
+        b("squar5", (5, 8), true, false, row!(92, 2.7, 104, 0.90, 37, 92, 46, 104, -13, 5)),
+        b("sym10", (10, 1), true, true, row!(430, 711.1, 176, 4.53, 133, 350, 78, 179, 49, 59)),
+        b("t481", (16, 1), true, false, row!(474, 1372.4, 50, 0.69, 190, 438, 23, 48, 89, 85)),
+        b("tcon", (17, 16), false, true, row!(48, 1.3, 48, 0.28, 17, 73, 17, 73, 0, 0)),
+        b("xor10", (10, 1), true, false, row!(54, 1692.1, 54, 0.56, 9, 36, 9, 36, 0, 0)),
+        b("z4ml", (7, 4), true, false, row!(48, 1.7, 42, 1.05, 25, 50, 21, 42, 16, 11)),
+    ]
+}
+
+/// Builds a benchmark circuit by its Table 2 name.
+pub fn build(name: &str) -> Option<Network> {
+    Some(match name {
+        "5xp1" => suite::c_5xp1(),
+        "9sym" => suite::c_9sym(),
+        "adr4" => suite::c_adr4(),
+        "add6" => suite::c_add6(),
+        "addm4" => suite::c_addm4(),
+        "bcd-div3" => suite::c_bcd_div3(),
+        "cc" => suite::c_cc(),
+        "co14" => suite::c_co14(),
+        "cm163a" => suite::c_cm163a(),
+        "cm82a" => suite::c_cm82a(),
+        "cm85a" => suite::c_cm85a(),
+        "cmb" => suite::c_cmb(),
+        "f2" => suite::c_f2(),
+        "f51m" => suite::c_f51m(),
+        "frg1" => suite::c_frg1(),
+        "i1" => suite::c_i1(),
+        "i3" => suite::c_i3(),
+        "i4" => suite::c_i4(),
+        "i5" => suite::c_i5(),
+        "m181" => suite::c_m181(),
+        "majority" => suite::c_majority(),
+        "misg" => suite::c_misg(),
+        "mish" => suite::c_mish(),
+        "mlp4" => suite::c_mlp4(),
+        "my_adder" => suite::c_my_adder(),
+        "parity" => suite::c_parity(),
+        "pcle" => suite::c_pcle(),
+        "pcler8" => suite::c_pcler8(),
+        "pm1" => suite::c_pm1(),
+        "radd" => suite::c_radd(),
+        "rd53" => suite::c_rdnn(5, 3),
+        "rd73" => suite::c_rdnn(7, 3),
+        "rd84" => suite::c_rdnn(8, 4),
+        "shift" => suite::c_shift(),
+        "sqr6" => suite::c_sqr6(),
+        "squar5" => suite::c_squar5(),
+        "sym10" => suite::c_sym10(),
+        "t481" => suite::c_t481(),
+        "tcon" => suite::c_tcon(),
+        "xor10" => suite::c_xor10(),
+        "z4ml" => suite::c_z4ml(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_table2() {
+        let r = registry();
+        assert_eq!(r.len(), 41);
+        assert_eq!(r.iter().filter(|b| b.arithmetic).count(), 23);
+    }
+
+    #[test]
+    fn every_benchmark_builds_with_declared_io() {
+        for b in registry() {
+            let net = build(b.name).unwrap_or_else(|| panic!("missing builder {}", b.name));
+            assert_eq!(net.inputs().len(), b.io.0, "{} inputs", b.name);
+            assert_eq!(net.outputs().len(), b.io.1, "{} outputs", b.name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(build("nope").is_none());
+    }
+
+    #[test]
+    fn paper_subtotals_reproduce() {
+        // recomputing the paper's Total rows from the registry must match
+        // Table 2 exactly — this pins down the transcription and the
+        // arithmetic-set fit
+        let r = registry();
+        let sum = |f: &dyn Fn(&Benchmark) -> u32, arith_only: bool| -> u32 {
+            r.iter()
+                .filter(|b| !arith_only || b.arithmetic)
+                .map(f)
+                .sum()
+        };
+        assert_eq!(sum(&|b| b.paper.sis_lits, true), 4804);
+        assert_eq!(sum(&|b| b.paper.ours_lits, true), 3243);
+        assert_eq!(sum(&|b| b.paper.sis_gates, true), 1667);
+        assert_eq!(sum(&|b| b.paper.sis_map_lits, true), 4282);
+        assert_eq!(sum(&|b| b.paper.ours_gates, true), 1343);
+        assert_eq!(sum(&|b| b.paper.ours_map_lits, true), 3112);
+        assert_eq!(sum(&|b| b.paper.sis_lits, false), 7484);
+        assert_eq!(sum(&|b| b.paper.ours_lits, false), 5630);
+        assert_eq!(sum(&|b| b.paper.sis_gates, false), 2680);
+        assert_eq!(sum(&|b| b.paper.sis_map_lits, false), 6815);
+        assert_eq!(sum(&|b| b.paper.ours_gates, false), 2351);
+        assert_eq!(sum(&|b| b.paper.ours_map_lits, false), 5532);
+    }
+
+    #[test]
+    fn exact_circuits_are_not_marked_substituted() {
+        let r = registry();
+        for name in ["t481", "z4ml", "mlp4", "my_adder", "parity", "rd84", "adr4"] {
+            let b = r.iter().find(|b| b.name == name).expect("registered");
+            assert!(!b.substituted, "{name} is an exact rebuild");
+        }
+    }
+}

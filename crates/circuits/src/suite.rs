@@ -1,0 +1,873 @@
+//! The benchmark circuit builders.
+//!
+//! Circuits whose function is documented (adders, multipliers, squarers,
+//! counting/symmetric functions, parity, `t481` via the paper's printed
+//! equation) are rebuilt exactly. Circuits whose original MCNC function is
+//! not public are substituted by deterministic synthetic circuits of the
+//! same I/O size and flavor and are flagged in the registry.
+
+use crate::builders::{bus, interleaved_buses, mux2, ripple_adder, two_level, word_function};
+use xsynth_boolean::TruthTable;
+use xsynth_net::{GateKind, Network, SignalId};
+
+/// `5xp1`: y = 5·x + 1 over a 7-bit input, 10 output bits.
+pub fn c_5xp1() -> Network {
+    two_level("5xp1", &word_function(7, 10, |x| 5 * x + 1))
+}
+
+/// `9sym`: 1 iff the input weight is between 3 and 6 (inclusive).
+pub fn c_9sym() -> Network {
+    let w: Vec<bool> = (0..=9).map(|k| (3..=6).contains(&k)).collect();
+    two_level("9sym", &[TruthTable::symmetric(9, &w)])
+}
+
+/// `sym10`: the 10-input weight-window detector (weight in 3..=6).
+pub fn c_sym10() -> Network {
+    let w: Vec<bool> = (0..=10).map(|k| (3..=6).contains(&k)).collect();
+    two_level("sym10", &[TruthTable::symmetric(10, &w)])
+}
+
+/// `adr4`: 4-bit adder (two-level form), 8 inputs → 5 outputs.
+pub fn c_adr4() -> Network {
+    two_level(
+        "adr4",
+        &word_function(8, 5, |m| (m & 0xf) + ((m >> 4) & 0xf)),
+    )
+}
+
+/// `radd`: another 4-bit adder listing of the same function.
+pub fn c_radd() -> Network {
+    two_level(
+        "radd",
+        &word_function(8, 5, |m| (m & 0xf) + ((m >> 4) & 0xf)),
+    )
+}
+
+/// `add6`: 6-bit ripple adder, 12 inputs → 7 outputs (structural).
+pub fn c_add6() -> Network {
+    let mut net = Network::new("add6");
+    let (a, b) = interleaved_buses(&mut net, "a", "b", 6);
+    let (s, c) = ripple_adder(&mut net, &a, &b, None);
+    for (i, &x) in s.iter().enumerate() {
+        net.add_output(format!("s{i}"), x);
+    }
+    net.add_output("cout", c);
+    net
+}
+
+/// `my_adder`: 16-bit ripple adder with carry-in, 33 inputs → 17 outputs.
+pub fn c_my_adder() -> Network {
+    let mut net = Network::new("my_adder");
+    let (a, b) = interleaved_buses(&mut net, "a", "b", 16);
+    let cin = net.add_input("cin");
+    let (s, c) = ripple_adder(&mut net, &a, &b, Some(cin));
+    for (i, &x) in s.iter().enumerate() {
+        net.add_output(format!("s{i}"), x);
+    }
+    net.add_output("cout", c);
+    net
+}
+
+/// `z4ml`: 3-bit adder with carry-in (two-level), 7 inputs → 4 outputs.
+pub fn c_z4ml() -> Network {
+    two_level(
+        "z4ml",
+        &word_function(7, 4, |m| {
+            let a = m & 0x7;
+            let b = (m >> 3) & 0x7;
+            let cin = (m >> 6) & 1;
+            a + b + cin
+        }),
+    )
+}
+
+/// `cm82a`: 2-bit adder slice with carry-in, 5 inputs → 3 outputs.
+pub fn c_cm82a() -> Network {
+    two_level(
+        "cm82a",
+        &word_function(5, 3, |m| {
+            let a = m & 0x3;
+            let b = (m >> 2) & 0x3;
+            let cin = (m >> 4) & 1;
+            a + b + cin
+        }),
+    )
+}
+
+/// `mlp4`: 4×4-bit multiplier (two-level), 8 inputs → 8 outputs.
+pub fn c_mlp4() -> Network {
+    two_level(
+        "mlp4",
+        &word_function(8, 8, |m| (m & 0xf) * ((m >> 4) & 0xf)),
+    )
+}
+
+/// `sqr6`: 6-bit squarer, 6 inputs → 12 outputs.
+pub fn c_sqr6() -> Network {
+    two_level("sqr6", &word_function(6, 12, |x| x * x))
+}
+
+/// `squar5`: 5-bit squarer, low 8 output bits (the benchmark's 5/8 shape).
+pub fn c_squar5() -> Network {
+    two_level("squar5", &word_function(5, 8, |x| (x * x) & 0xff))
+}
+
+/// `f51m`: an arithmetic sibling of 5xp1 — substituted as
+/// y = 5·x + 1 mod 256 over 8 bits.
+pub fn c_f51m() -> Network {
+    two_level("f51m", &word_function(8, 8, |x| (5 * x + 1) & 0xff))
+}
+
+/// `addm4`: substituted add-and-scale datapath: (a + b)·3 + cin over two
+/// 4-bit operands, 9 inputs → 8 outputs.
+pub fn c_addm4() -> Network {
+    two_level(
+        "addm4",
+        &word_function(9, 8, |m| {
+            let a = m & 0xf;
+            let b = (m >> 4) & 0xf;
+            let cin = (m >> 8) & 1;
+            ((a + b) * 3 + cin) & 0xff
+        }),
+    )
+}
+
+/// `bcd-div3`: BCD digit divided by 3 → (quotient, remainder); inputs
+/// above 9 produce 0.
+pub fn c_bcd_div3() -> Network {
+    two_level(
+        "bcd-div3",
+        &word_function(4, 4, |x| {
+            if x > 9 {
+                0
+            } else {
+                (x / 3) | ((x % 3) << 2)
+            }
+        }),
+    )
+}
+
+/// `f2`: 2×2-bit multiplier, 4 inputs → 4 outputs.
+pub fn c_f2() -> Network {
+    two_level("f2", &word_function(4, 4, |m| (m & 0x3) * ((m >> 2) & 0x3)))
+}
+
+/// `m181`: substituted 7-bit adder with carry-in plus overflow flag,
+/// 15 inputs → 9 outputs (the registry's arithmetic fit places m181 in the
+/// paper's bold set).
+pub fn c_m181() -> Network {
+    let mut net = Network::new("m181");
+    let (a, b) = interleaved_buses(&mut net, "a", "b", 7);
+    let cin = net.add_input("cin");
+    let (s, cout) = ripple_adder(&mut net, &a, &b, Some(cin));
+    for (i, &x) in s.iter().enumerate() {
+        net.add_output(format!("s{i}"), x);
+    }
+    net.add_output("cout", cout);
+    // signed-overflow flag: carry into msb ⊕ carry out of msb; rebuild the
+    // msb carry-in as a6⊕b6⊕s6
+    let t = net.add_gate(GateKind::Xor, vec![a[6], b[6]]);
+    let cin_msb = net.add_gate(GateKind::Xor, vec![t, s[6]]);
+    let ovf = net.add_gate(GateKind::Xor, vec![cin_msb, cout]);
+    net.add_output("ovf", ovf);
+    net
+}
+
+/// `rd53`, `rd73`, `rd84`: bit-count (rate-distortion) encoders.
+pub fn c_rdnn(n: usize, out_bits: usize) -> Network {
+    two_level(
+        &format!("rd{n}{out_bits}"),
+        &word_function(n, out_bits, |m| m.count_ones() as u64),
+    )
+}
+
+/// `majority`: 5-input majority vote.
+pub fn c_majority() -> Network {
+    let w: Vec<bool> = (0..=5).map(|k| k >= 3).collect();
+    two_level("majority", &[TruthTable::symmetric(5, &w)])
+}
+
+/// `parity`: 16-input odd-parity function (structural XOR).
+pub fn c_parity() -> Network {
+    let mut net = Network::new("parity");
+    let ins = bus(&mut net, "x", 16);
+    let x = net.add_gate(GateKind::Xor, ins);
+    net.add_output("p", x);
+    net
+}
+
+/// `xor10`: 10-input parity.
+pub fn c_xor10() -> Network {
+    let mut net = Network::new("xor10");
+    let ins = bus(&mut net, "x", 10);
+    let x = net.add_gate(GateKind::Xor, ins);
+    net.add_output("p", x);
+    net
+}
+
+/// `t481`: the 16-input function from the paper's Example 1, built from
+/// its printed closed form:
+///
+/// ```text
+/// t481 = (¬v0·v1 ⊕ v2·¬v3)(¬v4·v5 ⊕ (¬v6 + v7)) ⊕
+///        ((v8 + ¬v9) ⊕ v10·¬v11)(¬v12·v13 ⊕ v14·¬v15)
+/// ```
+pub fn c_t481() -> Network {
+    let mut net = Network::new("t481");
+    let v = bus(&mut net, "v", 16);
+    let not = |net: &mut Network, s: SignalId| net.add_gate(GateKind::Not, vec![s]);
+    let and2 = |net: &mut Network, a: SignalId, b: SignalId| net.add_gate(GateKind::And, vec![a, b]);
+    let or2 = |net: &mut Network, a: SignalId, b: SignalId| net.add_gate(GateKind::Or, vec![a, b]);
+    let xor2 = |net: &mut Network, a: SignalId, b: SignalId| net.add_gate(GateKind::Xor, vec![a, b]);
+
+    let nv0 = not(&mut net, v[0]);
+    let a1 = and2(&mut net, nv0, v[1]);
+    let nv3 = not(&mut net, v[3]);
+    let a2 = and2(&mut net, v[2], nv3);
+    let p = xor2(&mut net, a1, a2);
+
+    let nv4 = not(&mut net, v[4]);
+    let a3 = and2(&mut net, nv4, v[5]);
+    let nv6 = not(&mut net, v[6]);
+    let o1 = or2(&mut net, nv6, v[7]);
+    let q = xor2(&mut net, a3, o1);
+
+    let left = and2(&mut net, p, q);
+
+    let nv9 = not(&mut net, v[9]);
+    let o2 = or2(&mut net, v[8], nv9);
+    let nv11 = not(&mut net, v[11]);
+    let a4 = and2(&mut net, v[10], nv11);
+    let r = xor2(&mut net, o2, a4);
+
+    let nv12 = not(&mut net, v[12]);
+    let a5 = and2(&mut net, nv12, v[13]);
+    let nv15 = not(&mut net, v[15]);
+    let a6 = and2(&mut net, v[14], nv15);
+    let s = xor2(&mut net, a5, a6);
+
+    let right = and2(&mut net, r, s);
+    let f = xor2(&mut net, left, right);
+    net.add_output("t481", f);
+    net
+}
+
+/// `co14`: substituted exactly-one-hot detector over 14 inputs.
+#[allow(clippy::needless_range_loop)]
+pub fn c_co14() -> Network {
+    let mut net = Network::new("co14");
+    let ins = bus(&mut net, "x", 14);
+    let nots: Vec<SignalId> = ins
+        .iter()
+        .map(|&i| net.add_gate(GateKind::Not, vec![i]))
+        .collect();
+    let mut terms = Vec::new();
+    for i in 0..14 {
+        let mut fan = vec![ins[i]];
+        for (j, &nj) in nots.iter().enumerate() {
+            if j != i {
+                fan.push(nj);
+            }
+        }
+        terms.push(net.add_gate(GateKind::And, fan));
+    }
+    let o = net.add_gate(GateKind::Or, terms);
+    net.add_output("onehot", o);
+    net
+}
+
+/// `cmb`: substituted comparator/zero-detect block: two 8-bit operands →
+/// equal, greater-than, a-is-zero, b-is-zero.
+pub fn c_cmb() -> Network {
+    let mut net = Network::new("cmb");
+    let a = bus(&mut net, "a", 8);
+    let b = bus(&mut net, "b", 8);
+    let eqs: Vec<SignalId> = (0..8)
+        .map(|i| net.add_gate(GateKind::Xnor, vec![a[i], b[i]]))
+        .collect();
+    let eq = net.add_gate(GateKind::And, eqs.clone());
+    // unsigned a > b via msb-first chain
+    let mut gt = net.add_gate(GateKind::Const0, vec![]);
+    let mut all_eq_above: Option<SignalId> = None;
+    for i in (0..8).rev() {
+        let nb = net.add_gate(GateKind::Not, vec![b[i]]);
+        let here = net.add_gate(GateKind::And, vec![a[i], nb]);
+        let contrib = match all_eq_above {
+            None => here,
+            Some(e) => net.add_gate(GateKind::And, vec![e, here]),
+        };
+        gt = net.add_gate(GateKind::Or, vec![gt, contrib]);
+        all_eq_above = Some(match all_eq_above {
+            None => eqs[i],
+            Some(e) => net.add_gate(GateKind::And, vec![e, eqs[i]]),
+        });
+    }
+    let azero = net.add_gate(GateKind::Nor, a.clone());
+    let bzero = net.add_gate(GateKind::Nor, b.clone());
+    net.add_output("eq", eq);
+    net.add_output("gt", gt);
+    net.add_output("azero", azero);
+    net.add_output("bzero", bzero);
+    net
+}
+
+/// `cm85a`: substituted 5-bit comparator with enable, 11 inputs → 3
+/// outputs (a<b, a=b, a>b, all gated by the enable).
+pub fn c_cm85a() -> Network {
+    let mut net = Network::new("cm85a");
+    let a = bus(&mut net, "a", 5);
+    let b = bus(&mut net, "b", 5);
+    let en = net.add_input("en");
+    let eqs: Vec<SignalId> = (0..5)
+        .map(|i| net.add_gate(GateKind::Xnor, vec![a[i], b[i]]))
+        .collect();
+    let eq_all = net.add_gate(GateKind::And, eqs.clone());
+    let mut gt = net.add_gate(GateKind::Const0, vec![]);
+    let mut lt = net.add_gate(GateKind::Const0, vec![]);
+    let mut eq_above: Option<SignalId> = None;
+    for i in (0..5).rev() {
+        let nb = net.add_gate(GateKind::Not, vec![b[i]]);
+        let na = net.add_gate(GateKind::Not, vec![a[i]]);
+        let g_here = net.add_gate(GateKind::And, vec![a[i], nb]);
+        let l_here = net.add_gate(GateKind::And, vec![na, b[i]]);
+        let (gc, lc) = match eq_above {
+            None => (g_here, l_here),
+            Some(e) => (
+                net.add_gate(GateKind::And, vec![e, g_here]),
+                net.add_gate(GateKind::And, vec![e, l_here]),
+            ),
+        };
+        gt = net.add_gate(GateKind::Or, vec![gt, gc]);
+        lt = net.add_gate(GateKind::Or, vec![lt, lc]);
+        eq_above = Some(match eq_above {
+            None => eqs[i],
+            Some(e) => net.add_gate(GateKind::And, vec![e, eqs[i]]),
+        });
+    }
+    for (name, sig) in [("lt", lt), ("eq", eq_all), ("gt", gt)] {
+        let gated = net.add_gate(GateKind::And, vec![sig, en]);
+        net.add_output(name, gated);
+    }
+    net
+}
+
+/// `tcon`: wires and inverters gated by a control line, 17 inputs → 16
+/// outputs (substituted; the original is wires + inverters).
+pub fn c_tcon() -> Network {
+    let mut net = Network::new("tcon");
+    let d = bus(&mut net, "d", 16);
+    let c = net.add_input("c");
+    for (i, &di) in d.iter().enumerate() {
+        let o = if i < 8 {
+            net.add_gate(GateKind::And, vec![di, c])
+        } else {
+            net.add_gate(GateKind::Or, vec![di, c])
+        };
+        net.add_output(format!("o{i}"), o);
+    }
+    net
+}
+
+/// `shift`: logical left barrel shifter — 16 data bits, 3 shift-amount
+/// bits, 16 outputs.
+pub fn c_shift() -> Network {
+    let mut net = Network::new("shift");
+    let d = bus(&mut net, "d", 16);
+    let s = bus(&mut net, "s", 3);
+    let zero = net.add_gate(GateKind::Const0, vec![]);
+    let mut cur = d;
+    for (stage, &sel) in s.iter().enumerate() {
+        let amount = 1usize << stage;
+        let mut next = Vec::with_capacity(16);
+        for i in 0..16 {
+            let shifted = if i >= amount { cur[i - amount] } else { zero };
+            next.push(mux2(&mut net, sel, shifted, cur[i]));
+        }
+        cur = next;
+    }
+    for (i, &o) in cur.iter().enumerate() {
+        net.add_output(format!("o{i}"), o);
+    }
+    net
+}
+
+/// `i5`: 66 two-to-one multiplexers sharing one select line (133 inputs →
+/// 66 outputs; substituted, shape-faithful).
+pub fn c_i5() -> Network {
+    let mut net = Network::new("i5");
+    let a = bus(&mut net, "a", 66);
+    let b = bus(&mut net, "b", 66);
+    let c = net.add_input("c");
+    for i in 0..66 {
+        let o = mux2(&mut net, c, a[i], b[i]);
+        net.add_output(format!("o{i}"), o);
+    }
+    net
+}
+
+/// `i3`: 6 outputs, each an OR of 11 two-input ANDs over a private window
+/// of 22 inputs (132 inputs; substituted).
+pub fn c_i3() -> Network {
+    windowed_or_of_ands("i3", 132, 6, 22)
+}
+
+/// `i4`: 6 outputs over windows of 32 inputs (192 inputs; substituted).
+pub fn c_i4() -> Network {
+    windowed_or_of_ands("i4", 192, 6, 32)
+}
+
+fn windowed_or_of_ands(name: &str, inputs: usize, outputs: usize, window: usize) -> Network {
+    let mut net = Network::new(name);
+    let ins = bus(&mut net, "x", inputs);
+    for o in 0..outputs {
+        let base = o * window;
+        let mut terms = Vec::new();
+        for k in 0..(window / 2) {
+            let a = ins[base + 2 * k];
+            let b = ins[base + 2 * k + 1];
+            terms.push(net.add_gate(GateKind::And, vec![a, b]));
+        }
+        let or = net.add_gate(GateKind::Or, terms);
+        net.add_output(format!("o{o}"), or);
+    }
+    net
+}
+
+/// `cc`: substituted sparse control block, 21 inputs → 20 outputs.
+pub fn c_cc() -> Network {
+    let mut net = Network::new("cc");
+    let ins = bus(&mut net, "x", 21);
+    for i in 0..20 {
+        let a = ins[i];
+        let b = ins[(i + 1) % 21];
+        let c = ins[(i + 2) % 21];
+        let o = match i % 3 {
+            0 => net.add_gate(GateKind::And, vec![a, b]),
+            1 => {
+                let nc = net.add_gate(GateKind::Not, vec![c]);
+                net.add_gate(GateKind::Or, vec![a, nc])
+            }
+            _ => {
+                let t = net.add_gate(GateKind::And, vec![b, c]);
+                net.add_gate(GateKind::Nor, vec![a, t])
+            }
+        };
+        net.add_output(format!("o{i}"), o);
+    }
+    net
+}
+
+/// `cm163a`: substituted AND/NOR window block, 16 inputs → 5 outputs.
+pub fn c_cm163a() -> Network {
+    let mut net = Network::new("cm163a");
+    let ins = bus(&mut net, "x", 16);
+    for o in 0..5 {
+        let w: Vec<SignalId> = (0..4).map(|k| ins[(3 * o + k) % 16]).collect();
+        let sig = if o % 2 == 0 {
+            net.add_gate(GateKind::And, w)
+        } else {
+            net.add_gate(GateKind::Nor, w)
+        };
+        net.add_output(format!("o{o}"), sig);
+    }
+    net
+}
+
+/// `pcle`: substituted parity-checked latch-enable block: 9 data, 9 held
+/// values, one enable → 9 multiplexed outputs.
+pub fn c_pcle() -> Network {
+    let mut net = Network::new("pcle");
+    let d = bus(&mut net, "d", 9);
+    let q = bus(&mut net, "q", 9);
+    let en = net.add_input("en");
+    for i in 0..9 {
+        let o = mux2(&mut net, en, d[i], q[i]);
+        net.add_output(format!("o{i}"), o);
+    }
+    net
+}
+
+/// `pcler8`: substituted wider latch-enable block with status outputs:
+/// 12+12 data, 3 controls → 17 outputs.
+pub fn c_pcler8() -> Network {
+    let mut net = Network::new("pcler8");
+    let d = bus(&mut net, "d", 12);
+    let q = bus(&mut net, "q", 12);
+    let ctl = bus(&mut net, "c", 3);
+    let mut outs = Vec::new();
+    for i in 0..12 {
+        outs.push(mux2(&mut net, ctl[0], d[i], q[i]));
+    }
+    // five status outputs
+    let any_d = net.add_gate(GateKind::Or, d.clone());
+    let all_q = net.add_gate(GateKind::And, q.clone());
+    let c12 = net.add_gate(GateKind::And, vec![ctl[1], ctl[2]]);
+    let nc1 = net.add_gate(GateKind::Not, vec![ctl[1]]);
+    let mix = net.add_gate(GateKind::Or, vec![nc1, d[0]]);
+    let nq = net.add_gate(GateKind::Nor, vec![q[0], q[1], ctl[2]]);
+    outs.extend([any_d, all_q, c12, mix, nq]);
+    for (i, &o) in outs.iter().enumerate() {
+        net.add_output(format!("o{i}"), o);
+    }
+    net
+}
+
+/// `pm1`: substituted mixed-gate window block, 16 inputs → 13 outputs.
+pub fn c_pm1() -> Network {
+    let mut net = Network::new("pm1");
+    let ins = bus(&mut net, "x", 16);
+    for o in 0..13 {
+        let a = ins[o];
+        let b = ins[(o + 5) % 16];
+        let c = ins[(o + 11) % 16];
+        let sig = match o % 4 {
+            0 => net.add_gate(GateKind::And, vec![a, b]),
+            1 => net.add_gate(GateKind::Or, vec![a, b, c]),
+            2 => {
+                let nb = net.add_gate(GateKind::Not, vec![b]);
+                net.add_gate(GateKind::And, vec![a, nb, c])
+            }
+            _ => net.add_gate(GateKind::Nand, vec![a, c]),
+        };
+        net.add_output(format!("o{o}"), sig);
+    }
+    net
+}
+
+/// `i1`: substituted control block, 25 inputs → 13 outputs.
+pub fn c_i1() -> Network {
+    let mut net = Network::new("i1");
+    let ins = bus(&mut net, "x", 25);
+    for o in 0..13 {
+        let a = ins[(2 * o) % 25];
+        let b = ins[(2 * o + 1) % 25];
+        let c = ins[(2 * o + 7) % 25];
+        let sig = if o % 2 == 0 {
+            let t = net.add_gate(GateKind::And, vec![a, b]);
+            net.add_gate(GateKind::Or, vec![t, c])
+        } else {
+            let nc = net.add_gate(GateKind::Not, vec![c]);
+            net.add_gate(GateKind::And, vec![a, nc])
+        };
+        net.add_output(format!("o{o}"), sig);
+    }
+    net
+}
+
+/// `misg`: substituted sparse control plane, 56 inputs → 23 outputs.
+pub fn c_misg() -> Network {
+    sparse_plane("misg", 56, 23)
+}
+
+/// `mish`: substituted sparse control plane, 94 inputs → 34 outputs.
+pub fn c_mish() -> Network {
+    sparse_plane("mish", 94, 34)
+}
+
+fn sparse_plane(name: &str, inputs: usize, outputs: usize) -> Network {
+    let mut net = Network::new(name);
+    let ins = bus(&mut net, "x", inputs);
+    for o in 0..outputs {
+        let a = ins[(3 * o) % inputs];
+        let b = ins[(3 * o + 1) % inputs];
+        let c = ins[(3 * o + 2) % inputs];
+        let d = ins[(5 * o + 7) % inputs];
+        let t1 = net.add_gate(GateKind::And, vec![a, b]);
+        let t2 = net.add_gate(GateKind::And, vec![c, d]);
+        let sig = net.add_gate(GateKind::Or, vec![t1, t2]);
+        net.add_output(format!("o{o}"), sig);
+    }
+    net
+}
+
+/// `frg1`: substituted wide OR-of-ANDs functions, 28 inputs → 3 outputs.
+pub fn c_frg1() -> Network {
+    let mut net = Network::new("frg1");
+    let ins = bus(&mut net, "x", 28);
+    // out0: OR of 9 AND3 windows
+    let mut terms = Vec::new();
+    for k in 0..9 {
+        let w: Vec<SignalId> = (0..3).map(|j| ins[3 * k + j]).collect();
+        terms.push(net.add_gate(GateKind::And, w));
+    }
+    let o0 = net.add_gate(GateKind::Or, terms);
+    // out1: AND of 7 OR4 windows
+    let mut terms = Vec::new();
+    for k in 0..7 {
+        let w: Vec<SignalId> = (0..4).map(|j| ins[(4 * k + j) % 28]).collect();
+        terms.push(net.add_gate(GateKind::Or, w));
+    }
+    let o1 = net.add_gate(GateKind::And, terms);
+    // out2: a two-level mix with complements
+    let mut terms = Vec::new();
+    for k in 0..6 {
+        let a = ins[(5 * k) % 28];
+        let b = ins[(5 * k + 2) % 28];
+        let nb = net.add_gate(GateKind::Not, vec![b]);
+        terms.push(net.add_gate(GateKind::And, vec![a, nb]));
+    }
+    let o2 = net.add_gate(GateKind::Or, terms);
+    net.add_output("o0", o0);
+    net.add_output("o1", o1);
+    net.add_output("o2", o2);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t481_has_481_minterm_structure() {
+        // sanity: 16 inputs, 1 output, function is non-trivial and has the
+        // documented closed form — spot-check a few assignments
+        let net = c_t481();
+        assert_eq!(net.inputs().len(), 16);
+        // v = all zeros: p = (1·0 ⊕ 0·1)=0 ... compute directly
+        let eval = |m: u64| net.eval_u64(m)[0];
+        let reference = |m: u64| {
+            let v = |i: usize| (m >> i) & 1 != 0;
+            let p = (!v(0) && v(1)) ^ (v(2) && !v(3));
+            let q = (!v(4) && v(5)) ^ (!v(6) || v(7));
+            let r = (v(8) || !v(9)) ^ (v(10) && !v(11));
+            let s = (!v(12) && v(13)) ^ (v(14) && !v(15));
+            (p && q) ^ (r && s)
+        };
+        let mut seed = 5u64;
+        for _ in 0..2000 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let m = (seed >> 16) & 0xffff;
+            assert_eq!(eval(m), reference(m), "at {m:016b}");
+        }
+    }
+
+    #[test]
+    fn z4ml_adds() {
+        let net = c_z4ml();
+        for m in 0..128u64 {
+            let a = m & 7;
+            let b = (m >> 3) & 7;
+            let cin = (m >> 6) & 1;
+            let out = net.eval_u64(m);
+            let got: u64 = out.iter().enumerate().map(|(k, &v)| (v as u64) << k).sum();
+            assert_eq!(got, a + b + cin);
+        }
+    }
+
+    #[test]
+    fn mlp4_multiplies() {
+        let net = c_mlp4();
+        for m in [0u64, 1, 17, 0x34, 0x55, 0xff, 0x9a] {
+            let out = net.eval_u64(m);
+            let got: u64 = out.iter().enumerate().map(|(k, &v)| (v as u64) << k).sum();
+            assert_eq!(got, (m & 0xf) * ((m >> 4) & 0xf));
+        }
+    }
+
+    #[test]
+    fn my_adder_adds_16_bits() {
+        let net = c_my_adder();
+        assert_eq!(net.inputs().len(), 33);
+        assert_eq!(net.outputs().len(), 17);
+        let mut seed = 42u64;
+        for _ in 0..50 {
+            seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let a = seed & 0xffff;
+            let b = (seed >> 16) & 0xffff;
+            let cin = (seed >> 33) & 1;
+            // inputs are interleaved a0 b0 a1 b1 … cin
+            let mut m = cin << 32;
+            for i in 0..16 {
+                m |= ((a >> i) & 1) << (2 * i);
+                m |= ((b >> i) & 1) << (2 * i + 1);
+            }
+            let out = net.eval_u64(m);
+            let got: u64 = out.iter().enumerate().map(|(k, &v)| (v as u64) << k).sum();
+            assert_eq!(got, a + b + cin);
+        }
+    }
+
+    #[test]
+    fn symmetric_circuits() {
+        let n9 = c_9sym();
+        for m in [0u64, 0b111, 0b1111111, 0b101010101] {
+            let w = m.count_ones();
+            assert_eq!(n9.eval_u64(m)[0], (3..=6).contains(&w));
+        }
+        let rd = c_rdnn(7, 3);
+        for m in [0u64, 3, 0x7f, 0b1010101] {
+            let out = rd.eval_u64(m);
+            let got: u32 = out.iter().enumerate().map(|(k, &v)| (v as u32) << k).sum();
+            assert_eq!(got, m.count_ones());
+        }
+    }
+
+    #[test]
+    fn parity_circuits() {
+        let p = c_parity();
+        assert!(!p.eval_u64(0b11)[0]);
+        assert!(p.eval_u64(0b111)[0]);
+        let x = c_xor10();
+        assert!(x.eval_u64(0b1)[0]);
+    }
+
+    #[test]
+    fn shift_shifts() {
+        let net = c_shift();
+        // data in bits 0..16, amount in bits 16..19
+        for (data, amt) in [(0x0001u64, 3u64), (0x8421, 1), (0xffff, 7), (0x1234, 0)] {
+            let m = data | (amt << 16);
+            let out = net.eval_u64(m);
+            let got: u64 = out.iter().enumerate().map(|(k, &v)| (v as u64) << k).sum();
+            assert_eq!(got, (data << amt) & 0xffff, "data {data:#x} amt {amt}");
+        }
+    }
+
+    #[test]
+    fn co14_detects_one_hot() {
+        let net = c_co14();
+        assert!(!net.eval_u64(0)[0]);
+        for i in 0..14 {
+            assert!(net.eval_u64(1 << i)[0], "one-hot {i}");
+        }
+        assert!(!net.eval_u64(0b11)[0]);
+    }
+
+    #[test]
+    fn cmb_compares() {
+        let net = c_cmb();
+        let eval = |a: u64, b: u64| net.eval_u64(a | (b << 8));
+        assert_eq!(eval(5, 5), vec![true, false, false, false]);
+        assert_eq!(eval(9, 5), vec![false, true, false, false]);
+        assert_eq!(eval(0, 5), vec![false, false, true, false]);
+        assert_eq!(eval(5, 0), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn i5_is_muxes() {
+        let net = c_i5();
+        assert_eq!(net.inputs().len(), 133);
+        assert_eq!(net.outputs().len(), 66);
+    }
+
+    #[test]
+    fn sqr6_squares() {
+        let net = c_sqr6();
+        for x in [0u64, 1, 7, 33, 63] {
+            let out = net.eval_u64(x);
+            let got: u64 = out.iter().enumerate().map(|(k, &v)| (v as u64) << k).sum();
+            assert_eq!(got, x * x);
+        }
+    }
+
+    #[test]
+    fn bcd_div3_divides() {
+        let net = c_bcd_div3();
+        for x in 0..=9u64 {
+            let out = net.eval_u64(x);
+            let got: u64 = out.iter().enumerate().map(|(k, &v)| (v as u64) << k).sum();
+            assert_eq!(got & 0x3, x / 3, "quotient of {x}");
+            assert_eq!(got >> 2, x % 3, "remainder of {x}");
+        }
+        for x in 10..16u64 {
+            assert_eq!(net.eval_u64(x), vec![false; 4], "don't-care inputs read 0");
+        }
+    }
+
+    #[test]
+    fn cm85a_compares_when_enabled() {
+        let net = c_cm85a();
+        // inputs: a0..a4, b0..b4, en
+        let eval = |a: u64, b: u64, en: u64| net.eval_u64(a | (b << 5) | (en << 10));
+        assert_eq!(eval(3, 9, 1), vec![true, false, false], "lt");
+        assert_eq!(eval(9, 9, 1), vec![false, true, false], "eq");
+        assert_eq!(eval(20, 9, 1), vec![false, false, true], "gt");
+        assert_eq!(eval(20, 9, 0), vec![false, false, false], "disabled");
+    }
+
+    #[test]
+    fn pcle_latches() {
+        let net = c_pcle();
+        // d=0x155, q=0x0aa, en toggles which side comes through
+        let d = 0x155u64;
+        let q = 0x0aau64;
+        let with_en = net.eval_u64(d | (q << 9) | (1 << 18));
+        let without = net.eval_u64(d | (q << 9));
+        let pack = |v: &[bool]| -> u64 {
+            v.iter().enumerate().map(|(k, &x)| (x as u64) << k).sum()
+        };
+        assert_eq!(pack(&with_en), d);
+        assert_eq!(pack(&without), q);
+    }
+
+    #[test]
+    fn m181_overflow_flag() {
+        let net = c_m181();
+        // 63 + 63 = 126: no unsigned carry (fits 7 bits? 126 < 128 yes) but
+        // signed overflow (63+63 = 126 > 63 max positive in 7-bit signed)
+        let encode = |a: u64, b: u64, cin: u64| -> u64 {
+            let mut m = cin << 14;
+            for i in 0..7 {
+                m |= ((a >> i) & 1) << (2 * i);
+                m |= ((b >> i) & 1) << (2 * i + 1);
+            }
+            m
+        };
+        let out = net.eval_u64(encode(63, 63, 0));
+        let sum: u64 = out[..7].iter().enumerate().map(|(k, &v)| (v as u64) << k).sum();
+        assert_eq!(sum, 126);
+        assert!(!out[7], "no carry out");
+        assert!(out[8], "signed overflow");
+    }
+
+    #[test]
+    fn io_shapes_match_table2() {
+        let cases: Vec<(Network, usize, usize)> = vec![
+            (c_5xp1(), 7, 10),
+            (c_9sym(), 9, 1),
+            (c_adr4(), 8, 5),
+            (c_add6(), 12, 7),
+            (c_addm4(), 9, 8),
+            (c_bcd_div3(), 4, 4),
+            (c_cc(), 21, 20),
+            (c_co14(), 14, 1),
+            (c_cm163a(), 16, 5),
+            (c_cm82a(), 5, 3),
+            (c_cm85a(), 11, 3),
+            (c_cmb(), 16, 4),
+            (c_f2(), 4, 4),
+            (c_f51m(), 8, 8),
+            (c_frg1(), 28, 3),
+            (c_i1(), 25, 13),
+            (c_i3(), 132, 6),
+            (c_i4(), 192, 6),
+            (c_i5(), 133, 66),
+            (c_m181(), 15, 9),
+            (c_majority(), 5, 1),
+            (c_misg(), 56, 23),
+            (c_mish(), 94, 34),
+            (c_mlp4(), 8, 8),
+            (c_my_adder(), 33, 17),
+            (c_parity(), 16, 1),
+            (c_pcle(), 19, 9),
+            (c_pcler8(), 27, 17),
+            (c_pm1(), 16, 13),
+            (c_radd(), 8, 5),
+            (c_rdnn(5, 3), 5, 3),
+            (c_rdnn(7, 3), 7, 3),
+            (c_rdnn(8, 4), 8, 4),
+            (c_shift(), 19, 16),
+            (c_sqr6(), 6, 12),
+            (c_squar5(), 5, 8),
+            (c_sym10(), 10, 1),
+            (c_t481(), 16, 1),
+            (c_tcon(), 17, 16),
+            (c_xor10(), 10, 1),
+            (c_z4ml(), 7, 4),
+        ];
+        for (net, i, o) in cases {
+            assert_eq!(net.inputs().len(), i, "{} inputs", net.name());
+            assert_eq!(net.outputs().len(), o, "{} outputs", net.name());
+        }
+    }
+}

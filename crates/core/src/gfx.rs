@@ -1,0 +1,452 @@
+//! GF(2) common-divisor extraction across FPRM cube sets.
+//!
+//! Section 3 of the paper closes by observing that a full algebraic
+//! factorization for AND/XOR forms "following the methods in \[2\]"
+//! (Brayton–McMullen) is possible; its experimental flow approximates it
+//! by factoring each output and merging the per-output networks with SIS
+//! `resub`. This module implements the GF(2)-ring analog of fast-extract
+//! directly on the cube sets: an XOR-subsum `d` that divides several
+//! functions (under possibly different monomial co-kernels) is pulled out
+//! as a new node `y = ⊕d`, and every occurrence `c·d` is rewritten to the
+//! single cube `c∪{y}`. Because GF(2) is a ring, `c·(q₁ ⊕ q₂) = c·q₁ ⊕
+//! c·q₂` holds exactly and every rewrite is algebraic (no Boolean
+//! reasoning needed).
+//!
+//! On ripple-carry arithmetic this recovers the carry chain across output
+//! bits: `sᵢ = aᵢ ⊕ bᵢ ⊕ y` and `cout = aᵢbᵢ ⊕ aᵢy ⊕ bᵢy` share the
+//! extracted carry `y`, which is how the paper's z4ml/add6 results get
+//! their size.
+//!
+//! Cubes here live in *literal space*: a cube is a set of literal ids, and
+//! the caller owns the mapping from ids to polarity-adjusted variables or
+//! previously-extracted divisor nodes.
+
+use std::collections::HashMap;
+use xsynth_boolean::VarSet;
+
+/// The result of running [`extract`]: the extracted divisor definitions
+/// (in extraction order) and the rewritten functions.
+#[derive(Debug, Clone)]
+pub struct Extraction {
+    /// `(literal id, cube set)` per extracted divisor — the divisor node
+    /// computes the XOR-sum of its cubes. Divisor cube sets may reference
+    /// other divisors' literal ids (in either direction); consumers should
+    /// emit them in dependency order.
+    pub divisors: Vec<(usize, Vec<VarSet>)>,
+    /// The input functions rewritten over the extended literal space.
+    pub functions: Vec<Vec<VarSet>>,
+}
+
+/// Options bounding the extraction loop.
+#[derive(Debug, Clone)]
+pub struct ExtractOptions {
+    /// Stop after this many divisors.
+    pub max_divisors: usize,
+    /// Candidate divisors examined per round.
+    pub max_candidates: usize,
+    /// Minimum literal saving to accept a divisor.
+    pub min_saving: i64,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions {
+            max_divisors: 200,
+            max_candidates: 600,
+            min_saving: 2,
+        }
+    }
+}
+
+/// Greedily extracts common XOR-subsum divisors across `functions`
+/// (cube sets in literal space). New divisors get literal ids starting at
+/// `next_literal`.
+pub fn extract(
+    functions: Vec<Vec<VarSet>>,
+    mut next_literal: usize,
+    opts: &ExtractOptions,
+) -> Extraction {
+    let mut funcs = functions;
+    let mut divisors: Vec<(usize, Vec<VarSet>)> = Vec::new();
+
+    for _round in 0..opts.max_divisors {
+        let candidates = collect_candidates(&funcs, &divisors, opts.max_candidates);
+        let mut best: Option<(Vec<VarSet>, i64)> = None;
+        for cand in candidates {
+            let saving = total_saving(&funcs, &divisors, &cand);
+            if saving >= opts.min_saving && best.as_ref().is_none_or(|(_, s)| saving > *s) {
+                best = Some((cand, saving));
+            }
+        }
+        let Some((divisor, _)) = best else { break };
+        let y = next_literal;
+        next_literal += 1;
+        for f in funcs.iter_mut() {
+            rewrite(f, &divisor, y);
+        }
+        for (_, d) in divisors.iter_mut() {
+            rewrite(d, &divisor, y);
+        }
+        divisors.push((y, divisor));
+    }
+
+    Extraction {
+        divisors,
+        functions: funcs,
+    }
+}
+
+/// Canonical form of a cube set (sorted, deduplicated in XOR semantics —
+/// duplicate cubes cancel, but inputs here never carry duplicates).
+fn canon(mut cubes: Vec<VarSet>) -> Vec<VarSet> {
+    cubes.sort();
+    cubes
+}
+
+/// The quotient `f / ℓ`: cubes containing literal `ℓ`, with `ℓ` removed.
+fn quotient(f: &[VarSet], lit: usize) -> Vec<VarSet> {
+    f.iter()
+        .filter(|c| c.contains(lit))
+        .map(|c| {
+            let mut q = c.clone();
+            q.remove(lit);
+            q
+        })
+        .collect()
+}
+
+/// Candidate divisors: whole literal-quotients and pairwise intersections
+/// of quotients, each with ≥ 2 cubes.
+fn collect_candidates(
+    funcs: &[Vec<VarSet>],
+    divisors: &[(usize, Vec<VarSet>)],
+    cap: usize,
+) -> Vec<Vec<VarSet>> {
+    let mut quotients: Vec<Vec<VarSet>> = Vec::new();
+    let push_quotients = |f: &[VarSet], quotients: &mut Vec<Vec<VarSet>>| {
+        let mut lits = VarSet::new();
+        for c in f {
+            lits.union_with(c);
+        }
+        for l in lits.iter() {
+            let q = quotient(f, l);
+            if q.len() >= 2 {
+                quotients.push(canon(q));
+            }
+        }
+    };
+    for f in funcs {
+        push_quotients(f, &mut quotients);
+    }
+    for (_, d) in divisors {
+        push_quotients(d, &mut quotients);
+    }
+
+    let mut seen: HashMap<Vec<VarSet>, ()> = HashMap::new();
+    let mut out: Vec<Vec<VarSet>> = Vec::new();
+    let push = |cand: Vec<VarSet>, out: &mut Vec<Vec<VarSet>>, seen: &mut HashMap<Vec<VarSet>, ()>| {
+        if cand.len() >= 2 && !seen.contains_key(&cand) {
+            seen.insert(cand.clone(), ());
+            out.push(cand);
+        }
+    };
+    for q in &quotients {
+        push(q.clone(), &mut out, &mut seen);
+    }
+    'outer: for i in 0..quotients.len() {
+        for j in (i + 1)..quotients.len() {
+            if out.len() >= cap {
+                break 'outer;
+            }
+            let inter: Vec<VarSet> = quotients[i]
+                .iter()
+                .filter(|c| quotients[j].contains(c))
+                .cloned()
+                .collect();
+            push(canon(inter), &mut out, &mut seen);
+        }
+    }
+    out.truncate(cap);
+    out
+}
+
+/// All co-kernel cubes under which `d` divides `f`: cubes `c` (including
+/// the universe) with `{c ∪ dc : dc ∈ d}` ⊆ `f`. Candidate co-kernels are
+/// derived from the cubes of `f` themselves.
+fn cokernels(f: &[VarSet], d: &[VarSet]) -> Vec<VarSet> {
+    let mut out = Vec::new();
+    let mut seen: Vec<VarSet> = Vec::new();
+    // candidate co-kernels: for each cube of f, try c = cube \ (first
+    // divisor cube) — a valid occurrence must produce one of f's cubes
+    // from d[0]
+    let d0 = &d[0];
+    for c in f {
+        if !d0.is_subset(c) {
+            continue;
+        }
+        let co = c.difference(d0);
+        if seen.contains(&co) {
+            continue;
+        }
+        seen.push(co.clone());
+        // verify the full occurrence, requiring disjointness so the
+        // product c·dc does not collapse literals (stays algebraic)
+        let ok = d.iter().all(|dc| {
+            co.is_disjoint(dc) && {
+                let prod = co.union(dc);
+                f.contains(&prod)
+            }
+        });
+        if ok {
+            out.push(co);
+        }
+    }
+    out
+}
+
+/// Total literal saving of extracting `d` across all functions, minus the
+/// cost of the divisor node itself.
+fn total_saving(
+    funcs: &[Vec<VarSet>],
+    divisors: &[(usize, Vec<VarSet>)],
+    d: &[VarSet],
+) -> i64 {
+    let d_lits: i64 = d.iter().map(|c| c.len() as i64).sum();
+    let d_cubes = d.len() as i64;
+    let mut occurrences = 0i64;
+    let mut saving = 0i64;
+    let count = |f: &[VarSet], occurrences: &mut i64, saving: &mut i64| {
+        if covers_equal(f, d) {
+            return; // extracting a function as its own divisor is a no-op
+        }
+        for co in cokernels(f, d) {
+            *occurrences += 1;
+            let c_len = co.len() as i64;
+            // removed: |d| cubes of (|c| + cube lits); added: one cube of
+            // |c| + 1 literals
+            *saving += d_lits + d_cubes * c_len - (c_len + 1);
+        }
+    };
+    for f in funcs {
+        count(f, &mut occurrences, &mut saving);
+    }
+    for (_, f) in divisors {
+        count(f, &mut occurrences, &mut saving);
+    }
+    if occurrences < 2 {
+        return i64::MIN;
+    }
+    saving - d_lits
+}
+
+fn covers_equal(a: &[VarSet], b: &[VarSet]) -> bool {
+    a.len() == b.len() && a.iter().all(|c| b.contains(c))
+}
+
+/// Rewrites every occurrence of `d` in `f` as a single cube `co ∪ {y}`.
+fn rewrite(f: &mut Vec<VarSet>, d: &[VarSet], y: usize) {
+    if covers_equal(f, d) {
+        return;
+    }
+    loop {
+        let cos = cokernels(f, d);
+        let Some(co) = cos.first() else { break };
+        // remove the occurrence's cubes
+        for dc in d {
+            let prod = co.union(dc);
+            let pos = f.iter().position(|c| *c == prod).expect("verified occurrence");
+            f.remove(pos);
+        }
+        let mut nc = co.clone();
+        nc.insert(y);
+        f.push(nc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(v: &[usize]) -> VarSet {
+        VarSet::from_vars(v.iter().copied())
+    }
+
+    /// Evaluates a literal-space cube set given divisor definitions.
+    fn eval(
+        f: &[VarSet],
+        divisors: &[(usize, Vec<VarSet>)],
+        inputs: u64,
+        n: usize,
+    ) -> bool {
+        let mut env: HashMap<usize, bool> = HashMap::new();
+        for v in 0..n {
+            env.insert(v, inputs & (1 << v) != 0);
+        }
+        // resolve divisors by fixpoint (dependencies may go both ways)
+        let mut remaining: Vec<(usize, &Vec<VarSet>)> =
+            divisors.iter().map(|(y, d)| (*y, d)).collect();
+        while !remaining.is_empty() {
+            let before = remaining.len();
+            remaining.retain(|(y, d)| {
+                let ready = d
+                    .iter()
+                    .all(|c| c.iter().all(|l| env.contains_key(&l)));
+                if ready {
+                    let val = d
+                        .iter()
+                        .fold(false, |acc, c| acc ^ c.iter().all(|l| env[&l]));
+                    env.insert(*y, val);
+                    false
+                } else {
+                    true
+                }
+            });
+            assert!(remaining.len() < before, "cyclic divisor dependency");
+        }
+        f.iter()
+            .fold(false, |acc, c| acc ^ c.iter().all(|l| env[&l]))
+    }
+
+    #[test]
+    fn quotient_and_cokernels() {
+        // f = ab ⊕ ac ⊕ d
+        let f = vec![vs(&[0, 1]), vs(&[0, 2]), vs(&[3])];
+        let q = quotient(&f, 0);
+        assert_eq!(canon(q), vec![vs(&[1]), vs(&[2])]);
+        let d = vec![vs(&[1]), vs(&[2])];
+        let cos = cokernels(&f, &d);
+        assert_eq!(cos, vec![vs(&[0])]);
+    }
+
+    #[test]
+    fn universe_cokernel() {
+        // d ⊆ f directly
+        let f = vec![vs(&[1]), vs(&[2]), vs(&[5])];
+        let d = vec![vs(&[1]), vs(&[2])];
+        let cos = cokernels(&f, &d);
+        assert!(cos.contains(&VarSet::new()));
+    }
+
+    #[test]
+    fn extracts_shared_carry_structure() {
+        // the 2-bit adder pattern:
+        //   s1   = a1 ⊕ b1 ⊕ C          (C = a0b0 in cube form)
+        //   cout = a1b1 ⊕ a1·C ⊕ b1·C
+        // with C a 3-cube carry: C = {a0b0, a0cin, b0cin} (vars 0,1,4=cin)
+        let carry: Vec<VarSet> = vec![vs(&[0, 1]), vs(&[0, 4]), vs(&[1, 4])];
+        let mut s1 = vec![vs(&[2]), vs(&[3])];
+        s1.extend(carry.iter().cloned());
+        let mut cout = vec![vs(&[2, 3])];
+        for c in &carry {
+            cout.push(c.union(&vs(&[2])));
+            cout.push(c.union(&vs(&[3])));
+        }
+        let funcs = vec![s1.clone(), cout.clone()];
+        let ext = extract(funcs, 5, &ExtractOptions::default());
+        assert!(!ext.divisors.is_empty(), "carry must be extracted");
+        // functions preserved
+        for m in 0..32u64 {
+            assert_eq!(
+                eval(&ext.functions[0], &ext.divisors, m, 5),
+                eval(&s1, &[], m, 5),
+                "s1 at {m}"
+            );
+            assert_eq!(
+                eval(&ext.functions[1], &ext.divisors, m, 5),
+                eval(&cout, &[], m, 5),
+                "cout at {m}"
+            );
+        }
+        // s1 should now be 3 cubes: a1 ⊕ b1 ⊕ y
+        assert_eq!(ext.functions[0].len(), 3);
+        // cout should be 3 cubes: a1b1 ⊕ a1y ⊕ b1y
+        assert_eq!(ext.functions[1].len(), 3);
+    }
+
+    #[test]
+    fn no_extraction_when_nothing_shared() {
+        let f1 = vec![vs(&[0]), vs(&[1])];
+        let f2 = vec![vs(&[2]), vs(&[3])];
+        let ext = extract(vec![f1, f2], 4, &ExtractOptions::default());
+        assert!(ext.divisors.is_empty());
+    }
+
+    #[test]
+    fn nested_extraction() {
+        // a 2-bit ripple adder tail: C1 = carry from bit 0 (vars 0,1,2),
+        // C2 = carry from bit 1 (vars 3,4 + C1), shared by s2 and cout
+        let c1: Vec<VarSet> = vec![vs(&[0, 1]), vs(&[0, 2]), vs(&[1, 2])];
+        let mut c2: Vec<VarSet> = vec![vs(&[3, 4])];
+        for c in &c1 {
+            c2.push(c.union(&vs(&[3])));
+            c2.push(c.union(&vs(&[4])));
+        }
+        let mut s1 = vec![vs(&[3]), vs(&[4])];
+        s1.extend(c1.iter().cloned());
+        let mut s2 = vec![vs(&[5]), vs(&[6])];
+        s2.extend(c2.iter().cloned());
+        let mut cout = vec![vs(&[5, 6])];
+        for c in &c2 {
+            cout.push(c.union(&vs(&[5])));
+            cout.push(c.union(&vs(&[6])));
+        }
+        let funcs = vec![s1.clone(), s2.clone(), cout.clone()];
+        let ext = extract(funcs, 7, &ExtractOptions::default());
+        assert!(
+            ext.divisors.len() >= 2,
+            "expected nested divisors, got {}",
+            ext.divisors.len()
+        );
+        for m in 0..128u64 {
+            assert_eq!(eval(&ext.functions[0], &ext.divisors, m, 7), eval(&s1, &[], m, 7));
+            assert_eq!(eval(&ext.functions[1], &ext.divisors, m, 7), eval(&s2, &[], m, 7));
+            assert_eq!(eval(&ext.functions[2], &ext.divisors, m, 7), eval(&cout, &[], m, 7));
+        }
+        // the rewritten s2 should be the 3-cube ripple form
+        assert!(ext.functions[1].len() <= 3, "s2 = a ⊕ b ⊕ carry expected");
+    }
+
+    #[test]
+    fn divisor_limit_respected() {
+        // many shareable pairs, but only one divisor allowed
+        let mut funcs = Vec::new();
+        for k in 0..4 {
+            let base = 10 * k;
+            funcs.push(vec![
+                vs(&[base, 1]),
+                vs(&[base, 2]),
+                vs(&[base + 1, 1]),
+                vs(&[base + 1, 2]),
+            ]);
+        }
+        let opts = ExtractOptions {
+            max_divisors: 1,
+            ..ExtractOptions::default()
+        };
+        let ext = extract(funcs, 100, &opts);
+        assert_eq!(ext.divisors.len(), 1);
+    }
+
+    #[test]
+    fn rewrite_is_idempotent_per_occurrence() {
+        // f = a·(b ⊕ c) appears once under each of two cokernels
+        let d = vec![vs(&[1]), vs(&[2])];
+        let mut f = vec![vs(&[0, 1]), vs(&[0, 2]), vs(&[3, 1]), vs(&[3, 2])];
+        rewrite(&mut f, &d, 9);
+        assert_eq!(f.len(), 2, "both occurrences rewritten: {f:?}");
+        assert!(f.contains(&vs(&[0, 9])));
+        assert!(f.contains(&vs(&[3, 9])));
+        // nothing more to rewrite
+        let snapshot = f.clone();
+        rewrite(&mut f, &d, 9);
+        assert_eq!(f, snapshot);
+    }
+
+    #[test]
+    fn saving_rejects_single_use() {
+        let f = vec![vs(&[0, 1]), vs(&[0, 2])];
+        let d = vec![vs(&[1]), vs(&[2])];
+        // only one occurrence (cokernel a) → rejected
+        assert_eq!(total_saving(&[f], &[], &d), i64::MIN);
+    }
+}

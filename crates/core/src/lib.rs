@@ -1,0 +1,62 @@
+//! Multilevel logic synthesis for arithmetic functions — the core of the
+//! reproduction of *Tsai & Marek-Sadowska, "Multilevel Logic Synthesis for
+//! Arithmetic Functions", DAC 1996*.
+//!
+//! The flow synthesizes multilevel networks directly from the
+//! fixed-polarity Reed-Muller (FPRM) forms of the specification:
+//!
+//! 1. **FPRM generation** — per-output ROBDDs are converted to OFDDs under
+//!    a searched polarity vector ([`xsynth_ofdd`], [`PolarityMode`]);
+//! 2. **algebraic factorization** in GF(2) — the cube method
+//!    ([`factor_cubes`], rules (a)–(e) in [`Gexpr::apply_rules`]) or the
+//!    OFDD method ([`ofdd_to_network`]);
+//! 3. **XOR redundancy removal** — simulation of the paper's decidable
+//!    pattern family ([`paper_patterns`]) classifies each XOR gate's input
+//!    classes as testable or not, and untestable classes collapse the gate
+//!    to OR/AND ([`remove_redundancy`], Properties 1–7), with every
+//!    rewrite verified against the specification ([`EquivChecker`]).
+//!
+//! The entry point is [`synthesize`].
+//!
+//! # Examples
+//!
+//! ```
+//! use xsynth_core::{synthesize, SynthOptions};
+//! use xsynth_net::{GateKind, Network};
+//!
+//! // carry = ab ⊕ (a⊕b)c — redundancy removal turns the outer XOR into OR
+//! let mut spec = Network::new("carry");
+//! let a = spec.add_input("a");
+//! let b = spec.add_input("b");
+//! let c = spec.add_input("c");
+//! let ab = spec.add_gate(GateKind::And, vec![a, b]);
+//! let axb = spec.add_gate(GateKind::Xor, vec![a, b]);
+//! let t = spec.add_gate(GateKind::And, vec![axb, c]);
+//! let cout = spec.add_gate(GateKind::Or, vec![ab, t]);
+//! spec.add_output("cout", cout);
+//! let (out, _report) = synthesize(&spec, &SynthOptions::default());
+//! for m in 0..8 {
+//!     assert_eq!(out.eval_u64(m), spec.eval_u64(m));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atpg;
+pub mod gfx;
+pub mod power;
+mod expr;
+mod factor;
+mod patterns;
+mod redundancy;
+mod synth;
+mod verify;
+
+pub use expr::Gexpr;
+pub use factor::{disjoint_groups, factor_cubes, literal_supplier, ofdd_to_network};
+pub use patterns::{
+    literal_mask_to_pattern, merge_patterns, paper_patterns, Pattern, PatternOptions,
+};
+pub use redundancy::{remove_redundancy, RedundancyStats};
+pub use synth::{synthesize, FactorMethod, Granularity, PolarityMode, SynthOptions, SynthReport};
+pub use verify::{network_bdds, EquivChecker};

@@ -1,0 +1,35 @@
+//! Technology mapping onto a standard-cell library.
+//!
+//! Reproduces the role of `map` + `mcnc.genlib` in the paper's Table 2:
+//! the subject network is decomposed into a two-input AND/inverter graph,
+//! 4-feasible cuts are enumerated for every node, each cut function is
+//! Boolean-matched (under input permutation) against the cell library, and
+//! a dynamic program picks the minimum-area cover. The built-in
+//! [`Library::mcnc`] mirrors the paper's library: 2-input XOR/XNOR,
+//! 2-input AND/OR, NAND/NOR up to four inputs, and the four complex
+//! AOI/OAI cells.
+//!
+//! # Examples
+//!
+//! ```
+//! use xsynth_map::{map_network, Library};
+//! use xsynth_net::{GateKind, Network};
+//!
+//! let mut n = Network::new("xor2");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let x = n.add_gate(GateKind::Xor, vec![a, b]);
+//! n.add_output("y", x);
+//! let mapped = map_network(&n, &Library::mcnc());
+//! // one xor2 cell
+//! assert_eq!(mapped.num_gates(), 1);
+//! assert_eq!(mapped.num_literals(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod library;
+mod mapper;
+
+pub use library::{Cell, Library};
+pub use mapper::{map_network, map_network_for, MapGoal, Mapping};

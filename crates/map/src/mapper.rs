@@ -1,0 +1,717 @@
+//! Cut-based minimum-area covering.
+
+use crate::library::Library;
+use std::collections::HashMap;
+use xsynth_net::{GateKind, Network, NodeKind, SignalId};
+
+/// The result of technology mapping: a netlist of library cells.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    input_names: Vec<String>,
+    /// `(cell index, fanins)` — a fanin is either an input (`< inputs`) or
+    /// `inputs + gate index`.
+    gates: Vec<(usize, Vec<usize>)>,
+    outputs: Vec<(String, usize)>,
+    cell_names: Vec<String>,
+    cell_pins: Vec<usize>,
+    area: f64,
+}
+
+impl Mapping {
+    /// Number of mapped cells (inverters and buffers included, zero-pin
+    /// tie cells excluded — the SIS `map` gate count).
+    pub fn num_gates(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|(c, _)| self.cell_pins[*c] > 0)
+            .count()
+    }
+
+    /// Total cell input pins (the post-mapping literal count).
+    pub fn num_literals(&self) -> usize {
+        self.gates.iter().map(|(_, f)| f.len()).sum()
+    }
+
+    /// Total cell area.
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Depth of the mapped netlist in cell levels (every cell counts one).
+    pub fn depth(&self) -> usize {
+        let n_in = self.input_names.len();
+        let mut d = vec![0usize; n_in + self.gates.len()];
+        for (gi, (_, fanins)) in self.gates.iter().enumerate() {
+            let base = fanins.iter().map(|&f| d[f]).max().unwrap_or(0);
+            d[n_in + gi] = base + 1;
+        }
+        self.outputs.iter().map(|&(_, s)| d[s]).max().unwrap_or(0)
+    }
+
+    /// How many instances of each cell were used, by cell name.
+    pub fn cell_histogram(&self) -> HashMap<String, usize> {
+        let mut h = HashMap::new();
+        for (c, _) in &self.gates {
+            *h.entry(self.cell_names[*c].clone()).or_default() += 1;
+        }
+        h
+    }
+
+    /// Emits the mapped netlist as structural Verilog: one module with the
+    /// library cells instantiated gate by gate (cell pins are named
+    /// `a, b, c, d` in pin order with output `y`, matching
+    /// [`Library::mcnc`]'s conventions).
+    pub fn to_verilog(&self, module: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let id = |k: usize, names: &[String]| -> String {
+            if k < names.len() {
+                sanitize_verilog(&names[k])
+            } else {
+                format!("w{}", k - names.len())
+            }
+        };
+        let ports: Vec<String> = self
+            .input_names
+            .iter()
+            .map(|n| sanitize_verilog(n))
+            .chain(self.outputs.iter().map(|(n, _)| sanitize_verilog(n)))
+            .collect();
+        let _ = writeln!(s, "module {} ({});", sanitize_verilog(module), ports.join(", "));
+        for n in &self.input_names {
+            let _ = writeln!(s, "  input {};", sanitize_verilog(n));
+        }
+        for (n, _) in &self.outputs {
+            let _ = writeln!(s, "  output {};", sanitize_verilog(n));
+        }
+        for gi in 0..self.gates.len() {
+            let _ = writeln!(s, "  wire w{gi};");
+        }
+        const PIN_NAMES: [&str; 4] = ["a", "b", "c", "d"];
+        for (gi, (cell, fanins)) in self.gates.iter().enumerate() {
+            let mut pins: Vec<String> = fanins
+                .iter()
+                .enumerate()
+                .map(|(k, &f)| format!(".{}({})", PIN_NAMES[k], id(f, &self.input_names)))
+                .collect();
+            pins.push(format!(".y(w{gi})"));
+            let _ = writeln!(
+                s,
+                "  {} g{gi} ({});",
+                self.cell_names[*cell],
+                pins.join(", ")
+            );
+        }
+        for (name, sig) in &self.outputs {
+            let _ = writeln!(
+                s,
+                "  assign {} = {};",
+                sanitize_verilog(name),
+                id(*sig, &self.input_names)
+            );
+        }
+        let _ = writeln!(s, "endmodule");
+        s
+    }
+
+    /// Reconstructs a gate network computing the mapped netlist's
+    /// function, for verification against the subject network.
+    pub fn to_network(&self, lib: &Library) -> Network {
+        let mut net = Network::new("mapped");
+        let mut sig: Vec<SignalId> = self
+            .input_names
+            .iter()
+            .map(|n| net.add_input(n.clone()))
+            .collect();
+        for (cell, fanins) in &self.gates {
+            let t = lib.cell_table(*cell);
+            let fan_sigs: Vec<SignalId> = fanins.iter().map(|&f| sig[f]).collect();
+            // the cell function as a two-level SOP over its fanins
+            let k = fan_sigs.len();
+            let mut cubes = Vec::new();
+            for m in 0..(1u64 << k) {
+                if t.eval(m) {
+                    let lits: Vec<SignalId> = (0..k)
+                        .map(|i| {
+                            if m & (1 << i) != 0 {
+                                fan_sigs[i]
+                            } else {
+                                net.add_gate(GateKind::Not, vec![fan_sigs[i]])
+                            }
+                        })
+                        .collect();
+                    cubes.push(match lits.len() {
+                        0 => net.add_gate(GateKind::Const1, vec![]),
+                        1 => lits[0],
+                        _ => net.add_gate(GateKind::And, lits),
+                    });
+                }
+            }
+            let s = match cubes.len() {
+                0 => net.add_gate(GateKind::Const0, vec![]),
+                1 => cubes[0],
+                _ => net.add_gate(GateKind::Or, cubes),
+            };
+            sig.push(s);
+        }
+        for (name, idx) in &self.outputs {
+            net.add_output(name.clone(), sig[*idx]);
+        }
+        net
+    }
+}
+
+/// What the covering DP minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MapGoal {
+    /// Minimum total cell area (the paper's Table 2 setting).
+    #[default]
+    Area,
+    /// Minimum depth in cell levels, ties broken by area — the delay-
+    /// oriented mode the paper's conclusion flags as future analysis.
+    Depth,
+}
+
+/// Makes a name a legal Verilog identifier.
+fn sanitize_verilog(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Maximum cut size (the library has up to 4 pins).
+const CUT_SIZE: usize = 4;
+/// Cuts kept per node.
+const CUTS_PER_NODE: usize = 64;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cut {
+    leaves: Vec<u32>, // sorted subject-node indices
+}
+
+#[derive(Clone)]
+struct Choice {
+    cut: Cut,
+    cell: usize,
+    perm: Vec<usize>,
+}
+
+/// Maps a network onto `lib` for minimum area.
+///
+/// The network is first lowered to a two-input AND/inverter subject graph;
+/// 4-feasible cuts are enumerated bottom-up, each cut's local function is
+/// matched against the library, and a minimum-area cover is selected by
+/// dynamic programming over the DAG (with the usual tree approximation of
+/// area).
+///
+/// # Panics
+///
+/// Panics if some cut function has no matching cell — impossible with any
+/// library containing inverter + and2 (or nand2) + tie cells, such as
+/// [`Library::mcnc`].
+pub fn map_network(net: &Network, lib: &Library) -> Mapping {
+    map_network_for(net, lib, MapGoal::Area)
+}
+
+/// Maps a network onto `lib` optimizing the chosen [`MapGoal`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`map_network`].
+pub fn map_network_for(net: &Network, lib: &Library, goal: MapGoal) -> Mapping {
+    let subject = to_subject(net);
+    let order = subject.topo_order();
+    let n_nodes = subject.num_nodes();
+    // index → handle table (indices are stable)
+    let mut handle: Vec<Option<SignalId>> = vec![None; n_nodes];
+    for &id in &order {
+        handle[id.index()] = Some(id);
+    }
+
+    // 1. cut enumeration
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); n_nodes];
+    for &id in &order {
+        let i = id.index();
+        match subject.kind(id) {
+            NodeKind::Input => {
+                cuts[i] = vec![Cut { leaves: vec![i as u32] }];
+            }
+            NodeKind::Gate(GateKind::Const0) | NodeKind::Gate(GateKind::Const1) => {
+                cuts[i] = vec![Cut { leaves: vec![] }];
+            }
+            NodeKind::Gate(GateKind::Not) => {
+                let f = subject.fanins(id)[0].index();
+                let mut cs = vec![Cut { leaves: vec![i as u32] }];
+                cs.extend(cuts[f].iter().cloned());
+                dedup_cuts(&mut cs, i);
+                cuts[i] = cs;
+            }
+            NodeKind::Gate(GateKind::And) => {
+                let f0 = subject.fanins(id)[0].index();
+                let f1 = subject.fanins(id)[1].index();
+                let mut cs = vec![Cut { leaves: vec![i as u32] }];
+                for a in &cuts[f0] {
+                    for b in &cuts[f1] {
+                        let mut leaves = a.leaves.clone();
+                        for &l in &b.leaves {
+                            if !leaves.contains(&l) {
+                                leaves.push(l);
+                            }
+                        }
+                        if leaves.len() <= CUT_SIZE {
+                            leaves.sort_unstable();
+                            cs.push(Cut { leaves });
+                        }
+                    }
+                }
+                dedup_cuts(&mut cs, i);
+                cuts[i] = cs;
+            }
+            other => panic!("unexpected subject-graph node {other:?}"),
+        }
+    }
+
+    // 2. dynamic program for the chosen goal: cost = (primary, secondary)
+    // with primary = area (Area goal) or depth (Depth goal, ties by area)
+    let mut best_cost: Vec<(f64, f64)> = vec![(f64::INFINITY, f64::INFINITY); n_nodes];
+    let mut best_choice: Vec<Option<Choice>> = vec![None; n_nodes];
+    for &id in &order {
+        let i = id.index();
+        if matches!(subject.kind(id), NodeKind::Input) {
+            best_cost[i] = (0.0, 0.0);
+            continue;
+        }
+        for cut in &cuts[i] {
+            if cut.leaves.as_slice() == [i as u32] {
+                continue; // the trivial self-cut implements nothing
+            }
+            let tt = cut_function(&subject, &handle, id, cut);
+            let Some((cell, perm)) = lib.matches(cut.leaves.len(), tt) else {
+                continue;
+            };
+            let cell_area = lib.cells()[cell].area();
+            let cost = match goal {
+                MapGoal::Area => {
+                    let mut area = cell_area;
+                    for &l in &cut.leaves {
+                        area += best_cost[l as usize].0;
+                    }
+                    (area, 0.0)
+                }
+                MapGoal::Depth => {
+                    let mut depth = 0.0f64;
+                    let mut area = cell_area;
+                    for &l in &cut.leaves {
+                        let (d, a) = best_cost[l as usize];
+                        depth = depth.max(d);
+                        area += a;
+                    }
+                    (depth + 1.0, area)
+                }
+            };
+            if cost < best_cost[i] {
+                best_cost[i] = cost;
+                best_choice[i] = Some(Choice {
+                    cut: cut.clone(),
+                    cell,
+                    perm: perm.to_vec(),
+                });
+            }
+        }
+        assert!(
+            best_choice[i].is_some(),
+            "no library match for subject node {i} — the library lacks a base cell"
+        );
+    }
+
+    // 3. backtrack from outputs, materializing each chosen cell once
+    let input_names: Vec<String> = subject
+        .inputs()
+        .iter()
+        .map(|&s| subject.node_name(s).unwrap_or("in").to_string())
+        .collect();
+    let input_pos: HashMap<usize, usize> = subject
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(k, s)| (s.index(), k))
+        .collect();
+    let n_inputs = input_names.len();
+
+    struct Builder<'a> {
+        best_choice: &'a [Option<Choice>],
+        input_pos: &'a HashMap<usize, usize>,
+        n_inputs: usize,
+        lib: &'a Library,
+        gates: Vec<(usize, Vec<usize>)>,
+        materialized: HashMap<usize, usize>,
+        area: f64,
+    }
+    impl Builder<'_> {
+        fn materialize(&mut self, node: usize) -> usize {
+            if let Some(&m) = self.materialized.get(&node) {
+                return m;
+            }
+            if let Some(&pos) = self.input_pos.get(&node) {
+                self.materialized.insert(node, pos);
+                return pos;
+            }
+            let choice = self.best_choice[node]
+                .as_ref()
+                .expect("every reachable gate node has a choice")
+                .clone();
+            let leaf_sigs: Vec<usize> = choice
+                .cut
+                .leaves
+                .iter()
+                .map(|&l| self.materialize(l as usize))
+                .collect();
+            // pin i of the cell reads cut leaf perm[i]
+            let fanins: Vec<usize> = choice.perm.iter().map(|&p| leaf_sigs[p]).collect();
+            let sig = self.n_inputs + self.gates.len();
+            self.area += self.lib.cells()[choice.cell].area();
+            self.gates.push((choice.cell, fanins));
+            self.materialized.insert(node, sig);
+            sig
+        }
+    }
+
+    let mut b = Builder {
+        best_choice: &best_choice,
+        input_pos: &input_pos,
+        n_inputs,
+        lib,
+        gates: Vec::new(),
+        materialized: HashMap::new(),
+        area: 0.0,
+    };
+    let mut outputs = Vec::new();
+    for (name, sig) in subject.outputs().to_vec() {
+        let m = b.materialize(sig.index());
+        outputs.push((name, m));
+    }
+
+    Mapping {
+        input_names,
+        gates: b.gates,
+        outputs,
+        cell_names: lib.cells().iter().map(|c| c.name().to_string()).collect(),
+        cell_pins: lib.cells().iter().map(|c| c.num_pins()).collect(),
+        area: b.area,
+    }
+}
+
+fn dedup_cuts(cs: &mut Vec<Cut>, node: usize) {
+    cs.sort_by(|a, b| a.leaves.len().cmp(&b.leaves.len()).then(a.leaves.cmp(&b.leaves)));
+    cs.dedup();
+    // drop dominated cuts (a strict superset of another cut never matches
+    // a cheaper cell family exclusively enough to matter at this size),
+    // but always keep the trivial self-cut: fanout cuts build on it
+    let snapshot = cs.clone();
+    cs.retain(|c| {
+        c.leaves.as_slice() == [node as u32]
+            || !snapshot
+                .iter()
+                .any(|o| o.leaves != c.leaves && o.leaves.iter().all(|l| c.leaves.contains(l)))
+    });
+    cs.truncate(CUTS_PER_NODE);
+}
+
+/// The function of `node` in terms of the cut leaves, as a 16-bit word.
+fn cut_function(
+    subject: &Network,
+    handle: &[Option<SignalId>],
+    node: SignalId,
+    cut: &Cut,
+) -> u16 {
+    let k = cut.leaves.len();
+    let mut tt = 0u16;
+    for m in 0..(1u32 << k) as u16 {
+        let mut vals: HashMap<usize, bool> = HashMap::new();
+        for (b, &l) in cut.leaves.iter().enumerate() {
+            vals.insert(l as usize, m & (1 << b) != 0);
+        }
+        if eval_to_cut(subject, handle, node.index(), &mut vals) {
+            tt |= 1 << m;
+        }
+    }
+    tt
+}
+
+fn eval_to_cut(
+    subject: &Network,
+    handle: &[Option<SignalId>],
+    node: usize,
+    vals: &mut HashMap<usize, bool>,
+) -> bool {
+    if let Some(&v) = vals.get(&node) {
+        return v;
+    }
+    let sid = handle[node].expect("cut nodes are reachable");
+    let v = match subject.kind(sid) {
+        NodeKind::Input => panic!("reached an input beyond the cut — malformed cut"),
+        NodeKind::Gate(GateKind::Const0) => false,
+        NodeKind::Gate(GateKind::Const1) => true,
+        NodeKind::Gate(GateKind::Not) => {
+            !eval_to_cut(subject, handle, subject.fanins(sid)[0].index(), vals)
+        }
+        NodeKind::Gate(GateKind::And) => {
+            eval_to_cut(subject, handle, subject.fanins(sid)[0].index(), vals)
+                && eval_to_cut(subject, handle, subject.fanins(sid)[1].index(), vals)
+        }
+        other => panic!("unexpected subject node {other:?}"),
+    };
+    vals.insert(node, v);
+    v
+}
+
+/// Lowers a network to the two-input AND / inverter subject graph.
+fn to_subject(net: &Network) -> Network {
+    let d = net.decompose2().sweep();
+    let mut out = Network::new(d.name().to_string());
+    let mut map: HashMap<SignalId, SignalId> = HashMap::new();
+    for &i in d.inputs() {
+        let ni = out.add_input(d.node_name(i).unwrap_or("in").to_string());
+        map.insert(i, ni);
+    }
+    for id in d.topo_order() {
+        let NodeKind::Gate(kind) = d.kind(id) else {
+            continue;
+        };
+        let fan: Vec<SignalId> = d.fanins(id).iter().map(|f| map[f]).collect();
+        let s = match kind {
+            GateKind::Const0 => out.add_gate(GateKind::Const0, vec![]),
+            GateKind::Const1 => out.add_gate(GateKind::Const1, vec![]),
+            GateKind::Buf => fan[0],
+            GateKind::Not => out.add_gate(GateKind::Not, vec![fan[0]]),
+            GateKind::And => out.add_gate(GateKind::And, fan),
+            GateKind::Or => {
+                let n0 = out.add_gate(GateKind::Not, vec![fan[0]]);
+                let n1 = out.add_gate(GateKind::Not, vec![fan[1]]);
+                let a = out.add_gate(GateKind::And, vec![n0, n1]);
+                out.add_gate(GateKind::Not, vec![a])
+            }
+            other => panic!("decompose2 must not emit {other}"),
+        };
+        map.insert(id, s);
+    }
+    for (name, sig) in d.outputs() {
+        out.add_output(name.clone(), map[sig]);
+    }
+    out.strash()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Library;
+
+    fn check_mapping(net: &Network) -> Mapping {
+        let lib = Library::mcnc();
+        let mapped = map_network(net, &lib);
+        let back = mapped.to_network(&lib);
+        let n = net.inputs().len();
+        assert!(n <= 12);
+        for m in 0..(1u64 << n) {
+            assert_eq!(back.eval_u64(m), net.eval_u64(m), "minterm {m}");
+        }
+        mapped
+    }
+
+    #[test]
+    fn xor_maps_to_single_cell() {
+        let mut n = Network::new("x");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_gate(GateKind::Xor, vec![a, b]);
+        n.add_output("y", x);
+        let m = check_mapping(&n);
+        assert_eq!(m.num_gates(), 1);
+        assert_eq!(m.cell_histogram().get("xor2"), Some(&1));
+        assert!((m.area() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aoi_pattern_found() {
+        // !(ab + c) should map to one aoi21 cell
+        let mut n = Network::new("aoi");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_gate(GateKind::And, vec![a, b]);
+        let o = n.add_gate(GateKind::Or, vec![ab, c]);
+        let f = n.add_gate(GateKind::Not, vec![o]);
+        n.add_output("y", f);
+        let m = check_mapping(&n);
+        assert_eq!(m.num_gates(), 1, "{:?}", m.cell_histogram());
+        assert_eq!(m.cell_histogram().get("aoi21"), Some(&1));
+    }
+
+    #[test]
+    fn full_adder_maps_reasonably() {
+        let mut n = Network::new("fa");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("cin");
+        let s = n.add_gate(GateKind::Xor, vec![a, b, c]);
+        let ab = n.add_gate(GateKind::And, vec![a, b]);
+        let ax = n.add_gate(GateKind::Xor, vec![a, b]);
+        let t = n.add_gate(GateKind::And, vec![ax, c]);
+        let co = n.add_gate(GateKind::Or, vec![ab, t]);
+        n.add_output("s", s);
+        n.add_output("co", co);
+        let m = check_mapping(&n);
+        assert!(m.num_gates() <= 7, "got {} gates", m.num_gates());
+        assert!(m.num_literals() <= 14);
+    }
+
+    #[test]
+    fn nand_chain_prefers_nand_cells() {
+        let mut n = Network::new("n3");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g = n.add_gate(GateKind::Nand, vec![a, b, c]);
+        n.add_output("y", g);
+        let m = check_mapping(&n);
+        assert_eq!(m.num_gates(), 1, "{:?}", m.cell_histogram());
+        assert_eq!(m.cell_histogram().get("nand3"), Some(&1));
+    }
+
+    #[test]
+    fn constant_outputs_use_tie_cells() {
+        let mut n = Network::new("c");
+        let a = n.add_input("a");
+        let x = n.add_gate(GateKind::Xor, vec![a, a]);
+        n.add_output("zero", x);
+        let m = check_mapping(&n);
+        assert_eq!(m.num_gates(), 0, "tie cells are free and uncounted");
+        assert_eq!(m.num_literals(), 0);
+    }
+
+    #[test]
+    fn shared_logic_counted_once() {
+        let mut n = Network::new("sh");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_gate(GateKind::And, vec![a, b]);
+        n.add_output("o1", x);
+        n.add_output("o2", x);
+        let m = check_mapping(&n);
+        assert_eq!(m.num_gates(), 1);
+    }
+
+    #[test]
+    fn wire_output() {
+        let mut n = Network::new("w");
+        let a = n.add_input("a");
+        n.add_output("y", a);
+        let m = check_mapping(&n);
+        assert_eq!(m.num_gates(), 0);
+    }
+
+    #[test]
+    fn depth_goal_flattens_chains() {
+        use crate::MapGoal;
+        // an 8-input AND built as a linear chain: area mapping may keep it
+        // deep, depth mapping must reach ceil(log_4(8)) = 2 nand/nor levels
+        // + polarity fixup
+        let mut n = Network::new("chain8");
+        let ins: Vec<SignalId> = (0..8).map(|i| n.add_input(format!("x{i}"))).collect();
+        let mut s = ins[0];
+        for &i in &ins[1..] {
+            s = n.add_gate(GateKind::And, vec![s, i]);
+        }
+        n.add_output("y", s);
+        let lib = Library::mcnc();
+        let area_map = map_network_for(&n, &lib, MapGoal::Area);
+        let depth_map = map_network_for(&n, &lib, MapGoal::Depth);
+        let d_area = area_map.depth();
+        let d_depth = depth_map.depth();
+        // Structural covering cannot re-associate the chain (the mcnc-like
+        // library has no AND3/AND4 cell to absorb positive-phase windows),
+        // so the guarantee is only that the depth goal never loses.
+        assert!(d_depth <= d_area, "depth goal must not be deeper: {d_depth} vs {d_area}");
+        // both remain functionally correct
+        for m in 0..256u64 {
+            assert_eq!(depth_map.to_network(&lib).eval_u64(m)[0], m == 255);
+            assert_eq!(area_map.to_network(&lib).eval_u64(m)[0], m == 255);
+        }
+        // where a matching complex cell exists, the depth goal exploits it:
+        // !(a·b·c·d) collapses to one nand4 level
+        let mut n2 = Network::new("nand4chain");
+        let ins: Vec<SignalId> = (0..4).map(|i| n2.add_input(format!("x{i}"))).collect();
+        let mut s = ins[0];
+        for &i in &ins[1..] {
+            s = n2.add_gate(GateKind::And, vec![s, i]);
+        }
+        let inv = n2.add_gate(GateKind::Not, vec![s]);
+        n2.add_output("y", inv);
+        let m2 = map_network_for(&n2, &lib, MapGoal::Depth);
+        assert_eq!(m2.depth(), 1, "{:?}", m2.cell_histogram());
+    }
+
+    #[test]
+    fn verilog_netlist_is_structural() {
+        let mut n = Network::new("fa");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_gate(GateKind::Xor, vec![a, b]);
+        let g = n.add_gate(GateKind::And, vec![a, b]);
+        n.add_output("s", x);
+        n.add_output("c", g);
+        let lib = Library::mcnc();
+        let m = map_network(&n, &lib);
+        let v = m.to_verilog("half_adder");
+        assert!(v.contains("module half_adder (a, b, s, c);"), "{v}");
+        assert!(v.contains("xor2"), "{v}");
+        assert!(v.contains("and2"), "{v}");
+        assert!(v.contains("endmodule"));
+        // every gate instance drives a declared wire
+        for gi in 0..m.num_gates() {
+            assert!(v.contains(&format!("wire w{gi};")), "{v}");
+        }
+    }
+
+    #[test]
+    fn verilog_sanitizes_names() {
+        let mut n = Network::new("s");
+        let a = n.add_input("bcd-div3.in");
+        n.add_output("1out", a);
+        let lib = Library::mcnc();
+        let m = map_network(&n, &lib);
+        let v = m.to_verilog("top");
+        assert!(v.contains("bcd_div3_in"), "{v}");
+        assert!(v.contains("_1out"), "{v}");
+    }
+
+    #[test]
+    fn mapped_cost_of_parity16() {
+        // 16-input parity: 15 xor2 cells, 30 pins.
+        let mut n = Network::new("parity");
+        let ins: Vec<SignalId> = (0..16).map(|i| n.add_input(format!("x{i}"))).collect();
+        let x = n.add_gate(GateKind::Xor, ins);
+        n.add_output("p", x);
+        let lib = Library::mcnc();
+        let m = map_network(&n, &lib);
+        assert_eq!(m.num_gates(), 15);
+        assert_eq!(m.num_literals(), 30);
+    }
+
+    #[test]
+    fn mapping_beats_naive_on_invertible_logic() {
+        // nor4 exists: !(a+b+c+d) should be 1 cell rather than 3 or-gates
+        // and an inverter
+        let mut n = Network::new("nor4");
+        let ins: Vec<SignalId> = (0..4).map(|i| n.add_input(format!("x{i}"))).collect();
+        let g = n.add_gate(GateKind::Nor, ins);
+        n.add_output("y", g);
+        let m = check_mapping(&n);
+        assert_eq!(m.num_gates(), 1, "{:?}", m.cell_histogram());
+    }
+}

@@ -1,0 +1,309 @@
+//! Logic simulation, single-stuck-at fault simulation and switching-activity
+//! power estimation for [`xsynth_net::Network`]s.
+//!
+//! The paper leans on simulation twice: the redundancy-removal pass of
+//! Section 4 simulates the OC/AZ/AO/SA1 pattern sets to find reducible XOR
+//! gates, and the evaluation reports SIS `power_estimate` numbers and
+//! claims complete single-stuck-at test sets. This crate provides those
+//! engines: 64-way bit-parallel simulation, fault enumeration/simulation,
+//! and the zero-delay, uniform-input switching-activity power model.
+//!
+//! # Examples
+//!
+//! ```
+//! use xsynth_net::{GateKind, Network};
+//! use xsynth_sim::Simulator;
+//!
+//! let mut n = Network::new("and");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let g = n.add_gate(GateKind::And, vec![a, b]);
+//! n.add_output("y", g);
+//! let sim = Simulator::new(&n);
+//! let outs = sim.outputs_for_patterns(&xsynth_sim::exhaustive_patterns(2));
+//! assert_eq!(outs[3], vec![true]); // pattern 0b11
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fault;
+mod power;
+
+pub use fault::{enumerate_faults, fault_simulate, Fault, FaultReport, FaultSite};
+pub use power::{power_estimate, signal_activity, PowerReport};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xsynth_net::{Network, NodeKind, SignalId};
+
+/// A single input assignment: one value per primary input, in declaration
+/// order.
+pub type Pattern = Vec<bool>;
+
+/// All `2^n` input patterns of an `n`-input network, in minterm order.
+///
+/// # Panics
+///
+/// Panics if `n > 24` (16 M patterns).
+pub fn exhaustive_patterns(n: usize) -> Vec<Pattern> {
+    assert!(n <= 24, "exhaustive pattern set too large for {n} inputs");
+    (0..(1u64 << n))
+        .map(|m| (0..n).map(|i| m & (1 << i) != 0).collect())
+        .collect()
+}
+
+/// `count` uniformly random patterns from a fixed seed (reproducible).
+pub fn random_patterns(n: usize, count: usize, seed: u64) -> Vec<Pattern> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..n).map(|_| rng.gen::<bool>()).collect())
+        .collect()
+}
+
+/// A prepared bit-parallel simulator over a network.
+///
+/// Evaluates up to 64 patterns at once by packing one bit per pattern into
+/// `u64` lanes.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    net: &'a Network,
+    order: Vec<SignalId>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulator (computes the topological order once).
+    pub fn new(net: &'a Network) -> Self {
+        Simulator {
+            net,
+            order: net.topo_order(),
+        }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        self.net
+    }
+
+    /// Simulates one 64-pattern block. `input_words[i]` holds the 64 values
+    /// of primary input `i` (pattern `k` in bit `k`). Returns one word per
+    /// network node (indexed by `SignalId::index`); unreachable nodes stay
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the input count.
+    pub fn simulate_block(&self, input_words: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            input_words.len(),
+            self.net.inputs().len(),
+            "input arity mismatch"
+        );
+        let mut val = vec![0u64; self.net.num_nodes()];
+        for (i, &id) in self.net.inputs().iter().enumerate() {
+            val[id.index()] = input_words[i];
+        }
+        for &id in &self.order {
+            if let NodeKind::Gate(k) = self.net.kind(id) {
+                val[id.index()] = eval_gate_words(*k, self.net.fanins(id), &val);
+            }
+        }
+        val
+    }
+
+    /// Simulates an arbitrary pattern list, returning the output values for
+    /// each pattern.
+    pub fn outputs_for_patterns(&self, patterns: &[Pattern]) -> Vec<Vec<bool>> {
+        let n = self.net.inputs().len();
+        let mut results = Vec::with_capacity(patterns.len());
+        for chunk in patterns.chunks(64) {
+            let mut words = vec![0u64; n];
+            for (k, p) in chunk.iter().enumerate() {
+                assert_eq!(p.len(), n, "pattern arity mismatch");
+                for (i, &b) in p.iter().enumerate() {
+                    if b {
+                        words[i] |= 1 << k;
+                    }
+                }
+            }
+            let val = self.simulate_block(&words);
+            for k in 0..chunk.len() {
+                results.push(
+                    self.net
+                        .outputs()
+                        .iter()
+                        .map(|&(_, s)| val[s.index()] & (1 << k) != 0)
+                        .collect(),
+                );
+            }
+        }
+        results
+    }
+
+    /// Per-node one-counts over a pattern list: returns `(counts, total)`
+    /// where `counts[node]` is how many patterns set that node to 1.
+    pub fn node_one_counts(&self, patterns: &[Pattern]) -> (Vec<u64>, u64) {
+        let n = self.net.inputs().len();
+        let mut counts = vec![0u64; self.net.num_nodes()];
+        for chunk in patterns.chunks(64) {
+            let mut words = vec![0u64; n];
+            for (k, p) in chunk.iter().enumerate() {
+                for (i, &b) in p.iter().enumerate() {
+                    if b {
+                        words[i] |= 1 << k;
+                    }
+                }
+            }
+            let mask = if chunk.len() == 64 {
+                !0u64
+            } else {
+                (1u64 << chunk.len()) - 1
+            };
+            let val = self.simulate_block(&words);
+            for (c, w) in counts.iter_mut().zip(val.iter()) {
+                *c += (w & mask).count_ones() as u64;
+            }
+        }
+        (counts, patterns.len() as u64)
+    }
+}
+
+/// Evaluates one gate over packed 64-pattern words.
+pub(crate) fn eval_gate_words(
+    kind: xsynth_net::GateKind,
+    fanins: &[SignalId],
+    val: &[u64],
+) -> u64 {
+    use xsynth_net::GateKind::*;
+    let mut it = fanins.iter().map(|f| val[f.index()]);
+    match kind {
+        Const0 => 0,
+        Const1 => !0,
+        Buf => it.next().expect("buf fanin"),
+        Not => !it.next().expect("not fanin"),
+        And => it.fold(!0u64, |a, b| a & b),
+        Nand => !it.fold(!0u64, |a, b| a & b),
+        Or => it.fold(0u64, |a, b| a | b),
+        Nor => !it.fold(0u64, |a, b| a | b),
+        Xor => it.fold(0u64, |a, b| a ^ b),
+        Xnor => !it.fold(0u64, |a, b| a ^ b),
+    }
+}
+
+/// Checks functional equivalence of two networks on an explicit pattern
+/// list (both must have the same input/output counts). This is the
+/// workhorse behind the `verify`-style checks in the benchmark harness;
+/// for complete certainty on small circuits pass
+/// [`exhaustive_patterns`].
+pub fn equivalent_on(a: &Network, b: &Network, patterns: &[Pattern]) -> bool {
+    let (sa, sb) = (Simulator::new(a), Simulator::new(b));
+    sa.outputs_for_patterns(patterns) == sb.outputs_for_patterns(patterns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsynth_net::GateKind;
+
+    fn adder2() -> Network {
+        // 2-bit adder: inputs a0 a1 b0 b1, outputs s0 s1 c
+        let mut n = Network::new("adder2");
+        let a0 = n.add_input("a0");
+        let a1 = n.add_input("a1");
+        let b0 = n.add_input("b0");
+        let b1 = n.add_input("b1");
+        let s0 = n.add_gate(GateKind::Xor, vec![a0, b0]);
+        let c0 = n.add_gate(GateKind::And, vec![a0, b0]);
+        let s1 = n.add_gate(GateKind::Xor, vec![a1, b1, c0]);
+        let ab = n.add_gate(GateKind::And, vec![a1, b1]);
+        let ac = n.add_gate(GateKind::And, vec![a1, c0]);
+        let bc = n.add_gate(GateKind::And, vec![b1, c0]);
+        let c1 = n.add_gate(GateKind::Or, vec![ab, ac, bc]);
+        n.add_output("s0", s0);
+        n.add_output("s1", s1);
+        n.add_output("c", c1);
+        n
+    }
+
+    #[test]
+    fn block_simulation_matches_scalar_eval() {
+        let n = adder2();
+        let sim = Simulator::new(&n);
+        let pats = exhaustive_patterns(4);
+        let outs = sim.outputs_for_patterns(&pats);
+        for (m, out) in outs.iter().enumerate() {
+            assert_eq!(*out, n.eval_u64(m as u64), "pattern {m}");
+        }
+    }
+
+    #[test]
+    fn adder_adds() {
+        let n = adder2();
+        let sim = Simulator::new(&n);
+        let outs = sim.outputs_for_patterns(&exhaustive_patterns(4));
+        for m in 0..16u64 {
+            let a = m & 0b11;
+            let b = (m >> 2) & 0b11;
+            let s = a + b;
+            let o = &outs[m as usize];
+            let got = (o[0] as u64) | ((o[1] as u64) << 1) | ((o[2] as u64) << 2);
+            assert_eq!(got, s, "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn one_counts_of_and2() {
+        let mut n = Network::new("and2");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_gate(GateKind::And, vec![a, b]);
+        n.add_output("y", g);
+        let sim = Simulator::new(&n);
+        let (counts, total) = sim.node_one_counts(&exhaustive_patterns(2));
+        assert_eq!(total, 4);
+        assert_eq!(counts[g.index()], 1);
+        assert_eq!(counts[a.index()], 2);
+    }
+
+    #[test]
+    fn random_patterns_reproducible() {
+        let p1 = random_patterns(8, 100, 42);
+        let p2 = random_patterns(8, 100, 42);
+        assert_eq!(p1, p2);
+        let p3 = random_patterns(8, 100, 43);
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn more_than_64_patterns() {
+        let n = adder2();
+        let sim = Simulator::new(&n);
+        let mut pats = exhaustive_patterns(4);
+        // repeat to cross the 64-pattern block boundary
+        let reps = pats.clone();
+        for _ in 0..8 {
+            pats.extend(reps.iter().cloned());
+        }
+        let outs = sim.outputs_for_patterns(&pats);
+        for (i, p) in pats.iter().enumerate() {
+            let m: u64 = p
+                .iter()
+                .enumerate()
+                .map(|(b, &v)| (v as u64) << b)
+                .sum();
+            assert_eq!(outs[i], n.eval_u64(m));
+        }
+    }
+
+    #[test]
+    fn equivalence_checking() {
+        let n1 = adder2();
+        let mut n2 = adder2().sweep();
+        assert!(equivalent_on(&n1, &n2, &exhaustive_patterns(4)));
+        // break it
+        let out = n2.outputs()[0].1;
+        if n2.gate_kind(out).is_some() {
+            n2.replace_gate(out, GateKind::Xnor, n2.fanins(out).to_vec());
+            assert!(!equivalent_on(&n1, &n2, &exhaustive_patterns(4)));
+        }
+    }
+}

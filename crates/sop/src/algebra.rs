@@ -1,0 +1,521 @@
+//! Algebraic (weak) division, kernel extraction and factoring over
+//! sum-of-products covers — the Brayton–McMullen toolbox behind MIS/SIS.
+
+use xsynth_boolean::{Cube, Sop};
+
+/// Weak (algebraic) division `f / d`, returning `(quotient, remainder)`
+/// with `f = quotient·d + remainder` and the quotient maximal.
+///
+/// # Examples
+///
+/// ```
+/// use xsynth_boolean::{Cube, Sop};
+/// use xsynth_sop::algebra::divide;
+///
+/// // f = a·c + b·c + d ; d0 = a + b  →  q = c, r = d
+/// let f = Sop::from_cubes([
+///     Cube::new([0, 2], []).unwrap(),
+///     Cube::new([1, 2], []).unwrap(),
+///     Cube::new([3], []).unwrap(),
+/// ]);
+/// let d = Sop::from_cubes([Cube::new([0], []).unwrap(), Cube::new([1], []).unwrap()]);
+/// let (q, r) = divide(&f, &d);
+/// assert_eq!(q.num_cubes(), 1);
+/// assert_eq!(r.num_cubes(), 1);
+/// ```
+pub fn divide(f: &Sop, d: &Sop) -> (Sop, Sop) {
+    if d.is_zero() {
+        return (Sop::zero(), f.clone());
+    }
+    let mut quotient: Option<Vec<Cube>> = None;
+    for di in d.cubes() {
+        let mut qi: Vec<Cube> = Vec::new();
+        for c in f.cubes() {
+            if let Some(q) = c.divide(di) {
+                qi.push(q);
+            }
+        }
+        quotient = Some(match quotient {
+            None => qi,
+            Some(prev) => prev.into_iter().filter(|c| qi.contains(c)).collect(),
+        });
+        if quotient.as_ref().is_some_and(Vec::is_empty) {
+            break;
+        }
+    }
+    let q = Sop::from_cubes(quotient.unwrap_or_default());
+    if q.is_zero() {
+        return (q, f.clone());
+    }
+    // remainder = cubes of f not covered by q×d
+    let mut product: Vec<Cube> = Vec::new();
+    for qc in q.cubes() {
+        for dc in d.cubes() {
+            if let Some(p) = qc.intersect(dc) {
+                product.push(p);
+            }
+        }
+    }
+    let r = Sop::from_cubes(
+        f.cubes()
+            .iter()
+            .filter(|c| !product.contains(c))
+            .cloned()
+            .collect::<Vec<_>>(),
+    );
+    (q, r)
+}
+
+/// The largest cube dividing every cube of `f` (the "common cube"); the
+/// universal cube if `f` is cube-free or empty.
+pub fn common_cube(f: &Sop) -> Cube {
+    let mut it = f.cubes().iter();
+    let Some(first) = it.next() else {
+        return Cube::universe();
+    };
+    let mut pos = first.positive().clone();
+    let mut neg = first.negative().clone();
+    for c in it {
+        pos = pos.intersection(c.positive());
+        neg = neg.intersection(c.negative());
+    }
+    Cube::from_sets(pos, neg).expect("intersection of disjoint sets stays disjoint")
+}
+
+/// Whether `f` is cube-free (no single literal divides every cube).
+pub fn is_cube_free(f: &Sop) -> bool {
+    common_cube(f).is_universe()
+}
+
+/// A kernel of a cover together with one of its co-kernels.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// The kernel: a cube-free quotient of `f` by a cube.
+    pub kernel: Sop,
+    /// The co-kernel cube that produced it.
+    pub cokernel: Cube,
+}
+
+/// Computes the kernels of `f` (Brayton–McMullen recursive algorithm),
+/// including `f` itself when it is cube-free and has ≥ 2 cubes. The result
+/// is capped at `limit` kernels to bound runtime on pathological covers.
+pub fn kernels(f: &Sop, limit: usize) -> Vec<Kernel> {
+    let mut out = Vec::new();
+    // literal universe in a stable order
+    let mut lits: Vec<(usize, bool)> = Vec::new();
+    for c in f.cubes() {
+        for v in c.positive().iter() {
+            if !lits.contains(&(v, true)) {
+                lits.push((v, true));
+            }
+        }
+        for v in c.negative().iter() {
+            if !lits.contains(&(v, false)) {
+                lits.push((v, false));
+            }
+        }
+    }
+    lits.sort_unstable();
+    let base = {
+        let cc = common_cube(f);
+        let (q, _) = if cc.is_universe() {
+            (f.clone(), Sop::zero())
+        } else {
+            divide(f, &Sop::from_cubes([cc]))
+        };
+        q
+    };
+    if base.num_cubes() >= 2 {
+        out.push(Kernel {
+            kernel: base.clone(),
+            cokernel: common_cube(f),
+        });
+    }
+    kernels_rec(&base, &lits, 0, &common_cube(f), &mut out, limit);
+    out
+}
+
+fn kernels_rec(
+    f: &Sop,
+    lits: &[(usize, bool)],
+    start: usize,
+    co_so_far: &Cube,
+    out: &mut Vec<Kernel>,
+    limit: usize,
+) {
+    if out.len() >= limit {
+        return;
+    }
+    for (i, &(v, ph)) in lits.iter().enumerate().skip(start) {
+        let lit_cube = Cube::literal(v, ph);
+        let containing: Vec<&Cube> = f
+            .cubes()
+            .iter()
+            .filter(|c| c.implies(&lit_cube))
+            .collect();
+        if containing.len() < 2 {
+            continue;
+        }
+        // co-kernel: largest cube common to the containing cubes
+        let sub = Sop::from_cubes(containing.into_iter().cloned().collect::<Vec<_>>());
+        let cc = common_cube(&sub);
+        // skip if a smaller-indexed literal is in cc: that kernel was
+        // already produced from that literal
+        let dominated = lits[..i].iter().any(|&(u, up)| {
+            let l = Cube::literal(u, up);
+            cc.implies(&l)
+        });
+        if dominated {
+            continue;
+        }
+        let (q, _) = divide(&sub, &Sop::from_cubes([cc.clone()]));
+        if q.num_cubes() < 2 || q.has_universe() {
+            // a universe cube in the quotient only arises from duplicate
+            // cubes in the cover; such a "kernel" is degenerate (dividing
+            // by it returns the cover itself and factoring would loop)
+            continue;
+        }
+        let co = co_so_far.intersect(&cc).unwrap_or_else(Cube::universe);
+        if !out
+            .iter()
+            .any(|k| covers_same(&k.kernel, &q))
+        {
+            out.push(Kernel {
+                kernel: q.clone(),
+                cokernel: co.clone(),
+            });
+            if out.len() >= limit {
+                return;
+            }
+        }
+        kernels_rec(&q, lits, i + 1, &co, out, limit);
+    }
+}
+
+/// Structural equality of covers up to cube order.
+pub fn covers_same(a: &Sop, b: &Sop) -> bool {
+    if a.num_cubes() != b.num_cubes() {
+        return false;
+    }
+    a.cubes().iter().all(|c| b.cubes().contains(c))
+}
+
+/// A factored expression over literals of the cover's variable space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Factored {
+    /// Constant zero.
+    Zero,
+    /// Constant one.
+    One,
+    /// A single literal `(variable, phase)`.
+    Literal(usize, bool),
+    /// Product of factors.
+    And(Vec<Factored>),
+    /// Sum of factors.
+    Or(Vec<Factored>),
+}
+
+impl Factored {
+    /// Number of literals in the factored form (the SIS `lits(fac)`
+    /// metric).
+    pub fn num_literals(&self) -> usize {
+        match self {
+            Factored::Zero | Factored::One => 0,
+            Factored::Literal(..) => 1,
+            Factored::And(xs) | Factored::Or(xs) => xs.iter().map(Factored::num_literals).sum(),
+        }
+    }
+
+    /// Evaluates the expression against a variable assignment.
+    pub fn eval(&self, env: &dyn Fn(usize) -> bool) -> bool {
+        match self {
+            Factored::Zero => false,
+            Factored::One => true,
+            Factored::Literal(v, ph) => env(*v) == *ph,
+            Factored::And(xs) => xs.iter().all(|x| x.eval(env)),
+            Factored::Or(xs) => xs.iter().any(|x| x.eval(env)),
+        }
+    }
+}
+
+fn cube_to_factored(c: &Cube) -> Factored {
+    if c.is_universe() {
+        return Factored::One;
+    }
+    let mut fs: Vec<Factored> = c
+        .positive()
+        .iter()
+        .map(|v| Factored::Literal(v, true))
+        .chain(c.negative().iter().map(|v| Factored::Literal(v, false)))
+        .collect();
+    if fs.len() == 1 {
+        fs.pop().expect("one literal")
+    } else {
+        Factored::And(fs)
+    }
+}
+
+/// Good-factor: recursively factors a cover into a multilevel AND/OR
+/// expression using the best kernel as divisor at each step (falling back
+/// to the most frequent literal).
+pub fn factor(f: &Sop) -> Factored {
+    if f.is_zero() {
+        return Factored::Zero;
+    }
+    if f.has_universe() {
+        return Factored::One;
+    }
+    // duplicate cubes are an OR-idempotence artifact (`a + a = a`); they
+    // poison kernel extraction, so drop them up front
+    {
+        let mut seen: Vec<&Cube> = Vec::new();
+        let mut dups = false;
+        for c in f.cubes() {
+            if seen.contains(&c) {
+                dups = true;
+                break;
+            }
+            seen.push(c);
+        }
+        if dups {
+            let mut dedup: Vec<Cube> = Vec::new();
+            for c in f.cubes() {
+                if !dedup.contains(c) {
+                    dedup.push(c.clone());
+                }
+            }
+            return factor(&Sop::from_cubes(dedup));
+        }
+    }
+    if f.num_cubes() == 1 {
+        return cube_to_factored(&f.cubes()[0]);
+    }
+    // pull out the common cube first: f = cc · rest
+    let cc = common_cube(f);
+    if !cc.is_universe() {
+        let (rest, _) = divide(f, &Sop::from_cubes([cc.clone()]));
+        let inner = factor(&rest);
+        let outer = cube_to_factored(&cc);
+        return and2(outer, inner);
+    }
+    // choose a divisor: best kernel by (cubes-1)*(lits-1) value, else the
+    // most frequent literal
+    let ks = kernels(f, 50);
+    let best = ks
+        .iter()
+        .filter(|k| !covers_same(&k.kernel, f))
+        .max_by_key(|k| {
+            let c = k.kernel.num_cubes();
+            let l = k.kernel.num_literals();
+            (c.saturating_sub(1)) * (l.saturating_sub(1))
+        });
+    let divisor = match best {
+        Some(k) => k.kernel.clone(),
+        None => {
+            let Some(lit) = most_frequent_literal(f) else {
+                // all cubes are the universe? handled above; fall back to OR
+                return Factored::Or(f.cubes().iter().map(cube_to_factored).collect());
+            };
+            Sop::from_cubes([Cube::literal(lit.0, lit.1)])
+        }
+    };
+    let (q, r) = divide(f, &divisor);
+    if q.is_zero() || q.num_cubes() >= f.num_cubes() {
+        // divisor failed or made no progress; flat OR of factored cubes
+        return Factored::Or(f.cubes().iter().map(cube_to_factored).collect());
+    }
+    let fq = factor(&q);
+    let fd = factor(&divisor);
+    let prod = and2(fq, fd);
+    if r.is_zero() {
+        prod
+    } else {
+        or2(prod, factor(&r))
+    }
+}
+
+fn and2(a: Factored, b: Factored) -> Factored {
+    match (a, b) {
+        (Factored::Zero, _) | (_, Factored::Zero) => Factored::Zero,
+        (Factored::One, x) | (x, Factored::One) => x,
+        (Factored::And(mut xs), Factored::And(ys)) => {
+            xs.extend(ys);
+            Factored::And(xs)
+        }
+        (Factored::And(mut xs), y) => {
+            xs.push(y);
+            Factored::And(xs)
+        }
+        (x, Factored::And(mut ys)) => {
+            ys.insert(0, x);
+            Factored::And(ys)
+        }
+        (x, y) => Factored::And(vec![x, y]),
+    }
+}
+
+fn or2(a: Factored, b: Factored) -> Factored {
+    match (a, b) {
+        (Factored::One, _) | (_, Factored::One) => Factored::One,
+        (Factored::Zero, x) | (x, Factored::Zero) => x,
+        (Factored::Or(mut xs), Factored::Or(ys)) => {
+            xs.extend(ys);
+            Factored::Or(xs)
+        }
+        (Factored::Or(mut xs), y) => {
+            xs.push(y);
+            Factored::Or(xs)
+        }
+        (x, Factored::Or(mut ys)) => {
+            ys.insert(0, x);
+            Factored::Or(ys)
+        }
+        (x, y) => Factored::Or(vec![x, y]),
+    }
+}
+
+fn most_frequent_literal(f: &Sop) -> Option<(usize, bool)> {
+    let mut counts: std::collections::HashMap<(usize, bool), usize> =
+        std::collections::HashMap::new();
+    for c in f.cubes() {
+        for v in c.positive().iter() {
+            *counts.entry((v, true)).or_default() += 1;
+        }
+        for v in c.negative().iter() {
+            *counts.entry((v, false)).or_default() += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|&(_, n)| n >= 2)
+        .max_by_key(|&(_, n)| n)
+        .map(|(l, _)| l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sop(cubes: &[(&[usize], &[usize])]) -> Sop {
+        Sop::from_cubes(
+            cubes
+                .iter()
+                .map(|(p, n)| Cube::new(p.iter().copied(), n.iter().copied()).unwrap())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn divide_textbook() {
+        // f = abc + abd + eg ; d = c + d → q = ab, r = eg
+        let f = sop(&[(&[0, 1, 2], &[]), (&[0, 1, 3], &[]), (&[4, 5], &[])]);
+        let d = sop(&[(&[2], &[]), (&[3], &[])]);
+        let (q, r) = divide(&f, &d);
+        assert!(covers_same(&q, &sop(&[(&[0, 1], &[])])));
+        assert!(covers_same(&r, &sop(&[(&[4, 5], &[])])));
+    }
+
+    #[test]
+    fn divide_no_quotient() {
+        let f = sop(&[(&[0], &[]), (&[1], &[])]);
+        let d = sop(&[(&[2], &[])]);
+        let (q, r) = divide(&f, &d);
+        assert!(q.is_zero());
+        assert!(covers_same(&r, &f));
+    }
+
+    #[test]
+    fn divide_respects_phases() {
+        // f = a¬b + cb : dividing by b must only catch the second cube
+        let f = sop(&[(&[0], &[1]), (&[2, 1], &[])]);
+        let d = sop(&[(&[1], &[])]);
+        let (q, r) = divide(&f, &d);
+        assert!(covers_same(&q, &sop(&[(&[2], &[])])));
+        assert_eq!(r.num_cubes(), 1);
+    }
+
+    #[test]
+    fn common_cube_and_cube_free() {
+        let f = sop(&[(&[0, 1, 2], &[]), (&[0, 1, 3], &[])]);
+        assert_eq!(common_cube(&f), Cube::new([0, 1], []).unwrap());
+        assert!(!is_cube_free(&f));
+        let g = sop(&[(&[0], &[]), (&[1], &[])]);
+        assert!(is_cube_free(&g));
+    }
+
+    #[test]
+    fn kernels_of_textbook_example() {
+        // f = adf + aef + bdf + bef + cdf + cef + g
+        //   = f(a+b+c)(d+e) + g : kernels include (a+b+c), (d+e), f itself
+        let f = sop(&[
+            (&[0, 3, 5], &[]),
+            (&[0, 4, 5], &[]),
+            (&[1, 3, 5], &[]),
+            (&[1, 4, 5], &[]),
+            (&[2, 3, 5], &[]),
+            (&[2, 4, 5], &[]),
+            (&[6], &[]),
+        ]);
+        let ks = kernels(&f, 100);
+        let abc = sop(&[(&[0], &[]), (&[1], &[]), (&[2], &[])]);
+        let de = sop(&[(&[3], &[]), (&[4], &[])]);
+        assert!(ks.iter().any(|k| covers_same(&k.kernel, &abc)), "missing a+b+c");
+        assert!(ks.iter().any(|k| covers_same(&k.kernel, &de)), "missing d+e");
+        assert!(ks.iter().any(|k| covers_same(&k.kernel, &f)), "f is its own kernel");
+    }
+
+    #[test]
+    fn kernels_of_cube_are_empty() {
+        let f = sop(&[(&[0, 1, 2], &[])]);
+        assert!(kernels(&f, 10).is_empty());
+    }
+
+    #[test]
+    fn factor_preserves_function_and_shrinks() {
+        let f = sop(&[
+            (&[0, 2], &[]),
+            (&[0, 3], &[]),
+            (&[1, 2], &[]),
+            (&[1, 3], &[]),
+        ]);
+        let fac = factor(&f);
+        // (a+b)(c+d): 4 literals vs 8 in SOP
+        assert_eq!(fac.num_literals(), 4);
+        for m in 0..16u64 {
+            let env = |v: usize| m & (1 << v) != 0;
+            assert_eq!(fac.eval(&env), f.eval(m), "at {m}");
+        }
+    }
+
+    #[test]
+    fn factor_with_remainder() {
+        let f = sop(&[(&[0, 2], &[]), (&[1, 2], &[]), (&[3], &[])]);
+        let fac = factor(&f);
+        assert!(fac.num_literals() <= 4);
+        for m in 0..16u64 {
+            let env = |v: usize| m & (1 << v) != 0;
+            assert_eq!(fac.eval(&env), f.eval(m));
+        }
+    }
+
+    #[test]
+    fn factor_constants_and_single_cube() {
+        assert_eq!(factor(&Sop::zero()), Factored::Zero);
+        assert_eq!(factor(&Sop::one()), Factored::One);
+        let c = sop(&[(&[0], &[5])]);
+        let fac = factor(&c);
+        assert_eq!(fac.num_literals(), 2);
+    }
+
+    #[test]
+    fn factor_handles_negative_phases() {
+        // f = ¬a·b + ¬a·¬c = ¬a(b + ¬c)
+        let f = sop(&[(&[1], &[0]), (&[], &[0, 2])]);
+        let fac = factor(&f);
+        assert_eq!(fac.num_literals(), 3);
+        for m in 0..8u64 {
+            let env = |v: usize| m & (1 << v) != 0;
+            assert_eq!(fac.eval(&env), f.eval(m));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The packaged SOP synthesis flow — the workspace's stand-in for the SIS
+//! scripts (`algebraic`/`rugged`) the paper compares against.
+
+use crate::sopnet::SopNet;
+use xsynth_net::Network;
+
+/// Options controlling the [`script_algebraic`] flow.
+#[derive(Debug, Clone)]
+pub struct ScriptOptions {
+    /// `eliminate` threshold for the initial macro-block reconstruction.
+    pub eliminate_threshold: i64,
+    /// Cube-count guard when collapsing nodes.
+    pub max_cover_cubes: usize,
+    /// Cap on extracted divisor nodes.
+    pub max_extracted: usize,
+    /// Number of extract/resub/simplify rounds.
+    pub rounds: usize,
+}
+
+impl Default for ScriptOptions {
+    fn default() -> Self {
+        ScriptOptions {
+            eliminate_threshold: 4,
+            max_cover_cubes: 256,
+            max_extracted: 400,
+            rounds: 2,
+        }
+    }
+}
+
+/// Runs the SIS-style algebraic script on a gate network and returns the
+/// optimized network:
+///
+/// 1. convert to SOP nodes and `eliminate` small nodes (rebuild macro
+///    blocks, like `eliminate`/`collapse` at the head of the SIS scripts),
+/// 2. `simplify` every node,
+/// 3. repeated `gkx`/`gcx`-style greedy kernel-and-cube extraction,
+/// 4. algebraic resubstitution,
+/// 5. final `eliminate -1`-style cleanup and good-factor lowering.
+///
+/// # Examples
+///
+/// ```
+/// use xsynth_net::{GateKind, Network};
+/// use xsynth_sop::script_algebraic;
+///
+/// let mut n = Network::new("f");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let c = n.add_input("c");
+/// let ab = n.add_gate(GateKind::And, vec![a, b]);
+/// let ac = n.add_gate(GateKind::And, vec![a, c]);
+/// let o = n.add_gate(GateKind::Or, vec![ab, ac]);
+/// n.add_output("o", o);
+/// let opt = script_algebraic(&n, &Default::default());
+/// for m in 0..8 {
+///     assert_eq!(opt.eval_u64(m), n.eval_u64(m));
+/// }
+/// ```
+pub fn script_algebraic(net: &Network, opts: &ScriptOptions) -> Network {
+    let mut s = SopNet::from_network(&net.sweep());
+    s.eliminate(opts.eliminate_threshold, opts.max_cover_cubes);
+    s.simplify();
+    for _ in 0..opts.rounds {
+        s.extract(opts.max_extracted);
+        s.resubstitute();
+        s.simplify();
+        // drop single-use leftovers created by extraction
+        s.eliminate(0, opts.max_cover_cubes);
+    }
+    s.to_network().sweep()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsynth_net::GateKind;
+
+    /// Builds a naive two-level network from minterms of a function.
+    fn two_level(n: usize, f: impl Fn(u64) -> bool) -> Network {
+        let mut net = Network::new("tl");
+        let ins: Vec<_> = (0..n).map(|i| net.add_input(format!("x{i}"))).collect();
+        let mut cubes = Vec::new();
+        for m in 0..(1u64 << n) {
+            if f(m) {
+                let lits: Vec<_> = (0..n)
+                    .map(|i| {
+                        if m & (1 << i) != 0 {
+                            ins[i]
+                        } else {
+                            net.add_gate(GateKind::Not, vec![ins[i]])
+                        }
+                    })
+                    .collect();
+                cubes.push(net.add_gate(GateKind::And, lits));
+            }
+        }
+        let o = match cubes.len() {
+            0 => net.add_gate(GateKind::Const0, vec![]),
+            1 => cubes[0],
+            _ => net.add_gate(GateKind::Or, cubes),
+        };
+        net.add_output("f", o);
+        net
+    }
+
+    #[test]
+    fn script_preserves_function() {
+        let net = two_level(5, |m| (m * 7 + 3) % 11 < 4);
+        let opt = script_algebraic(&net, &Default::default());
+        for m in 0..32u64 {
+            assert_eq!(opt.eval_u64(m), net.eval_u64(m), "at {m}");
+        }
+    }
+
+    #[test]
+    fn script_reduces_cost_on_structured_function() {
+        // f = majority(a,b,c) from minterms: factoring should beat the
+        // flat two-level form
+        let net = two_level(3, |m| m.count_ones() >= 2);
+        let opt = script_algebraic(&net, &Default::default());
+        let (g0, _) = net.two_input_cost();
+        let (g1, _) = opt.two_input_cost();
+        assert!(g1 <= g0, "optimization must not worsen cost: {g1} vs {g0}");
+        for m in 0..8u64 {
+            assert_eq!(opt.eval_u64(m), net.eval_u64(m));
+        }
+    }
+
+    #[test]
+    fn script_handles_multi_output_sharing() {
+        // two outputs with a shared kernel
+        let mut net = Network::new("mo");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let d = net.add_input("d");
+        let ac = net.add_gate(GateKind::And, vec![a, c]);
+        let bc = net.add_gate(GateKind::And, vec![b, c]);
+        let ad = net.add_gate(GateKind::And, vec![a, d]);
+        let bd = net.add_gate(GateKind::And, vec![b, d]);
+        let o1 = net.add_gate(GateKind::Or, vec![ac, bc]);
+        let o2 = net.add_gate(GateKind::Or, vec![ad, bd]);
+        net.add_output("o1", o1);
+        net.add_output("o2", o2);
+        let opt = script_algebraic(&net, &Default::default());
+        for m in 0..16u64 {
+            assert_eq!(opt.eval_u64(m), net.eval_u64(m));
+        }
+        let (g, _) = opt.two_input_cost();
+        assert!(g <= 4, "shared (a+b) should leave ≤4 gates, got {g}");
+    }
+
+    #[test]
+    fn script_on_constant_output() {
+        let net = two_level(3, |_| true);
+        let opt = script_algebraic(&net, &Default::default());
+        for m in 0..8u64 {
+            assert_eq!(opt.eval_u64(m), vec![true]);
+        }
+        assert_eq!(opt.num_gates(), 0);
+    }
+}

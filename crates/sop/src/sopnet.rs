@@ -1,0 +1,841 @@
+//! A network of SOP nodes — the SIS/MIS working representation.
+
+use crate::algebra::{self, covers_same, Factored};
+use std::collections::HashMap;
+use xsynth_boolean::{Cube, Sop};
+use xsynth_net::{GateKind, Network, NodeKind, SignalId};
+
+/// A multilevel network in which every internal node carries a
+/// sum-of-products cover over *signals* (primary inputs and other nodes),
+/// mirroring the SIS network data structure.
+///
+/// Signal numbering: signals `0..num_pis` are the primary inputs; signal
+/// `num_pis + i` is the output of node `i`.
+#[derive(Debug, Clone)]
+pub struct SopNet {
+    name: String,
+    pi_names: Vec<String>,
+    nodes: Vec<Option<Sop>>,
+    outputs: Vec<(String, usize)>,
+}
+
+impl SopNet {
+    /// Creates an empty SOP network.
+    pub fn new(name: impl Into<String>) -> Self {
+        SopNet {
+            name: name.into(),
+            pi_names: Vec::new(),
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Number of primary inputs.
+    pub fn num_pis(&self) -> usize {
+        self.pi_names.len()
+    }
+
+    /// Adds a primary input; returns its signal index.
+    pub fn add_pi(&mut self, name: impl Into<String>) -> usize {
+        self.pi_names.push(name.into());
+        self.pi_names.len() - 1
+    }
+
+    /// Adds a node with the given cover; returns its *signal* index.
+    pub fn add_node(&mut self, cover: Sop) -> usize {
+        self.nodes.push(Some(cover));
+        self.num_pis() + self.nodes.len() - 1
+    }
+
+    /// Marks a signal as a primary output.
+    pub fn add_output(&mut self, name: impl Into<String>, signal: usize) {
+        self.outputs.push((name.into(), signal));
+    }
+
+    /// The outputs as `(name, signal)` pairs.
+    pub fn outputs(&self) -> &[(String, usize)] {
+        &self.outputs
+    }
+
+    /// The cover of the node driving `signal`, if it is a live node.
+    pub fn cover(&self, signal: usize) -> Option<&Sop> {
+        signal
+            .checked_sub(self.num_pis())
+            .and_then(|i| self.nodes.get(i))
+            .and_then(Option::as_ref)
+    }
+
+    fn cover_mut(&mut self, signal: usize) -> Option<&mut Sop> {
+        let np = self.num_pis();
+        signal
+            .checked_sub(np)
+            .and_then(|i| self.nodes.get_mut(i))
+            .and_then(Option::as_mut)
+    }
+
+    /// Indices of all live node signals.
+    pub fn live_signals(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_some())
+            .map(|i| i + self.num_pis())
+            .collect()
+    }
+
+    /// Total SOP literal count over live nodes (the SIS `lits(sop)`
+    /// metric).
+    pub fn num_sop_literals(&self) -> usize {
+        self.nodes
+            .iter()
+            .flatten()
+            .map(Sop::num_literals)
+            .sum()
+    }
+
+    /// Total factored-form literal count over live nodes (the SIS
+    /// `lits(fac)` metric).
+    pub fn num_factored_literals(&self) -> usize {
+        self.nodes
+            .iter()
+            .flatten()
+            .map(|s| algebra::factor(s).num_literals())
+            .sum()
+    }
+
+    /// Builds a SOP network from a gate network: every gate becomes a node
+    /// with its local cover (wide XORs are folded into chains of two-input
+    /// XOR nodes, since XOR has no compact SOP).
+    pub fn from_network(net: &Network) -> SopNet {
+        let mut s = SopNet::new(net.name().to_string());
+        let mut map: HashMap<SignalId, usize> = HashMap::new();
+        for &i in net.inputs() {
+            let sig = s.add_pi(net.node_name(i).unwrap_or("in"));
+            map.insert(i, sig);
+        }
+        for id in net.topo_order() {
+            let NodeKind::Gate(kind) = net.kind(id) else {
+                continue;
+            };
+            let fan: Vec<usize> = net.fanins(id).iter().map(|f| map[f]).collect();
+            let sig = s.build_gate(*kind, &fan);
+            map.insert(id, sig);
+        }
+        for (name, sigid) in net.outputs() {
+            s.add_output(name.clone(), map[sigid]);
+        }
+        s
+    }
+
+    fn build_gate(&mut self, kind: GateKind, fan: &[usize]) -> usize {
+        use GateKind::*;
+        match kind {
+            Const0 => self.add_node(Sop::zero()),
+            Const1 => self.add_node(Sop::one()),
+            Buf => self.add_node(Sop::from_cubes([Cube::literal(fan[0], true)])),
+            Not => self.add_node(Sop::from_cubes([Cube::literal(fan[0], false)])),
+            And => self.add_node(Sop::from_cubes([
+                Cube::new(fan.iter().copied(), []).expect("distinct signals")
+            ])),
+            Nand => self.add_node(Sop::from_cubes(
+                fan.iter().map(|&f| Cube::literal(f, false)).collect::<Vec<_>>(),
+            )),
+            Or => self.add_node(Sop::from_cubes(
+                fan.iter().map(|&f| Cube::literal(f, true)).collect::<Vec<_>>(),
+            )),
+            Nor => self.add_node(Sop::from_cubes([
+                Cube::new([], fan.iter().copied()).expect("distinct signals")
+            ])),
+            Xor | Xnor => {
+                // fold into binary xor nodes: ab' + a'b
+                let mut acc = fan[0];
+                for (k, &f) in fan.iter().enumerate().skip(1) {
+                    let last = k + 1 == fan.len();
+                    let invert = last && kind == Xnor;
+                    let cover = if invert {
+                        Sop::from_cubes([
+                            Cube::new([acc, f], []).expect("distinct"),
+                            Cube::new([], [acc, f]).expect("distinct"),
+                        ])
+                    } else {
+                        Sop::from_cubes([
+                            Cube::new([acc], [f]).expect("distinct"),
+                            Cube::new([f], [acc]).expect("distinct"),
+                        ])
+                    };
+                    acc = self.add_node(cover);
+                }
+                // single-fanin xor degenerates to buf / not
+                if fan.len() == 1 {
+                    let cover = if kind == Xnor {
+                        Sop::from_cubes([Cube::literal(fan[0], false)])
+                    } else {
+                        Sop::from_cubes([Cube::literal(fan[0], true)])
+                    };
+                    acc = self.add_node(cover);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Live node signals in dependency order (fanins before fanouts).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cyclic node definition.
+    pub fn topo_signals(&self) -> Vec<usize> {
+        let np = self.num_pis();
+        let mut state = vec![0u8; self.nodes.len()]; // 0 white 1 grey 2 black
+        let mut order = Vec::new();
+        fn visit(
+            s: &SopNet,
+            node: usize,
+            state: &mut [u8],
+            order: &mut Vec<usize>,
+            np: usize,
+        ) {
+            match state[node] {
+                2 => return,
+                1 => panic!("cyclic SOP network at node {node}"),
+                _ => {}
+            }
+            state[node] = 1;
+            if let Some(cover) = &s.nodes[node] {
+                for v in cover.support().iter() {
+                    if v >= np {
+                        visit(s, v - np, state, order, np);
+                    }
+                }
+            }
+            state[node] = 2;
+            order.push(node + np);
+        }
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].is_some() {
+                visit(self, i, &mut state, &mut order, np);
+            }
+        }
+        order
+    }
+
+    /// Evaluates every output for the PI assignment in `minterm`.
+    pub fn eval_u64(&self, minterm: u64) -> Vec<bool> {
+        let np = self.num_pis();
+        let mut val: HashMap<usize, bool> = HashMap::new();
+        for i in 0..np {
+            val.insert(i, minterm & (1 << i) != 0);
+        }
+        for sig in self.topo_signals() {
+            let cover = self.cover(sig).expect("topo yields live nodes");
+            let v = cover.cubes().iter().any(|c| {
+                c.positive().iter().all(|p| val[&p])
+                    && c.negative().iter().all(|n| !val[&n])
+            });
+            val.insert(sig, v);
+        }
+        self.outputs.iter().map(|&(_, s)| val[&s]).collect()
+    }
+
+    /// Per-node two-level cleanup: nodes with at most 12 support signals
+    /// are re-minimized exactly with the Minato-Morreale ISOP (the role
+    /// `simplify`/espresso plays in the SIS scripts); wider nodes get
+    /// contained-cube removal and distance-1 merging.
+    pub fn simplify(&mut self) {
+        for n in self.nodes.iter_mut().flatten() {
+            let support: Vec<usize> = n.support().iter().collect();
+            if support.len() <= 12 && n.num_cubes() <= 512 {
+                let k = support.len();
+                let cover = n.clone();
+                let t = xsynth_boolean::TruthTable::from_fn(k, |m| {
+                    cover.cubes().iter().any(|c| {
+                        support.iter().enumerate().all(|(b, &v)| match c.phase(v) {
+                            None => true,
+                            Some(ph) => ph == (m & (1 << b) != 0),
+                        })
+                    })
+                });
+                let local = Sop::isop(&t);
+                let mut cubes = Vec::new();
+                for c in local.cubes() {
+                    let mut mapped = Cube::universe();
+                    for b in c.positive().iter() {
+                        mapped.add_literal(support[b], true);
+                    }
+                    for b in c.negative().iter() {
+                        mapped.add_literal(support[b], false);
+                    }
+                    cubes.push(mapped);
+                }
+                let candidate = Sop::from_cubes(cubes);
+                if candidate.num_literals() <= n.num_literals() {
+                    *n = candidate;
+                }
+            } else {
+                n.remove_contained();
+                n.merge_distance1();
+                n.remove_contained();
+            }
+        }
+    }
+
+    /// How many times `signal` is referenced (either phase) across live
+    /// node covers, plus once per primary output it drives.
+    pub fn num_uses(&self, signal: usize) -> usize {
+        let mut uses = 0;
+        for n in self.nodes.iter().flatten() {
+            for c in n.cubes() {
+                if c.phase(signal).is_some() {
+                    uses += 1;
+                }
+            }
+        }
+        uses + self.outputs.iter().filter(|&&(_, s)| s == signal).count()
+    }
+
+    /// Substitutes the cover of node `signal` into every cover that
+    /// references it, then deletes the node. Negative references use the
+    /// Shannon complement of the cover. No-op (returns `false`) if the node
+    /// drives a primary output or is not a live node.
+    pub fn collapse(&mut self, signal: usize) -> bool {
+        let np = self.num_pis();
+        if signal < np || self.cover(signal).is_none() {
+            return false;
+        }
+        if self.outputs.iter().any(|&(_, s)| s == signal) {
+            return false;
+        }
+        let cover = self.cover(signal).expect("checked live").clone();
+        let cover_neg = cover.complement();
+        for i in 0..self.nodes.len() {
+            let Some(f) = &self.nodes[i] else { continue };
+            if i + np == signal || !f.support().contains(signal) {
+                continue;
+            }
+            let mut new_cubes: Vec<Cube> = Vec::new();
+            for c in f.cubes() {
+                match c.phase(signal) {
+                    None => new_cubes.push(c.clone()),
+                    Some(ph) => {
+                        let mut rest = c.clone();
+                        rest.remove_var(signal);
+                        let sub = if ph { &cover } else { &cover_neg };
+                        for sc in sub.cubes() {
+                            if let Some(merged) = rest.intersect(sc) {
+                                new_cubes.push(merged);
+                            }
+                        }
+                    }
+                }
+            }
+            let mut ns = Sop::from_cubes(new_cubes);
+            ns.remove_contained();
+            self.nodes[i] = Some(ns);
+        }
+        self.nodes[signal - np] = None;
+        true
+    }
+
+    /// The exact SOP-literal change that collapsing `signal` into its
+    /// fanouts would cause (negative = shrink), or `None` when the node is
+    /// not collapsible (drives an output, is not live, or needs an
+    /// oversized complement).
+    pub fn collapse_delta(&self, signal: usize, max_cover: usize) -> Option<i64> {
+        let np = self.num_pis();
+        if signal < np || self.outputs.iter().any(|&(_, s)| s == signal) {
+            return None;
+        }
+        let cover = self.cover(signal)?;
+        if cover.num_cubes() > max_cover {
+            return None;
+        }
+        let uses = self.num_uses(signal);
+        if uses == 0 {
+            return Some(-(cover.num_literals() as i64));
+        }
+        let needs_complement = self.nodes.iter().flatten().any(|f| {
+            f.cubes().iter().any(|c| c.phase(signal) == Some(false))
+        });
+        let complement = if needs_complement {
+            if cover.num_cubes() > 24 {
+                return None; // complement could blow up
+            }
+            Some(cover.complement())
+        } else {
+            None
+        };
+        let mut delta: i64 = -(cover.num_literals() as i64);
+        for f in self.nodes.iter().flatten() {
+            for c in f.cubes() {
+                let Some(ph) = c.phase(signal) else { continue };
+                let sub = if ph {
+                    cover
+                } else {
+                    complement.as_ref().expect("computed when needed")
+                };
+                let mut rest = c.clone();
+                rest.remove_var(signal);
+                let old = c.num_literals() as i64;
+                let mut new = 0i64;
+                for sc in sub.cubes() {
+                    if let Some(m) = rest.intersect(sc) {
+                        new += m.num_literals() as i64;
+                    }
+                }
+                delta += new - old;
+            }
+        }
+        Some(delta)
+    }
+
+    /// SIS-style `eliminate`: repeatedly collapses the node whose exact
+    /// literal delta is smallest, as long as it is at most `threshold`.
+    /// Dead nodes always go; `max_cover` guards against cube blowup.
+    pub fn eliminate(&mut self, threshold: i64, max_cover: usize) {
+        loop {
+            let mut best: Option<(usize, i64)> = None;
+            for sig in self.live_signals() {
+                if self.num_uses(sig) == 0 && !self.outputs.iter().any(|&(_, s)| s == sig) {
+                    best = Some((sig, i64::MIN));
+                    break;
+                }
+                if let Some(delta) = self.collapse_delta(sig, max_cover) {
+                    if delta <= threshold && best.is_none_or(|(_, v)| delta < v) {
+                        best = Some((sig, delta));
+                    }
+                }
+            }
+            match best {
+                Some((sig, _)) => {
+                    let np = self.num_pis();
+                    if self.num_uses(sig) == 0 {
+                        self.nodes[sig - np] = None;
+                    } else {
+                        self.collapse(sig);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Greedy common-divisor extraction: collects kernels and common cubes
+    /// from every node, evaluates each candidate's exact literal saving by
+    /// trial division against all nodes, and extracts the best until no
+    /// candidate saves literals. Returns the number of divisors extracted.
+    pub fn extract(&mut self, max_new_nodes: usize) -> usize {
+        let mut created = 0;
+        while created < max_new_nodes {
+            let Some((divisor, gain)) = self.best_divisor() else {
+                break;
+            };
+            if gain <= 0 {
+                break;
+            }
+            let y = self.add_node(divisor.clone());
+            for sig in self.live_signals() {
+                if sig == y {
+                    continue;
+                }
+                let f = self.cover(sig).expect("live").clone();
+                if let Some(nf) = rewrite_with_divisor(&f, &divisor, y) {
+                    *self.cover_mut(sig).expect("live") = nf;
+                }
+            }
+            created += 1;
+        }
+        created
+    }
+
+    /// The candidate divisor with the best total literal saving, if any.
+    fn best_divisor(&self) -> Option<(Sop, i64)> {
+        let mut candidates: Vec<Sop> = Vec::new();
+        let push = |s: Sop, candidates: &mut Vec<Sop>| {
+            if s.num_cubes() >= 1 && !candidates.iter().any(|c| covers_same(c, &s)) {
+                candidates.push(s);
+            }
+        };
+        for sig in self.live_signals() {
+            let f = self.cover(sig).expect("live");
+            if f.num_cubes() < 2 {
+                continue;
+            }
+            for k in algebra::kernels(f, 30) {
+                if k.kernel.num_cubes() >= 2 && !covers_same(&k.kernel, f) {
+                    push(k.kernel, &mut candidates);
+                }
+            }
+            // common cubes of pairs
+            for (i, a) in f.cubes().iter().enumerate() {
+                for b in f.cubes().iter().skip(i + 1) {
+                    let pos = a.positive().intersection(b.positive());
+                    let neg = a.negative().intersection(b.negative());
+                    if pos.len() + neg.len() >= 2 {
+                        let c = Cube::from_sets(pos, neg).expect("intersections disjoint");
+                        push(Sop::from_cubes([c]), &mut candidates);
+                    }
+                }
+            }
+            if candidates.len() > 500 {
+                break;
+            }
+        }
+        let mut best: Option<(Sop, i64)> = None;
+        for cand in candidates {
+            let mut gain: i64 = -(cand.num_literals() as i64); // cost of the new node
+            for sig in self.live_signals() {
+                let f = self.cover(sig).expect("live");
+                gain += rewrite_gain(f, &cand);
+            }
+            if best.as_ref().is_none_or(|(_, g)| gain > *g) && gain > 0 {
+                best = Some((cand, gain));
+            }
+        }
+        best
+    }
+
+    /// Algebraic resubstitution: for every ordered node pair, try dividing
+    /// one node by another existing node (positive phase) and rewrite when
+    /// it saves literals and keeps the network acyclic. Returns rewrites
+    /// applied.
+    pub fn resubstitute(&mut self) -> usize {
+        let mut applied = 0;
+        let sigs = self.live_signals();
+        for &target in &sigs {
+            for &divisor_sig in &sigs {
+                if target == divisor_sig {
+                    continue;
+                }
+                let Some(d) = self.cover(divisor_sig) else { continue };
+                if d.num_cubes() < 2 {
+                    continue;
+                }
+                let Some(f) = self.cover(target) else { continue };
+                if f.support().contains(divisor_sig) {
+                    continue; // already expressed through it
+                }
+                if rewrite_gain(f, d) <= 1 {
+                    continue; // the new literal references an existing node,
+                              // so require a real gain
+                }
+                // acyclic check: divisor must not depend on target
+                if self.depends_on(divisor_sig, target) {
+                    continue;
+                }
+                let f = f.clone();
+                let d = d.clone();
+                if let Some(nf) = rewrite_with_divisor(&f, &d, divisor_sig) {
+                    *self.cover_mut(target).expect("live") = nf;
+                    applied += 1;
+                }
+            }
+        }
+        applied
+    }
+
+    /// Whether the cone of `signal` (transitively) references `other`.
+    pub fn depends_on(&self, signal: usize, other: usize) -> bool {
+        if signal == other {
+            return true;
+        }
+        let Some(cover) = self.cover(signal) else {
+            return false;
+        };
+        cover
+            .support()
+            .iter()
+            .any(|v| v == other || (v >= self.num_pis() && self.depends_on(v, other)))
+    }
+
+    /// Lowers the SOP network to a gate [`Network`], factoring every node
+    /// cover into AND/OR/NOT gates with good-factor.
+    pub fn to_network(&self) -> Network {
+        let mut net = Network::new(self.name.clone());
+        let mut map: HashMap<usize, SignalId> = HashMap::new();
+        let mut not_cache: HashMap<SignalId, SignalId> = HashMap::new();
+        for (i, name) in self.pi_names.iter().enumerate() {
+            let s = net.add_input(name.clone());
+            map.insert(i, s);
+        }
+        for sig in self.topo_signals() {
+            let cover = self.cover(sig).expect("live");
+            // keep two-cube XOR/XNOR covers as native XOR gates so the
+            // FPRM flow's redundancy analysis still sees them after a
+            // resubstitution round-trip
+            let s = match detect_xor2(cover) {
+                Some((a, b, inverted)) => {
+                    let kind = if inverted { GateKind::Xnor } else { GateKind::Xor };
+                    net.add_gate(kind, vec![map[&a], map[&b]])
+                }
+                None => {
+                    let fac = algebra::factor(cover);
+                    emit_factored(&fac, &mut net, &map, &mut not_cache)
+                }
+            };
+            map.insert(sig, s);
+        }
+        for (name, sig) in &self.outputs {
+            net.add_output(name.clone(), map[sig]);
+        }
+        net
+    }
+}
+
+/// The literal saving from rewriting `f = q·y + r` with divisor `d` (the
+/// new literal `y` counted), or 0 when `d` does not divide `f`.
+fn rewrite_gain(f: &Sop, d: &Sop) -> i64 {
+    let (q, r) = algebra::divide(f, d);
+    if q.is_zero() {
+        return 0;
+    }
+    let old = f.num_literals() as i64;
+    let new = q.num_literals() as i64 + q.num_cubes() as i64 + r.num_literals() as i64;
+    (old - new).max(0)
+}
+
+/// Rewrites `f` as `q·y + r` when that saves literals; `None` otherwise.
+fn rewrite_with_divisor(f: &Sop, d: &Sop, y: usize) -> Option<Sop> {
+    let (q, r) = algebra::divide(f, d);
+    if q.is_zero() {
+        return None;
+    }
+    let old = f.num_literals();
+    let new = q.num_literals() + q.num_cubes() + r.num_literals();
+    if new >= old {
+        return None;
+    }
+    let mut cubes: Vec<Cube> = Vec::new();
+    for qc in q.cubes() {
+        let mut c = qc.clone();
+        if !c.add_literal(y, true) {
+            return None; // y clashed (cannot happen: y is fresh/absent)
+        }
+        cubes.push(c);
+    }
+    cubes.extend(r.cubes().iter().cloned());
+    Some(Sop::from_cubes(cubes))
+}
+
+/// Recognizes `a·¬b + ¬a·b` (XOR) and `a·b + ¬a·¬b` (XNOR) covers;
+/// returns `(a, b, is_xnor)`.
+fn detect_xor2(cover: &Sop) -> Option<(usize, usize, bool)> {
+    if cover.num_cubes() != 2 || cover.num_literals() != 4 {
+        return None;
+    }
+    let (c0, c1) = (&cover.cubes()[0], &cover.cubes()[1]);
+    let sup = c0.support();
+    if sup != c1.support() || sup.len() != 2 {
+        return None;
+    }
+    let mut vars = sup.iter();
+    let (a, b) = (vars.next()?, vars.next()?);
+    let p0: Option<(bool, bool)> = c0.phase(a).zip(c0.phase(b));
+    let p1: Option<(bool, bool)> = c1.phase(a).zip(c1.phase(b));
+    match (p0?, p1?) {
+        ((true, false), (false, true)) | ((false, true), (true, false)) => {
+            Some((a, b, false))
+        }
+        ((true, true), (false, false)) | ((false, false), (true, true)) => {
+            Some((a, b, true))
+        }
+        _ => None,
+    }
+}
+
+fn emit_factored(
+    fac: &Factored,
+    net: &mut Network,
+    map: &HashMap<usize, SignalId>,
+    not_cache: &mut HashMap<SignalId, SignalId>,
+) -> SignalId {
+    match fac {
+        Factored::Zero => net.add_gate(GateKind::Const0, vec![]),
+        Factored::One => net.add_gate(GateKind::Const1, vec![]),
+        Factored::Literal(v, ph) => {
+            let s = map[v];
+            if *ph {
+                s
+            } else {
+                *not_cache
+                    .entry(s)
+                    .or_insert_with(|| net.add_gate(GateKind::Not, vec![s]))
+            }
+        }
+        Factored::And(xs) => {
+            let fan: Vec<SignalId> = xs
+                .iter()
+                .map(|x| emit_factored(x, net, map, not_cache))
+                .collect();
+            net.add_gate(GateKind::And, fan)
+        }
+        Factored::Or(xs) => {
+            let fan: Vec<SignalId> = xs
+                .iter()
+                .map(|x| emit_factored(x, net, map, not_cache))
+                .collect();
+            net.add_gate(GateKind::Or, fan)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsynth_net::GateKind;
+
+    fn sample_network() -> Network {
+        // two outputs sharing structure: o1 = ab + ac, o2 = ab + d
+        let mut n = Network::new("s");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let d = n.add_input("d");
+        let ab = n.add_gate(GateKind::And, vec![a, b]);
+        let ac = n.add_gate(GateKind::And, vec![a, c]);
+        let o1 = n.add_gate(GateKind::Or, vec![ab, ac]);
+        let o2 = n.add_gate(GateKind::Or, vec![ab, d]);
+        n.add_output("o1", o1);
+        n.add_output("o2", o2);
+        n
+    }
+
+    fn check_equiv(s: &SopNet, net: &Network) {
+        let n = net.inputs().len();
+        for m in 0..(1u64 << n) {
+            assert_eq!(s.eval_u64(m), net.eval_u64(m), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn from_network_preserves_function() {
+        let net = sample_network();
+        let s = SopNet::from_network(&net);
+        check_equiv(&s, &net);
+    }
+
+    #[test]
+    fn from_network_handles_xor_chain() {
+        let mut net = Network::new("x");
+        let ins: Vec<_> = (0..5).map(|i| net.add_input(format!("i{i}"))).collect();
+        let x = net.add_gate(GateKind::Xor, ins.clone());
+        let nx = net.add_gate(GateKind::Xnor, ins);
+        net.add_output("x", x);
+        net.add_output("nx", nx);
+        let s = SopNet::from_network(&net);
+        check_equiv(&s, &net);
+    }
+
+    #[test]
+    fn eliminate_collapses_small_nodes() {
+        let net = sample_network();
+        let mut s = SopNet::from_network(&net);
+        s.eliminate(10, 64);
+        // the and/or structure should fold into two SOP nodes (the outputs)
+        assert_eq!(s.live_signals().len(), 2);
+        check_equiv(&s, &net);
+    }
+
+    #[test]
+    fn collapse_respects_negative_references() {
+        let mut s = SopNet::new("neg");
+        let a = s.add_pi("a");
+        let b = s.add_pi("b");
+        let t = s.add_node(Sop::from_cubes([Cube::new([a, b], []).unwrap()]));
+        // f = ¬t
+        let f = s.add_node(Sop::from_cubes([Cube::literal(t, false)]));
+        s.add_output("f", f);
+        assert!(s.collapse(t));
+        // f must now be ¬a + ¬b
+        for m in 0..4u64 {
+            let expect = !(m & 1 != 0 && m & 2 != 0);
+            assert_eq!(s.eval_u64(m), vec![expect], "at {m}");
+        }
+    }
+
+    #[test]
+    fn collapse_refuses_output_nodes() {
+        let net = sample_network();
+        let mut s = SopNet::from_network(&net);
+        let out_sig = s.outputs()[0].1;
+        assert!(!s.collapse(out_sig));
+    }
+
+    #[test]
+    fn extract_shares_common_kernel() {
+        // f1 = ac + bc, f2 = ad + bd share kernel (a+b)
+        let mut s = SopNet::new("e");
+        let a = s.add_pi("a");
+        let b = s.add_pi("b");
+        let c = s.add_pi("c");
+        let d = s.add_pi("d");
+        let f1 = s.add_node(Sop::from_cubes([
+            Cube::new([a, c], []).unwrap(),
+            Cube::new([b, c], []).unwrap(),
+        ]));
+        let f2 = s.add_node(Sop::from_cubes([
+            Cube::new([a, d], []).unwrap(),
+            Cube::new([b, d], []).unwrap(),
+        ]));
+        s.add_output("f1", f1);
+        s.add_output("f2", f2);
+        let before = s.num_sop_literals();
+        let made = s.extract(10);
+        assert!(made >= 1, "kernel a+b should be extracted");
+        assert!(s.num_sop_literals() < before);
+        for m in 0..16u64 {
+            let (av, bv, cv, dv) = (m & 1 != 0, m & 2 != 0, m & 4 != 0, m & 8 != 0);
+            assert_eq!(
+                s.eval_u64(m),
+                vec![(av || bv) && cv, (av || bv) && dv],
+                "at {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn to_network_roundtrip() {
+        let net = sample_network();
+        let mut s = SopNet::from_network(&net);
+        s.eliminate(5, 64);
+        s.extract(10);
+        let back = s.to_network();
+        for m in 0..16u64 {
+            assert_eq!(back.eval_u64(m), net.eval_u64(m), "at {m}");
+        }
+    }
+
+    #[test]
+    fn resubstitute_uses_existing_node() {
+        // f1 = a + b (node), f2 = ac + bc → f2 = f1·c
+        let mut s = SopNet::new("r");
+        let a = s.add_pi("a");
+        let b = s.add_pi("b");
+        let c = s.add_pi("c");
+        let f1 = s.add_node(Sop::from_cubes([
+            Cube::literal(a, true),
+            Cube::literal(b, true),
+        ]));
+        let f2 = s.add_node(Sop::from_cubes([
+            Cube::new([a, c], []).unwrap(),
+            Cube::new([b, c], []).unwrap(),
+        ]));
+        s.add_output("f1", f1);
+        s.add_output("f2", f2);
+        let n = s.resubstitute();
+        assert_eq!(n, 1);
+        assert_eq!(s.cover(f2).unwrap().num_literals(), 2, "f2 = f1·c");
+        for m in 0..8u64 {
+            let (av, bv, cv) = (m & 1 != 0, m & 2 != 0, m & 4 != 0);
+            assert_eq!(s.eval_u64(m), vec![av || bv, (av || bv) && cv]);
+        }
+    }
+
+    #[test]
+    fn dead_node_elimination() {
+        let mut s = SopNet::new("d");
+        let a = s.add_pi("a");
+        let _dead = s.add_node(Sop::from_cubes([Cube::literal(a, true)]));
+        let live = s.add_node(Sop::from_cubes([Cube::literal(a, false)]));
+        s.add_output("o", live);
+        s.eliminate(-100, 64);
+        assert_eq!(s.live_signals().len(), 1);
+    }
+}

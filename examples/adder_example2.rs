@@ -1,0 +1,53 @@
+//! Reproduces Example 2 of the paper: the `z4ml` 3-bit adder with carry.
+//!
+//! Walks the whole pipeline on an arithmetic circuit: FPRM forms per
+//! output (all of whose cubes the paper notes are *prime*), GF(2)
+//! factorization with shared carry extraction, XOR redundancy removal, and
+//! the final comparison against the SOP baseline.
+//!
+//! Run with: `cargo run --release --example adder_example2`
+
+use xsynth::boolean::{Fprm, Polarity};
+use xsynth::circuits;
+use xsynth::core::{synthesize, SynthOptions};
+use xsynth::sop::{script_algebraic, ScriptOptions};
+
+fn main() {
+    let spec = circuits::build("z4ml").expect("registered benchmark");
+    println!("z4ml: {spec}");
+    println!();
+
+    // Show each output's FPRM form — e.g. the middle sum bit is
+    // x26 = x3 ⊕ x6 ⊕ x1x4 ⊕ x1x7 ⊕ x4x7 in the paper's numbering,
+    // with every cube prime.
+    let tables = spec.to_truth_tables();
+    for ((name, _), t) in spec.outputs().iter().zip(tables.iter()) {
+        let f = Fprm::from_table(t, &Polarity::all_positive(t.num_vars()));
+        println!(
+            "{name}: {} FPRM cubes, {} prime   {f}",
+            f.num_cubes(),
+            f.prime_cubes().len()
+        );
+    }
+
+    let (ours, report) = synthesize(&spec, &SynthOptions::default());
+    let baseline = script_algebraic(&spec, &ScriptOptions::default());
+
+    let (our_gates, our_lits) = ours.two_input_cost();
+    let (base_gates, base_lits) = baseline.two_input_cost();
+    println!();
+    println!("shared GF(2) divisors extracted: {}", report.divisors);
+    println!("XOR gates reduced to OR/AND:     {}", report.redundancy.xor_to_or + report.redundancy.xor_to_and);
+    println!();
+    println!("baseline (SIS-style): {base_gates} two-input gates / {base_lits} literals");
+    println!("FPRM flow (ours):     {our_gates} two-input gates / {our_lits} literals");
+    println!("paper's Example 2:    24 gates for SIS vs 21 for the FPRM flow");
+
+    for m in 0..(1u64 << 7) {
+        let expect = spec.eval_u64(m);
+        assert_eq!(ours.eval_u64(m), expect, "ours differs at {m}");
+        assert_eq!(baseline.eval_u64(m), expect, "baseline differs at {m}");
+    }
+    println!();
+    println!("verified equivalent on all 128 input patterns");
+}

@@ -1,0 +1,51 @@
+//! Demonstrates the paper's testability story (Sections 4 and 6): the
+//! FPRM-derived pattern family — OC (one pattern per cube), SA1 (per cube
+//! per literal), the all-zero / all-one patterns and small cube-union
+//! closures — doubles as a stuck-at test set for the synthesized network,
+//! with no conventional ATPG.
+//!
+//! Run with: `cargo run --release --example testability`
+
+use xsynth::boolean::Fprm;
+use xsynth::circuits;
+use xsynth::core::{merge_patterns, paper_patterns, synthesize, PatternOptions, SynthOptions};
+use xsynth::sim::{enumerate_faults, exhaustive_patterns, fault_simulate};
+
+fn main() {
+    for name in ["z4ml", "rd73", "t481", "xor10"] {
+        let spec = circuits::build(name).expect("registered benchmark");
+        let n = spec.inputs().len();
+        let (out, _) = synthesize(&spec, &SynthOptions::default());
+
+        // derive the paper's pattern family from each output's FPRM form
+        let mut lists = Vec::new();
+        for t in &spec.to_truth_tables() {
+            let f = Fprm::from_table_positive(t);
+            lists.push(paper_patterns(
+                n,
+                f.polarity(),
+                f.cubes(),
+                &PatternOptions::default(),
+            ));
+        }
+        let patterns = merge_patterns(lists);
+
+        let faults = enumerate_faults(&out);
+        let with_family = fault_simulate(&out, &patterns, &faults);
+        let exhaustive = fault_simulate(&out, &exhaustive_patterns(n), &faults);
+
+        println!(
+            "{name:8} {} gates | {} derived patterns detect {}/{} faults | exhaustive detects {}/{} ({} redundant)",
+            out.num_gates(),
+            patterns.len(),
+            with_family.detected(),
+            with_family.total,
+            exhaustive.detected(),
+            exhaustive.total,
+            exhaustive.undetected.len(),
+        );
+    }
+    println!();
+    println!("the derived family reaches (nearly) every detectable fault — the");
+    println!("paper's 'complete test set without test generation' claim");
+}

@@ -1,0 +1,386 @@
+//! Implementation of the `xsynth` command-line tool.
+//!
+//! The binary is a thin wrapper; everything lives here so it can be unit
+//! tested. Subcommands:
+//!
+//! * `synth <in.blif|in.pla>` — run the FPRM flow (default) or the SOP
+//!   baseline (`--method sop`), write BLIF to `-o` or stdout.
+//! * `stats <in>` — print network statistics and both cost metrics.
+//! * `map <in>` — synthesize and technology-map, print the cell netlist
+//!   summary.
+//! * `bench <circuit>` — run a built-in Table 2 benchmark by name.
+
+use std::fmt::Write as _;
+use xsynth_blif::{parse_blif, parse_pla, write_blif};
+use xsynth_core::{synthesize, EquivChecker, FactorMethod, SynthOptions};
+use xsynth_map::{map_network, Library};
+use xsynth_net::Network;
+use xsynth_sop::{script_algebraic, ScriptOptions};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    /// Subcommand: synth | stats | map | bench.
+    pub action: Action,
+    /// Input path or benchmark name.
+    pub input: String,
+    /// Output path (`-o`), stdout when absent.
+    pub output: Option<String>,
+    /// Synthesis engine.
+    pub engine: Engine,
+    /// Skip the redundancy-removal pass.
+    pub no_redundancy: bool,
+}
+
+/// What to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Synthesize and write BLIF.
+    Synth,
+    /// Print statistics only.
+    Stats,
+    /// Synthesize, map, print the cell summary.
+    Map,
+    /// Run a built-in benchmark by name.
+    Bench,
+}
+
+/// Which synthesis engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The paper's FPRM flow (default).
+    Fprm,
+    /// The paper's FPRM flow, cube method only.
+    FprmCube,
+    /// The paper's FPRM flow, OFDD method only.
+    FprmOfdd,
+    /// The Kronecker-FDD extension.
+    Kfdd,
+    /// The SIS-style SOP baseline.
+    Sop,
+    /// No optimization (parse and re-emit).
+    None,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: xsynth <synth|stats|map|bench> <input> [options]
+
+  synth <in.blif|in.pla>   synthesize, write BLIF (stdout or -o FILE)
+  stats <in.blif|in.pla>   print cost metrics for the input network
+  map   <in.blif|in.pla>   synthesize + technology-map, print cells
+                           (-o FILE writes a structural Verilog netlist)
+  bench <name>             run a built-in Table 2 circuit by name
+
+options:
+  -o FILE            write output to FILE
+  --method ENGINE    fprm (default) | cube | ofdd | kfdd | sop | none
+  --no-redundancy    skip the XOR redundancy-removal pass
+";
+
+/// Parses the command line (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed invocations.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let action = match it.next().map(String::as_str) {
+        Some("synth") => Action::Synth,
+        Some("stats") => Action::Stats,
+        Some("map") => Action::Map,
+        Some("bench") => Action::Bench,
+        Some(other) => return Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+        None => return Err(USAGE.to_string()),
+    };
+    let input = it
+        .next()
+        .ok_or_else(|| format!("missing input\n{USAGE}"))?
+        .clone();
+    let mut output = None;
+    let mut engine = Engine::Fprm;
+    let mut no_redundancy = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => {
+                output = Some(
+                    it.next()
+                        .ok_or_else(|| "-o needs a file".to_string())?
+                        .clone(),
+                )
+            }
+            "--method" => {
+                engine = match it.next().map(String::as_str) {
+                    Some("fprm") => Engine::Fprm,
+                    Some("cube") => Engine::FprmCube,
+                    Some("ofdd") => Engine::FprmOfdd,
+                    Some("kfdd") => Engine::Kfdd,
+                    Some("sop") => Engine::Sop,
+                    Some("none") => Engine::None,
+                    other => return Err(format!("bad --method {other:?}")),
+                }
+            }
+            "--no-redundancy" => no_redundancy = true,
+            other => return Err(format!("unknown option '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(Command {
+        action,
+        input,
+        output,
+        engine,
+        no_redundancy,
+    })
+}
+
+/// Loads a network from a path by extension (`.pla` → espresso PLA,
+/// anything else → BLIF), or from a built-in benchmark name for `bench`.
+pub fn load(cmd: &Command) -> Result<Network, String> {
+    if cmd.action == Action::Bench {
+        return xsynth_circuits::build(&cmd.input)
+            .ok_or_else(|| format!("unknown benchmark '{}'", cmd.input));
+    }
+    // other subcommands also accept built-in benchmark names when no such
+    // file exists
+    if !std::path::Path::new(&cmd.input).exists() {
+        if let Some(net) = xsynth_circuits::build(&cmd.input) {
+            return Ok(net);
+        }
+    }
+    let text = std::fs::read_to_string(&cmd.input)
+        .map_err(|e| format!("cannot read {}: {e}", cmd.input))?;
+    if cmd.input.ends_with(".pla") {
+        let pla = parse_pla(&text).map_err(|e| format!("{}: {e}", cmd.input))?;
+        let name = cmd
+            .input
+            .rsplit('/')
+            .next()
+            .unwrap_or("pla")
+            .trim_end_matches(".pla");
+        Ok(pla.to_network(name))
+    } else {
+        parse_blif(&text).map_err(|e| format!("{}: {e}", cmd.input))
+    }
+}
+
+/// Runs the chosen engine.
+pub fn run_engine(cmd: &Command, spec: &Network) -> Network {
+    match cmd.engine {
+        Engine::None => spec.sweep(),
+        Engine::Sop => script_algebraic(spec, &ScriptOptions::default()),
+        Engine::Fprm | Engine::FprmCube | Engine::FprmOfdd | Engine::Kfdd => {
+            let method = match cmd.engine {
+                Engine::FprmCube => FactorMethod::Cube,
+                Engine::FprmOfdd => FactorMethod::Ofdd,
+                Engine::Kfdd => FactorMethod::Kfdd,
+                _ => FactorMethod::Best,
+            };
+            let opts = SynthOptions {
+                method,
+                redundancy_removal: !cmd.no_redundancy,
+                ..SynthOptions::default()
+            };
+            synthesize(spec, &opts).0
+        }
+    }
+}
+
+/// Renders the `stats` block for a network.
+pub fn render_stats(net: &Network) -> String {
+    let (gates2, lits2) = net.two_input_cost();
+    let mut s = String::new();
+    let _ = writeln!(s, "{net}");
+    let _ = writeln!(s, "  two-input AND/OR gates: {gates2}");
+    let _ = writeln!(s, "  literals (paper metric): {lits2}");
+    let _ = writeln!(s, "  logic depth: {}", net.depth());
+    s
+}
+
+/// Executes a full command, returning the text to print.
+///
+/// # Errors
+///
+/// Propagates load/parse errors and verification failures as messages.
+pub fn execute(cmd: &Command) -> Result<String, String> {
+    let spec = load(cmd)?;
+    match cmd.action {
+        Action::Stats => Ok(render_stats(&spec)),
+        Action::Synth | Action::Bench => {
+            let result = run_engine(cmd, &spec);
+            let mut checker = EquivChecker::new(&spec);
+            if !checker.check(&result) {
+                return Err("internal error: result failed verification".into());
+            }
+            let mut out = String::new();
+            let _ = writeln!(out, "# spec:   {}", render_stats(&spec).trim_end());
+            let _ = writeln!(out, "# result: {}", render_stats(&result).trim_end());
+            let blif = write_blif(&result);
+            match &cmd.output {
+                Some(path) => {
+                    std::fs::write(path, &blif)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    let _ = writeln!(out, "# wrote {path}");
+                }
+                None => out.push_str(&blif),
+            }
+            Ok(out)
+        }
+        Action::Map => {
+            let result = run_engine(cmd, &spec);
+            let lib = Library::mcnc();
+            let mapped = map_network(&result, &lib);
+            let mut s = render_stats(&result);
+            let _ = writeln!(
+                s,
+                "  mapped: {} cells / {} pins / area {:.1} / depth {}",
+                mapped.num_gates(),
+                mapped.num_literals(),
+                mapped.area(),
+                mapped.depth()
+            );
+            let mut cells: Vec<(String, usize)> =
+                mapped.cell_histogram().into_iter().collect();
+            cells.sort();
+            for (cell, count) in cells {
+                let _ = writeln!(s, "    {count:3} × {cell}");
+            }
+            if let Some(path) = &cmd.output {
+                let verilog = mapped.to_verilog(spec.name());
+                std::fs::write(path, &verilog)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                let _ = writeln!(s, "  wrote Verilog netlist to {path}");
+            }
+            Ok(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_basic() {
+        let c = parse_args(&argv("synth foo.blif -o out.blif --method sop")).unwrap();
+        assert_eq!(c.action, Action::Synth);
+        assert_eq!(c.input, "foo.blif");
+        assert_eq!(c.output.as_deref(), Some("out.blif"));
+        assert_eq!(c.engine, Engine::Sop);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&argv("")).is_err());
+        assert!(parse_args(&argv("frobnicate x")).is_err());
+        assert!(parse_args(&argv("synth")).is_err());
+        assert!(parse_args(&argv("synth a.blif --method wat")).is_err());
+        assert!(parse_args(&argv("synth a.blif --wat")).is_err());
+    }
+
+    #[test]
+    fn bench_subcommand_runs_builtin() {
+        let c = parse_args(&argv("bench z4ml")).unwrap();
+        let out = execute(&c).unwrap();
+        assert!(out.contains(".model"), "{out}");
+        assert!(out.contains("# result:"));
+    }
+
+    #[test]
+    fn bench_unknown_circuit_fails() {
+        let c = parse_args(&argv("bench nonesuch")).unwrap();
+        assert!(execute(&c).is_err());
+    }
+
+    #[test]
+    fn synth_roundtrip_through_files() {
+        let dir = std::env::temp_dir().join("xsynth_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inp = dir.join("in.blif");
+        let outp = dir.join("out.blif");
+        std::fs::write(
+            &inp,
+            ".model m\n.inputs a b\n.outputs y\n.names a b y\n10 1\n01 1\n.end\n",
+        )
+        .unwrap();
+        let c = parse_args(&argv(&format!(
+            "synth {} -o {}",
+            inp.display(),
+            outp.display()
+        )))
+        .unwrap();
+        execute(&c).unwrap();
+        let text = std::fs::read_to_string(&outp).unwrap();
+        let net = xsynth_blif::parse_blif(&text).unwrap();
+        for m in 0..4u64 {
+            assert_eq!(net.eval_u64(m)[0], (m & 1 != 0) ^ (m & 2 != 0));
+        }
+    }
+
+    #[test]
+    fn pla_input_supported() {
+        let dir = std::env::temp_dir().join("xsynth_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inp = dir.join("in.pla");
+        std::fs::write(&inp, ".i 2\n.o 1\n11 1\n.e\n").unwrap();
+        let c = parse_args(&argv(&format!("stats {}", inp.display()))).unwrap();
+        let out = execute(&c).unwrap();
+        assert!(out.contains("two-input"));
+    }
+
+    #[test]
+    fn map_subcommand_reports_cells() {
+        let c = parse_args(&argv("bench f2")).unwrap();
+        let c = Command {
+            action: Action::Map,
+            ..c
+        };
+        let out = execute(&c).unwrap();
+        assert!(out.contains("mapped:"), "{out}");
+        assert!(out.contains('×'));
+    }
+
+    #[test]
+    fn map_writes_verilog() {
+        let dir = std::env::temp_dir().join("xsynth_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let outp = dir.join("out.v");
+        let cmd = Command {
+            action: Action::Map,
+            input: "f2".into(),
+            output: Some(outp.display().to_string()),
+            engine: Engine::Fprm,
+            no_redundancy: false,
+        };
+        let text = execute(&cmd).unwrap();
+        assert!(text.contains("wrote Verilog"), "{text}");
+        let v = std::fs::read_to_string(&outp).unwrap();
+        assert!(v.contains("module f2"), "{v}");
+        assert!(v.contains("endmodule"));
+    }
+
+    #[test]
+    fn engines_all_verify() {
+        for engine in [
+            Engine::Fprm,
+            Engine::FprmCube,
+            Engine::FprmOfdd,
+            Engine::Kfdd,
+            Engine::Sop,
+            Engine::None,
+        ] {
+            let cmd = Command {
+                action: Action::Bench,
+                input: "rd53".into(),
+                output: None,
+                engine,
+                no_redundancy: false,
+            };
+            let out = execute(&cmd).expect("engine runs");
+            assert!(out.contains(".model"));
+        }
+    }
+}

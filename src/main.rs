@@ -1,0 +1,20 @@
+//! The `xsynth` command-line tool: BLIF/PLA in, synthesized BLIF or cell
+//! reports out. Run `xsynth` with no arguments for usage.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match xsynth::cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match xsynth::cli::execute(&cmd) {
+        Ok(text) => print!("{text}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

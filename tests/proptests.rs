@@ -1,0 +1,154 @@
+//! Property-based tests over the whole stack: random functions through
+//! every representation and both synthesis flows.
+
+use proptest::prelude::*;
+use xsynth::bdd::BddManager;
+use xsynth::boolean::{Fprm, Polarity, Sop, TruthTable};
+use xsynth::core::{synthesize, FactorMethod, SynthOptions};
+use xsynth::map::{map_network, Library};
+use xsynth::net::{GateKind, Network};
+use xsynth::ofdd::OfddManager;
+use xsynth::sop::{script_algebraic, ScriptOptions};
+
+/// A random truth table of `n ≤ 6` variables from raw bits.
+fn table(n: usize, bits: u64) -> TruthTable {
+    TruthTable::from_fn(n, |m| bits & (1u64 << (m % 64)) != 0 || (bits >> (m % 61)) & 1 != 0)
+}
+
+/// A random two-level network for the function.
+fn two_level(t: &TruthTable) -> Network {
+    let n = t.num_vars();
+    let mut net = Network::new("prop");
+    let inputs: Vec<_> = (0..n).map(|i| net.add_input(format!("x{i}"))).collect();
+    let cover = Sop::isop(t);
+    let mut cubes = Vec::new();
+    for c in cover.cubes() {
+        let mut lits = Vec::new();
+        for v in c.positive().iter() {
+            lits.push(inputs[v]);
+        }
+        for v in c.negative().iter() {
+            lits.push(net.add_gate(GateKind::Not, vec![inputs[v]]));
+        }
+        cubes.push(match lits.len() {
+            0 => net.add_gate(GateKind::Const1, vec![]),
+            1 => lits[0],
+            _ => net.add_gate(GateKind::And, lits),
+        });
+    }
+    let o = match cubes.len() {
+        0 => net.add_gate(GateKind::Const0, vec![]),
+        1 => cubes[0],
+        _ => net.add_gate(GateKind::Or, cubes),
+    };
+    net.add_output("f", o);
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fprm_transform_roundtrips(bits in any::<u64>(), pol_idx in 0u64..64) {
+        let t = table(6, bits);
+        let pol = Polarity::from_index(6, pol_idx);
+        let f = Fprm::from_table(&t, &pol);
+        prop_assert_eq!(f.to_table(), t);
+    }
+
+    #[test]
+    fn isop_covers_the_function(bits in any::<u64>()) {
+        let t = table(6, bits);
+        let cover = Sop::isop(&t);
+        prop_assert_eq!(cover.to_table(6), t);
+    }
+
+    #[test]
+    fn bdd_and_ofdd_agree(bits in any::<u64>(), pol_idx in 0u64..64) {
+        let t = table(6, bits);
+        let mut bm = BddManager::new(6);
+        let f = bm.from_table(&t);
+        let mut om = OfddManager::new(Polarity::from_index(6, pol_idx));
+        let o = om.from_bdd(&mut bm, f);
+        for m in 0..64u64 {
+            prop_assert_eq!(om.eval(o, m), t.eval(m));
+        }
+    }
+
+    #[test]
+    fn fprm_flow_preserves_random_functions(bits in any::<u64>()) {
+        let t = table(5, bits);
+        let spec = two_level(&t);
+        let (out, _) = synthesize(&spec, &SynthOptions::default());
+        for m in 0..32u64 {
+            prop_assert_eq!(out.eval_u64(m)[0], t.eval(m));
+        }
+    }
+
+    #[test]
+    fn both_factor_methods_preserve_random_functions(bits in any::<u64>()) {
+        let t = table(5, bits);
+        let spec = two_level(&t);
+        for method in [FactorMethod::Cube, FactorMethod::Ofdd] {
+            let opts = SynthOptions { method, ..SynthOptions::default() };
+            let (out, _) = synthesize(&spec, &opts);
+            for m in 0..32u64 {
+                prop_assert_eq!(out.eval_u64(m)[0], t.eval(m));
+            }
+        }
+    }
+
+    #[test]
+    fn sop_script_preserves_random_functions(bits in any::<u64>()) {
+        let t = table(5, bits);
+        let spec = two_level(&t);
+        let out = script_algebraic(&spec, &ScriptOptions::default());
+        for m in 0..32u64 {
+            prop_assert_eq!(out.eval_u64(m)[0], t.eval(m));
+        }
+    }
+
+    #[test]
+    fn mapper_preserves_random_functions(bits in any::<u64>()) {
+        let t = table(5, bits);
+        let spec = two_level(&t);
+        let lib = Library::mcnc();
+        let mapped = map_network(&spec, &lib).to_network(&lib);
+        for m in 0..32u64 {
+            prop_assert_eq!(mapped.eval_u64(m)[0], t.eval(m));
+        }
+    }
+
+    #[test]
+    fn sweep_and_strash_preserve_functions(bits in any::<u64>()) {
+        let t = table(5, bits);
+        let spec = two_level(&t);
+        let swept = spec.sweep();
+        let strashed = spec.strash();
+        for m in 0..32u64 {
+            prop_assert_eq!(swept.eval_u64(m)[0], t.eval(m));
+            prop_assert_eq!(strashed.eval_u64(m)[0], t.eval(m));
+        }
+        prop_assert!(strashed.num_gates() <= spec.num_gates());
+    }
+
+    #[test]
+    fn blif_roundtrip_random_networks(bits in any::<u64>()) {
+        let t = table(5, bits);
+        let spec = two_level(&t);
+        let text = xsynth::blif::write_blif(&spec);
+        let back = xsynth::blif::parse_blif(&text).expect("self-written BLIF parses");
+        for m in 0..32u64 {
+            prop_assert_eq!(back.eval_u64(m)[0], t.eval(m));
+        }
+    }
+
+    #[test]
+    fn fprm_polarity_search_never_worse(bits in any::<u64>()) {
+        let t = table(5, bits);
+        let best = Fprm::best_polarity_exhaustive(&t);
+        let positive = Fprm::from_table_positive(&t);
+        prop_assert!(best.num_cubes() <= positive.num_cubes());
+        prop_assert_eq!(best.to_table(), t);
+    }
+}
