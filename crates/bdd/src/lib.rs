@@ -68,7 +68,12 @@ enum Op {
 
 /// An arena of shared, reduced, ordered BDD nodes over a fixed number of
 /// variables in natural index order.
-#[derive(Debug)]
+///
+/// Cloning a manager duplicates the node arena and caches; handles created
+/// in the original remain valid (and denote the same functions) in the
+/// clone, which is what lets the polarity search fan candidate evaluations
+/// out across threads.
+#[derive(Debug, Clone)]
 pub struct BddManager {
     n: usize,
     nodes: Vec<Node>,
@@ -81,8 +86,16 @@ impl BddManager {
     /// Creates a manager for functions of `n` variables.
     pub fn new(n: usize) -> Self {
         let nodes = vec![
-            Node { var: TERMINAL_VAR, lo: Bdd::ZERO, hi: Bdd::ZERO },
-            Node { var: TERMINAL_VAR, lo: Bdd::ONE, hi: Bdd::ONE },
+            Node {
+                var: TERMINAL_VAR,
+                lo: Bdd::ZERO,
+                hi: Bdd::ZERO,
+            },
+            Node {
+                var: TERMINAL_VAR,
+                lo: Bdd::ONE,
+                hi: Bdd::ONE,
+            },
         ];
         BddManager {
             n,
@@ -221,8 +234,16 @@ impl BddManager {
         }
         let (nf, ng) = (self.node(f), self.node(g));
         let var = nf.var.min(ng.var);
-        let (f0, f1) = if nf.var == var { (nf.lo, nf.hi) } else { (f, f) };
-        let (g0, g1) = if ng.var == var { (ng.lo, ng.hi) } else { (g, g) };
+        let (f0, f1) = if nf.var == var {
+            (nf.lo, nf.hi)
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if ng.var == var {
+            (ng.lo, ng.hi)
+        } else {
+            (g, g)
+        };
         let lo = self.apply(op, f0, g0);
         let hi = self.apply(op, f1, g1);
         let r = self.mk(var, lo, hi);
@@ -280,13 +301,7 @@ impl BddManager {
         self.cofactor_rec(f, var, phase, &mut memo)
     }
 
-    fn cofactor_rec(
-        &mut self,
-        f: Bdd,
-        var: u32,
-        phase: bool,
-        memo: &mut HashMap<Bdd, Bdd>,
-    ) -> Bdd {
+    fn cofactor_rec(&mut self, f: Bdd, var: u32, phase: bool, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
         if f.is_const() {
             return f;
         }

@@ -10,14 +10,62 @@ fn variants() -> Vec<(&'static str, SynthOptions)> {
     let base = SynthOptions::default;
     vec![
         ("default", base()),
-        ("polarity_positive", SynthOptions { polarity: PolarityMode::AllPositive, ..base() }),
-        ("polarity_greedy", SynthOptions { polarity: PolarityMode::Greedy, ..base() }),
-        ("method_cube", SynthOptions { method: FactorMethod::Cube, ..base() }),
-        ("method_ofdd", SynthOptions { method: FactorMethod::Ofdd, ..base() }),
-        ("method_kfdd", SynthOptions { method: FactorMethod::Kfdd, ..base() }),
-        ("no_rules", SynthOptions { apply_rules: false, ..base() }),
-        ("no_redundancy", SynthOptions { redundancy_removal: false, ..base() }),
-        ("no_sharing", SynthOptions { share: false, ..base() }),
+        (
+            "polarity_positive",
+            SynthOptions {
+                polarity: PolarityMode::AllPositive,
+                ..base()
+            },
+        ),
+        (
+            "polarity_greedy",
+            SynthOptions {
+                polarity: PolarityMode::Greedy,
+                ..base()
+            },
+        ),
+        (
+            "method_cube",
+            SynthOptions {
+                method: FactorMethod::Cube,
+                ..base()
+            },
+        ),
+        (
+            "method_ofdd",
+            SynthOptions {
+                method: FactorMethod::Ofdd,
+                ..base()
+            },
+        ),
+        (
+            "method_kfdd",
+            SynthOptions {
+                method: FactorMethod::Kfdd,
+                ..base()
+            },
+        ),
+        (
+            "no_rules",
+            SynthOptions {
+                apply_rules: false,
+                ..base()
+            },
+        ),
+        (
+            "no_redundancy",
+            SynthOptions {
+                redundancy_removal: false,
+                ..base()
+            },
+        ),
+        (
+            "no_sharing",
+            SynthOptions {
+                share: false,
+                ..base()
+            },
+        ),
     ]
 }
 

@@ -41,7 +41,9 @@ fn bench_substrates(c: &mut Criterion) {
 
     let spec = xsynth_circuits::build("z4ml").expect("registered");
     let lib = Library::mcnc();
-    c.bench_function("tech_map_z4ml_spec", |b| b.iter(|| map_network(&spec, &lib)));
+    c.bench_function("tech_map_z4ml_spec", |b| {
+        b.iter(|| map_network(&spec, &lib))
+    });
 }
 
 criterion_group!(benches, bench_substrates);

@@ -30,6 +30,15 @@ fn main() {
             report.divisors, report.blocks, report.cube_cap_fallbacks
         );
         println!("  redundancy: {:?}", report.redundancy);
+        let t = &report.timings;
+        println!(
+            "  phases: fprm {:.2?} | factoring {:.2?} | sharing {:.2?} | redundancy {:.2?} | total {:.2?}",
+            t.fprm, t.factoring, t.sharing, t.redundancy, t.total
+        );
+        println!(
+            "  polarity search: {} candidates evaluated, {} memo hits",
+            report.polarity_search.candidates_evaluated, report.polarity_search.memo_hits
+        );
         println!("  result: {gates} two-input gates / {lits} literals in {dt:.2?}");
         println!();
     }

@@ -1,0 +1,51 @@
+//! Measures the wall-clock effect of parallel synthesis: runs the FPRM
+//! flow twice per circuit (parallel on/off), checks the networks are
+//! bit-identical, and prints the speedup.
+//!
+//! Usage: `par_speedup [circuit ...]` — defaults to the multi-output
+//! arithmetic circuits where the per-output fan-out matters most.
+
+use std::time::Instant;
+use xsynth_core::{synthesize, SynthOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        ["z4ml", "adr4", "add6", "addm4", "mlp4", "my_adder"]
+            .map(String::from)
+            .to_vec()
+    } else {
+        args
+    };
+    println!(
+        "{:<10} {:>6} {:>10} {:>10} {:>8}  identical?",
+        "circuit", "outs", "seq (ms)", "par (ms)", "speedup"
+    );
+    for name in names {
+        let Some(spec) = xsynth_circuits::build(&name) else {
+            eprintln!("unknown circuit {name}");
+            continue;
+        };
+        let seq_opts = SynthOptions {
+            parallel: false,
+            ..SynthOptions::default()
+        };
+        let par_opts = SynthOptions::default();
+        let t0 = Instant::now();
+        let (seq_net, _) = synthesize(&spec, &seq_opts);
+        let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let (par_net, _) = synthesize(&spec, &par_opts);
+        let par_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let same = xsynth_blif::write_blif(&seq_net) == xsynth_blif::write_blif(&par_net);
+        println!(
+            "{:<10} {:>6} {:>10.1} {:>10.1} {:>7.2}x  {}",
+            name,
+            spec.outputs().len(),
+            seq_ms,
+            par_ms,
+            seq_ms / par_ms,
+            if same { "yes" } else { "NO — BUG" }
+        );
+    }
+}

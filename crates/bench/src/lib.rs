@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 use xsynth_circuits::{registry, Benchmark};
-use xsynth_core::{synthesize, EquivChecker, SynthOptions};
+use xsynth_core::{synthesize, EquivChecker, SynthOptions, SynthReport};
 use xsynth_map::{map_network, Library};
 use xsynth_net::Network;
 use xsynth_sim::power_estimate;
@@ -41,6 +41,9 @@ pub struct FlowResult {
     pub seconds: f64,
     /// Whether the result checked equivalent to the specification.
     pub verified: bool,
+    /// The synthesis report with per-phase timings and polarity-search
+    /// counters (`None` for the SOP baseline, which has no FPRM phases).
+    pub report: Option<SynthReport>,
 }
 
 /// Runs one synthesized network through mapping/power/verification.
@@ -60,15 +63,18 @@ fn evaluate(spec: &Network, result: &Network, lib: &Library, seconds: f64) -> Fl
         power,
         seconds,
         verified,
+        report: None,
     }
 }
 
 /// Runs the paper's FPRM flow on `spec` and evaluates it.
 pub fn run_fprm_flow(spec: &Network, opts: &SynthOptions, lib: &Library) -> FlowResult {
     let t0 = Instant::now();
-    let (result, _report) = synthesize(spec, opts);
+    let (result, report) = synthesize(spec, opts);
     let seconds = t0.elapsed().as_secs_f64();
-    evaluate(spec, &result, lib, seconds)
+    let mut fr = evaluate(spec, &result, lib, seconds);
+    fr.report = Some(report);
+    fr
 }
 
 /// Runs the SIS-style SOP baseline on `spec` and evaluates it.
@@ -77,6 +83,24 @@ pub fn run_sop_flow(spec: &Network, opts: &ScriptOptions, lib: &Library) -> Flow
     let result = script_algebraic(spec, opts);
     let seconds = t0.elapsed().as_secs_f64();
     evaluate(spec, &result, lib, seconds)
+}
+
+/// Renders a one-line phase-timing breakdown from a flow's report:
+/// `fprm/factor/share/redund` milliseconds, plus the polarity-search
+/// counters. Returns `None` when the flow carries no report.
+pub fn render_phases(fr: &FlowResult) -> Option<String> {
+    let r = fr.report.as_ref()?;
+    let t = &r.timings;
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    Some(format!(
+        "fprm {:.1}ms factor {:.1}ms share {:.1}ms redund {:.1}ms (polarity: {} eval, {} memo)",
+        ms(t.fprm),
+        ms(t.factoring),
+        ms(t.sharing),
+        ms(t.redundancy),
+        r.polarity_search.candidates_evaluated,
+        r.polarity_search.memo_hits,
+    ))
 }
 
 /// One completed Table 2 row: both flows on one benchmark.
@@ -204,6 +228,12 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
     }
     emit_group(&mut s, &all, "Σ all");
     s.push_str("~ = substituted synthetic circuit (original MCNC function not public)\n");
+    s.push_str("\nper-phase timings of the FPRM flow (from SynthReport):\n");
+    for r in rows {
+        if let Some(phases) = render_phases(&r.fprm) {
+            s.push_str(&format!("{:<10} {phases}\n", r.bench.name));
+        }
+    }
     s
 }
 

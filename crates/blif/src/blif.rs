@@ -69,15 +69,14 @@ pub fn parse_blif(src: &str) -> Result<Network, ParseError> {
     let mut order: Vec<String> = Vec::new();
 
     let mut current: Option<(String, NamesNode)> = None;
-    let finish_current =
-        |current: &mut Option<(String, NamesNode)>,
-         nodes: &mut HashMap<String, NamesNode>,
-         order: &mut Vec<String>| {
-            if let Some((name, node)) = current.take() {
-                order.push(name.clone());
-                nodes.insert(name, node);
-            }
-        };
+    let finish_current = |current: &mut Option<(String, NamesNode)>,
+                          nodes: &mut HashMap<String, NamesNode>,
+                          order: &mut Vec<String>| {
+        if let Some((name, node)) = current.take() {
+            order.push(name.clone());
+            nodes.insert(name, node);
+        }
+    };
 
     for (lineno, line) in &lines {
         let line = line.trim();
@@ -95,9 +94,9 @@ pub fn parse_blif(src: &str) -> Result<Network, ParseError> {
                 "outputs" => output_names.extend(tok.map(str::to_string)),
                 "names" => {
                     let mut sig: Vec<String> = tok.map(str::to_string).collect();
-                    let out = sig.pop().ok_or_else(|| {
-                        ParseError::new(*lineno, ".names needs an output signal")
-                    })?;
+                    let out = sig
+                        .pop()
+                        .ok_or_else(|| ParseError::new(*lineno, ".names needs an output signal"))?;
                     current = Some((
                         out,
                         NamesNode {
@@ -119,10 +118,17 @@ pub fn parse_blif(src: &str) -> Result<Network, ParseError> {
                     ));
                 }
                 // benign directives some writers emit
-                "default_input_arrival" | "default_output_required" | "wire_load_slope"
-                | "area" | "delay" | "search" => {}
+                "default_input_arrival"
+                | "default_output_required"
+                | "wire_load_slope"
+                | "area"
+                | "delay"
+                | "search" => {}
                 other => {
-                    return Err(ParseError::new(*lineno, format!("unknown directive .{other}")));
+                    return Err(ParseError::new(
+                        *lineno,
+                        format!("unknown directive .{other}"),
+                    ));
                 }
             }
         } else {
@@ -132,7 +138,12 @@ pub fn parse_blif(src: &str) -> Result<Network, ParseError> {
             };
             let mut parts = line.split_whitespace();
             let (pattern, value) = if node.inputs.is_empty() {
-                ("", parts.next().ok_or_else(|| ParseError::new(*lineno, "empty cover row"))?)
+                (
+                    "",
+                    parts
+                        .next()
+                        .ok_or_else(|| ParseError::new(*lineno, "empty cover row"))?,
+                )
             } else {
                 let p = parts
                     .next()
@@ -161,14 +172,20 @@ pub fn parse_blif(src: &str) -> Result<Network, ParseError> {
                     '1' => Ok(Some(true)),
                     '0' => Ok(Some(false)),
                     '-' => Ok(None),
-                    other => Err(ParseError::new(*lineno, format!("bad cube character '{other}'"))),
+                    other => Err(ParseError::new(
+                        *lineno,
+                        format!("bad cube character '{other}'"),
+                    )),
                 })
                 .collect::<Result<_, _>>()?;
             let on = match value {
                 "1" => true,
                 "0" => false,
                 other => {
-                    return Err(ParseError::new(*lineno, format!("bad output value '{other}'")))
+                    return Err(ParseError::new(
+                        *lineno,
+                        format!("bad output value '{other}'"),
+                    ))
                 }
             };
             if !node.cubes.is_empty() && on != node.on_set {
@@ -207,7 +224,10 @@ pub fn parse_blif(src: &str) -> Result<Network, ParseError> {
             return Err(ParseError::new(0, format!("undefined signal {name}")));
         };
         if visiting.iter().any(|v| v == name) {
-            return Err(ParseError::new(node.line, format!("cyclic definition of {name}")));
+            return Err(ParseError::new(
+                node.line,
+                format!("cyclic definition of {name}"),
+            ));
         }
         visiting.push(name.to_string());
         let fanins: Vec<SignalId> = node

@@ -176,7 +176,10 @@ impl<'a> ExprParser<'a> {
         let e = self.parse_or()?;
         self.skip_ws();
         if self.chars.peek().is_some() {
-            return Err(ParseError::new(self.line, "trailing characters in expression"));
+            return Err(ParseError::new(
+                self.line,
+                "trailing characters in expression",
+            ));
         }
         Ok(e)
     }

@@ -141,7 +141,12 @@ pub fn parse_pla(src: &str) -> Result<Pla, ParseError> {
                 "ilb" => input_names = Some(tok.map(str::to_string).collect()),
                 "ob" => output_names = Some(tok.map(str::to_string).collect()),
                 "p" | "e" | "end" | "type" | "phase" | "pair" | "symbolic" => {}
-                other => return Err(ParseError::new(lineno, format!("unknown directive .{other}"))),
+                other => {
+                    return Err(ParseError::new(
+                        lineno,
+                        format!("unknown directive .{other}"),
+                    ))
+                }
             }
         } else {
             let mut parts = line.split_whitespace();
@@ -157,10 +162,8 @@ pub fn parse_pla(src: &str) -> Result<Pla, ParseError> {
 
     let ni = num_inputs.ok_or_else(|| ParseError::new(0, "missing .i"))?;
     let no = num_outputs.ok_or_else(|| ParseError::new(0, "missing .o"))?;
-    let input_names =
-        input_names.unwrap_or_else(|| (0..ni).map(|i| format!("x{i}")).collect());
-    let output_names =
-        output_names.unwrap_or_else(|| (0..no).map(|o| format!("y{o}")).collect());
+    let input_names = input_names.unwrap_or_else(|| (0..ni).map(|i| format!("x{i}")).collect());
+    let output_names = output_names.unwrap_or_else(|| (0..no).map(|o| format!("y{o}")).collect());
     if input_names.len() != ni {
         return Err(ParseError::new(0, ".ilb arity mismatch"));
     }
@@ -186,9 +189,7 @@ pub fn parse_pla(src: &str) -> Result<Pla, ParseError> {
                     cube.add_literal(v, false);
                 }
                 '-' | '~' | '2' => {}
-                other => {
-                    return Err(ParseError::new(lineno, format!("bad input char '{other}'")))
-                }
+                other => return Err(ParseError::new(lineno, format!("bad input char '{other}'"))),
             }
         }
         for (o, c) in outp.chars().enumerate() {
@@ -196,7 +197,10 @@ pub fn parse_pla(src: &str) -> Result<Pla, ParseError> {
                 '1' | '4' => covers[o].cubes_mut().push(cube.clone()),
                 '0' | '-' | '~' | '2' | '3' => {}
                 other => {
-                    return Err(ParseError::new(lineno, format!("bad output char '{other}'")))
+                    return Err(ParseError::new(
+                        lineno,
+                        format!("bad output char '{other}'"),
+                    ))
                 }
             }
         }
@@ -213,7 +217,11 @@ pub fn parse_pla(src: &str) -> Result<Pla, ParseError> {
 /// Serializes covers as espresso PLA text.
 pub fn write_pla(pla: &Pla) -> String {
     let mut s = String::new();
-    s.push_str(&format!(".i {}\n.o {}\n", pla.num_inputs, pla.num_outputs()));
+    s.push_str(&format!(
+        ".i {}\n.o {}\n",
+        pla.num_inputs,
+        pla.num_outputs()
+    ));
     s.push_str(&format!(".ilb {}\n", pla.input_names.join(" ")));
     s.push_str(&format!(".ob {}\n", pla.output_names.join(" ")));
     // gather distinct cubes across outputs, then emit one row per (cube,

@@ -85,6 +85,22 @@ impl Polarity {
         self.n
     }
 
+    /// Encodes the polarity as an integer, the inverse of
+    /// [`Polarity::from_index`]: bit `i` is set iff variable `i` is
+    /// positive. Used as a compact memo key by the polarity search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polarity has more than 64 variables.
+    pub fn index(&self) -> u64 {
+        assert!(self.n <= 64, "polarity index overflows u64");
+        let mut idx = 0u64;
+        for v in self.positive.iter() {
+            idx |= 1 << v;
+        }
+        idx
+    }
+
     /// Whether variable `var` is positive.
     pub fn is_positive(&self, var: usize) -> bool {
         self.positive.contains(var)
@@ -230,7 +246,11 @@ impl Fprm {
             let mut on = true;
             for v in c.iter() {
                 let val = minterm & (1 << v) != 0;
-                let lit = if self.polarity.is_positive(v) { val } else { !val };
+                let lit = if self.polarity.is_positive(v) {
+                    val
+                } else {
+                    !val
+                };
                 if !lit {
                     on = false;
                     break;
@@ -271,12 +291,7 @@ impl Fprm {
     pub fn prime_cubes(&self) -> Vec<&VarSet> {
         self.cubes
             .iter()
-            .filter(|c| {
-                !self
-                    .cubes
-                    .iter()
-                    .any(|d| c != &d && c.is_subset(d))
-            })
+            .filter(|c| !self.cubes.iter().any(|d| c != &d && c.is_subset(d)))
             .collect()
     }
 
@@ -509,7 +524,11 @@ mod tests {
         });
         let f = Fprm::from_table_positive(&t);
         assert_eq!(f.num_cubes(), 5);
-        assert_eq!(f.prime_cubes().len(), 5, "all cubes of an adder sum are prime");
+        assert_eq!(
+            f.prime_cubes().len(),
+            5,
+            "all cubes of an adder sum are prime"
+        );
     }
 
     #[test]
@@ -517,7 +536,11 @@ mod tests {
         let p = Polarity::all_positive(3);
         let f = Fprm::new(
             p,
-            vec![VarSet::from_vars([0]), VarSet::from_vars([0, 1]), VarSet::from_vars([2])],
+            vec![
+                VarSet::from_vars([0]),
+                VarSet::from_vars([0, 1]),
+                VarSet::from_vars([2]),
+            ],
         );
         let primes = f.prime_cubes();
         assert_eq!(primes.len(), 2);

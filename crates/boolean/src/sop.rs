@@ -212,8 +212,16 @@ impl Sop {
         let mut split_var = None;
         let mut best = usize::MAX;
         for v in sup.iter() {
-            let pos = self.cubes.iter().filter(|c| c.phase(v) == Some(true)).count();
-            let neg = self.cubes.iter().filter(|c| c.phase(v) == Some(false)).count();
+            let pos = self
+                .cubes
+                .iter()
+                .filter(|c| c.phase(v) == Some(true))
+                .count();
+            let neg = self
+                .cubes
+                .iter()
+                .filter(|c| c.phase(v) == Some(false))
+                .count();
             if pos == 0 || neg == 0 {
                 // unate in v: drop all cubes with a literal of v; the cover
                 // is a tautology iff the reduced cover is.
@@ -235,7 +243,9 @@ impl Sop {
         }
         match split_var {
             None => self.has_universe(),
-            Some(v) => self.cofactor(v, false).is_tautology() && self.cofactor(v, true).is_tautology(),
+            Some(v) => {
+                self.cofactor(v, false).is_tautology() && self.cofactor(v, true).is_tautology()
+            }
         }
     }
 
@@ -347,12 +357,8 @@ impl Sop {
     /// The variable occurring in the most cubes (ties broken by index).
     pub fn most_binate_var(&self) -> Option<usize> {
         let sup = self.support();
-        sup.iter().max_by_key(|&v| {
-            self.cubes
-                .iter()
-                .filter(|c| c.phase(v).is_some())
-                .count()
-        })
+        sup.iter()
+            .max_by_key(|&v| self.cubes.iter().filter(|c| c.phase(v).is_some()).count())
     }
 }
 
@@ -394,10 +400,7 @@ mod tests {
     use super::*;
 
     fn xor2() -> Sop {
-        Sop::from_cubes([
-            Cube::new([0], [1]).unwrap(),
-            Cube::new([1], [0]).unwrap(),
-        ])
+        Sop::from_cubes([Cube::new([0], [1]).unwrap(), Cube::new([1], [0]).unwrap()])
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub fn word_function(n: usize, out_bits: usize, f: impl Fn(u64) -> u64) -> Vec<T
 
 /// Adds a bus of named inputs.
 pub fn bus(net: &mut Network, prefix: &str, n: usize) -> Vec<SignalId> {
-    (0..n).map(|i| net.add_input(format!("{prefix}{i}"))).collect()
+    (0..n)
+        .map(|i| net.add_input(format!("{prefix}{i}")))
+        .collect()
 }
 
 /// Builds one full-adder stage, returning `(sum, carry_out)`.
@@ -90,7 +92,12 @@ pub fn full_adder(
 
 /// Adds two interleaved buses (`a0 b0 a1 b1 …`) — the input order that
 /// keeps adder BDDs/OFDDs linear, as the multilevel IWLS adder listings do.
-pub fn interleaved_buses(net: &mut Network, pa: &str, pb: &str, n: usize) -> (Vec<SignalId>, Vec<SignalId>) {
+pub fn interleaved_buses(
+    net: &mut Network,
+    pa: &str,
+    pb: &str,
+    n: usize,
+) -> (Vec<SignalId>, Vec<SignalId>) {
     let mut a = Vec::with_capacity(n);
     let mut b = Vec::with_capacity(n);
     for i in 0..n {
@@ -153,11 +160,7 @@ mod tests {
         for m in 0..256u64 {
             let (x, y) = (m & 0xf, (m >> 4) & 0xf);
             let out = net.eval_u64(m);
-            let got: u64 = out
-                .iter()
-                .enumerate()
-                .map(|(k, &v)| (v as u64) << k)
-                .sum();
+            let got: u64 = out.iter().enumerate().map(|(k, &v)| (v as u64) << k).sum();
             assert_eq!(got, x + y, "{x}+{y}");
         }
     }

@@ -74,47 +74,293 @@ pub fn registry() -> Vec<Benchmark> {
         paper,
     };
     vec![
-        b("5xp1", (7, 10), true, false, row!(213, 6.7, 181, 5.21, 78, 207, 66, 161, 22, 16)),
-        b("9sym", (9, 1), true, false, row!(414, 14.5, 156, 2.45, 139, 372, 64, 146, 61, 57)),
-        b("adr4", (8, 5), true, false, row!(62, 1.8, 48, 0.45, 28, 59, 23, 48, 19, 31)),
-        b("add6", (12, 7), true, false, row!(114, 3.2, 76, 0.91, 48, 106, 44, 82, 23, 42)),
-        b("addm4", (9, 8), true, true, row!(700, 465.0, 588, 42.22, 221, 573, 224, 539, 6, 13)),
-        b("bcd-div3", (4, 4), true, false, row!(52, 0.9, 52, 0.43, 20, 51, 22, 54, -6, -1)),
-        b("cc", (21, 20), false, true, row!(84, 2.8, 84, 2.68, 44, 89, 42, 88, 1, 3)),
-        b("co14", (14, 1), true, true, row!(128, 5.8, 88, 2.73, 50, 118, 50, 98, 17, 14)),
-        b("cm163a", (16, 5), false, true, row!(74, 2.2, 66, 1.33, 28, 65, 30, 68, -5, 13)),
-        b("cm82a", (5, 3), false, false, row!(34, 0.6, 28, 0.5, 14, 31, 16, 32, -3, 29)),
-        b("cm85a", (11, 3), false, true, row!(80, 1.7, 84, 1.48, 33, 77, 41, 84, -9, 1)),
-        b("cmb", (16, 4), false, true, row!(86, 2.2, 37, 0.22, 32, 83, 17, 50, 40, 35)),
-        b("f2", (4, 4), true, false, row!(36, 1.2, 34, 0.73, 16, 40, 16, 34, 15, 12)),
-        b("f51m", (8, 8), true, true, row!(187, 8.6, 137, 2.71, 66, 160, 63, 132, 17, 27)),
-        b("frg1", (28, 3), false, true, row!(183, 7.9, 146, 56.8, 82, 192, 57, 141, 27, 44)),
-        b("i1", (25, 13), false, true, row!(70, 2.1, 61, 1.9, 33, 73, 34, 69, 5, 3)),
-        b("i3", (132, 6), false, true, row!(252, 7.7, 260, 8.41, 58, 184, 90, 224, -22, 24)),
-        b("i4", (192, 6), false, true, row!(436, 13.9, 448, 67.9, 114, 380, 145, 384, -1, 7)),
-        b("i5", (133, 66), false, true, row!(264, 9.5, 264, 28.33, 165, 330, 165, 330, 0, 0)),
-        b("m181", (15, 9), true, true, row!(148, 5.1, 148, 5.17, 54, 144, 56, 162, -13, -4)),
-        b("majority", (5, 1), false, false, row!(18, 0.4, 16, 0.21, 8, 17, 7, 16, 6, 14)),
-        b("misg", (56, 23), false, true, row!(138, 4.4, 100, 6.11, 52, 132, 41, 95, 28, 27)),
-        b("mish", (94, 34), false, true, row!(180, 4.6, 143, 2.31, 63, 153, 64, 157, -3, 0)),
-        b("mlp4", (8, 8), true, false, row!(534, 19.3, 452, 12.72, 176, 503, 171, 411, 18, 21)),
-        b("my_adder", (33, 17), true, false, row!(336, 6.9, 224, 13.04, 111, 290, 113, 226, 22, 38)),
-        b("parity", (16, 1), true, false, row!(90, 1.2, 90, 0.28, 15, 60, 15, 60, 0, 0)),
-        b("pcle", (19, 9), false, true, row!(110, 2.5, 96, 2.09, 50, 121, 44, 92, 24, 26)),
-        b("pcler8", (27, 17), false, true, row!(156, 4.8, 135, 5.12, 73, 153, 73, 137, 10, 4)),
-        b("pm1", (16, 13), false, true, row!(69, 2.8, 65, 1.44, 33, 67, 39, 73, -9, 2)),
-        b("radd", (8, 5), true, false, row!(64, 2.7, 48, 0.41, 26, 58, 25, 52, 10, 41)),
-        b("rd53", (5, 3), true, false, row!(52, 2.0, 50, 0.33, 24, 53, 25, 50, 6, 0)),
-        b("rd73", (7, 3), true, false, row!(108, 9.3, 90, 0.87, 46, 103, 41, 88, 15, 9)),
-        b("rd84", (8, 4), true, false, row!(256, 97.2, 138, 1.11, 83, 225, 66, 137, 39, 38)),
-        b("shift", (19, 16), false, true, row!(398, 6.6, 306, 16.36, 114, 313, 86, 307, 2, -8)),
-        b("sqr6", (6, 12), true, false, row!(212, 4.2, 217, 4.05, 72, 194, 82, 223, -15, 1)),
-        b("squar5", (5, 8), true, false, row!(92, 2.7, 104, 0.90, 37, 92, 46, 104, -13, 5)),
-        b("sym10", (10, 1), true, true, row!(430, 711.1, 176, 4.53, 133, 350, 78, 179, 49, 59)),
-        b("t481", (16, 1), true, false, row!(474, 1372.4, 50, 0.69, 190, 438, 23, 48, 89, 85)),
-        b("tcon", (17, 16), false, true, row!(48, 1.3, 48, 0.28, 17, 73, 17, 73, 0, 0)),
-        b("xor10", (10, 1), true, false, row!(54, 1692.1, 54, 0.56, 9, 36, 9, 36, 0, 0)),
-        b("z4ml", (7, 4), true, false, row!(48, 1.7, 42, 1.05, 25, 50, 21, 42, 16, 11)),
+        b(
+            "5xp1",
+            (7, 10),
+            true,
+            false,
+            row!(213, 6.7, 181, 5.21, 78, 207, 66, 161, 22, 16),
+        ),
+        b(
+            "9sym",
+            (9, 1),
+            true,
+            false,
+            row!(414, 14.5, 156, 2.45, 139, 372, 64, 146, 61, 57),
+        ),
+        b(
+            "adr4",
+            (8, 5),
+            true,
+            false,
+            row!(62, 1.8, 48, 0.45, 28, 59, 23, 48, 19, 31),
+        ),
+        b(
+            "add6",
+            (12, 7),
+            true,
+            false,
+            row!(114, 3.2, 76, 0.91, 48, 106, 44, 82, 23, 42),
+        ),
+        b(
+            "addm4",
+            (9, 8),
+            true,
+            true,
+            row!(700, 465.0, 588, 42.22, 221, 573, 224, 539, 6, 13),
+        ),
+        b(
+            "bcd-div3",
+            (4, 4),
+            true,
+            false,
+            row!(52, 0.9, 52, 0.43, 20, 51, 22, 54, -6, -1),
+        ),
+        b(
+            "cc",
+            (21, 20),
+            false,
+            true,
+            row!(84, 2.8, 84, 2.68, 44, 89, 42, 88, 1, 3),
+        ),
+        b(
+            "co14",
+            (14, 1),
+            true,
+            true,
+            row!(128, 5.8, 88, 2.73, 50, 118, 50, 98, 17, 14),
+        ),
+        b(
+            "cm163a",
+            (16, 5),
+            false,
+            true,
+            row!(74, 2.2, 66, 1.33, 28, 65, 30, 68, -5, 13),
+        ),
+        b(
+            "cm82a",
+            (5, 3),
+            false,
+            false,
+            row!(34, 0.6, 28, 0.5, 14, 31, 16, 32, -3, 29),
+        ),
+        b(
+            "cm85a",
+            (11, 3),
+            false,
+            true,
+            row!(80, 1.7, 84, 1.48, 33, 77, 41, 84, -9, 1),
+        ),
+        b(
+            "cmb",
+            (16, 4),
+            false,
+            true,
+            row!(86, 2.2, 37, 0.22, 32, 83, 17, 50, 40, 35),
+        ),
+        b(
+            "f2",
+            (4, 4),
+            true,
+            false,
+            row!(36, 1.2, 34, 0.73, 16, 40, 16, 34, 15, 12),
+        ),
+        b(
+            "f51m",
+            (8, 8),
+            true,
+            true,
+            row!(187, 8.6, 137, 2.71, 66, 160, 63, 132, 17, 27),
+        ),
+        b(
+            "frg1",
+            (28, 3),
+            false,
+            true,
+            row!(183, 7.9, 146, 56.8, 82, 192, 57, 141, 27, 44),
+        ),
+        b(
+            "i1",
+            (25, 13),
+            false,
+            true,
+            row!(70, 2.1, 61, 1.9, 33, 73, 34, 69, 5, 3),
+        ),
+        b(
+            "i3",
+            (132, 6),
+            false,
+            true,
+            row!(252, 7.7, 260, 8.41, 58, 184, 90, 224, -22, 24),
+        ),
+        b(
+            "i4",
+            (192, 6),
+            false,
+            true,
+            row!(436, 13.9, 448, 67.9, 114, 380, 145, 384, -1, 7),
+        ),
+        b(
+            "i5",
+            (133, 66),
+            false,
+            true,
+            row!(264, 9.5, 264, 28.33, 165, 330, 165, 330, 0, 0),
+        ),
+        b(
+            "m181",
+            (15, 9),
+            true,
+            true,
+            row!(148, 5.1, 148, 5.17, 54, 144, 56, 162, -13, -4),
+        ),
+        b(
+            "majority",
+            (5, 1),
+            false,
+            false,
+            row!(18, 0.4, 16, 0.21, 8, 17, 7, 16, 6, 14),
+        ),
+        b(
+            "misg",
+            (56, 23),
+            false,
+            true,
+            row!(138, 4.4, 100, 6.11, 52, 132, 41, 95, 28, 27),
+        ),
+        b(
+            "mish",
+            (94, 34),
+            false,
+            true,
+            row!(180, 4.6, 143, 2.31, 63, 153, 64, 157, -3, 0),
+        ),
+        b(
+            "mlp4",
+            (8, 8),
+            true,
+            false,
+            row!(534, 19.3, 452, 12.72, 176, 503, 171, 411, 18, 21),
+        ),
+        b(
+            "my_adder",
+            (33, 17),
+            true,
+            false,
+            row!(336, 6.9, 224, 13.04, 111, 290, 113, 226, 22, 38),
+        ),
+        b(
+            "parity",
+            (16, 1),
+            true,
+            false,
+            row!(90, 1.2, 90, 0.28, 15, 60, 15, 60, 0, 0),
+        ),
+        b(
+            "pcle",
+            (19, 9),
+            false,
+            true,
+            row!(110, 2.5, 96, 2.09, 50, 121, 44, 92, 24, 26),
+        ),
+        b(
+            "pcler8",
+            (27, 17),
+            false,
+            true,
+            row!(156, 4.8, 135, 5.12, 73, 153, 73, 137, 10, 4),
+        ),
+        b(
+            "pm1",
+            (16, 13),
+            false,
+            true,
+            row!(69, 2.8, 65, 1.44, 33, 67, 39, 73, -9, 2),
+        ),
+        b(
+            "radd",
+            (8, 5),
+            true,
+            false,
+            row!(64, 2.7, 48, 0.41, 26, 58, 25, 52, 10, 41),
+        ),
+        b(
+            "rd53",
+            (5, 3),
+            true,
+            false,
+            row!(52, 2.0, 50, 0.33, 24, 53, 25, 50, 6, 0),
+        ),
+        b(
+            "rd73",
+            (7, 3),
+            true,
+            false,
+            row!(108, 9.3, 90, 0.87, 46, 103, 41, 88, 15, 9),
+        ),
+        b(
+            "rd84",
+            (8, 4),
+            true,
+            false,
+            row!(256, 97.2, 138, 1.11, 83, 225, 66, 137, 39, 38),
+        ),
+        b(
+            "shift",
+            (19, 16),
+            false,
+            true,
+            row!(398, 6.6, 306, 16.36, 114, 313, 86, 307, 2, -8),
+        ),
+        b(
+            "sqr6",
+            (6, 12),
+            true,
+            false,
+            row!(212, 4.2, 217, 4.05, 72, 194, 82, 223, -15, 1),
+        ),
+        b(
+            "squar5",
+            (5, 8),
+            true,
+            false,
+            row!(92, 2.7, 104, 0.90, 37, 92, 46, 104, -13, 5),
+        ),
+        b(
+            "sym10",
+            (10, 1),
+            true,
+            true,
+            row!(430, 711.1, 176, 4.53, 133, 350, 78, 179, 49, 59),
+        ),
+        b(
+            "t481",
+            (16, 1),
+            true,
+            false,
+            row!(474, 1372.4, 50, 0.69, 190, 438, 23, 48, 89, 85),
+        ),
+        b(
+            "tcon",
+            (17, 16),
+            false,
+            true,
+            row!(48, 1.3, 48, 0.28, 17, 73, 17, 73, 0, 0),
+        ),
+        b(
+            "xor10",
+            (10, 1),
+            true,
+            false,
+            row!(54, 1692.1, 54, 0.56, 9, 36, 9, 36, 0, 0),
+        ),
+        b(
+            "z4ml",
+            (7, 4),
+            true,
+            false,
+            row!(48, 1.7, 42, 1.05, 25, 50, 21, 42, 16, 11),
+        ),
     ]
 }
 

@@ -137,13 +137,7 @@ pub fn c_addm4() -> Network {
 pub fn c_bcd_div3() -> Network {
     two_level(
         "bcd-div3",
-        &word_function(4, 4, |x| {
-            if x > 9 {
-                0
-            } else {
-                (x / 3) | ((x % 3) << 2)
-            }
-        }),
+        &word_function(4, 4, |x| if x > 9 { 0 } else { (x / 3) | ((x % 3) << 2) }),
     )
 }
 
@@ -216,9 +210,11 @@ pub fn c_t481() -> Network {
     let mut net = Network::new("t481");
     let v = bus(&mut net, "v", 16);
     let not = |net: &mut Network, s: SignalId| net.add_gate(GateKind::Not, vec![s]);
-    let and2 = |net: &mut Network, a: SignalId, b: SignalId| net.add_gate(GateKind::And, vec![a, b]);
+    let and2 =
+        |net: &mut Network, a: SignalId, b: SignalId| net.add_gate(GateKind::And, vec![a, b]);
     let or2 = |net: &mut Network, a: SignalId, b: SignalId| net.add_gate(GateKind::Or, vec![a, b]);
-    let xor2 = |net: &mut Network, a: SignalId, b: SignalId| net.add_gate(GateKind::Xor, vec![a, b]);
+    let xor2 =
+        |net: &mut Network, a: SignalId, b: SignalId| net.add_gate(GateKind::Xor, vec![a, b]);
 
     let nv0 = not(&mut net, v[0]);
     let a1 = and2(&mut net, nv0, v[1]);
@@ -671,7 +667,9 @@ mod tests {
         assert_eq!(net.outputs().len(), 17);
         let mut seed = 42u64;
         for _ in 0..50 {
-            seed = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            seed = seed
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let a = seed & 0xffff;
             let b = (seed >> 16) & 0xffff;
             let cin = (seed >> 33) & 1;
@@ -793,9 +791,8 @@ mod tests {
         let q = 0x0aau64;
         let with_en = net.eval_u64(d | (q << 9) | (1 << 18));
         let without = net.eval_u64(d | (q << 9));
-        let pack = |v: &[bool]| -> u64 {
-            v.iter().enumerate().map(|(k, &x)| (x as u64) << k).sum()
-        };
+        let pack =
+            |v: &[bool]| -> u64 { v.iter().enumerate().map(|(k, &x)| (x as u64) << k).sum() };
         assert_eq!(pack(&with_en), d);
         assert_eq!(pack(&without), q);
     }
@@ -814,7 +811,11 @@ mod tests {
             m
         };
         let out = net.eval_u64(encode(63, 63, 0));
-        let sum: u64 = out[..7].iter().enumerate().map(|(k, &v)| (v as u64) << k).sum();
+        let sum: u64 = out[..7]
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (v as u64) << k)
+            .sum();
         assert_eq!(sum, 126);
         assert!(!out[7], "no carry out");
         assert!(out[8], "signed overflow");

@@ -133,7 +133,9 @@ pub fn generate_tests(net: &Network, faults: &[Fault]) -> AtpgResult {
             let rep = fault_simulate(net, &tests, &remaining);
             remaining = rep.undetected;
         }
-        let Some(&target) = remaining.first() else { break };
+        let Some(&target) = remaining.first() else {
+            break;
+        };
         match generate_test(net, target) {
             Some(p) => tests.push(p),
             None => {

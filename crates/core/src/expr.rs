@@ -313,8 +313,7 @@ fn rewrite_once(e: Gexpr) -> Gexpr {
                         }
                         let fj = kids[j].factors();
                         // B's factors must all be in the product
-                        if b_factors.iter().all(|f| fj.contains(f)) && fj.len() > b_factors.len()
-                        {
+                        if b_factors.iter().all(|f| fj.contains(f)) && fj.len() > b_factors.len() {
                             let a_factors: Vec<Gexpr> = fj
                                 .iter()
                                 .filter(|f| !b_factors.contains(f))
@@ -497,7 +496,9 @@ mod tests {
         // stress the rewriter on random small XOR expressions
         let mut seed = 12345u64;
         let mut rand = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for _ in 0..50 {
@@ -569,7 +570,11 @@ mod tests {
 
     #[test]
     fn literal_count_and_xor_ops() {
-        let e = Gexpr::Xor(vec![Gexpr::cube([0, 1]), Gexpr::cube([2]), Gexpr::cube([3, 4, 5])]);
+        let e = Gexpr::Xor(vec![
+            Gexpr::cube([0, 1]),
+            Gexpr::cube([2]),
+            Gexpr::cube([3, 4, 5]),
+        ]);
         assert_eq!(e.num_literals(), 6);
         assert_eq!(e.num_xor_ops(), 2);
     }

@@ -30,7 +30,11 @@ pub fn factor_cubes(cubes: &[VarSet], apply_rules: bool) -> Gexpr {
     let constant_parity = cubes.iter().filter(|c| c.is_empty()).count() % 2 == 1;
     let proper: Vec<VarSet> = cubes.iter().filter(|c| !c.is_empty()).cloned().collect();
     let body = factor_set(&proper);
-    let body = if apply_rules { body.apply_rules() } else { body.normalize() };
+    let body = if apply_rules {
+        body.apply_rules()
+    } else {
+        body.normalize()
+    };
     if constant_parity {
         Gexpr::Not(Box::new(body)).normalize()
     } else {
@@ -320,8 +324,7 @@ mod tests {
             let mut om = OfddManager::new(pol.clone());
             let o = om.from_table(&t);
             let mut net = Network::new("m2");
-            let inputs: Vec<SignalId> =
-                (0..6).map(|i| net.add_input(format!("x{i}"))).collect();
+            let inputs: Vec<SignalId> = (0..6).map(|i| net.add_input(format!("x{i}"))).collect();
             let mut lits = literal_supplier(&pol, &inputs);
             let s = ofdd_to_network(&om, o, &mut net, &mut lits);
             net.add_output("f", s);

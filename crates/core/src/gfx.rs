@@ -144,12 +144,13 @@ fn collect_candidates(
 
     let mut seen: HashMap<Vec<VarSet>, ()> = HashMap::new();
     let mut out: Vec<Vec<VarSet>> = Vec::new();
-    let push = |cand: Vec<VarSet>, out: &mut Vec<Vec<VarSet>>, seen: &mut HashMap<Vec<VarSet>, ()>| {
-        if cand.len() >= 2 && !seen.contains_key(&cand) {
-            seen.insert(cand.clone(), ());
-            out.push(cand);
-        }
-    };
+    let push =
+        |cand: Vec<VarSet>, out: &mut Vec<Vec<VarSet>>, seen: &mut HashMap<Vec<VarSet>, ()>| {
+            if cand.len() >= 2 && !seen.contains_key(&cand) {
+                seen.insert(cand.clone(), ());
+                out.push(cand);
+            }
+        };
     for q in &quotients {
         push(q.clone(), &mut out, &mut seen);
     }
@@ -206,11 +207,7 @@ fn cokernels(f: &[VarSet], d: &[VarSet]) -> Vec<VarSet> {
 
 /// Total literal saving of extracting `d` across all functions, minus the
 /// cost of the divisor node itself.
-fn total_saving(
-    funcs: &[Vec<VarSet>],
-    divisors: &[(usize, Vec<VarSet>)],
-    d: &[VarSet],
-) -> i64 {
+fn total_saving(funcs: &[Vec<VarSet>], divisors: &[(usize, Vec<VarSet>)], d: &[VarSet]) -> i64 {
     let d_lits: i64 = d.iter().map(|c| c.len() as i64).sum();
     let d_cubes = d.len() as i64;
     let mut occurrences = 0i64;
@@ -254,7 +251,10 @@ fn rewrite(f: &mut Vec<VarSet>, d: &[VarSet], y: usize) {
         // remove the occurrence's cubes
         for dc in d {
             let prod = co.union(dc);
-            let pos = f.iter().position(|c| *c == prod).expect("verified occurrence");
+            let pos = f
+                .iter()
+                .position(|c| *c == prod)
+                .expect("verified occurrence");
             f.remove(pos);
         }
         let mut nc = co.clone();
@@ -272,12 +272,7 @@ mod tests {
     }
 
     /// Evaluates a literal-space cube set given divisor definitions.
-    fn eval(
-        f: &[VarSet],
-        divisors: &[(usize, Vec<VarSet>)],
-        inputs: u64,
-        n: usize,
-    ) -> bool {
+    fn eval(f: &[VarSet], divisors: &[(usize, Vec<VarSet>)], inputs: u64, n: usize) -> bool {
         let mut env: HashMap<usize, bool> = HashMap::new();
         for v in 0..n {
             env.insert(v, inputs & (1 << v) != 0);
@@ -288,9 +283,7 @@ mod tests {
         while !remaining.is_empty() {
             let before = remaining.len();
             remaining.retain(|(y, d)| {
-                let ready = d
-                    .iter()
-                    .all(|c| c.iter().all(|l| env.contains_key(&l)));
+                let ready = d.iter().all(|c| c.iter().all(|l| env.contains_key(&l)));
                 if ready {
                     let val = d
                         .iter()
@@ -398,9 +391,18 @@ mod tests {
             ext.divisors.len()
         );
         for m in 0..128u64 {
-            assert_eq!(eval(&ext.functions[0], &ext.divisors, m, 7), eval(&s1, &[], m, 7));
-            assert_eq!(eval(&ext.functions[1], &ext.divisors, m, 7), eval(&s2, &[], m, 7));
-            assert_eq!(eval(&ext.functions[2], &ext.divisors, m, 7), eval(&cout, &[], m, 7));
+            assert_eq!(
+                eval(&ext.functions[0], &ext.divisors, m, 7),
+                eval(&s1, &[], m, 7)
+            );
+            assert_eq!(
+                eval(&ext.functions[1], &ext.divisors, m, 7),
+                eval(&s2, &[], m, 7)
+            );
+            assert_eq!(
+                eval(&ext.functions[2], &ext.divisors, m, 7),
+                eval(&cout, &[], m, 7)
+            );
         }
         // the rewritten s2 should be the 3-cube ripple form
         assert!(ext.functions[1].len() <= 3, "s2 = a ⊕ b ⊕ carry expected");

@@ -43,11 +43,11 @@
 #![warn(missing_docs)]
 
 pub mod atpg;
-pub mod gfx;
-pub mod power;
 mod expr;
 mod factor;
+pub mod gfx;
 mod patterns;
+pub mod power;
 mod redundancy;
 mod synth;
 mod verify;
@@ -58,5 +58,8 @@ pub use patterns::{
     literal_mask_to_pattern, merge_patterns, paper_patterns, Pattern, PatternOptions,
 };
 pub use redundancy::{remove_redundancy, RedundancyStats};
-pub use synth::{synthesize, FactorMethod, Granularity, PolarityMode, SynthOptions, SynthReport};
+pub use synth::{
+    synthesize, FactorMethod, Granularity, PhaseTimings, PolarityMode, SynthOptions, SynthReport,
+};
 pub use verify::{network_bdds, EquivChecker};
+pub use xsynth_ofdd::PolaritySearchStats;

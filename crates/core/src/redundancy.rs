@@ -124,7 +124,13 @@ fn eval_words(kind: GateKind, fanins: &[SignalId], val: &[u64]) -> u64 {
 
 /// Whether flipping `node`'s value on `flip_mask` lanes of `block` changes
 /// any primary output.
-fn flip_propagates(net: &Network, state: &SimState, block: &Block, node: SignalId, flip_mask: u64) -> bool {
+fn flip_propagates(
+    net: &Network,
+    state: &SimState,
+    block: &Block,
+    node: SignalId,
+    flip_mask: u64,
+) -> bool {
     if flip_mask == 0 {
         return false;
     }
@@ -247,7 +253,9 @@ pub fn remove_redundancy(
         let mut order_rev = state.order.clone();
         order_rev.reverse();
         for id in order_rev {
-            let Some(kind) = cur.gate_kind(id) else { continue };
+            let Some(kind) = cur.gate_kind(id) else {
+                continue;
+            };
             if state.pos[id.index()] == usize::MAX {
                 continue; // unreachable after an earlier rewrite this pass
             }

@@ -20,12 +20,16 @@ use crate::patterns::{merge_patterns, paper_patterns, Pattern, PatternOptions};
 use crate::redundancy::{remove_redundancy, RedundancyStats};
 use crate::verify::{network_bdds, EquivChecker};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 use xsynth_bdd::BddManager;
 use xsynth_boolean::{Polarity, VarSet};
 use xsynth_net::{GateKind, Network, SignalId};
-use xsynth_ofdd::OfddManager;
+use xsynth_ofdd::{OfddManager, PolaritySearch, PolaritySearchStats};
 use xsynth_sim::random_patterns;
 use xsynth_sop::SopNet;
+
+pub use xsynth_ofdd::PolarityMode;
 
 /// Which factorization method to run (Section 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,18 +47,6 @@ pub enum FactorMethod {
     /// a greedy per-variable choice of Shannon / positive-Davio /
     /// negative-Davio expansion, lowered node-by-node.
     Kfdd,
-}
-
-/// How the polarity vector of each output is chosen (Section 2, ref \[20\]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PolarityMode {
-    /// All variables positive (the plain positive-polarity Reed-Muller
-    /// form).
-    AllPositive,
-    /// Greedy single-flip descent on the OFDD cube count.
-    Greedy,
-    /// Exhaustive over outputs with support ≤ 10 variables, greedy beyond.
-    Exhaustive,
 }
 
 /// How much of the network each FPRM factorization call sees.
@@ -97,6 +89,11 @@ pub struct SynthOptions {
     pub pattern_opts: PatternOptions,
     /// Maximum redundancy-removal sweeps.
     pub max_passes: usize,
+    /// Fan the per-output planning (and, for single-output circuits, the
+    /// polarity-candidate evaluation) out across threads. The result is
+    /// bit-identical to the sequential path; disable only to benchmark or
+    /// to pin the flow to one core.
+    pub parallel: bool,
 }
 
 impl Default for SynthOptions {
@@ -112,8 +109,30 @@ impl Default for SynthOptions {
             cube_cap: 512,
             pattern_opts: PatternOptions::default(),
             max_passes: 6,
+            parallel: true,
         }
     }
+}
+
+/// Wall-clock time spent in each pipeline phase of one [`synthesize`] call.
+///
+/// The phases partition the pipeline: `fprm` covers spec→BDD conversion and
+/// per-output polarity search + OFDD construction, `factoring` covers cube-
+/// list/OFDD lowering and structural hashing, `sharing` the cross-output
+/// divisor merge, and `redundancy` the Section 4 testability pass. `total`
+/// is the whole call, including the slack the other buckets don't claim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// BDD construction, polarity search, and OFDD/FPRM generation.
+    pub fprm: Duration,
+    /// Factorization and network emission (both methods), plus strash.
+    pub factoring: Duration,
+    /// The multi-output sharing pass.
+    pub sharing: Duration,
+    /// Redundancy removal.
+    pub redundancy: Duration,
+    /// End-to-end wall clock of the `synthesize` call.
+    pub total: Duration,
 }
 
 /// What the pipeline did, per output and overall.
@@ -129,6 +148,10 @@ pub struct SynthReport {
     pub blocks: usize,
     /// Number of shared GF(2) divisors extracted across outputs.
     pub divisors: usize,
+    /// Polarity-search counters summed over all outputs.
+    pub polarity_search: PolaritySearchStats,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
 }
 
 /// Synthesizes `spec` with the paper's FPRM flow and returns the optimized
@@ -160,6 +183,7 @@ pub struct SynthReport {
 /// Panics if an internal factoring step produces a non-equivalent network
 /// (an invariant violation, not an input condition).
 pub fn synthesize(spec: &Network, opts: &SynthOptions) -> (Network, SynthReport) {
+    let t_start = Instant::now();
     let spec = spec.sweep();
     let n = spec.inputs().len();
     let mut report = SynthReport::default();
@@ -178,6 +202,7 @@ pub fn synthesize(spec: &Network, opts: &SynthOptions) -> (Network, SynthReport)
             om.num_cubes(root) > opts.block_threshold
         }),
     };
+    report.timings.fprm += t_start.elapsed();
 
     let mut pattern_lists: Vec<Vec<Pattern>> = Vec::new();
     let net = if use_blocks {
@@ -187,36 +212,152 @@ pub fn synthesize(spec: &Network, opts: &SynthOptions) -> (Network, SynthReport)
             &[],
             &opts.pattern_opts,
         ));
-        synthesize_blocks(&spec, opts, &mut report)
+        let t = Instant::now();
+        let net = synthesize_blocks(&spec, opts, &mut report);
+        report.timings.factoring += t.elapsed();
+        net
     } else {
-        synthesize_outputs(&spec, opts, &mut bm, &out_bdds, &mut report, &mut pattern_lists)
+        synthesize_outputs(
+            &spec,
+            opts,
+            &mut bm,
+            &out_bdds,
+            &mut report,
+            &mut pattern_lists,
+        )
     };
 
     // cross-output sharing (the role `resub` plays in the paper)
+    let t = Instant::now();
     let mut result = net.strash().sweep();
+    report.timings.factoring += t.elapsed();
     let mut checker = EquivChecker::new(&spec);
     assert!(
         checker.check(&result),
         "internal error: factored network is not equivalent to the spec"
     );
     if opts.share {
+        let t = Instant::now();
         let shared = share_pass(&result);
         if checker.check(&shared) {
             result = shared;
         }
+        report.timings.sharing += t.elapsed();
     }
 
     if opts.redundancy_removal {
         // a small random booster keeps testability decisions honest on
         // outputs whose cube sets were too large to enumerate
+        let t = Instant::now();
         pattern_lists.push(random_patterns(n, 64, 0x0c));
         let patterns = merge_patterns(pattern_lists);
         let (reduced, stats) = remove_redundancy(&result, &patterns, &mut checker, opts.max_passes);
         report.redundancy = stats;
         result = reduced;
+        report.timings.redundancy += t.elapsed();
     }
 
-    (result.sweep(), report)
+    let result = result.sweep();
+    report.timings.total = t_start.elapsed();
+    (result, report)
+}
+
+/// One output's Phase 1 result: polarity, OFDD, method decision, patterns.
+struct OutputPlan {
+    name: String,
+    pol: Polarity,
+    om: OfddManager,
+    root: xsynth_ofdd::Ofdd,
+    bdd: xsynth_bdd::Bdd,
+    /// literal-space cubes (id = 2v for positive, 2v+1 for negative)
+    lit_cubes: Option<Vec<VarSet>>,
+    cube_count: u64,
+    cube_cap_fallback: bool,
+    patterns: Vec<Pattern>,
+    search: PolaritySearchStats,
+}
+
+/// Phase 1 for one output: polarity search, OFDD construction, method
+/// decision, and pattern generation. Pure in `(bm contents, f, opts)` —
+/// callers may run it on a clone of the manager in a worker thread and the
+/// result is identical to a sequential run.
+fn plan_output(
+    name: &str,
+    f: xsynth_bdd::Bdd,
+    bm: &mut BddManager,
+    n: usize,
+    num_outputs: usize,
+    opts: &SynthOptions,
+    candidate_parallel: bool,
+) -> OutputPlan {
+    let support: Vec<usize> = bm.support(f).iter().collect();
+    let mut search = PolaritySearch::new(bm, f).parallel(candidate_parallel);
+    let (pol, _) = search.run(opts.polarity, &support);
+    let stats = search.stats;
+    let mut om = OfddManager::new(pol.clone());
+    let root = om.from_bdd(bm, f);
+    let count = om.num_cubes(root);
+
+    let cubes: Vec<VarSet> = if count <= opts.pattern_opts.max_cubes as u64 {
+        om.cubes(root)
+    } else {
+        Vec::new()
+    };
+    let patterns = paper_patterns(n, &pol, &cubes, &opts.pattern_opts);
+
+    let cube_feasible = count <= opts.cube_cap;
+    let use_cubes = match opts.method {
+        FactorMethod::Cube => cube_feasible,
+        FactorMethod::Ofdd | FactorMethod::Kfdd => false,
+        FactorMethod::Best => {
+            cube_feasible
+                && (
+                    // multi-output circuits keep cube-feasible outputs
+                    // on the cube path so the cross-output divisor
+                    // extraction can merge them; single-output
+                    // functions pick the cheaper method directly
+                    (opts.share && num_outputs > 1) || {
+                        let cube_list = if cubes.is_empty() {
+                            om.cubes(root)
+                        } else {
+                            cubes.clone()
+                        };
+                        let expr = factor_cubes(&cube_list, opts.apply_rules);
+                        let cube_cost = scratch_cost(n, &pol, |net, lits| expr.emit(net, lits));
+                        let ofdd_cost = scratch_cost(n, &pol, |net, lits| {
+                            ofdd_to_network(&om, root, net, lits)
+                        });
+                        cube_cost <= ofdd_cost
+                    }
+                )
+        }
+    };
+    let lit_cubes = use_cubes.then(|| {
+        let list = if cubes.is_empty() {
+            om.cubes(root)
+        } else {
+            cubes.clone()
+        };
+        list.iter()
+            .map(|c| {
+                c.iter()
+                    .map(|v| 2 * v + usize::from(!pol.is_positive(v)))
+                    .collect::<VarSet>()
+            })
+            .collect::<Vec<VarSet>>()
+    });
+    OutputPlan {
+        name: name.to_string(),
+        pol,
+        om,
+        root,
+        bdd: f,
+        lit_cubes,
+        cube_count: count,
+        cube_cap_fallback: opts.method == FactorMethod::Cube && !cube_feasible,
+        patterns,
+        search: stats,
+    }
 }
 
 /// The per-output (collapsed) synthesis path.
@@ -236,79 +377,86 @@ fn synthesize_outputs(
         .map(|&i| net.add_input(spec.node_name(i).unwrap_or("in").to_string()))
         .collect();
 
-    // Phase 1: per-output polarity + FPRM cubes; decide the method.
-    struct OutputPlan {
-        name: String,
-        pol: Polarity,
-        om: OfddManager,
-        root: xsynth_ofdd::Ofdd,
-        bdd: xsynth_bdd::Bdd,
-        /// literal-space cubes (id = 2v for positive, 2v+1 for negative)
-        lit_cubes: Option<Vec<VarSet>>,
-    }
-    let mut plans: Vec<OutputPlan> = Vec::new();
-    for ((name, _), &f) in spec.outputs().iter().zip(out_bdds.iter()) {
-        let support = bm.support(f);
-        let pol = choose_polarity(bm, f, &support, n, opts.polarity);
-        let mut om = OfddManager::new(pol.clone());
-        let root = om.from_bdd(bm, f);
-        let count = om.num_cubes(root);
-        report.outputs.push((name.clone(), count, pol.clone()));
-
-        let cubes: Vec<VarSet> = if count <= opts.pattern_opts.max_cubes as u64 {
-            om.cubes(root)
-        } else {
-            Vec::new()
-        };
-        pattern_lists.push(paper_patterns(n, &pol, &cubes, &opts.pattern_opts));
-
-        let cube_feasible = count <= opts.cube_cap;
-        let use_cubes = match opts.method {
-            FactorMethod::Cube => cube_feasible,
-            FactorMethod::Ofdd | FactorMethod::Kfdd => false,
-            FactorMethod::Best => {
-                cube_feasible
-                    && (
-                        // multi-output circuits keep cube-feasible outputs
-                        // on the cube path so the cross-output divisor
-                        // extraction can merge them; single-output
-                        // functions pick the cheaper method directly
-                        (opts.share && spec.outputs().len() > 1) || {
-                            let cube_list =
-                                if cubes.is_empty() { om.cubes(root) } else { cubes.clone() };
-                            let expr = factor_cubes(&cube_list, opts.apply_rules);
-                            let cube_cost =
-                                scratch_cost(n, &pol, |net, lits| expr.emit(net, lits));
-                            let ofdd_cost = scratch_cost(n, &pol, |net, lits| {
-                                ofdd_to_network(&om, root, net, lits)
-                            });
-                            cube_cost <= ofdd_cost
+    // Phase 1: per-output polarity + FPRM cubes; decide the method. With
+    // multiple outputs the planning fans out across worker threads, each
+    // owning a clone of the BDD manager (handles stay valid in clones);
+    // with a single output the parallelism moves inside the polarity
+    // search instead, so the machine is never oversubscribed. Plans are
+    // merged back by output index, which makes the result independent of
+    // thread scheduling.
+    let t_plan = Instant::now();
+    let num_outputs = spec.outputs().len();
+    let parallel_outputs = opts.parallel && num_outputs > 1;
+    let candidate_parallel = opts.parallel && !parallel_outputs;
+    let plans: Vec<OutputPlan> = if parallel_outputs {
+        let workers = std::thread::available_parallelism()
+            .map(|w| w.get())
+            .unwrap_or(1)
+            .min(num_outputs);
+        let next = AtomicUsize::new(0);
+        let bm_ref = &*bm;
+        let outs = spec.outputs();
+        let done: Vec<(usize, OutputPlan)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = bm_ref.clone();
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= num_outputs {
+                                break;
+                            }
+                            let plan = plan_output(
+                                &outs[i].0,
+                                out_bdds[i],
+                                &mut local,
+                                n,
+                                num_outputs,
+                                opts,
+                                false,
+                            );
+                            mine.push((i, plan));
                         }
-                    )
-            }
-        };
-        if opts.method == FactorMethod::Cube && !cube_feasible {
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("planner worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<OutputPlan>> = (0..num_outputs).map(|_| None).collect();
+        for (i, plan) in done {
+            slots[i] = Some(plan);
+        }
+        slots
+            .into_iter()
+            .map(|p| p.expect("every output planned"))
+            .collect()
+    } else {
+        spec.outputs()
+            .iter()
+            .zip(out_bdds.iter())
+            .map(|((name, _), &f)| {
+                plan_output(name, f, bm, n, num_outputs, opts, candidate_parallel)
+            })
+            .collect()
+    };
+    let mut plans = plans;
+    for plan in &mut plans {
+        report
+            .outputs
+            .push((plan.name.clone(), plan.cube_count, plan.pol.clone()));
+        report.polarity_search.absorb(&plan.search);
+        if plan.cube_cap_fallback {
             report.cube_cap_fallbacks += 1;
         }
-        let lit_cubes = use_cubes.then(|| {
-            let list = if cubes.is_empty() { om.cubes(root) } else { cubes.clone() };
-            list.iter()
-                .map(|c| {
-                    c.iter()
-                        .map(|v| 2 * v + usize::from(!pol.is_positive(v)))
-                        .collect::<VarSet>()
-                })
-                .collect::<Vec<VarSet>>()
-        });
-        plans.push(OutputPlan {
-            name: name.clone(),
-            pol,
-            om,
-            root,
-            bdd: f,
-            lit_cubes,
-        });
+        pattern_lists.push(std::mem::take(&mut plan.patterns));
     }
+    report.timings.fprm += t_plan.elapsed();
+    let t_factor = Instant::now();
 
     // Phase 2: GF(2) common-divisor extraction across the cube-method
     // outputs (the cross-output merge the paper delegates to resub).
@@ -339,8 +487,11 @@ fn synthesize_outputs(
     let emit_order = {
         let mut order: Vec<usize> = Vec::new();
         let mut emitted: Vec<bool> = vec![false; extraction.len()];
-        let index_of: HashMap<usize, usize> =
-            extraction.iter().enumerate().map(|(k, (y, _))| (*y, k)).collect();
+        let index_of: HashMap<usize, usize> = extraction
+            .iter()
+            .enumerate()
+            .map(|(k, (y, _))| (*y, k))
+            .collect();
         while order.len() < extraction.len() {
             let before = order.len();
             for (k, (_, cubes)) in extraction.iter().enumerate() {
@@ -348,9 +499,8 @@ fn synthesize_outputs(
                     continue;
                 }
                 let ready = cubes.iter().all(|c| {
-                    c.iter().all(|l| {
-                        l < 2 * n || index_of.get(&l).is_none_or(|&dk| emitted[dk])
-                    })
+                    c.iter()
+                        .all(|l| l < 2 * n || index_of.get(&l).is_none_or(|&dk| emitted[dk]))
                 });
                 if ready {
                     emitted[k] = true;
@@ -414,6 +564,7 @@ fn synthesize_outputs(
         };
         net.add_output(plan.name.clone(), sig);
     }
+    report.timings.factoring += t_factor.elapsed();
     net
 }
 
@@ -559,73 +710,6 @@ fn scratch_cost(
     net.strash().two_input_cost().1
 }
 
-/// Picks a polarity vector for one output per the requested mode.
-fn choose_polarity(
-    bm: &mut BddManager,
-    f: xsynth_bdd::Bdd,
-    support: &VarSet,
-    n: usize,
-    mode: PolarityMode,
-) -> Polarity {
-    match mode {
-        PolarityMode::AllPositive => Polarity::all_positive(n),
-        PolarityMode::Greedy => greedy_polarity(bm, f, support, n),
-        PolarityMode::Exhaustive => {
-            let vars: Vec<usize> = support.iter().collect();
-            if vars.len() <= 10 {
-                let mut best: Option<(u64, Polarity)> = None;
-                for idx in 0..(1u64 << vars.len()) {
-                    let mut pol = Polarity::all_positive(n);
-                    for (b, &v) in vars.iter().enumerate() {
-                        pol.set(v, idx & (1 << b) == 0);
-                    }
-                    let mut om = OfddManager::new(pol.clone());
-                    let root = om.from_bdd(bm, f);
-                    let c = om.num_cubes(root);
-                    if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
-                        best = Some((c, pol));
-                    }
-                }
-                best.expect("at least one polarity").1
-            } else {
-                greedy_polarity(bm, f, support, n)
-            }
-        }
-    }
-}
-
-fn greedy_polarity(
-    bm: &mut BddManager,
-    f: xsynth_bdd::Bdd,
-    support: &VarSet,
-    n: usize,
-) -> Polarity {
-    let mut pol = Polarity::all_positive(n);
-    let mut best = {
-        let mut om = OfddManager::new(pol.clone());
-        let root = om.from_bdd(bm, f);
-        om.num_cubes(root)
-    };
-    loop {
-        let mut improved = false;
-        for v in support.iter() {
-            let mut p2 = pol.clone();
-            p2.flip(v);
-            let mut om = OfddManager::new(p2.clone());
-            let root = om.from_bdd(bm, f);
-            let c = om.num_cubes(root);
-            if c < best {
-                best = c;
-                pol = p2;
-                improved = true;
-            }
-        }
-        if !improved {
-            return pol;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -742,7 +826,11 @@ mod tests {
         spec.add_output("y", y);
         let (out, _) = synthesize(&spec, &SynthOptions::default());
         check_equiv(&spec, &out);
-        assert!(out.num_gates() <= 2, "cones must be shared, got {}", out.num_gates());
+        assert!(
+            out.num_gates() <= 2,
+            "cones must be shared, got {}",
+            out.num_gates()
+        );
     }
 
     #[test]

@@ -87,7 +87,10 @@ impl EquivChecker {
             .collect();
         assert_eq!(
             cand_names,
-            self.input_names.iter().map(String::as_str).collect::<Vec<_>>(),
+            self.input_names
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>(),
             "candidate inputs differ from reference"
         );
         match (&mut self.manager, &self.sim_reference) {
@@ -95,9 +98,7 @@ impl EquivChecker {
                 let outs = network_bdds(candidate, bm);
                 outs == self.reference_outputs
             }
-            (None, Some((reference, patterns))) => {
-                equivalent_on(reference, candidate, patterns)
-            }
+            (None, Some((reference, patterns))) => equivalent_on(reference, candidate, patterns),
             (None, None) => unreachable!("checker always has one backend"),
         }
     }

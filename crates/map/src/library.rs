@@ -125,21 +125,37 @@ impl Library {
             Cell::new("xor2", 5.0, 2, 0b0110),
             Cell::new("xnor2", 5.0, 2, 0b1001),
             // aoi21: !(a·b + c)
-            Cell::new("aoi21", 3.0, 3, tt(3, &|m| {
-                !((m & 1 != 0 && m & 2 != 0) || m & 4 != 0)
-            })),
+            Cell::new(
+                "aoi21",
+                3.0,
+                3,
+                tt(3, &|m| !((m & 1 != 0 && m & 2 != 0) || m & 4 != 0)),
+            ),
             // aoi22: !(a·b + c·d)
-            Cell::new("aoi22", 4.0, 4, tt(4, &|m| {
-                !((m & 1 != 0 && m & 2 != 0) || (m & 4 != 0 && m & 8 != 0))
-            })),
+            Cell::new(
+                "aoi22",
+                4.0,
+                4,
+                tt(4, &|m| {
+                    !((m & 1 != 0 && m & 2 != 0) || (m & 4 != 0 && m & 8 != 0))
+                }),
+            ),
             // oai21: !((a + b)·c)
-            Cell::new("oai21", 3.0, 3, tt(3, &|m| {
-                !((m & 1 != 0 || m & 2 != 0) && m & 4 != 0)
-            })),
+            Cell::new(
+                "oai21",
+                3.0,
+                3,
+                tt(3, &|m| !((m & 1 != 0 || m & 2 != 0) && m & 4 != 0)),
+            ),
             // oai22: !((a + b)·(c + d))
-            Cell::new("oai22", 4.0, 4, tt(4, &|m| {
-                !((m & 1 != 0 || m & 2 != 0) && (m & 4 != 0 || m & 8 != 0))
-            })),
+            Cell::new(
+                "oai22",
+                4.0,
+                4,
+                tt(4, &|m| {
+                    !((m & 1 != 0 || m & 2 != 0) && (m & 4 != 0 || m & 8 != 0))
+                }),
+            ),
         ];
         Library::new(cells)
     }

@@ -77,7 +77,12 @@ impl Mapping {
             .map(|n| sanitize_verilog(n))
             .chain(self.outputs.iter().map(|(n, _)| sanitize_verilog(n)))
             .collect();
-        let _ = writeln!(s, "module {} ({});", sanitize_verilog(module), ports.join(", "));
+        let _ = writeln!(
+            s,
+            "module {} ({});",
+            sanitize_verilog(module),
+            ports.join(", ")
+        );
         for n in &self.input_names {
             let _ = writeln!(s, "  input {};", sanitize_verilog(n));
         }
@@ -176,7 +181,13 @@ pub enum MapGoal {
 fn sanitize_verilog(name: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         out.insert(0, '_');
@@ -239,14 +250,18 @@ pub fn map_network_for(net: &Network, lib: &Library, goal: MapGoal) -> Mapping {
         let i = id.index();
         match subject.kind(id) {
             NodeKind::Input => {
-                cuts[i] = vec![Cut { leaves: vec![i as u32] }];
+                cuts[i] = vec![Cut {
+                    leaves: vec![i as u32],
+                }];
             }
             NodeKind::Gate(GateKind::Const0) | NodeKind::Gate(GateKind::Const1) => {
                 cuts[i] = vec![Cut { leaves: vec![] }];
             }
             NodeKind::Gate(GateKind::Not) => {
                 let f = subject.fanins(id)[0].index();
-                let mut cs = vec![Cut { leaves: vec![i as u32] }];
+                let mut cs = vec![Cut {
+                    leaves: vec![i as u32],
+                }];
                 cs.extend(cuts[f].iter().cloned());
                 dedup_cuts(&mut cs, i);
                 cuts[i] = cs;
@@ -254,7 +269,9 @@ pub fn map_network_for(net: &Network, lib: &Library, goal: MapGoal) -> Mapping {
             NodeKind::Gate(GateKind::And) => {
                 let f0 = subject.fanins(id)[0].index();
                 let f1 = subject.fanins(id)[1].index();
-                let mut cs = vec![Cut { leaves: vec![i as u32] }];
+                let mut cs = vec![Cut {
+                    leaves: vec![i as u32],
+                }];
                 for a in &cuts[f0] {
                     for b in &cuts[f1] {
                         let mut leaves = a.leaves.clone();
@@ -407,7 +424,12 @@ pub fn map_network_for(net: &Network, lib: &Library, goal: MapGoal) -> Mapping {
 }
 
 fn dedup_cuts(cs: &mut Vec<Cut>, node: usize) {
-    cs.sort_by(|a, b| a.leaves.len().cmp(&b.leaves.len()).then(a.leaves.cmp(&b.leaves)));
+    cs.sort_by(|a, b| {
+        a.leaves
+            .len()
+            .cmp(&b.leaves.len())
+            .then(a.leaves.cmp(&b.leaves))
+    });
     cs.dedup();
     // drop dominated cuts (a strict superset of another cut never matches
     // a cheaper cell family exclusively enough to matter at this size),
@@ -423,12 +445,7 @@ fn dedup_cuts(cs: &mut Vec<Cut>, node: usize) {
 }
 
 /// The function of `node` in terms of the cut leaves, as a 16-bit word.
-fn cut_function(
-    subject: &Network,
-    handle: &[Option<SignalId>],
-    node: SignalId,
-    cut: &Cut,
-) -> u16 {
+fn cut_function(subject: &Network, handle: &[Option<SignalId>], node: SignalId, cut: &Cut) -> u16 {
     let k = cut.leaves.len();
     let mut tt = 0u16;
     for m in 0..(1u32 << k) as u16 {
@@ -636,7 +653,10 @@ mod tests {
         // Structural covering cannot re-associate the chain (the mcnc-like
         // library has no AND3/AND4 cell to absorb positive-phase windows),
         // so the guarantee is only that the depth goal never loses.
-        assert!(d_depth <= d_area, "depth goal must not be deeper: {d_depth} vs {d_area}");
+        assert!(
+            d_depth <= d_area,
+            "depth goal must not be deeper: {d_depth} vs {d_area}"
+        );
         // both remain functionally correct
         for m in 0..256u64 {
             assert_eq!(depth_map.to_network(&lib).eval_u64(m)[0], m == 255);

@@ -119,6 +119,46 @@ impl SignalId {
     }
 }
 
+/// A structural problem in a [`Network`] triggered by caller input (as
+/// opposed to an internal invariant violation). Hand-written netlists —
+/// e.g. a BLIF file wired into a loop — surface these as clean errors
+/// through the `try_*` accessors instead of panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// [`Network::try_set_output`] was asked for an output name that does
+    /// not exist.
+    UnknownOutput {
+        /// The requested output name.
+        name: String,
+    },
+    /// The subgraph reachable from the outputs contains a combinational
+    /// cycle through this node.
+    CombinationalCycle {
+        /// The node where the cycle was detected.
+        node: SignalId,
+        /// Its name, when it has one.
+        name: Option<String>,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownOutput { name } => write!(f, "no output named {name}"),
+            NetError::CombinationalCycle { node, name } => match name {
+                Some(n) => write!(
+                    f,
+                    "combinational cycle through node {n} (id {})",
+                    node.index()
+                ),
+                None => write!(f, "combinational cycle through node id {}", node.index()),
+            },
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
 /// What a network node is.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeKind {
@@ -209,14 +249,26 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if no output has this name.
+    /// Panics if no output has this name; use
+    /// [`Network::try_set_output`] to handle that case as an error.
     pub fn set_output(&mut self, name: &str, signal: SignalId) {
-        let slot = self
-            .outputs
-            .iter_mut()
-            .find(|(n, _)| n == name)
-            .unwrap_or_else(|| panic!("no output named {name}"));
-        slot.1 = signal;
+        if let Err(e) = self.try_set_output(name, signal) {
+            panic!("{e}");
+        }
+    }
+
+    /// Redirects an existing primary output to a different signal,
+    /// reporting an unknown name as [`NetError::UnknownOutput`].
+    pub fn try_set_output(&mut self, name: &str, signal: SignalId) -> Result<(), NetError> {
+        match self.outputs.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => {
+                slot.1 = signal;
+                Ok(())
+            }
+            None => Err(NetError::UnknownOutput {
+                name: name.to_string(),
+            }),
+        }
     }
 
     /// The primary inputs, in declaration order.
@@ -287,8 +339,18 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if the reachable subgraph contains a cycle.
+    /// Panics if the reachable subgraph contains a cycle; use
+    /// [`Network::try_topo_order`] to handle that case as an error.
     pub fn topo_order(&self) -> Vec<SignalId> {
+        match self.try_topo_order() {
+            Ok(order) => order,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// All nodes reachable from the outputs, children before parents,
+    /// reporting a cycle as [`NetError::CombinationalCycle`].
+    pub fn try_topo_order(&self) -> Result<Vec<SignalId>, NetError> {
         #[derive(Clone, Copy, PartialEq)]
         enum Mark {
             White,
@@ -314,7 +376,12 @@ impl Network {
                     *next += 1;
                     match mark[child.index()] {
                         Mark::White => stack.push((child, 0)),
-                        Mark::Grey => panic!("combinational cycle through node {child:?}"),
+                        Mark::Grey => {
+                            return Err(NetError::CombinationalCycle {
+                                node: child,
+                                name: self.node_name(child).map(str::to_string),
+                            })
+                        }
                         Mark::Black => {}
                     }
                 } else {
@@ -324,7 +391,7 @@ impl Network {
                 }
             }
         }
-        order
+        Ok(order)
     }
 
     /// Fanout lists for every node (indexed by node id), counting only the
@@ -653,12 +720,7 @@ impl Network {
             let d = match self.kind(id) {
                 NodeKind::Input => 0,
                 NodeKind::Gate(k) => {
-                    let base = self
-                        .fanins(id)
-                        .iter()
-                        .map(|f| depth[f])
-                        .max()
-                        .unwrap_or(0);
+                    let base = self.fanins(id).iter().map(|f| depth[f]).max().unwrap_or(0);
                     match k {
                         GateKind::Buf | GateKind::Const0 | GateKind::Const1 => base,
                         _ => base + 1,
@@ -1036,5 +1098,42 @@ mod tests {
         let s = n.sweep();
         assert_eq!(s.eval_u64(0), vec![false]);
         assert_eq!(s.num_gates(), 0);
+    }
+
+    #[test]
+    fn try_set_output_reports_unknown_name() {
+        let mut n = full_adder();
+        let a = n.inputs()[0];
+        assert_eq!(n.try_set_output("s", a), Ok(()));
+        let err = n.try_set_output("nonesuch", a).unwrap_err();
+        assert_eq!(
+            err,
+            NetError::UnknownOutput {
+                name: "nonesuch".into()
+            }
+        );
+        assert_eq!(err.to_string(), "no output named nonesuch");
+    }
+
+    #[test]
+    fn try_topo_order_reports_cycle() {
+        // two gates wired into a loop via replace_gate
+        let mut n = Network::new("cyclic");
+        let a = n.add_input("a");
+        let g1 = n.add_gate(GateKind::Buf, vec![a]);
+        let g2 = n.add_gate(GateKind::And, vec![a, g1]);
+        n.add_output("o", g2);
+        n.replace_gate(g1, GateKind::Buf, vec![g2]);
+        let err = n.try_topo_order().unwrap_err();
+        assert!(matches!(err, NetError::CombinationalCycle { .. }));
+        assert!(err.to_string().contains("combinational cycle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no output named nonesuch")]
+    fn set_output_panic_message_unchanged() {
+        let mut n = full_adder();
+        let a = n.inputs()[0];
+        n.set_output("nonesuch", a);
     }
 }

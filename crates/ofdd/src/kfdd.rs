@@ -71,8 +71,16 @@ impl KfddManager {
         KfddManager {
             types,
             nodes: vec![
-                Node { var: TERMINAL_VAR, lo: Kfdd::ZERO, hi: Kfdd::ZERO },
-                Node { var: TERMINAL_VAR, lo: Kfdd::ONE, hi: Kfdd::ONE },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: Kfdd::ZERO,
+                    hi: Kfdd::ZERO,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: Kfdd::ONE,
+                    hi: Kfdd::ONE,
+                },
             ],
             unique: HashMap::new(),
         }
@@ -124,12 +132,7 @@ impl KfddManager {
     }
 
     #[allow(clippy::wrong_self_convention)]
-    fn from_bdd_rec(
-        &mut self,
-        bm: &mut BddManager,
-        f: Bdd,
-        memo: &mut HashMap<Bdd, Kfdd>,
-    ) -> Kfdd {
+    fn from_bdd_rec(&mut self, bm: &mut BddManager, f: Bdd, memo: &mut HashMap<Bdd, Kfdd>) -> Kfdd {
         if f == Bdd::ZERO {
             return Kfdd::ZERO;
         }
@@ -226,12 +229,7 @@ impl KfddManager {
 
     /// Lowers the KFDD into gates: Shannon nodes become multiplexers,
     /// Davio nodes become AND+XOR pairs, with DAG sharing preserved.
-    pub fn to_network(
-        &self,
-        root: Kfdd,
-        net: &mut Network,
-        inputs: &[SignalId],
-    ) -> SignalId {
+    pub fn to_network(&self, root: Kfdd, net: &mut Network, inputs: &[SignalId]) -> SignalId {
         if root == Kfdd::ZERO {
             return net.add_gate(GateKind::Const0, vec![]);
         }
@@ -262,10 +260,10 @@ impl KfddManager {
         let mut one: Option<SignalId> = None;
         let mut sig: HashMap<Kfdd, SignalId> = HashMap::new();
         let resolve = |k: Kfdd,
-                           net: &mut Network,
-                           sig: &HashMap<Kfdd, SignalId>,
-                           zero: &mut Option<SignalId>,
-                           one: &mut Option<SignalId>| {
+                       net: &mut Network,
+                       sig: &HashMap<Kfdd, SignalId>,
+                       zero: &mut Option<SignalId>,
+                       one: &mut Option<SignalId>| {
             match k {
                 Kfdd::ZERO => *zero.get_or_insert_with(|| net.add_gate(GateKind::Const0, vec![])),
                 Kfdd::ONE => *one.get_or_insert_with(|| net.add_gate(GateKind::Const1, vec![])),
@@ -414,9 +412,21 @@ mod tests {
         use Decomposition::*;
         let t = TruthTable::from_fn(5, |m| m.count_ones() % 2 == 1 || m == 17);
         for types in [
-            vec![Shannon, PositiveDavio, NegativeDavio, Shannon, PositiveDavio],
+            vec![
+                Shannon,
+                PositiveDavio,
+                NegativeDavio,
+                Shannon,
+                PositiveDavio,
+            ],
             vec![NegativeDavio; 5],
-            vec![Shannon, Shannon, PositiveDavio, PositiveDavio, NegativeDavio],
+            vec![
+                Shannon,
+                Shannon,
+                PositiveDavio,
+                PositiveDavio,
+                NegativeDavio,
+            ],
         ] {
             check(&t, types);
         }
@@ -443,13 +453,7 @@ mod tests {
     #[test]
     fn mux_prefers_shannon() {
         // f = s ? a : b — one Shannon node at s beats Davio chains
-        let t = TruthTable::from_fn(3, |m| {
-            if m & 1 != 0 {
-                m & 2 != 0
-            } else {
-                m & 4 != 0
-            }
-        });
+        let t = TruthTable::from_fn(3, |m| if m & 1 != 0 { m & 2 != 0 } else { m & 4 != 0 });
         let mut bm = BddManager::new(3);
         let f = bm.from_table(&t);
         let (m, r) = optimize_decomposition(&mut bm, f);
@@ -468,10 +472,7 @@ mod tests {
         let (m, r) = optimize_decomposition(&mut bm, f);
         // pure Davio gives n nodes; Shannon would give 2n-1
         assert_eq!(m.size(r), 8);
-        assert!(m
-            .types()
-            .iter()
-            .all(|d| *d != Decomposition::Shannon));
+        assert!(m.types().iter().all(|d| *d != Decomposition::Shannon));
     }
 
     #[test]

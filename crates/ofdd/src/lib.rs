@@ -87,8 +87,16 @@ impl OfddManager {
         OfddManager {
             polarity,
             nodes: vec![
-                Node { var: TERMINAL_VAR, lo: Ofdd::ZERO, hi: Ofdd::ZERO },
-                Node { var: TERMINAL_VAR, lo: Ofdd::ONE, hi: Ofdd::ONE },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: Ofdd::ZERO,
+                    hi: Ofdd::ZERO,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: Ofdd::ONE,
+                    hi: Ofdd::ONE,
+                },
             ],
             unique: HashMap::new(),
             xor_cache: HashMap::new(),
@@ -182,8 +190,16 @@ impl OfddManager {
         } else {
             let (nf, ng) = (self.node(f), self.node(g));
             let var = nf.var.min(ng.var);
-            let (fl, fh) = if nf.var == var { (nf.lo, nf.hi) } else { (f, Ofdd::ZERO) };
-            let (gl, gh) = if ng.var == var { (ng.lo, ng.hi) } else { (g, Ofdd::ZERO) };
+            let (fl, fh) = if nf.var == var {
+                (nf.lo, nf.hi)
+            } else {
+                (f, Ofdd::ZERO)
+            };
+            let (gl, gh) = if ng.var == var {
+                (ng.lo, ng.hi)
+            } else {
+                (g, Ofdd::ZERO)
+            };
             let lo = self.xor(fl, gl);
             let hi = self.xor(fh, gh);
             self.mk(var, lo, hi)
@@ -206,12 +222,7 @@ impl OfddManager {
     }
 
     #[allow(clippy::wrong_self_convention)]
-    fn from_bdd_rec(
-        &mut self,
-        bm: &mut BddManager,
-        f: Bdd,
-        memo: &mut HashMap<Bdd, Ofdd>,
-    ) -> Ofdd {
+    fn from_bdd_rec(&mut self, bm: &mut BddManager, f: Bdd, memo: &mut HashMap<Bdd, Ofdd>) -> Ofdd {
         if f == Bdd::ZERO {
             return Ofdd::ZERO;
         }
@@ -225,7 +236,11 @@ impl OfddManager {
         let f0 = bm.low(f);
         let f1 = bm.high(f);
         let diff_bdd = bm.xor(f0, f1);
-        let base_bdd = if self.polarity.is_positive(var) { f0 } else { f1 };
+        let base_bdd = if self.polarity.is_positive(var) {
+            f0
+        } else {
+            f1
+        };
         let lo = self.from_bdd_rec(bm, base_bdd, memo);
         let hi = self.from_bdd_rec(bm, diff_bdd, memo);
         let o = self.mk(var as u32, lo, hi);
@@ -325,7 +340,11 @@ impl OfddManager {
         let n = self.node(o);
         let var = n.var as usize;
         let x = minterm & (1u64 << var) != 0;
-        let lit = if self.polarity.is_positive(var) { x } else { !x };
+        let lit = if self.polarity.is_positive(var) {
+            x
+        } else {
+            !x
+        };
         let lo = self.eval_rec(n.lo, minterm, memo);
         let v = if lit {
             lo ^ self.eval_rec(n.hi, minterm, memo)
@@ -380,45 +399,302 @@ impl OfddManager {
     }
 }
 
-/// Searches for a cube-minimizing polarity of `t` by greedy descent over
-/// single-variable polarity flips, evaluating candidates through OFDD cube
+/// How a polarity vector is chosen (Section 2 of the paper, ref \[20\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolarityMode {
+    /// All variables positive (the plain positive-polarity Reed-Muller
+    /// form).
+    AllPositive,
+    /// Round-based greedy descent on the OFDD cube count: each round
+    /// evaluates every single-variable flip of the current polarity and
+    /// moves to the best strictly-improving one.
+    Greedy,
+    /// Gray-code-ordered exhaustive enumeration over outputs with support
+    /// ≤ [`EXHAUSTIVE_LIMIT`] variables, greedy beyond.
+    Exhaustive,
+}
+
+/// Support size up to which [`PolarityMode::Exhaustive`] really enumerates
+/// all `2^k` polarities.
+pub const EXHAUSTIVE_LIMIT: usize = 10;
+
+/// Counters kept by [`PolaritySearch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolaritySearchStats {
+    /// Polarity vectors whose cube count was actually computed.
+    pub candidates_evaluated: u64,
+    /// Cube-count requests answered from the memo table.
+    pub memo_hits: u64,
+}
+
+impl PolaritySearchStats {
+    /// Accumulates another search's counters (used when per-output
+    /// searches are merged into one report).
+    pub fn absorb(&mut self, other: &PolaritySearchStats) {
+        self.candidates_evaluated += other.candidates_evaluated;
+        self.memo_hits += other.memo_hits;
+    }
+}
+
+/// An incremental polarity search over one function.
+///
+/// The search owns a borrowed [`BddManager`] for the whole descent — the
+/// BDD of the function is built once and candidate polarities only pay for
+/// the BDD→OFDD conversion. Evaluated polarities are memoized (keyed by
+/// the polarity vector itself), so greedy rounds never re-evaluate a visited
+/// vector, and the independent single-flip candidates of a round can be
+/// evaluated in parallel on clones of the manager (`parallel(true)`).
+/// Results are bit-identical with and without parallelism: workers only
+/// compute cube counts, and the selection logic is a pure function of
+/// those counts applied in a fixed order.
+#[derive(Debug)]
+pub struct PolaritySearch<'a> {
+    bm: &'a mut BddManager,
+    f: Bdd,
+    memo: HashMap<Polarity, u64>,
+    parallel: bool,
+    /// Counters: candidates evaluated and memo hits so far.
+    pub stats: PolaritySearchStats,
+}
+
+impl<'a> PolaritySearch<'a> {
+    /// Starts a search for `f` inside `bm`.
+    pub fn new(bm: &'a mut BddManager, f: Bdd) -> Self {
+        PolaritySearch {
+            bm,
+            f,
+            memo: HashMap::new(),
+            parallel: false,
+            stats: PolaritySearchStats::default(),
+        }
+    }
+
+    /// Enables or disables parallel candidate evaluation (off by default —
+    /// callers that already fan out across outputs keep each search
+    /// single-threaded to avoid oversubscription).
+    pub fn parallel(mut self, enabled: bool) -> Self {
+        self.parallel = enabled;
+        self
+    }
+
+    /// The FPRM cube count of the function under `pol`, memoized.
+    pub fn cube_count(&mut self, pol: &Polarity) -> u64 {
+        if let Some(&c) = self.memo.get(pol) {
+            self.stats.memo_hits += 1;
+            return c;
+        }
+        let c = eval_polarity(self.bm, self.f, pol);
+        self.stats.candidates_evaluated += 1;
+        self.memo.insert(pol.clone(), c);
+        c
+    }
+
+    /// Cube counts for a batch of candidate polarities, answered from the
+    /// memo where possible and computed (in parallel when enabled) where
+    /// not. The returned vector is index-aligned with `pols`.
+    pub fn cube_counts(&mut self, pols: &[Polarity]) -> Vec<u64> {
+        let mut out: Vec<Option<u64>> = Vec::with_capacity(pols.len());
+        let mut missing: Vec<usize> = Vec::new();
+        for p in pols {
+            match self.memo.get(p) {
+                Some(&c) => {
+                    self.stats.memo_hits += 1;
+                    out.push(Some(c));
+                }
+                None => {
+                    missing.push(out.len());
+                    out.push(None);
+                }
+            }
+        }
+        // a batch may name the same uncached polarity twice; computing it
+        // twice would double-count, so dedup by key first
+        missing.dedup_by_key(|&mut i| pols[i].clone());
+        let workers = if self.parallel && missing.len() >= 2 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(missing.len())
+        } else {
+            1
+        };
+        if workers > 1 {
+            let bm = &*self.bm;
+            let f = self.f;
+            let counts: Vec<(usize, u64)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let chunk: Vec<usize> =
+                            missing.iter().copied().skip(w).step_by(workers).collect();
+                        let pols = &pols;
+                        s.spawn(move || {
+                            let mut local = bm.clone();
+                            chunk
+                                .into_iter()
+                                .map(|i| (i, eval_polarity(&mut local, f, &pols[i])))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("polarity worker panicked"))
+                    .collect()
+            });
+            for (i, c) in counts {
+                self.memo.insert(pols[i].clone(), c);
+                self.stats.candidates_evaluated += 1;
+            }
+        } else {
+            for &i in &missing {
+                let c = eval_polarity(self.bm, self.f, &pols[i]);
+                self.memo.insert(pols[i].clone(), c);
+                self.stats.candidates_evaluated += 1;
+            }
+        }
+        out.into_iter()
+            .zip(pols)
+            .map(|(c, p)| c.unwrap_or_else(|| self.memo[p]))
+            .collect()
+    }
+
+    /// Round-based greedy descent from the all-positive polarity: each
+    /// round evaluates every single-variable flip over `support` and moves
+    /// to the smallest strictly-improving cube count (ties broken toward
+    /// the lowest variable). Returns the winning polarity and its count.
+    pub fn greedy(&mut self, support: &[usize]) -> (Polarity, u64) {
+        let n = self.bm.num_vars();
+        let mut pol = Polarity::all_positive(n);
+        let mut best = self.cube_count(&pol.clone());
+        loop {
+            let candidates: Vec<Polarity> = support
+                .iter()
+                .map(|&v| {
+                    let mut p = pol.clone();
+                    p.flip(v);
+                    p
+                })
+                .collect();
+            if candidates.is_empty() {
+                return (pol, best);
+            }
+            let counts = self.cube_counts(&candidates);
+            let mut winner: Option<usize> = None;
+            for (i, &c) in counts.iter().enumerate() {
+                if c < best && winner.is_none_or(|w| c < counts[w]) {
+                    winner = Some(i);
+                }
+            }
+            match winner {
+                Some(i) => {
+                    best = counts[i];
+                    pol = candidates[i].clone();
+                }
+                None => return (pol, best),
+            }
+        }
+    }
+
+    /// Exhaustive enumeration of all `2^k` polarities over `support`, in
+    /// gray-code order (each step flips exactly one variable, the order a
+    /// future incremental OFDD update can exploit). Ties keep the earliest
+    /// polarity in gray order. Returns the winner and its count.
+    pub fn exhaustive_gray(&mut self, support: &[usize]) -> (Polarity, u64) {
+        let n = self.bm.num_vars();
+        let k = support.len();
+        assert!(k <= 24, "exhaustive polarity space too large for {k} vars");
+        // candidate i: the i-th gray code, a set bit meaning the variable
+        // is flipped to negative (gray 0 = all-positive)
+        let make = |i: u64| {
+            let g = i ^ (i >> 1);
+            let mut p = Polarity::all_positive(n);
+            for (b, &v) in support.iter().enumerate() {
+                if g & (1 << b) != 0 {
+                    p.set(v, false);
+                }
+            }
+            p
+        };
+        let mut best: Option<(u64, Polarity)> = None;
+        // batches keep peak memory flat and still feed the parallel path
+        const BATCH: u64 = 256;
+        let total = 1u64 << k;
+        let mut start = 0u64;
+        while start < total {
+            let end = (start + BATCH).min(total);
+            let pols: Vec<Polarity> = (start..end).map(make).collect();
+            let counts = self.cube_counts(&pols);
+            for (p, c) in pols.into_iter().zip(counts) {
+                if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
+                    best = Some((c, p));
+                }
+            }
+            start = end;
+        }
+        let (c, p) = best.expect("at least one polarity");
+        (p, c)
+    }
+
+    /// Dispatches on `mode`: all-positive, greedy descent, or gray-code
+    /// exhaustive when the support fits under [`EXHAUSTIVE_LIMIT`].
+    pub fn run(&mut self, mode: PolarityMode, support: &[usize]) -> (Polarity, u64) {
+        let n = self.bm.num_vars();
+        match mode {
+            PolarityMode::AllPositive => {
+                let pol = Polarity::all_positive(n);
+                let c = self.cube_count(&pol.clone());
+                (pol, c)
+            }
+            PolarityMode::Greedy => self.greedy(support),
+            PolarityMode::Exhaustive => {
+                if support.len() <= EXHAUSTIVE_LIMIT {
+                    self.exhaustive_gray(support)
+                } else {
+                    self.greedy(support)
+                }
+            }
+        }
+    }
+}
+
+/// One candidate evaluation: BDD→OFDD conversion under `pol`, cube count.
+fn eval_polarity(bm: &mut BddManager, f: Bdd, pol: &Polarity) -> u64 {
+    let mut om = OfddManager::new(pol.clone());
+    let o = om.from_bdd(bm, f);
+    om.num_cubes(o)
+}
+
+/// Searches for a cube-minimizing polarity of `t` by the memoized greedy
+/// descent of [`PolaritySearch`], evaluating candidates through OFDD cube
 /// counts. Returns the winning manager and root.
 ///
 /// This is the practical polarity-optimization loop of the paper's
 /// reference \[20\] scaled to functions whose truth tables fit in memory; for
-/// larger functions build from a [`BddManager`] directly with the polarity
-/// of your choice.
+/// larger functions build from a [`BddManager`] directly with
+/// [`PolaritySearch`] and the polarity of your choice.
 pub fn optimize_polarity(t: &TruthTable) -> (OfddManager, Ofdd) {
+    let ((om, o), _) = optimize_polarity_mode(t, PolarityMode::Greedy);
+    (om, o)
+}
+
+/// [`optimize_polarity`] with an explicit search mode, also returning the
+/// search counters.
+pub fn optimize_polarity_mode(
+    t: &TruthTable,
+    mode: PolarityMode,
+) -> ((OfddManager, Ofdd), PolaritySearchStats) {
     let n = t.num_vars();
     let mut bm = BddManager::new(n);
     let f = bm.from_table(t);
-    let mut pol = Polarity::all_positive(n);
-    let mut best_count = {
-        let mut om = OfddManager::new(pol.clone());
-        let o = om.from_bdd(&mut bm, f);
-        om.num_cubes(o)
+    let support: Vec<usize> = bm.support(f).iter().collect();
+    let (pol, stats) = {
+        let mut search = PolaritySearch::new(&mut bm, f).parallel(true);
+        let (pol, _) = search.run(mode, &support);
+        (pol, search.stats)
     };
-    loop {
-        let mut improved = false;
-        for v in 0..n {
-            let mut p2 = pol.clone();
-            p2.flip(v);
-            let mut om = OfddManager::new(p2.clone());
-            let o = om.from_bdd(&mut bm, f);
-            let c = om.num_cubes(o);
-            if c < best_count {
-                best_count = c;
-                pol = p2;
-                improved = true;
-            }
-        }
-        if !improved {
-            break;
-        }
-    }
     let mut om = OfddManager::new(pol);
     let o = om.from_bdd(&mut bm, f);
-    (om, o)
+    ((om, o), stats)
 }
 
 #[cfg(test)]

@@ -175,8 +175,7 @@ fn differs_under_fault(
                 FaultSite::Fanin(g, idx) if g == id => {
                     // evaluate with the idx-th fanin wire overridden
                     let fanins = net.fanins(id);
-                    let mut vals: Vec<u64> =
-                        fanins.iter().map(|f| val[f.index()]).collect();
+                    let mut vals: Vec<u64> = fanins.iter().map(|f| val[f.index()]).collect();
                     vals[idx] = stuck_word;
                     eval_gate_words_direct(*k, &vals)
                 }
@@ -280,11 +279,7 @@ mod tests {
         let g2 = n.add_gate(GateKind::And, vec![a, b]);
         let o = n.add_gate(GateKind::Or, vec![g1, g2]);
         n.add_output("y", o);
-        let rep = fault_simulate(
-            &n,
-            &exhaustive_patterns(2),
-            &enumerate_faults(&n),
-        );
+        let rep = fault_simulate(&n, &exhaustive_patterns(2), &enumerate_faults(&n));
         assert!(
             !rep.undetected.is_empty(),
             "duplicated cube must create untestable faults"

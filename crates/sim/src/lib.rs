@@ -168,11 +168,7 @@ impl<'a> Simulator<'a> {
 }
 
 /// Evaluates one gate over packed 64-pattern words.
-pub(crate) fn eval_gate_words(
-    kind: xsynth_net::GateKind,
-    fanins: &[SignalId],
-    val: &[u64],
-) -> u64 {
+pub(crate) fn eval_gate_words(kind: xsynth_net::GateKind, fanins: &[SignalId], val: &[u64]) -> u64 {
     use xsynth_net::GateKind::*;
     let mut it = fanins.iter().map(|f| val[f.index()]);
     match kind {
@@ -285,11 +281,7 @@ mod tests {
         }
         let outs = sim.outputs_for_patterns(&pats);
         for (i, p) in pats.iter().enumerate() {
-            let m: u64 = p
-                .iter()
-                .enumerate()
-                .map(|(b, &v)| (v as u64) << b)
-                .sum();
+            let m: u64 = p.iter().enumerate().map(|(b, &v)| (v as u64) << b).sum();
             assert_eq!(outs[i], n.eval_u64(m));
         }
     }

@@ -148,11 +148,7 @@ fn kernels_rec(
     }
     for (i, &(v, ph)) in lits.iter().enumerate().skip(start) {
         let lit_cube = Cube::literal(v, ph);
-        let containing: Vec<&Cube> = f
-            .cubes()
-            .iter()
-            .filter(|c| c.implies(&lit_cube))
-            .collect();
+        let containing: Vec<&Cube> = f.cubes().iter().filter(|c| c.implies(&lit_cube)).collect();
         if containing.len() < 2 {
             continue;
         }
@@ -176,10 +172,7 @@ fn kernels_rec(
             continue;
         }
         let co = co_so_far.intersect(&cc).unwrap_or_else(Cube::universe);
-        if !out
-            .iter()
-            .any(|k| covers_same(&k.kernel, &q))
-        {
+        if !out.iter().any(|k| covers_same(&k.kernel, &q)) {
             out.push(Kernel {
                 kernel: q.clone(),
                 cokernel: co.clone(),
@@ -459,9 +452,18 @@ mod tests {
         let ks = kernels(&f, 100);
         let abc = sop(&[(&[0], &[]), (&[1], &[]), (&[2], &[])]);
         let de = sop(&[(&[3], &[]), (&[4], &[])]);
-        assert!(ks.iter().any(|k| covers_same(&k.kernel, &abc)), "missing a+b+c");
-        assert!(ks.iter().any(|k| covers_same(&k.kernel, &de)), "missing d+e");
-        assert!(ks.iter().any(|k| covers_same(&k.kernel, &f)), "f is its own kernel");
+        assert!(
+            ks.iter().any(|k| covers_same(&k.kernel, &abc)),
+            "missing a+b+c"
+        );
+        assert!(
+            ks.iter().any(|k| covers_same(&k.kernel, &de)),
+            "missing d+e"
+        );
+        assert!(
+            ks.iter().any(|k| covers_same(&k.kernel, &f)),
+            "f is its own kernel"
+        );
     }
 
     #[test]

@@ -84,11 +84,7 @@ impl SopNet {
     /// Total SOP literal count over live nodes (the SIS `lits(sop)`
     /// metric).
     pub fn num_sop_literals(&self) -> usize {
-        self.nodes
-            .iter()
-            .flatten()
-            .map(Sop::num_literals)
-            .sum()
+        self.nodes.iter().flatten().map(Sop::num_literals).sum()
     }
 
     /// Total factored-form literal count over live nodes (the SIS
@@ -136,10 +132,14 @@ impl SopNet {
                 Cube::new(fan.iter().copied(), []).expect("distinct signals")
             ])),
             Nand => self.add_node(Sop::from_cubes(
-                fan.iter().map(|&f| Cube::literal(f, false)).collect::<Vec<_>>(),
+                fan.iter()
+                    .map(|&f| Cube::literal(f, false))
+                    .collect::<Vec<_>>(),
             )),
             Or => self.add_node(Sop::from_cubes(
-                fan.iter().map(|&f| Cube::literal(f, true)).collect::<Vec<_>>(),
+                fan.iter()
+                    .map(|&f| Cube::literal(f, true))
+                    .collect::<Vec<_>>(),
             )),
             Nor => self.add_node(Sop::from_cubes([
                 Cube::new([], fan.iter().copied()).expect("distinct signals")
@@ -186,13 +186,7 @@ impl SopNet {
         let np = self.num_pis();
         let mut state = vec![0u8; self.nodes.len()]; // 0 white 1 grey 2 black
         let mut order = Vec::new();
-        fn visit(
-            s: &SopNet,
-            node: usize,
-            state: &mut [u8],
-            order: &mut Vec<usize>,
-            np: usize,
-        ) {
+        fn visit(s: &SopNet, node: usize, state: &mut [u8], order: &mut Vec<usize>, np: usize) {
             match state[node] {
                 2 => return,
                 1 => panic!("cyclic SOP network at node {node}"),
@@ -227,8 +221,7 @@ impl SopNet {
         for sig in self.topo_signals() {
             let cover = self.cover(sig).expect("topo yields live nodes");
             let v = cover.cubes().iter().any(|c| {
-                c.positive().iter().all(|p| val[&p])
-                    && c.negative().iter().all(|n| !val[&n])
+                c.positive().iter().all(|p| val[&p]) && c.negative().iter().all(|n| !val[&n])
             });
             val.insert(sig, v);
         }
@@ -351,9 +344,11 @@ impl SopNet {
         if uses == 0 {
             return Some(-(cover.num_literals() as i64));
         }
-        let needs_complement = self.nodes.iter().flatten().any(|f| {
-            f.cubes().iter().any(|c| c.phase(signal) == Some(false))
-        });
+        let needs_complement = self
+            .nodes
+            .iter()
+            .flatten()
+            .any(|f| f.cubes().iter().any(|c| c.phase(signal) == Some(false)));
         let complement = if needs_complement {
             if cover.num_cubes() > 24 {
                 return None; // complement could blow up
@@ -504,11 +499,15 @@ impl SopNet {
                 if target == divisor_sig {
                     continue;
                 }
-                let Some(d) = self.cover(divisor_sig) else { continue };
+                let Some(d) = self.cover(divisor_sig) else {
+                    continue;
+                };
                 if d.num_cubes() < 2 {
                     continue;
                 }
-                let Some(f) = self.cover(target) else { continue };
+                let Some(f) = self.cover(target) else {
+                    continue;
+                };
                 if f.support().contains(divisor_sig) {
                     continue; // already expressed through it
                 }
@@ -562,7 +561,11 @@ impl SopNet {
             // resubstitution round-trip
             let s = match detect_xor2(cover) {
                 Some((a, b, inverted)) => {
-                    let kind = if inverted { GateKind::Xnor } else { GateKind::Xor };
+                    let kind = if inverted {
+                        GateKind::Xnor
+                    } else {
+                        GateKind::Xor
+                    };
                     net.add_gate(kind, vec![map[&a], map[&b]])
                 }
                 None => {
@@ -630,12 +633,8 @@ fn detect_xor2(cover: &Sop) -> Option<(usize, usize, bool)> {
     let p0: Option<(bool, bool)> = c0.phase(a).zip(c0.phase(b));
     let p1: Option<(bool, bool)> = c1.phase(a).zip(c1.phase(b));
     match (p0?, p1?) {
-        ((true, false), (false, true)) | ((false, true), (true, false)) => {
-            Some((a, b, false))
-        }
-        ((true, true), (false, false)) | ((false, false), (true, true)) => {
-            Some((a, b, true))
-        }
+        ((true, false), (false, true)) | ((false, true), (true, false)) => Some((a, b, false)),
+        ((true, true), (false, false)) | ((false, false), (true, true)) => Some((a, b, true)),
         _ => None,
     }
 }

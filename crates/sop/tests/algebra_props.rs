@@ -10,7 +10,9 @@ fn cover(bits: u64, cubes: usize) -> Sop {
     let mut out = Vec::new();
     let mut s = bits | 1;
     for _ in 0..cubes {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut pos = Vec::new();
         let mut neg = Vec::new();
         for v in 0..6 {

@@ -37,7 +37,10 @@ fn main() {
     let (base_gates, base_lits) = baseline.two_input_cost();
     println!();
     println!("shared GF(2) divisors extracted: {}", report.divisors);
-    println!("XOR gates reduced to OR/AND:     {}", report.redundancy.xor_to_or + report.redundancy.xor_to_and);
+    println!(
+        "XOR gates reduced to OR/AND:     {}",
+        report.redundancy.xor_to_or + report.redundancy.xor_to_and
+    );
     println!();
     println!("baseline (SIS-style): {base_gates} two-input gates / {base_lits} literals");
     println!("FPRM flow (ours):     {our_gates} two-input gates / {our_lits} literals");

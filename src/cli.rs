@@ -12,7 +12,7 @@
 
 use std::fmt::Write as _;
 use xsynth_blif::{parse_blif, parse_pla, write_blif};
-use xsynth_core::{synthesize, EquivChecker, FactorMethod, SynthOptions};
+use xsynth_core::{synthesize, EquivChecker, FactorMethod, SynthOptions, SynthReport};
 use xsynth_map::{map_network, Library};
 use xsynth_net::Network;
 use xsynth_sop::{script_algebraic, ScriptOptions};
@@ -30,6 +30,8 @@ pub struct Command {
     pub engine: Engine,
     /// Skip the redundancy-removal pass.
     pub no_redundancy: bool,
+    /// Print per-phase timings and polarity-search counters.
+    pub stats: bool,
 }
 
 /// What to do.
@@ -76,6 +78,7 @@ options:
   -o FILE            write output to FILE
   --method ENGINE    fprm (default) | cube | ofdd | kfdd | sop | none
   --no-redundancy    skip the XOR redundancy-removal pass
+  --stats            print per-phase timings and polarity-search counters
 ";
 
 /// Parses the command line (excluding `argv[0]`).
@@ -97,9 +100,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         .next()
         .ok_or_else(|| format!("missing input\n{USAGE}"))?
         .clone();
+    if action == Action::Bench {
+        validate_bench_name(&input)?;
+    }
     let mut output = None;
     let mut engine = Engine::Fprm;
     let mut no_redundancy = false;
+    let mut stats = false;
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" => {
@@ -121,6 +128,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             "--no-redundancy" => no_redundancy = true,
+            "--stats" => stats = true,
             other => return Err(format!("unknown option '{other}'\n{USAGE}")),
         }
     }
@@ -130,7 +138,49 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         output,
         engine,
         no_redundancy,
+        stats,
     })
+}
+
+/// Checks a `bench` circuit name against the registry at parse time, so
+/// typos fail before any work starts. Unknown names get an error listing
+/// near-matches (small edit distance or substring hits).
+fn validate_bench_name(name: &str) -> Result<(), String> {
+    let known: Vec<&'static str> = xsynth_circuits::registry()
+        .into_iter()
+        .map(|b| b.name)
+        .collect();
+    if known.contains(&name) {
+        return Ok(());
+    }
+    let mut near: Vec<&str> = known
+        .iter()
+        .copied()
+        .filter(|k| edit_distance(name, k) <= 2 || k.contains(name) || name.contains(k))
+        .collect();
+    near.sort_unstable();
+    let mut msg = format!("unknown benchmark '{name}'");
+    if near.is_empty() {
+        let _ = write!(msg, "; run with no arguments to see usage");
+    } else {
+        let _ = write!(msg, "; did you mean {}?", near.join(", "));
+    }
+    Err(msg)
+}
+
+/// Levenshtein distance over bytes — circuit names are short ASCII.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
 }
 
 /// Loads a network from a path by extension (`.pla` → espresso PLA,
@@ -163,11 +213,12 @@ pub fn load(cmd: &Command) -> Result<Network, String> {
     }
 }
 
-/// Runs the chosen engine.
-pub fn run_engine(cmd: &Command, spec: &Network) -> Network {
+/// Runs the chosen engine. FPRM-family engines also return the synthesis
+/// report (for `--stats`); the SOP baseline and `none` have no report.
+pub fn run_engine(cmd: &Command, spec: &Network) -> (Network, Option<SynthReport>) {
     match cmd.engine {
-        Engine::None => spec.sweep(),
-        Engine::Sop => script_algebraic(spec, &ScriptOptions::default()),
+        Engine::None => (spec.sweep(), None),
+        Engine::Sop => (script_algebraic(spec, &ScriptOptions::default()), None),
         Engine::Fprm | Engine::FprmCube | Engine::FprmOfdd | Engine::Kfdd => {
             let method = match cmd.engine {
                 Engine::FprmCube => FactorMethod::Cube,
@@ -180,9 +231,30 @@ pub fn run_engine(cmd: &Command, spec: &Network) -> Network {
                 redundancy_removal: !cmd.no_redundancy,
                 ..SynthOptions::default()
             };
-            synthesize(spec, &opts).0
+            let (net, report) = synthesize(spec, &opts);
+            (net, Some(report))
         }
     }
+}
+
+/// Renders the `--stats` block: per-phase wall-clock timings and the
+/// polarity-search counters from a [`SynthReport`].
+pub fn render_report(report: &SynthReport) -> String {
+    let t = &report.timings;
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let mut s = String::new();
+    let _ = writeln!(s, "# phase timings (ms):");
+    let _ = writeln!(s, "#   fprm generation:    {:9.2}", ms(t.fprm));
+    let _ = writeln!(s, "#   factoring:          {:9.2}", ms(t.factoring));
+    let _ = writeln!(s, "#   sharing:            {:9.2}", ms(t.sharing));
+    let _ = writeln!(s, "#   redundancy removal: {:9.2}", ms(t.redundancy));
+    let _ = writeln!(s, "#   total:              {:9.2}", ms(t.total));
+    let _ = writeln!(
+        s,
+        "# polarity search: {} candidates evaluated, {} memo hits",
+        report.polarity_search.candidates_evaluated, report.polarity_search.memo_hits
+    );
+    s
 }
 
 /// Renders the `stats` block for a network.
@@ -206,7 +278,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
     match cmd.action {
         Action::Stats => Ok(render_stats(&spec)),
         Action::Synth | Action::Bench => {
-            let result = run_engine(cmd, &spec);
+            let (result, report) = run_engine(cmd, &spec);
             let mut checker = EquivChecker::new(&spec);
             if !checker.check(&result) {
                 return Err("internal error: result failed verification".into());
@@ -214,11 +286,18 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             let mut out = String::new();
             let _ = writeln!(out, "# spec:   {}", render_stats(&spec).trim_end());
             let _ = writeln!(out, "# result: {}", render_stats(&result).trim_end());
+            if cmd.stats {
+                match &report {
+                    Some(r) => out.push_str(&render_report(r)),
+                    None => {
+                        let _ = writeln!(out, "# (no synthesis report for this engine)");
+                    }
+                }
+            }
             let blif = write_blif(&result);
             match &cmd.output {
                 Some(path) => {
-                    std::fs::write(path, &blif)
-                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    std::fs::write(path, &blif).map_err(|e| format!("cannot write {path}: {e}"))?;
                     let _ = writeln!(out, "# wrote {path}");
                 }
                 None => out.push_str(&blif),
@@ -226,7 +305,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             Ok(out)
         }
         Action::Map => {
-            let result = run_engine(cmd, &spec);
+            let (result, report) = run_engine(cmd, &spec);
             let lib = Library::mcnc();
             let mapped = map_network(&result, &lib);
             let mut s = render_stats(&result);
@@ -238,16 +317,19 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 mapped.area(),
                 mapped.depth()
             );
-            let mut cells: Vec<(String, usize)> =
-                mapped.cell_histogram().into_iter().collect();
+            let mut cells: Vec<(String, usize)> = mapped.cell_histogram().into_iter().collect();
             cells.sort();
             for (cell, count) in cells {
                 let _ = writeln!(s, "    {count:3} × {cell}");
             }
+            if cmd.stats {
+                if let Some(r) = &report {
+                    s.push_str(&render_report(r));
+                }
+            }
             if let Some(path) = &cmd.output {
                 let verilog = mapped.to_verilog(spec.name());
-                std::fs::write(path, &verilog)
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                std::fs::write(path, &verilog).map_err(|e| format!("cannot write {path}: {e}"))?;
                 let _ = writeln!(s, "  wrote Verilog netlist to {path}");
             }
             Ok(s)
@@ -290,9 +372,25 @@ mod tests {
     }
 
     #[test]
-    fn bench_unknown_circuit_fails() {
-        let c = parse_args(&argv("bench nonesuch")).unwrap();
-        assert!(execute(&c).is_err());
+    fn bench_unknown_circuit_fails_at_parse_time() {
+        let err = parse_args(&argv("bench nonesuch")).unwrap_err();
+        assert!(err.contains("unknown benchmark 'nonesuch'"), "{err}");
+    }
+
+    #[test]
+    fn bench_typo_suggests_near_matches() {
+        let err = parse_args(&argv("bench z4mll")).unwrap_err();
+        assert!(err.contains("did you mean"), "{err}");
+        assert!(err.contains("z4ml"), "{err}");
+    }
+
+    #[test]
+    fn stats_flag_prints_phase_timings() {
+        let c = parse_args(&argv("bench rd53 --stats")).unwrap();
+        assert!(c.stats);
+        let out = execute(&c).unwrap();
+        assert!(out.contains("phase timings"), "{out}");
+        assert!(out.contains("polarity search:"), "{out}");
     }
 
     #[test]
@@ -354,6 +452,7 @@ mod tests {
             output: Some(outp.display().to_string()),
             engine: Engine::Fprm,
             no_redundancy: false,
+            stats: false,
         };
         let text = execute(&cmd).unwrap();
         assert!(text.contains("wrote Verilog"), "{text}");
@@ -378,6 +477,7 @@ mod tests {
                 output: None,
                 engine,
                 no_redundancy: false,
+                stats: false,
             };
             let out = execute(&cmd).expect("engine runs");
             assert!(out.contains(".model"));

@@ -1,0 +1,113 @@
+//! Parallel synthesis must be a pure speedup: over the whole circuit
+//! registry, the parallel and sequential paths of [`synthesize`] have to
+//! produce identical networks gate-for-gate and identical report counters,
+//! and the memoized polarity search has to pick the same winner as a
+//! plain un-memoized greedy descent.
+
+use proptest::prelude::*;
+use xsynth_bdd::BddManager;
+use xsynth_boolean::{Polarity, TruthTable};
+use xsynth_core::{synthesize, SynthOptions, SynthReport};
+use xsynth_ofdd::{OfddManager, PolaritySearch};
+
+/// The non-timing content of a report, for equality checks.
+fn counters(r: &SynthReport) -> impl PartialEq + std::fmt::Debug + '_ {
+    (
+        &r.outputs,
+        &r.redundancy,
+        r.cube_cap_fallbacks,
+        r.blocks,
+        r.divisors,
+        r.polarity_search,
+    )
+}
+
+#[test]
+fn parallel_equals_sequential_over_the_registry() {
+    for bench in xsynth_circuits::registry() {
+        let spec = xsynth_circuits::build(bench.name).expect("registered circuit builds");
+        let par_opts = SynthOptions {
+            parallel: true,
+            ..SynthOptions::default()
+        };
+        let seq_opts = SynthOptions {
+            parallel: false,
+            ..SynthOptions::default()
+        };
+        let (par_net, par_report) = synthesize(&spec, &par_opts);
+        let (seq_net, seq_report) = synthesize(&spec, &seq_opts);
+        assert_eq!(
+            xsynth_blif::write_blif(&par_net),
+            xsynth_blif::write_blif(&seq_net),
+            "{}: parallel and sequential networks differ",
+            bench.name
+        );
+        assert_eq!(
+            counters(&par_report),
+            counters(&seq_report),
+            "{}: parallel and sequential reports differ",
+            bench.name
+        );
+    }
+}
+
+/// The reference loop the memoized search must agree with: round-based
+/// steepest descent with a fresh OFDD build per candidate and no caching.
+fn greedy_unmemoized(t: &TruthTable) -> (Polarity, u64) {
+    let n = t.num_vars();
+    let mut bm = BddManager::new(n);
+    let f = bm.from_table(t);
+    let support: Vec<usize> = bm.support(f).iter().collect();
+    let count_of = |bm: &mut BddManager, pol: &Polarity| {
+        let mut om = OfddManager::new(pol.clone());
+        let root = om.from_bdd(bm, f);
+        om.num_cubes(root)
+    };
+    let mut pol = Polarity::all_positive(n);
+    let mut best = count_of(&mut bm, &pol);
+    loop {
+        let mut winner: Option<(u64, Polarity)> = None;
+        for &v in &support {
+            let mut p2 = pol.clone();
+            p2.flip(v);
+            let c = count_of(&mut bm, &p2);
+            if c < best && winner.as_ref().is_none_or(|(wc, _)| c < *wc) {
+                winner = Some((c, p2));
+            }
+        }
+        match winner {
+            Some((c, p)) => {
+                best = c;
+                pol = p;
+            }
+            None => return (pol, best),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn memoized_polarity_search_matches_reference(bits in 0u64..u64::MAX, n in 3usize..=6) {
+        // n ≤ 6, so every minterm indexes a distinct bit of `bits`
+        let tt = TruthTable::from_fn(n, |m| (bits >> m) & 1 == 1);
+        let (ref_pol, ref_count) = greedy_unmemoized(&tt);
+
+        let mut bm = BddManager::new(n);
+        let f = bm.from_table(&tt);
+        let support: Vec<usize> = bm.support(f).iter().collect();
+        let mut search = PolaritySearch::new(&mut bm, f);
+        let (pol, count) = search.greedy(&support);
+
+        prop_assert_eq!(count, ref_count);
+        prop_assert_eq!(pol, ref_pol);
+        // and the parallel candidate evaluation must not change the answer
+        let mut bm2 = BddManager::new(n);
+        let f2 = bm2.from_table(&tt);
+        let mut psearch = PolaritySearch::new(&mut bm2, f2).parallel(true);
+        let (ppol, pcount) = psearch.greedy(&support);
+        prop_assert_eq!(pcount, ref_count);
+        prop_assert_eq!(ppol, ref_pol);
+    }
+}

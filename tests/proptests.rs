@@ -12,7 +12,9 @@ use xsynth::sop::{script_algebraic, ScriptOptions};
 
 /// A random truth table of `n ≤ 6` variables from raw bits.
 fn table(n: usize, bits: u64) -> TruthTable {
-    TruthTable::from_fn(n, |m| bits & (1u64 << (m % 64)) != 0 || (bits >> (m % 61)) & 1 != 0)
+    TruthTable::from_fn(n, |m| {
+        bits & (1u64 << (m % 64)) != 0 || (bits >> (m % 61)) & 1 != 0
+    })
 }
 
 /// A random two-level network for the function.
