@@ -7,65 +7,23 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xsynth_core::{synthesize, FactorMethod, PolarityMode, SynthOptions};
 
 fn variants() -> Vec<(&'static str, SynthOptions)> {
-    let base = SynthOptions::default;
+    let base = SynthOptions::builder;
     vec![
-        ("default", base()),
+        ("default", base().build()),
         (
             "polarity_positive",
-            SynthOptions {
-                polarity: PolarityMode::AllPositive,
-                ..base()
-            },
+            base().polarity(PolarityMode::AllPositive).build(),
         ),
         (
             "polarity_greedy",
-            SynthOptions {
-                polarity: PolarityMode::Greedy,
-                ..base()
-            },
+            base().polarity(PolarityMode::Greedy).build(),
         ),
-        (
-            "method_cube",
-            SynthOptions {
-                method: FactorMethod::Cube,
-                ..base()
-            },
-        ),
-        (
-            "method_ofdd",
-            SynthOptions {
-                method: FactorMethod::Ofdd,
-                ..base()
-            },
-        ),
-        (
-            "method_kfdd",
-            SynthOptions {
-                method: FactorMethod::Kfdd,
-                ..base()
-            },
-        ),
-        (
-            "no_rules",
-            SynthOptions {
-                apply_rules: false,
-                ..base()
-            },
-        ),
-        (
-            "no_redundancy",
-            SynthOptions {
-                redundancy_removal: false,
-                ..base()
-            },
-        ),
-        (
-            "no_sharing",
-            SynthOptions {
-                share: false,
-                ..base()
-            },
-        ),
+        ("method_cube", base().method(FactorMethod::Cube).build()),
+        ("method_ofdd", base().method(FactorMethod::Ofdd).build()),
+        ("method_kfdd", base().method(FactorMethod::Kfdd).build()),
+        ("no_rules", base().apply_rules(false).build()),
+        ("no_redundancy", base().redundancy_removal(false).build()),
+        ("no_sharing", base().share(false).build()),
     ]
 }
 
@@ -77,7 +35,7 @@ fn bench_ablation(c: &mut Criterion) {
         let spec = xsynth_circuits::build(name).expect("registered");
         for (label, opts) in variants() {
             // print quality once, bench time repeatedly
-            let (out, _) = synthesize(&spec, &opts);
+            let out = synthesize(&spec, &opts).network;
             let (_, lits) = out.two_input_cost();
             eprintln!("ablation quality: {name:8} {label:18} {lits:4} lits");
             group.bench_with_input(

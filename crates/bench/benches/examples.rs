@@ -19,7 +19,7 @@ fn bench_example1_t481(c: &mut Criterion) {
     group.bench_function("sop_baseline", |b| {
         b.iter(|| script_algebraic(&spec, &ScriptOptions::default()))
     });
-    let (out, _) = synthesize(&spec, &SynthOptions::default());
+    let out = synthesize(&spec, &SynthOptions::default()).network;
     let lib = Library::mcnc();
     group.bench_function("tech_map", |b| b.iter(|| map_network(&out, &lib)));
     group.finish();

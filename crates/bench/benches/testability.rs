@@ -10,7 +10,7 @@ use xsynth_sim::{enumerate_faults, fault_simulate};
 fn bench_testability(c: &mut Criterion) {
     let spec = xsynth_circuits::build("z4ml").expect("registered");
     let n = spec.inputs().len();
-    let (out, _) = synthesize(&spec, &SynthOptions::default());
+    let out = synthesize(&spec, &SynthOptions::default()).network;
     let tables = spec.to_truth_tables();
 
     let mut group = c.benchmark_group("testability");

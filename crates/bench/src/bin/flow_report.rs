@@ -18,9 +18,10 @@ fn main() {
             continue;
         };
         let t0 = std::time::Instant::now();
-        let (out, report) = synthesize(&spec, &SynthOptions::default());
+        let outcome = synthesize(&spec, &SynthOptions::default());
         let dt = t0.elapsed();
-        let (gates, lits) = out.two_input_cost();
+        let report = &outcome.report;
+        let (gates, lits) = outcome.network.two_input_cost();
         println!("{name}: {spec}");
         for (oname, cubes, pol) in &report.outputs {
             println!("  output {oname}: {cubes} FPRM cubes, polarity {pol:?}");
@@ -30,16 +31,26 @@ fn main() {
             report.divisors, report.blocks, report.cube_cap_fallbacks
         );
         println!("  redundancy: {:?}", report.redundancy);
-        let t = &report.timings;
+        let phases: Vec<String> = report
+            .profile
+            .phases
+            .iter()
+            .map(|p| format!("{} {:.2?}", p.name, p.duration))
+            .collect();
         println!(
-            "  phases: fprm {:.2?} | factoring {:.2?} | sharing {:.2?} | redundancy {:.2?} | total {:.2?}",
-            t.fprm, t.factoring, t.sharing, t.redundancy, t.total
+            "  phases: {} | total {:.2?}",
+            phases.join(" | "),
+            report.profile.total
         );
         println!(
             "  polarity search: {} candidates evaluated, {} memo hits",
             report.polarity_search.candidates_evaluated, report.polarity_search.memo_hits
         );
         println!("  result: {gates} two-input gates / {lits} literals in {dt:.2?}");
+        println!("  trace:");
+        for line in report.trace.render_tree().lines() {
+            println!("    {line}");
+        }
         println!();
     }
 }

@@ -26,16 +26,13 @@ fn main() {
             eprintln!("unknown circuit {name}");
             continue;
         };
-        let seq_opts = SynthOptions {
-            parallel: false,
-            ..SynthOptions::default()
-        };
+        let seq_opts = SynthOptions::builder().parallel(false).build();
         let par_opts = SynthOptions::default();
         let t0 = Instant::now();
-        let (seq_net, _) = synthesize(&spec, &seq_opts);
+        let seq_net = synthesize(&spec, &seq_opts).network;
         let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
-        let (par_net, _) = synthesize(&spec, &par_opts);
+        let par_net = synthesize(&spec, &par_opts).network;
         let par_ms = t1.elapsed().as_secs_f64() * 1e3;
         let same = xsynth_blif::write_blif(&seq_net) == xsynth_blif::write_blif(&par_net);
         println!(

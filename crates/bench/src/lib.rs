@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 use xsynth_circuits::{registry, Benchmark};
-use xsynth_core::{synthesize, EquivChecker, SynthOptions, SynthReport};
+use xsynth_core::{phase, synthesize, EquivChecker, SynthOptions, SynthOutcome, SynthReport};
 use xsynth_map::{map_network, Library};
 use xsynth_net::Network;
 use xsynth_sim::power_estimate;
@@ -70,9 +70,9 @@ fn evaluate(spec: &Network, result: &Network, lib: &Library, seconds: f64) -> Fl
 /// Runs the paper's FPRM flow on `spec` and evaluates it.
 pub fn run_fprm_flow(spec: &Network, opts: &SynthOptions, lib: &Library) -> FlowResult {
     let t0 = Instant::now();
-    let (result, report) = synthesize(spec, opts);
+    let SynthOutcome { network, report } = synthesize(spec, opts);
     let seconds = t0.elapsed().as_secs_f64();
-    let mut fr = evaluate(spec, &result, lib, seconds);
+    let mut fr = evaluate(spec, &network, lib, seconds);
     fr.report = Some(report);
     fr
 }
@@ -90,14 +90,14 @@ pub fn run_sop_flow(spec: &Network, opts: &ScriptOptions, lib: &Library) -> Flow
 /// counters. Returns `None` when the flow carries no report.
 pub fn render_phases(fr: &FlowResult) -> Option<String> {
     let r = fr.report.as_ref()?;
-    let t = &r.timings;
+    let p = &r.profile;
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     Some(format!(
         "fprm {:.1}ms factor {:.1}ms share {:.1}ms redund {:.1}ms (polarity: {} eval, {} memo)",
-        ms(t.fprm),
-        ms(t.factoring),
-        ms(t.sharing),
-        ms(t.redundancy),
+        ms(p.duration(phase::FPRM)),
+        ms(p.duration(phase::FACTORING)),
+        ms(p.duration(phase::SHARING)),
+        ms(p.duration(phase::REDUNDANCY)),
         r.polarity_search.candidates_evaluated,
         r.polarity_search.memo_hits,
     ))

@@ -47,7 +47,8 @@ pub struct ParseError {
 }
 
 impl ParseError {
-    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+    /// Builds an error at a 1-based line number (0 = end of input).
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
         ParseError {
             line,
             message: message.into(),

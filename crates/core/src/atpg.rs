@@ -233,7 +233,7 @@ mod tests {
     #[test]
     fn synthesized_benchmark_gets_compact_complete_set() {
         let spec = xsynth_circuits_stub();
-        let (out, _) = crate::synthesize(&spec, &crate::SynthOptions::default());
+        let out = crate::synthesize(&spec, &crate::SynthOptions::default()).network;
         let faults = enumerate_faults(&out);
         let result = generate_tests(&out, &faults);
         let rep = fault_simulate(&out, &result.tests, &faults);

@@ -1,0 +1,120 @@
+//! The unified error type of the synthesis stack.
+//!
+//! Every fallible entry point — netlist construction, BLIF/PLA parsing,
+//! file loading — funnels into one [`Error`] enum, so callers (the CLI,
+//! the benchmark harness, library users) handle a single type instead of
+//! matching per-crate errors. `From` impls make `?` work across the crate
+//! boundaries.
+
+use std::fmt;
+use xsynth_blif::ParseError;
+use xsynth_net::NetError;
+
+/// Any error the synthesis stack can report.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A structural netlist error (unknown output, combinational cycle).
+    Net(NetError),
+    /// A BLIF/PLA parse error, with its source line number.
+    Parse(ParseError),
+    /// An I/O failure, tagged with the path involved.
+    Io {
+        /// The file being read or written.
+        path: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A free-form usage or validation error.
+    Msg(String),
+}
+
+impl Error {
+    /// Wraps an I/O error with the path it concerns.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Error {
+        Error::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// A free-form error message.
+    pub fn msg(msg: impl Into<String>) -> Error {
+        Error::Msg(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Net(e) => write!(f, "{e}"),
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Io { path, source } => write!(f, "{path}: {source}"),
+            Error::Msg(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Net(e) => Some(e),
+            Error::Parse(e) => Some(e),
+            Error::Io { source, .. } => Some(source),
+            Error::Msg(_) => None,
+        }
+    }
+}
+
+impl From<NetError> for Error {
+    fn from(e: NetError) -> Error {
+        Error::Net(e)
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Error {
+        Error::Parse(e)
+    }
+}
+
+impl From<String> for Error {
+    fn from(m: String) -> Error {
+        Error::Msg(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_err() -> ParseError {
+        ParseError::new(3, "bad token")
+    }
+
+    #[test]
+    fn displays_and_sources() {
+        let e: Error = parse_err().into();
+        assert!(e.to_string().contains("bad token"));
+        assert!(std::error::Error::source(&e).is_some());
+        let io = Error::io("a.blif", std::io::Error::other("nope"));
+        assert!(io.to_string().contains("a.blif"));
+        let msg = Error::msg("usage");
+        assert_eq!(msg.to_string(), "usage");
+        assert!(std::error::Error::source(&msg).is_none());
+    }
+
+    #[test]
+    fn question_mark_converts_across_crates() {
+        fn parse() -> Result<(), Error> {
+            Err(parse_err())?;
+            Ok(())
+        }
+        assert!(matches!(parse(), Err(Error::Parse(_))));
+        fn string_err() -> Result<(), Error> {
+            Err("oops".to_string())?;
+            Ok(())
+        }
+        assert!(matches!(string_err(), Err(Error::Msg(_))));
+    }
+}

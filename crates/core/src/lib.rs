@@ -34,15 +34,20 @@
 //! let t = spec.add_gate(GateKind::And, vec![axb, c]);
 //! let cout = spec.add_gate(GateKind::Or, vec![ab, t]);
 //! spec.add_output("cout", cout);
-//! let (out, _report) = synthesize(&spec, &SynthOptions::default());
+//! let outcome = synthesize(&spec, &SynthOptions::default());
 //! for m in 0..8 {
-//!     assert_eq!(out.eval_u64(m), spec.eval_u64(m));
+//!     assert_eq!(outcome.network.eval_u64(m), spec.eval_u64(m));
 //! }
 //! ```
+//!
+//! Every run is traced — `outcome.report.trace` holds the structured span
+//! tree (see [`xsynth_trace`]) and `outcome.report.profile` the per-phase
+//! wall-clock breakdown.
 
 #![warn(missing_docs)]
 
 pub mod atpg;
+mod error;
 mod expr;
 mod factor;
 pub mod gfx;
@@ -52,14 +57,45 @@ mod redundancy;
 mod synth;
 mod verify;
 
+pub use error::Error;
 pub use expr::Gexpr;
-pub use factor::{disjoint_groups, factor_cubes, literal_supplier, ofdd_to_network};
+pub use factor::{
+    disjoint_groups, factor_cubes, factor_cubes_traced, literal_supplier, ofdd_to_network,
+};
 pub use patterns::{
     literal_mask_to_pattern, merge_patterns, paper_patterns, Pattern, PatternOptions,
 };
-pub use redundancy::{remove_redundancy, RedundancyStats};
+pub use redundancy::{remove_redundancy, remove_redundancy_traced, RedundancyStats};
 pub use synth::{
-    synthesize, FactorMethod, Granularity, PhaseTimings, PolarityMode, SynthOptions, SynthReport,
+    phase, synthesize, FactorMethod, Granularity, PhaseProfile, PhaseStat, PolarityMode,
+    SynthOptions, SynthOptionsBuilder, SynthOutcome, SynthReport,
 };
 pub use verify::{network_bdds, EquivChecker};
 pub use xsynth_ofdd::PolaritySearchStats;
+
+/// The one-line import for typical users of the synthesis stack.
+///
+/// # Examples
+///
+/// ```
+/// use xsynth_core::prelude::*;
+/// use xsynth_net::{GateKind, Network};
+///
+/// let mut spec = Network::new("f");
+/// let a = spec.add_input("a");
+/// let b = spec.add_input("b");
+/// let g = spec.add_gate(GateKind::Xor, vec![a, b]);
+/// spec.add_output("f", g);
+/// let opts = SynthOptions::builder().parallel(false).build();
+/// let SynthOutcome { network, report } = synthesize(&spec, &opts);
+/// assert_eq!(network.eval_u64(1), spec.eval_u64(1));
+/// assert!(!report.outputs.is_empty());
+/// ```
+pub mod prelude {
+    pub use crate::error::Error;
+    pub use crate::synth::{
+        phase, synthesize, FactorMethod, Granularity, PhaseProfile, PolarityMode, SynthOptions,
+        SynthOutcome, SynthReport,
+    };
+    pub use xsynth_trace::{Trace, TraceBuffer, TraceSink};
+}

@@ -31,6 +31,7 @@
 use crate::patterns::Pattern;
 use crate::verify::EquivChecker;
 use xsynth_net::{GateKind, Network, NodeKind, SignalId};
+use xsynth_trace::{TraceBuffer, TraceSink};
 
 /// Counters describing what the redundancy pass did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -240,11 +241,36 @@ pub fn remove_redundancy(
     checker: &mut EquivChecker,
     max_passes: usize,
 ) -> (Network, RedundancyStats) {
+    let sink = TraceSink::new();
+    let mut buf = sink.buffer(0, "redundancy");
+    let result = remove_redundancy_traced(net, patterns, checker, max_passes, &mut buf);
+    buf.discard();
+    result
+}
+
+/// [`remove_redundancy`] recording into a trace buffer: each sweep runs in
+/// a `pass` span carrying the rewrite counters it contributed
+/// (`redundancy.xor_to_or`, `redundancy.xor_to_and`,
+/// `redundancy.fanin_removed`, `redundancy.const_replaced`,
+/// `redundancy.reverted`).
+///
+/// # Panics
+///
+/// Panics if `patterns` is empty (at least the AZ/AO pair is required).
+pub fn remove_redundancy_traced(
+    net: &Network,
+    patterns: &[Pattern],
+    checker: &mut EquivChecker,
+    max_passes: usize,
+    buf: &mut TraceBuffer,
+) -> (Network, RedundancyStats) {
     assert!(!patterns.is_empty(), "need at least one pattern (AZ/AO)");
     let mut cur = net.clone();
     let mut stats = RedundancyStats::default();
 
     for _pass in 0..max_passes {
+        buf.begin("pass");
+        let before = stats.clone();
         let mut changed = false;
         let mut state = build_sim(&cur, patterns);
         // POs first (reverse topological), per the paper's step 1; the
@@ -361,6 +387,27 @@ pub fn remove_redundancy(
                 _ => {}
             }
         }
+        buf.count(
+            "redundancy.xor_to_or",
+            (stats.xor_to_or - before.xor_to_or) as u64,
+        );
+        buf.count(
+            "redundancy.xor_to_and",
+            (stats.xor_to_and - before.xor_to_and) as u64,
+        );
+        buf.count(
+            "redundancy.fanin_removed",
+            (stats.fanin_removed - before.fanin_removed) as u64,
+        );
+        buf.count(
+            "redundancy.const_replaced",
+            (stats.const_replaced - before.const_replaced) as u64,
+        );
+        buf.count(
+            "redundancy.reverted",
+            (stats.reverted - before.reverted) as u64,
+        );
+        buf.end();
         if !changed {
             break;
         }

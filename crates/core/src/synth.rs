@@ -13,23 +13,47 @@
 //!                                                      │
 //!                                                   sweep ──► result
 //! ```
+//!
+//! Every run is traced: the pipeline records hierarchical spans, counters
+//! and gauges into a [`TraceSink`] (per-output planning gets its own
+//! deterministic per-thread buffers under the parallel fan-out), the
+//! resulting [`Trace`] rides back in the [`SynthReport`], and the
+//! [`PhaseProfile`] is derived from it.
 
-use crate::factor::{factor_cubes, ofdd_to_network};
+use crate::factor::{factor_cubes, factor_cubes_traced, ofdd_to_network};
 use crate::gfx;
 use crate::patterns::{merge_patterns, paper_patterns, Pattern, PatternOptions};
-use crate::redundancy::{remove_redundancy, RedundancyStats};
+use crate::redundancy::{remove_redundancy_traced, RedundancyStats};
 use crate::verify::{network_bdds, EquivChecker};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use xsynth_bdd::BddManager;
 use xsynth_boolean::{Polarity, VarSet};
 use xsynth_net::{GateKind, Network, SignalId};
 use xsynth_ofdd::{OfddManager, PolaritySearch, PolaritySearchStats};
 use xsynth_sim::random_patterns;
 use xsynth_sop::SopNet;
+use xsynth_trace::{Trace, TraceBuffer, TraceSink};
 
 pub use xsynth_ofdd::PolarityMode;
+
+/// The span names of the pipeline phases, shared by the tracer, the
+/// profile, the exporters and the tests.
+pub mod phase {
+    /// The root span of one [`super::synthesize`] call.
+    pub const SYNTHESIZE: &str = "synthesize";
+    /// BDD construction, polarity search and OFDD/FPRM generation.
+    pub const FPRM: &str = "fprm";
+    /// Factorization and network emission (both methods), plus strash.
+    pub const FACTORING: &str = "factoring";
+    /// The multi-output sharing pass.
+    pub const SHARING: &str = "sharing";
+    /// The Section 4 redundancy-removal pass.
+    pub const REDUNDANCY: &str = "redundancy";
+    /// Equivalence checking against the specification.
+    pub const VERIFY: &str = "verify";
+}
 
 /// Which factorization method to run (Section 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +89,25 @@ pub enum Granularity {
 }
 
 /// Options for [`synthesize`].
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`SynthOptions::default`] or the fluent [`SynthOptions::builder`], so
+/// future option additions are not breaking changes.
+///
+/// # Examples
+///
+/// ```
+/// use xsynth_core::{FactorMethod, SynthOptions};
+///
+/// let opts = SynthOptions::builder()
+///     .method(FactorMethod::Cube)
+///     .parallel(false)
+///     .build();
+/// assert_eq!(opts.method, FactorMethod::Cube);
+/// assert!(!opts.parallel);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SynthOptions {
     /// Factorization method.
     pub method: FactorMethod,
@@ -94,6 +136,11 @@ pub struct SynthOptions {
     /// bit-identical to the sequential path; disable only to benchmark or
     /// to pin the flow to one core.
     pub parallel: bool,
+    /// Optional external sink the run's trace is also appended to, for
+    /// aggregating several calls (a benchmark sweep, a CLI batch) into
+    /// one exportable timeline. The per-call trace is always available in
+    /// [`SynthReport::trace`] regardless.
+    pub trace: Option<TraceSink>,
 }
 
 impl Default for SynthOptions {
@@ -110,29 +157,136 @@ impl Default for SynthOptions {
             pattern_opts: PatternOptions::default(),
             max_passes: 6,
             parallel: true,
+            trace: None,
         }
     }
 }
 
-/// Wall-clock time spent in each pipeline phase of one [`synthesize`] call.
-///
-/// The phases partition the pipeline: `fprm` covers spec→BDD conversion and
-/// per-output polarity search + OFDD construction, `factoring` covers cube-
-/// list/OFDD lowering and structural hashing, `sharing` the cross-output
-/// divisor merge, and `redundancy` the Section 4 testability pass. `total`
-/// is the whole call, including the slack the other buckets don't claim.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PhaseTimings {
-    /// BDD construction, polarity search, and OFDD/FPRM generation.
-    pub fprm: Duration,
-    /// Factorization and network emission (both methods), plus strash.
-    pub factoring: Duration,
-    /// The multi-output sharing pass.
-    pub sharing: Duration,
-    /// Redundancy removal.
-    pub redundancy: Duration,
-    /// End-to-end wall clock of the `synthesize` call.
+impl SynthOptions {
+    /// Starts a fluent builder from the default options.
+    pub fn builder() -> SynthOptionsBuilder {
+        SynthOptionsBuilder {
+            opts: SynthOptions::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`SynthOptions`] (see [`SynthOptions::builder`]).
+#[derive(Debug, Clone)]
+pub struct SynthOptionsBuilder {
+    opts: SynthOptions,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.opts.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+impl SynthOptionsBuilder {
+    builder_setters! {
+        /// Sets the factorization method.
+        method: FactorMethod,
+        /// Sets the polarity search mode.
+        polarity: PolarityMode,
+        /// Enables or disables the Reduction rules (a)–(c).
+        apply_rules: bool,
+        /// Enables or disables the Section 4 redundancy-removal pass.
+        redundancy_removal: bool,
+        /// Enables or disables the multi-output sharing pass.
+        share: bool,
+        /// Sets the factorization granularity.
+        granularity: Granularity,
+        /// Sets the `Auto`-granularity cube threshold.
+        block_threshold: u64,
+        /// Sets the cube-method cube-count cap.
+        cube_cap: u64,
+        /// Sets the pattern-generation bounds.
+        pattern_opts: PatternOptions,
+        /// Sets the maximum number of redundancy-removal sweeps.
+        max_passes: usize,
+        /// Enables or disables the thread fan-out.
+        parallel: bool,
+    }
+
+    /// Aggregates this run's trace into an external [`TraceSink`].
+    #[must_use]
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.opts.trace = Some(sink);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> SynthOptions {
+        self.opts
+    }
+}
+
+/// Time and span count of one pipeline phase, derived from the trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase span name (one of the [`phase`] constants).
+    pub name: String,
+    /// Total wall-clock time across this phase's top-level spans.
+    pub duration: Duration,
+    /// How many top-level spans carried this name.
+    pub spans: usize,
+}
+
+/// Per-phase wall-clock breakdown of one [`synthesize`] call, derived from
+/// the recorded [`Trace`] (the direct children of the root
+/// [`phase::SYNTHESIZE`] span, grouped by name in first-seen order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// The phases, in first-seen pipeline order.
+    pub phases: Vec<PhaseStat>,
+    /// End-to-end wall clock of the root span (including slack the
+    /// phases don't claim).
     pub total: Duration,
+}
+
+impl PhaseProfile {
+    /// Derives the profile from a pipeline trace.
+    pub fn from_trace(trace: &Trace) -> PhaseProfile {
+        let forest = trace.forest();
+        let Some(root) = forest.iter().find(|n| n.name == phase::SYNTHESIZE) else {
+            return PhaseProfile::default();
+        };
+        let mut profile = PhaseProfile {
+            phases: Vec::new(),
+            total: root.duration,
+        };
+        for child in &root.children {
+            match profile.phases.iter_mut().find(|p| p.name == child.name) {
+                Some(p) => {
+                    p.duration += child.duration;
+                    p.spans += 1;
+                }
+                None => profile.phases.push(PhaseStat {
+                    name: child.name.clone(),
+                    duration: child.duration,
+                    spans: 1,
+                }),
+            }
+        }
+        profile
+    }
+
+    /// Total duration of the named phase (zero when absent).
+    pub fn duration(&self, name: &str) -> Duration {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.duration)
+            .sum()
+    }
 }
 
 /// What the pipeline did, per output and overall.
@@ -150,8 +304,20 @@ pub struct SynthReport {
     pub divisors: usize,
     /// Polarity-search counters summed over all outputs.
     pub polarity_search: PolaritySearchStats,
-    /// Per-phase wall-clock timings.
-    pub timings: PhaseTimings,
+    /// Per-phase wall-clock breakdown, derived from `trace`.
+    pub profile: PhaseProfile,
+    /// The full structured trace of the run (spans, counters, gauges).
+    pub trace: Trace,
+}
+
+/// The result of one [`synthesize`] call: the optimized network and the
+/// report describing how it was produced.
+#[derive(Debug, Clone)]
+pub struct SynthOutcome {
+    /// The synthesized (and verified) network.
+    pub network: Network,
+    /// What the pipeline did, including the structured trace.
+    pub report: SynthReport,
 }
 
 /// Synthesizes `spec` with the paper's FPRM flow and returns the optimized
@@ -171,10 +337,10 @@ pub struct SynthReport {
 /// let c = spec.add_input("cin");
 /// let s = spec.add_gate(GateKind::Xor, vec![a, b, c]);
 /// spec.add_output("s", s);
-/// let (out, report) = synthesize(&spec, &SynthOptions::default());
-/// assert_eq!(report.outputs[0].1, 3, "3 FPRM cubes");
+/// let outcome = synthesize(&spec, &SynthOptions::default());
+/// assert_eq!(outcome.report.outputs[0].1, 3, "3 FPRM cubes");
 /// for m in 0..8 {
-///     assert_eq!(out.eval_u64(m), spec.eval_u64(m));
+///     assert_eq!(outcome.network.eval_u64(m), spec.eval_u64(m));
 /// }
 /// ```
 ///
@@ -182,14 +348,43 @@ pub struct SynthReport {
 ///
 /// Panics if an internal factoring step produces a non-equivalent network
 /// (an invariant violation, not an input condition).
-pub fn synthesize(spec: &Network, opts: &SynthOptions) -> (Network, SynthReport) {
-    let t_start = Instant::now();
+pub fn synthesize(spec: &Network, opts: &SynthOptions) -> SynthOutcome {
+    let sink = TraceSink::new();
+    // remember where this call starts on the external sink's timeline, so
+    // aggregated runs line up end-to-end in the exported view
+    let external_offset = opts.trace.as_ref().map(TraceSink::elapsed);
+    let mut report = SynthReport::default();
+    let result = run_pipeline(spec, opts, &sink, &mut report);
+    let trace = sink.take();
+    report.profile = PhaseProfile::from_trace(&trace);
+    if let (Some(external), Some(offset)) = (&opts.trace, external_offset) {
+        external.append(trace.clone(), spec.name(), offset);
+    }
+    report.trace = trace;
+    SynthOutcome {
+        network: result,
+        report,
+    }
+}
+
+/// The traced pipeline body of [`synthesize`].
+fn run_pipeline(
+    spec: &Network,
+    opts: &SynthOptions,
+    sink: &TraceSink,
+    report: &mut SynthReport,
+) -> Network {
+    let mut main = sink.buffer(0, "pipeline");
+    main.begin(phase::SYNTHESIZE);
     let spec = spec.sweep();
     let n = spec.inputs().len();
-    let mut report = SynthReport::default();
 
+    main.begin(phase::FPRM);
+    main.begin("bdd");
     let mut bm = BddManager::new(n);
     let out_bdds = network_bdds(&spec, &mut bm);
+    main.end();
+    main.gauge("bdd.nodes", bm.num_nodes() as f64);
 
     // granularity decision: block mode when some output's FPRM would be
     // unreasonably wide (cube counts are cheap to read off the OFDD)
@@ -202,7 +397,7 @@ pub fn synthesize(spec: &Network, opts: &SynthOptions) -> (Network, SynthReport)
             om.num_cubes(root) > opts.block_threshold
         }),
     };
-    report.timings.fprm += t_start.elapsed();
+    main.end();
 
     let mut pattern_lists: Vec<Vec<Pattern>> = Vec::new();
     let net = if use_blocks {
@@ -212,9 +407,9 @@ pub fn synthesize(spec: &Network, opts: &SynthOptions) -> (Network, SynthReport)
             &[],
             &opts.pattern_opts,
         ));
-        let t = Instant::now();
-        let net = synthesize_blocks(&spec, opts, &mut report);
-        report.timings.factoring += t.elapsed();
+        main.begin(phase::FACTORING);
+        let net = synthesize_blocks(&spec, opts, report, &mut main);
+        main.end();
         net
     } else {
         synthesize_outputs(
@@ -222,44 +417,51 @@ pub fn synthesize(spec: &Network, opts: &SynthOptions) -> (Network, SynthReport)
             opts,
             &mut bm,
             &out_bdds,
-            &mut report,
+            report,
             &mut pattern_lists,
+            sink,
+            &mut main,
         )
     };
 
     // cross-output sharing (the role `resub` plays in the paper)
-    let t = Instant::now();
+    main.begin(phase::FACTORING);
     let mut result = net.strash().sweep();
-    report.timings.factoring += t.elapsed();
+    main.end();
+    main.begin(phase::VERIFY);
     let mut checker = EquivChecker::new(&spec);
+    let factored_ok = checker.check_traced(&result, &mut main);
+    main.end();
     assert!(
-        checker.check(&result),
+        factored_ok,
         "internal error: factored network is not equivalent to the spec"
     );
     if opts.share {
-        let t = Instant::now();
+        main.begin(phase::SHARING);
         let shared = share_pass(&result);
-        if checker.check(&shared) {
+        if checker.check_traced(&shared, &mut main) {
             result = shared;
         }
-        report.timings.sharing += t.elapsed();
+        main.end();
     }
 
     if opts.redundancy_removal {
         // a small random booster keeps testability decisions honest on
         // outputs whose cube sets were too large to enumerate
-        let t = Instant::now();
+        main.begin(phase::REDUNDANCY);
         pattern_lists.push(random_patterns(n, 64, 0x0c));
         let patterns = merge_patterns(pattern_lists);
-        let (reduced, stats) = remove_redundancy(&result, &patterns, &mut checker, opts.max_passes);
+        main.gauge("redundancy.patterns", patterns.len() as f64);
+        let (reduced, stats) =
+            remove_redundancy_traced(&result, &patterns, &mut checker, opts.max_passes, &mut main);
         report.redundancy = stats;
         result = reduced;
-        report.timings.redundancy += t.elapsed();
+        main.end();
     }
 
     let result = result.sweep();
-    report.timings.total = t_start.elapsed();
-    (result, report)
+    main.end();
+    result
 }
 
 /// One output's Phase 1 result: polarity, OFDD, method decision, patterns.
@@ -280,7 +482,9 @@ struct OutputPlan {
 /// Phase 1 for one output: polarity search, OFDD construction, method
 /// decision, and pattern generation. Pure in `(bm contents, f, opts)` —
 /// callers may run it on a clone of the manager in a worker thread and the
-/// result is identical to a sequential run.
+/// result is identical to a sequential run. Trace events land in `buf`,
+/// the output's own deterministic-order buffer.
+#[allow(clippy::too_many_arguments)]
 fn plan_output(
     name: &str,
     f: xsynth_bdd::Bdd,
@@ -289,21 +493,34 @@ fn plan_output(
     num_outputs: usize,
     opts: &SynthOptions,
     candidate_parallel: bool,
+    buf: &mut TraceBuffer,
 ) -> OutputPlan {
+    buf.begin("plan");
     let support: Vec<usize> = bm.support(f).iter().collect();
-    let mut search = PolaritySearch::new(bm, f).parallel(candidate_parallel);
-    let (pol, _) = search.run(opts.polarity, &support);
-    let stats = search.stats;
+    let (pol, stats) = {
+        let mut search = PolaritySearch::new(bm, f)
+            .parallel(candidate_parallel)
+            .trace(buf);
+        let (pol, _) = search.run(opts.polarity, &support);
+        (pol, search.stats)
+    };
+    buf.begin("ofdd");
     let mut om = OfddManager::new(pol.clone());
     let root = om.from_bdd(bm, f);
     let count = om.num_cubes(root);
+    buf.end();
+    buf.gauge("ofdd.nodes", om.num_nodes() as f64);
+    buf.gauge("fprm.cubes", count as f64);
 
     let cubes: Vec<VarSet> = if count <= opts.pattern_opts.max_cubes as u64 {
         om.cubes(root)
     } else {
         Vec::new()
     };
+    buf.begin("patterns");
     let patterns = paper_patterns(n, &pol, &cubes, &opts.pattern_opts);
+    buf.end();
+    buf.count("patterns.generated", patterns.len() as u64);
 
     let cube_feasible = count <= opts.cube_cap;
     let use_cubes = match opts.method {
@@ -317,17 +534,21 @@ fn plan_output(
                     // extraction can merge them; single-output
                     // functions pick the cheaper method directly
                     (opts.share && num_outputs > 1) || {
-                        let cube_list = if cubes.is_empty() {
-                            om.cubes(root)
-                        } else {
-                            cubes.clone()
-                        };
-                        let expr = factor_cubes(&cube_list, opts.apply_rules);
-                        let cube_cost = scratch_cost(n, &pol, |net, lits| expr.emit(net, lits));
-                        let ofdd_cost = scratch_cost(n, &pol, |net, lits| {
-                            ofdd_to_network(&om, root, net, lits)
-                        });
-                        cube_cost <= ofdd_cost
+                        buf.span("method_select", |buf| {
+                            let cube_list = if cubes.is_empty() {
+                                om.cubes(root)
+                            } else {
+                                cubes.clone()
+                            };
+                            let expr = factor_cubes(&cube_list, opts.apply_rules);
+                            let cube_cost = scratch_cost(n, &pol, |net, lits| expr.emit(net, lits));
+                            let ofdd_cost = scratch_cost(n, &pol, |net, lits| {
+                                ofdd_to_network(&om, root, net, lits)
+                            });
+                            buf.gauge("method.cube_cost", cube_cost as f64);
+                            buf.gauge("method.ofdd_cost", ofdd_cost as f64);
+                            cube_cost <= ofdd_cost
+                        })
                     }
                 )
         }
@@ -346,6 +567,11 @@ fn plan_output(
             })
             .collect::<Vec<VarSet>>()
     });
+    let cube_cap_fallback = opts.method == FactorMethod::Cube && !cube_feasible;
+    if cube_cap_fallback {
+        buf.count("fprm.cube_cap_fallbacks", 1);
+    }
+    buf.end();
     OutputPlan {
         name: name.to_string(),
         pol,
@@ -354,13 +580,14 @@ fn plan_output(
         bdd: f,
         lit_cubes,
         cube_count: count,
-        cube_cap_fallback: opts.method == FactorMethod::Cube && !cube_feasible,
+        cube_cap_fallback,
         patterns,
         search: stats,
     }
 }
 
 /// The per-output (collapsed) synthesis path.
+#[allow(clippy::too_many_arguments)]
 fn synthesize_outputs(
     spec: &Network,
     opts: &SynthOptions,
@@ -368,6 +595,8 @@ fn synthesize_outputs(
     out_bdds: &[xsynth_bdd::Bdd],
     report: &mut SynthReport,
     pattern_lists: &mut Vec<Vec<Pattern>>,
+    sink: &TraceSink,
+    main: &mut TraceBuffer,
 ) -> Network {
     let n = spec.inputs().len();
     let mut net = Network::new(spec.name().to_string());
@@ -382,12 +611,15 @@ fn synthesize_outputs(
     // owning a clone of the BDD manager (handles stay valid in clones);
     // with a single output the parallelism moves inside the polarity
     // search instead, so the machine is never oversubscribed. Plans are
-    // merged back by output index, which makes the result independent of
-    // thread scheduling.
-    let t_plan = Instant::now();
+    // merged back by output index — and each output records into its own
+    // trace buffer keyed by that index — which makes both the result and
+    // the trace independent of thread scheduling.
+    main.begin(phase::FPRM);
     let num_outputs = spec.outputs().len();
     let parallel_outputs = opts.parallel && num_outputs > 1;
     let candidate_parallel = opts.parallel && !parallel_outputs;
+    let plan_buffer =
+        |i: usize, name: &str| sink.buffer_under(1 + i as u64, format!("plan:{name}"), phase::FPRM);
     let plans: Vec<OutputPlan> = if parallel_outputs {
         let workers = std::thread::available_parallelism()
             .map(|w| w.get())
@@ -407,6 +639,7 @@ fn synthesize_outputs(
                             if i >= num_outputs {
                                 break;
                             }
+                            let mut buf = plan_buffer(i, &outs[i].0);
                             let plan = plan_output(
                                 &outs[i].0,
                                 out_bdds[i],
@@ -415,6 +648,7 @@ fn synthesize_outputs(
                                 num_outputs,
                                 opts,
                                 false,
+                                &mut buf,
                             );
                             mine.push((i, plan));
                         }
@@ -439,8 +673,19 @@ fn synthesize_outputs(
         spec.outputs()
             .iter()
             .zip(out_bdds.iter())
-            .map(|((name, _), &f)| {
-                plan_output(name, f, bm, n, num_outputs, opts, candidate_parallel)
+            .enumerate()
+            .map(|(i, ((name, _), &f))| {
+                let mut buf = plan_buffer(i, name);
+                plan_output(
+                    name,
+                    f,
+                    bm,
+                    n,
+                    num_outputs,
+                    opts,
+                    candidate_parallel,
+                    &mut buf,
+                )
             })
             .collect()
     };
@@ -455,8 +700,8 @@ fn synthesize_outputs(
         }
         pattern_lists.push(std::mem::take(&mut plan.patterns));
     }
-    report.timings.fprm += t_plan.elapsed();
-    let t_factor = Instant::now();
+    main.end();
+    main.begin(phase::FACTORING);
 
     // Phase 2: GF(2) common-divisor extraction across the cube-method
     // outputs (the cross-output merge the paper delegates to resub).
@@ -470,7 +715,10 @@ fn synthesize_outputs(
             .iter()
             .map(|&i| plans[i].lit_cubes.clone().expect("cube output"))
             .collect();
-        let ext = gfx::extract(funcs, 2 * n, &gfx::ExtractOptions::default());
+        let ext = main.span("gfx_extract", |_| {
+            gfx::extract(funcs, 2 * n, &gfx::ExtractOptions::default())
+        });
+        main.count("share.divisors", ext.divisors.len() as u64);
         report.divisors = ext.divisors.len();
         for (&i, rewritten) in cube_outputs.iter().zip(ext.functions.iter()) {
             plans[i].lit_cubes = Some(rewritten.clone());
@@ -532,7 +780,7 @@ fn synthesize_outputs(
     }
     for k in emit_order {
         let (y, cubes) = &extraction[k];
-        let expr = factor_cubes(cubes, opts.apply_rules);
+        let expr = factor_cubes_traced(cubes, opts.apply_rules, main);
         let mut lits = resolve_lits!();
         let sig = expr.emit(&mut net, &mut lits);
         divisor_sig.insert(*y, sig);
@@ -540,7 +788,7 @@ fn synthesize_outputs(
     for plan in plans {
         let sig = match &plan.lit_cubes {
             Some(cubes) => {
-                let expr = factor_cubes(cubes, opts.apply_rules);
+                let expr = factor_cubes_traced(cubes, opts.apply_rules, main);
                 let mut lits = resolve_lits!();
                 expr.emit(&mut net, &mut lits)
             }
@@ -559,22 +807,31 @@ fn synthesize_outputs(
                             .or_insert_with(|| net.add_gate(GateKind::Not, vec![inputs[v]]))
                     }
                 };
+                main.count("factor.ofdd_lowered", 1);
                 ofdd_to_network(&plan.om, plan.root, &mut net, &mut lits)
             }
         };
         net.add_output(plan.name.clone(), sig);
     }
-    report.timings.factoring += t_factor.elapsed();
+    main.end();
     net
 }
 
 /// The macro-block synthesis path: rebuild SIS-style blocks with
 /// `eliminate`, then FPRM-synthesize each block function locally.
-fn synthesize_blocks(spec: &Network, opts: &SynthOptions, report: &mut SynthReport) -> Network {
+fn synthesize_blocks(
+    spec: &Network,
+    opts: &SynthOptions,
+    report: &mut SynthReport,
+    buf: &mut TraceBuffer,
+) -> Network {
     use xsynth_boolean::{Fprm, TruthTable};
-    let mut s = SopNet::from_network(spec);
-    s.eliminate(8, 64);
-    s.simplify();
+    let s = buf.span("eliminate", |_| {
+        let mut s = SopNet::from_network(spec);
+        s.eliminate(8, 64);
+        s.simplify();
+        s
+    });
 
     let mut net = Network::new(spec.name().to_string());
     let mut map: HashMap<usize, SignalId> = HashMap::new();
@@ -588,6 +845,7 @@ fn synthesize_blocks(spec: &Network, opts: &SynthOptions, report: &mut SynthRepo
         let cover = s.cover(sig).expect("live").clone();
         let support: Vec<usize> = cover.support().iter().collect();
         report.blocks += 1;
+        buf.count("blocks.synthesized", 1);
         let sid = if support.len() <= 12 && cover.num_cubes() <= 256 {
             // local truth table over the block's fanin signals
             let k = support.len();
@@ -611,7 +869,7 @@ fn synthesize_blocks(spec: &Network, opts: &SynthOptions, report: &mut SynthRepo
                 }
             };
             let pol = fprm.polarity().clone();
-            let expr = factor_cubes(fprm.cubes(), opts.apply_rules);
+            let expr = factor_cubes_traced(fprm.cubes(), opts.apply_rules, buf);
             let mut lits = |net: &mut Network, b: usize| -> SignalId {
                 let base = map[&support[b]];
                 if pol.is_positive(b) {
@@ -625,6 +883,7 @@ fn synthesize_blocks(spec: &Network, opts: &SynthOptions, report: &mut SynthRepo
             expr.emit(&mut net, &mut lits)
         } else {
             // block too wide: lower its good-factored form directly
+            buf.count("blocks.sop_fallback", 1);
             let fac = xsynth_sop::algebra::factor(&cover);
             emit_block_factored(&fac, &mut net, &map, &mut not_cache)
         };
@@ -753,7 +1012,10 @@ mod tests {
     #[test]
     fn synthesize_adder_equivalent_and_xor_rich() {
         let spec = adder(3, true);
-        let (out, report) = synthesize(&spec, &SynthOptions::default());
+        let SynthOutcome {
+            network: out,
+            report,
+        } = synthesize(&spec, &SynthOptions::default());
         check_equiv(&spec, &out);
         assert_eq!(report.redundancy.reverted, 0, "{:?}", report.redundancy);
         // sum bits keep their XORs; carries become AND/OR
@@ -769,11 +1031,8 @@ mod tests {
     fn both_methods_agree_on_function() {
         let spec = adder(2, false);
         for method in [FactorMethod::Cube, FactorMethod::Ofdd] {
-            let opts = SynthOptions {
-                method,
-                ..SynthOptions::default()
-            };
-            let (out, _) = synthesize(&spec, &opts);
+            let opts = SynthOptions::builder().method(method).build();
+            let out = synthesize(&spec, &opts).network;
             check_equiv(&spec, &out);
         }
     }
@@ -786,11 +1045,8 @@ mod tests {
             PolarityMode::Greedy,
             PolarityMode::Exhaustive,
         ] {
-            let opts = SynthOptions {
-                polarity,
-                ..SynthOptions::default()
-            };
-            let (out, _) = synthesize(&spec, &opts);
+            let opts = SynthOptions::builder().polarity(polarity).build();
+            let out = synthesize(&spec, &opts).network;
             check_equiv(&spec, &out);
         }
     }
@@ -808,7 +1064,10 @@ mod tests {
         let nc = spec.add_gate(GateKind::Not, vec![c]);
         let o = spec.add_gate(GateKind::And, vec![na, nb, nc]);
         spec.add_output("f", o);
-        let (out, report) = synthesize(&spec, &SynthOptions::default());
+        let SynthOutcome {
+            network: out,
+            report,
+        } = synthesize(&spec, &SynthOptions::default());
         check_equiv(&spec, &out);
         assert_eq!(report.outputs[0].1, 1, "one cube in all-negative polarity");
     }
@@ -824,7 +1083,7 @@ mod tests {
         let y = spec.add_gate(GateKind::Xor, vec![c, b, a]);
         spec.add_output("x", x);
         spec.add_output("y", y);
-        let (out, _) = synthesize(&spec, &SynthOptions::default());
+        let out = synthesize(&spec, &SynthOptions::default()).network;
         check_equiv(&spec, &out);
         assert!(
             out.num_gates() <= 2,
@@ -842,7 +1101,7 @@ mod tests {
         let w = spec.add_gate(GateKind::Buf, vec![b]);
         spec.add_output("zero", t);
         spec.add_output("wire", w);
-        let (out, _) = synthesize(&spec, &SynthOptions::default());
+        let out = synthesize(&spec, &SynthOptions::default()).network;
         check_equiv(&spec, &out);
         assert_eq!(out.num_gates(), 0);
     }
@@ -850,11 +1109,95 @@ mod tests {
     #[test]
     fn report_lists_every_output() {
         let spec = adder(2, false);
-        let (_, report) = synthesize(&spec, &SynthOptions::default());
+        let report = synthesize(&spec, &SynthOptions::default()).report;
         assert_eq!(report.outputs.len(), spec.outputs().len());
         for (name, count, _) in &report.outputs {
             assert!(!name.is_empty());
             assert!(*count < 100);
         }
+    }
+
+    #[test]
+    fn report_carries_trace_and_profile() {
+        let spec = adder(3, true);
+        let report = synthesize(&spec, &SynthOptions::default()).report;
+        let names = report.trace.span_names();
+        for p in [
+            phase::SYNTHESIZE,
+            phase::FPRM,
+            phase::FACTORING,
+            phase::SHARING,
+            phase::REDUNDANCY,
+            phase::VERIFY,
+        ] {
+            assert!(names.contains(p), "trace is missing the {p} span");
+        }
+        assert!(report.profile.total >= report.profile.duration(phase::FPRM));
+        assert!(report
+            .profile
+            .phases
+            .iter()
+            .any(|p| p.name == phase::FPRM && p.duration > Duration::ZERO));
+        // per-output planning buffers land under the fprm phase
+        let forest = report.trace.forest();
+        let root = &forest[0];
+        assert_eq!(root.name, phase::SYNTHESIZE);
+        let fprm = root
+            .children
+            .iter()
+            .find(|c| c.name == phase::FPRM)
+            .expect("fprm phase");
+        let plans = fprm.children.iter().filter(|c| c.name == "plan").count();
+        assert_eq!(plans, spec.outputs().len());
+    }
+
+    #[test]
+    fn external_sink_aggregates_runs() {
+        let sink = TraceSink::new();
+        let opts = SynthOptions::builder().trace(sink.clone()).build();
+        synthesize(&adder(2, false), &opts);
+        synthesize(&adder(2, true), &opts);
+        let trace = sink.take();
+        // two runs, each with a pipeline track and one planning track per
+        // output; labels are prefixed with the circuit name
+        assert!(
+            trace.tracks.iter().any(|t| t.label.starts_with("add2/")),
+            "{:?}",
+            trace.tracks.len()
+        );
+        let roots = trace
+            .forest()
+            .iter()
+            .filter(|n| n.name == phase::SYNTHESIZE)
+            .count();
+        assert_eq!(roots, 2);
+    }
+
+    #[test]
+    fn builder_covers_every_option() {
+        let opts = SynthOptions::builder()
+            .method(FactorMethod::Ofdd)
+            .polarity(PolarityMode::Greedy)
+            .apply_rules(false)
+            .redundancy_removal(false)
+            .share(false)
+            .granularity(Granularity::Block)
+            .block_threshold(9)
+            .cube_cap(7)
+            .pattern_opts(PatternOptions::default())
+            .max_passes(1)
+            .parallel(false)
+            .build();
+        assert_eq!(opts.method, FactorMethod::Ofdd);
+        assert_eq!(opts.polarity, PolarityMode::Greedy);
+        assert!(!opts.apply_rules);
+        assert!(!opts.redundancy_removal);
+        assert!(!opts.share);
+        assert_eq!(opts.granularity, Granularity::Block);
+        assert_eq!(opts.block_threshold, 9);
+        assert_eq!(opts.cube_cap, 7);
+        assert_eq!(opts.max_passes, 1);
+        assert!(!opts.parallel);
+        assert!(opts.trace.is_none());
     }
 }

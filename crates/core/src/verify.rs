@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use xsynth_bdd::{Bdd, BddManager};
 use xsynth_net::{Network, NodeKind, SignalId};
 use xsynth_sim::{equivalent_on, random_patterns, Pattern};
+use xsynth_trace::TraceBuffer;
 
 /// Input count above which the checker switches from exact BDD comparison
 /// to high-confidence random simulation.
@@ -101,6 +102,20 @@ impl EquivChecker {
             (None, Some((reference, patterns))) => equivalent_on(reference, candidate, patterns),
             (None, None) => unreachable!("checker always has one backend"),
         }
+    }
+
+    /// [`EquivChecker::check`] recording into a trace buffer: runs inside a
+    /// `check` span, counts `verify.checks`, and (on the simulation
+    /// backend) counts the patterns simulated as `verify.sim_patterns`.
+    pub fn check_traced(&mut self, candidate: &Network, buf: &mut TraceBuffer) -> bool {
+        buf.begin("check");
+        buf.count("verify.checks", 1);
+        if let Some((_, patterns)) = &self.sim_reference {
+            buf.count("verify.sim_patterns", patterns.len() as u64);
+        }
+        let ok = self.check(candidate);
+        buf.end();
+        ok
     }
 }
 

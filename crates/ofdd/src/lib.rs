@@ -38,6 +38,7 @@ pub mod kfdd;
 use std::collections::HashMap;
 use xsynth_bdd::{Bdd, BddManager};
 use xsynth_boolean::{Fprm, Polarity, TruthTable, VarSet};
+use xsynth_trace::TraceBuffer;
 
 /// A handle to an OFDD node inside an [`OfddManager`].
 ///
@@ -453,6 +454,7 @@ pub struct PolaritySearch<'a> {
     f: Bdd,
     memo: HashMap<Polarity, u64>,
     parallel: bool,
+    trace: Option<&'a mut TraceBuffer>,
     /// Counters: candidates evaluated and memo hits so far.
     pub stats: PolaritySearchStats,
 }
@@ -465,6 +467,7 @@ impl<'a> PolaritySearch<'a> {
             f,
             memo: HashMap::new(),
             parallel: false,
+            trace: None,
             stats: PolaritySearchStats::default(),
         }
     }
@@ -477,14 +480,34 @@ impl<'a> PolaritySearch<'a> {
         self
     }
 
+    /// Records the search into a trace buffer: [`PolaritySearch::run`]
+    /// opens a `polarity_search` span and the evaluation sites emit the
+    /// `polarity.evaluated` / `polarity.memo_hit` counters. The counter
+    /// stream is deterministic — the memo logic is identical with and
+    /// without [`PolaritySearch::parallel`], only *where* a candidate is
+    /// evaluated changes.
+    pub fn trace(mut self, buf: &'a mut TraceBuffer) -> Self {
+        self.trace = Some(buf);
+        self
+    }
+
+    fn record(&mut self, evaluated: u64, memo_hits: u64) {
+        self.stats.candidates_evaluated += evaluated;
+        self.stats.memo_hits += memo_hits;
+        if let Some(buf) = self.trace.as_deref_mut() {
+            buf.count("polarity.evaluated", evaluated);
+            buf.count("polarity.memo_hit", memo_hits);
+        }
+    }
+
     /// The FPRM cube count of the function under `pol`, memoized.
     pub fn cube_count(&mut self, pol: &Polarity) -> u64 {
         if let Some(&c) = self.memo.get(pol) {
-            self.stats.memo_hits += 1;
+            self.record(0, 1);
             return c;
         }
         let c = eval_polarity(self.bm, self.f, pol);
-        self.stats.candidates_evaluated += 1;
+        self.record(1, 0);
         self.memo.insert(pol.clone(), c);
         c
     }
@@ -495,10 +518,11 @@ impl<'a> PolaritySearch<'a> {
     pub fn cube_counts(&mut self, pols: &[Polarity]) -> Vec<u64> {
         let mut out: Vec<Option<u64>> = Vec::with_capacity(pols.len());
         let mut missing: Vec<usize> = Vec::new();
+        let mut hits = 0u64;
         for p in pols {
             match self.memo.get(p) {
                 Some(&c) => {
-                    self.stats.memo_hits += 1;
+                    hits += 1;
                     out.push(Some(c));
                 }
                 None => {
@@ -543,15 +567,14 @@ impl<'a> PolaritySearch<'a> {
             });
             for (i, c) in counts {
                 self.memo.insert(pols[i].clone(), c);
-                self.stats.candidates_evaluated += 1;
             }
         } else {
             for &i in &missing {
                 let c = eval_polarity(self.bm, self.f, &pols[i]);
                 self.memo.insert(pols[i].clone(), c);
-                self.stats.candidates_evaluated += 1;
             }
         }
+        self.record(missing.len() as u64, hits);
         out.into_iter()
             .zip(pols)
             .map(|(c, p)| c.unwrap_or_else(|| self.memo[p]))
@@ -636,8 +659,21 @@ impl<'a> PolaritySearch<'a> {
     }
 
     /// Dispatches on `mode`: all-positive, greedy descent, or gray-code
-    /// exhaustive when the support fits under [`EXHAUSTIVE_LIMIT`].
+    /// exhaustive when the support fits under [`EXHAUSTIVE_LIMIT`]. When a
+    /// trace buffer is attached the whole search runs inside a
+    /// `polarity_search` span.
     pub fn run(&mut self, mode: PolarityMode, support: &[usize]) -> (Polarity, u64) {
+        if let Some(buf) = self.trace.as_deref_mut() {
+            buf.begin("polarity_search");
+        }
+        let result = self.dispatch(mode, support);
+        if let Some(buf) = self.trace.as_deref_mut() {
+            buf.end();
+        }
+        result
+    }
+
+    fn dispatch(&mut self, mode: PolarityMode, support: &[usize]) -> (Polarity, u64) {
         let n = self.bm.num_vars();
         match mode {
             PolarityMode::AllPositive => {

@@ -35,6 +35,7 @@ pub use power::{power_estimate, signal_activity, PowerReport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use xsynth_net::{Network, NodeKind, SignalId};
+use xsynth_trace::TraceBuffer;
 
 /// A single input assignment: one value per primary input, in declaration
 /// order.
@@ -193,6 +194,22 @@ pub(crate) fn eval_gate_words(kind: xsynth_net::GateKind, fanins: &[SignalId], v
 pub fn equivalent_on(a: &Network, b: &Network, patterns: &[Pattern]) -> bool {
     let (sa, sb) = (Simulator::new(a), Simulator::new(b));
     sa.outputs_for_patterns(patterns) == sb.outputs_for_patterns(patterns)
+}
+
+/// [`equivalent_on`] recording into a trace buffer: runs inside an
+/// `equivalent_on` span and counts the patterns (`sim.patterns`) and
+/// 64-lane simulation blocks (`sim.blocks`) each network was driven with.
+pub fn equivalent_on_traced(
+    a: &Network,
+    b: &Network,
+    patterns: &[Pattern],
+    buf: &mut TraceBuffer,
+) -> bool {
+    buf.span("equivalent_on", |buf| {
+        buf.count("sim.patterns", 2 * patterns.len() as u64);
+        buf.count("sim.blocks", 2 * patterns.chunks(64).len() as u64);
+        equivalent_on(a, b, patterns)
+    })
 }
 
 #[cfg(test)]

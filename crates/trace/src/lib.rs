@@ -1,0 +1,686 @@
+//! Structured tracing and metrics for the synthesis pipeline.
+//!
+//! The paper's evaluation is entirely about *where* literals, XOR gates and
+//! CPU time go across the FPRM pipeline phases, so every phase needs to be
+//! observable and comparable across runs. This crate provides the
+//! substrate:
+//!
+//! * **hierarchical spans** with wall-clock timing (`begin`/`end` or the
+//!   closure-scoped [`TraceBuffer::span`]),
+//! * **counters** — monotonically accumulated event counts
+//!   ([`TraceBuffer::count`]),
+//! * **gauges** — point-in-time measurements such as live DD node counts
+//!   or memo hit rates ([`TraceBuffer::gauge`]).
+//!
+//! Recording is contention-free: each worker owns a plain [`TraceBuffer`]
+//! (a `Vec` of events, no locks) and submits it to the shared
+//! [`TraceSink`] once, when the buffer drops. Buffers carry an explicit
+//! ordering key, so the merged [`Trace`] is identical regardless of thread
+//! scheduling — the same discipline the parallel synthesis fan-out uses
+//! for the networks themselves.
+//!
+//! Two exporters ship with the crate: a human-readable tree
+//! ([`Trace::render_tree`]) and Chrome `trace_event` JSON
+//! ([`Trace::to_chrome_json`]) loadable in `chrome://tracing` or Perfetto.
+//!
+//! # Examples
+//!
+//! ```
+//! use xsynth_trace::TraceSink;
+//!
+//! let sink = TraceSink::new();
+//! {
+//!     let mut buf = sink.buffer(0, "main");
+//!     buf.span("work", |b| {
+//!         b.count("items", 3);
+//!         b.gauge("queue.depth", 1.0);
+//!     });
+//! } // buffer submits on drop
+//! let trace = sink.take();
+//! assert_eq!(trace.counter_totals()["items"], 3);
+//! assert!(trace.span_names().contains("work"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod chrome;
+pub mod json;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One recorded trace event, timestamped relative to the sink's epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span opens.
+    Begin {
+        /// Span name (phase names are shared constants in the pipeline).
+        name: String,
+        /// Time since the sink epoch.
+        at: Duration,
+    },
+    /// The innermost open span closes.
+    End {
+        /// Time since the sink epoch.
+        at: Duration,
+    },
+    /// A counter increments (counters only ever grow).
+    Count {
+        /// Counter name.
+        name: String,
+        /// Increment to add to the running total.
+        delta: u64,
+    },
+    /// A gauge sample (point-in-time value; the last sample wins).
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// One buffer's worth of events after submission: an ordered event list
+/// plus the merge metadata.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Track {
+    /// Deterministic merge key: tracks are sorted by `(key, label)` in the
+    /// final [`Trace`], independent of submission (i.e. scheduling) order.
+    pub key: u64,
+    /// Human-readable label (becomes the thread name in Chrome exports).
+    pub label: String,
+    /// Optional span name on an earlier track under which this track's
+    /// spans nest in the rendered tree (e.g. per-output planning tracks
+    /// nest under the `fprm` phase).
+    pub parent: Option<String>,
+    /// The recorded events, in recording order.
+    pub events: Vec<Event>,
+}
+
+/// A merged, immutable trace: all submitted tracks in deterministic order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Tracks sorted by `(key, label)`.
+    pub tracks: Vec<Track>,
+}
+
+/// One node of the reconstructed span tree.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Start time relative to the trace epoch.
+    pub start: Duration,
+    /// Wall-clock duration of the span.
+    pub duration: Duration,
+    /// Counters recorded directly inside this span (not descendants).
+    pub counts: BTreeMap<String, u64>,
+    /// Gauges recorded directly inside this span (last sample wins).
+    pub gauges: BTreeMap<String, f64>,
+    /// Child spans, in recording order.
+    pub children: Vec<SpanNode>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    epoch: Instant,
+    tracks: Mutex<Vec<Track>>,
+}
+
+/// A thread-safe collector of [`Track`]s.
+///
+/// The sink itself is a cheap-to-clone handle (`Arc` inside); workers
+/// never contend on it while recording — they write into private
+/// [`TraceBuffer`]s and take the sink lock exactly once, at submission.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    shared: Arc<Shared>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new()
+    }
+}
+
+impl TraceSink {
+    /// Creates an empty sink whose epoch is *now*.
+    pub fn new() -> Self {
+        TraceSink {
+            shared: Arc::new(Shared {
+                epoch: Instant::now(),
+                tracks: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Time elapsed since the sink's epoch.
+    pub fn elapsed(&self) -> Duration {
+        self.shared.epoch.elapsed()
+    }
+
+    /// Opens a recording buffer that will merge at position `key`.
+    ///
+    /// Keys should be unique per buffer (ties are broken by label); the
+    /// pipeline uses key 0 for the main thread and `1 + output_index` for
+    /// the per-output planning buffers, which makes the merged trace
+    /// independent of which worker planned which output.
+    pub fn buffer(&self, key: u64, label: impl Into<String>) -> TraceBuffer {
+        TraceBuffer {
+            sink: self.clone(),
+            track: Track {
+                key,
+                label: label.into(),
+                parent: None,
+                events: Vec::new(),
+            },
+            depth: 0,
+        }
+    }
+
+    /// Like [`TraceSink::buffer`], with the track's rendered spans nested
+    /// under the named span of an earlier track.
+    pub fn buffer_under(
+        &self,
+        key: u64,
+        label: impl Into<String>,
+        parent: impl Into<String>,
+    ) -> TraceBuffer {
+        let mut b = self.buffer(key, label);
+        b.track.parent = Some(parent.into());
+        b
+    }
+
+    /// Appends every track of an already-merged trace, shifted `offset`
+    /// into this sink's timeline and with labels prefixed `prefix/`. Used
+    /// to aggregate several pipeline runs (benchmark sweeps, CLI batches)
+    /// into one exportable trace; keys are offset so separate appends
+    /// never interleave.
+    pub fn append(&self, trace: Trace, prefix: &str, offset: Duration) {
+        let mut tracks = self.shared.tracks.lock().expect("trace sink poisoned");
+        let base = tracks.iter().map(|t| t.key >> 32).max().unwrap_or(0) + 1;
+        for mut t in trace.tracks {
+            t.key = (base << 32) | (t.key & 0xffff_ffff);
+            if !prefix.is_empty() {
+                t.label = format!("{prefix}/{}", t.label);
+            }
+            for e in &mut t.events {
+                match e {
+                    Event::Begin { at, .. } | Event::End { at } => *at += offset,
+                    _ => {}
+                }
+            }
+            tracks.push(t);
+        }
+    }
+
+    fn submit(&self, track: Track) {
+        if track.events.is_empty() {
+            return;
+        }
+        self.shared
+            .tracks
+            .lock()
+            .expect("trace sink poisoned")
+            .push(track);
+    }
+
+    /// A deterministic snapshot of everything submitted so far.
+    pub fn snapshot(&self) -> Trace {
+        let tracks = self.shared.tracks.lock().expect("trace sink poisoned");
+        Trace::from_tracks(tracks.clone())
+    }
+
+    /// Drains the sink, returning the merged trace.
+    pub fn take(&self) -> Trace {
+        let mut tracks = self.shared.tracks.lock().expect("trace sink poisoned");
+        Trace::from_tracks(std::mem::take(&mut *tracks))
+    }
+}
+
+/// A private, lock-free event recorder for one worker (or one unit of
+/// deterministic work, like one output's planning). Submits its track to
+/// the sink when dropped; open spans are closed first.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    sink: TraceSink,
+    track: Track,
+    depth: usize,
+}
+
+impl TraceBuffer {
+    /// Opens a span. Spans nest: every `begin` must be matched by an
+    /// [`TraceBuffer::end`] (drop closes any that remain open).
+    pub fn begin(&mut self, name: impl Into<String>) {
+        let at = self.sink.elapsed();
+        self.track.events.push(Event::Begin {
+            name: name.into(),
+            at,
+        });
+        self.depth += 1;
+    }
+
+    /// Closes the innermost open span. A stray `end` with no open span is
+    /// ignored rather than corrupting the stream.
+    pub fn end(&mut self) {
+        if self.depth == 0 {
+            return;
+        }
+        let at = self.sink.elapsed();
+        self.track.events.push(Event::End { at });
+        self.depth -= 1;
+    }
+
+    /// Runs `f` inside a span named `name`.
+    pub fn span<R>(&mut self, name: &str, f: impl FnOnce(&mut TraceBuffer) -> R) -> R {
+        self.begin(name);
+        let r = f(self);
+        self.end();
+        r
+    }
+
+    /// Adds `delta` to the named monotonic counter. Zero deltas are
+    /// dropped so counter *sets* stay comparable across runs that take
+    /// the same path.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        self.track.events.push(Event::Count {
+            name: name.to_string(),
+            delta,
+        });
+    }
+
+    /// Records a gauge sample.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.track.events.push(Event::Gauge {
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    /// The sink this buffer submits to.
+    pub fn sink(&self) -> &TraceSink {
+        &self.sink
+    }
+
+    /// Discards the buffer without submitting anything.
+    pub fn discard(mut self) {
+        self.track.events.clear();
+    }
+}
+
+impl Drop for TraceBuffer {
+    fn drop(&mut self) {
+        while self.depth > 0 {
+            self.end();
+        }
+        self.sink.submit(std::mem::take(&mut self.track));
+    }
+}
+
+impl Trace {
+    fn from_tracks(mut tracks: Vec<Track>) -> Trace {
+        tracks.sort_by(|a, b| (a.key, &a.label).cmp(&(b.key, &b.label)));
+        Trace { tracks }
+    }
+
+    /// Total of every counter, summed across all tracks. Because counters
+    /// are commutative sums over deterministic per-track streams, the
+    /// totals are independent of submission order and of how work was
+    /// scheduled across threads.
+    pub fn counter_totals(&self) -> BTreeMap<String, u64> {
+        let mut totals = BTreeMap::new();
+        for t in &self.tracks {
+            for e in &t.events {
+                if let Event::Count { name, delta } = e {
+                    *totals.entry(name.clone()).or_insert(0) += delta;
+                }
+            }
+        }
+        totals
+    }
+
+    /// Last recorded value of every gauge, in track order.
+    pub fn gauge_finals(&self) -> BTreeMap<String, f64> {
+        let mut finals = BTreeMap::new();
+        for t in &self.tracks {
+            for e in &t.events {
+                if let Event::Gauge { name, value } = e {
+                    finals.insert(name.clone(), *value);
+                }
+            }
+        }
+        finals
+    }
+
+    /// The set of span names appearing anywhere in the trace.
+    pub fn span_names(&self) -> BTreeSet<String> {
+        let mut names = BTreeSet::new();
+        for t in &self.tracks {
+            for e in &t.events {
+                if let Event::Begin { name, .. } = e {
+                    names.insert(name.clone());
+                }
+            }
+        }
+        names
+    }
+
+    /// Total duration per span name, summed over every span instance on
+    /// every track (nested instances each contribute).
+    pub fn duration_by_name(&self) -> BTreeMap<String, Duration> {
+        let mut out: BTreeMap<String, Duration> = BTreeMap::new();
+        fn walk(nodes: &[SpanNode], out: &mut BTreeMap<String, Duration>) {
+            for n in nodes {
+                *out.entry(n.name.clone()).or_default() += n.duration;
+                walk(&n.children, out);
+            }
+        }
+        walk(&self.forest(), &mut out);
+        out
+    }
+
+    /// Reconstructs the span forest: each track's `Begin`/`End` stream
+    /// becomes a tree, and tracks with a `parent` label are grafted under
+    /// the first span of that name on an earlier track (or kept at top
+    /// level when no such span exists).
+    pub fn forest(&self) -> Vec<SpanNode> {
+        let mut roots: Vec<SpanNode> = Vec::new();
+        for t in &self.tracks {
+            let track_roots = build_track(t);
+            match &t.parent {
+                Some(p) => match find_first_mut(&mut roots, p) {
+                    Some(host) => host.children.extend(track_roots),
+                    None => roots.extend(track_roots),
+                },
+                None => roots.extend(track_roots),
+            }
+        }
+        roots
+    }
+
+    /// Renders the span forest as an indented, human-readable tree with
+    /// per-span durations, inline counters/gauges, and a counter-total
+    /// footer.
+    pub fn render_tree(&self) -> String {
+        let mut s = String::new();
+        fn emit(s: &mut String, n: &SpanNode, depth: usize) {
+            let ms = n.duration.as_secs_f64() * 1e3;
+            s.push_str(&format!(
+                "{:indent$}{} {ms:.2}ms",
+                "",
+                n.name,
+                indent = depth * 2
+            ));
+            for (k, v) in &n.counts {
+                s.push_str(&format!(" {k}={v}"));
+            }
+            for (k, v) in &n.gauges {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    s.push_str(&format!(" {k}={v:.0}"));
+                } else {
+                    s.push_str(&format!(" {k}={v:.3}"));
+                }
+            }
+            s.push('\n');
+            for c in &n.children {
+                emit(s, c, depth + 1);
+            }
+        }
+        for root in self.forest() {
+            emit(&mut s, &root, 0);
+        }
+        let totals = self.counter_totals();
+        if !totals.is_empty() {
+            s.push_str("counters:\n");
+            for (k, v) in &totals {
+                s.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        s
+    }
+
+    /// Exports the trace as Chrome `trace_event` JSON (the "JSON Array
+    /// with metadata" flavour), loadable in `chrome://tracing` and
+    /// [Perfetto](https://ui.perfetto.dev). No serde: the writer is
+    /// self-contained and escapes strings itself.
+    pub fn to_chrome_json(&self) -> String {
+        chrome::to_chrome_json(self)
+    }
+}
+
+/// Parses one track's event stream into its root spans.
+fn build_track(t: &Track) -> Vec<SpanNode> {
+    let mut roots: Vec<SpanNode> = Vec::new();
+    let mut stack: Vec<SpanNode> = Vec::new();
+    let mut last_at = Duration::ZERO;
+    for e in &t.events {
+        match e {
+            Event::Begin { name, at } => {
+                last_at = *at;
+                stack.push(SpanNode {
+                    name: name.clone(),
+                    start: *at,
+                    ..SpanNode::default()
+                });
+            }
+            Event::End { at } => {
+                last_at = *at;
+                if let Some(mut n) = stack.pop() {
+                    n.duration = at.saturating_sub(n.start);
+                    match stack.last_mut() {
+                        Some(p) => p.children.push(n),
+                        None => roots.push(n),
+                    }
+                }
+            }
+            Event::Count { name, delta } => {
+                if let Some(top) = stack.last_mut() {
+                    *top.counts.entry(name.clone()).or_insert(0) += delta;
+                } else if let Some(last) = roots.last_mut() {
+                    *last.counts.entry(name.clone()).or_insert(0) += delta;
+                }
+            }
+            Event::Gauge { name, value } => {
+                if let Some(top) = stack.last_mut() {
+                    top.gauges.insert(name.clone(), *value);
+                } else if let Some(last) = roots.last_mut() {
+                    last.gauges.insert(name.clone(), *value);
+                }
+            }
+        }
+    }
+    // close anything the recorder left open at the last seen timestamp
+    while let Some(mut n) = stack.pop() {
+        n.duration = last_at.saturating_sub(n.start);
+        match stack.last_mut() {
+            Some(p) => p.children.push(n),
+            None => roots.push(n),
+        }
+    }
+    roots
+}
+
+/// Depth-first search for the first span named `name`.
+fn find_first_mut<'a>(nodes: &'a mut [SpanNode], name: &str) -> Option<&'a mut SpanNode> {
+    for n in nodes {
+        if n.name == name {
+            return Some(n);
+        }
+        if let Some(hit) = find_first_mut(&mut n.children, name) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_time() {
+        let sink = TraceSink::new();
+        {
+            let mut b = sink.buffer(0, "main");
+            b.span("outer", |b| {
+                b.span("inner", |b| b.count("steps", 2));
+                b.count("steps", 1);
+            });
+        }
+        let t = sink.take();
+        let forest = t.forest();
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].name, "outer");
+        assert_eq!(forest[0].children[0].name, "inner");
+        assert_eq!(forest[0].counts["steps"], 1);
+        assert_eq!(forest[0].children[0].counts["steps"], 2);
+        assert_eq!(t.counter_totals()["steps"], 3);
+        assert!(forest[0].duration >= forest[0].children[0].duration);
+    }
+
+    #[test]
+    fn merge_order_follows_keys_not_submission() {
+        let sink = TraceSink::new();
+        let mut b2 = sink.buffer(2, "late");
+        b2.count("x", 1);
+        let mut b1 = sink.buffer(1, "early");
+        b1.count("x", 1);
+        drop(b2); // submitted first
+        drop(b1);
+        let t = sink.take();
+        assert_eq!(t.tracks[0].label, "early");
+        assert_eq!(t.tracks[1].label, "late");
+    }
+
+    #[test]
+    fn parallel_buffers_merge_deterministically() {
+        let collect = |shuffle: bool| {
+            let sink = TraceSink::new();
+            std::thread::scope(|s| {
+                let order: Vec<u64> = if shuffle {
+                    vec![3, 1, 2]
+                } else {
+                    vec![1, 2, 3]
+                };
+                for k in order {
+                    let sink = sink.clone();
+                    s.spawn(move || {
+                        let mut b = sink.buffer(k, format!("worker{k}"));
+                        b.span("work", |b| b.count("units", k));
+                    });
+                }
+            });
+            let t = sink.take();
+            (
+                t.tracks.iter().map(|t| t.label.clone()).collect::<Vec<_>>(),
+                t.counter_totals(),
+            )
+        };
+        assert_eq!(collect(false), collect(true));
+    }
+
+    #[test]
+    fn parented_tracks_graft_under_named_span() {
+        let sink = TraceSink::new();
+        {
+            let mut main = sink.buffer(0, "main");
+            main.begin("phase");
+            {
+                let mut child = sink.buffer_under(1, "plan:0", "phase");
+                child.span("plan", |b| b.gauge("cubes", 7.0));
+            }
+            main.end();
+        }
+        let t = sink.take();
+        let forest = t.forest();
+        assert_eq!(forest[0].name, "phase");
+        assert_eq!(forest[0].children[0].name, "plan");
+        assert_eq!(forest[0].children[0].gauges["cubes"], 7.0);
+    }
+
+    #[test]
+    fn unbalanced_spans_close_on_drop() {
+        let sink = TraceSink::new();
+        {
+            let mut b = sink.buffer(0, "main");
+            b.begin("open");
+            b.begin("deeper");
+            b.count("c", 1);
+            // no end() calls
+        }
+        let t = sink.take();
+        let forest = t.forest();
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].children.len(), 1);
+        // a stray end is harmless
+        let sink2 = TraceSink::new();
+        let mut b = sink2.buffer(0, "m");
+        b.end();
+        b.count("x", 1);
+        drop(b);
+        assert_eq!(sink2.take().counter_totals()["x"], 1);
+    }
+
+    #[test]
+    fn append_shifts_and_prefixes() {
+        let inner = TraceSink::new();
+        {
+            let mut b = inner.buffer(0, "main");
+            b.span("run", |b| b.count("n", 1));
+        }
+        let outer = TraceSink::new();
+        outer.append(inner.take(), "z4ml", Duration::from_millis(5));
+        outer.append(
+            {
+                let s = TraceSink::new();
+                s.buffer(0, "main").span("run", |b| b.count("n", 2));
+                s.take()
+            },
+            "t481",
+            Duration::from_millis(9),
+        );
+        let t = outer.snapshot();
+        assert_eq!(t.tracks.len(), 2);
+        assert_eq!(t.tracks[0].label, "z4ml/main");
+        assert_eq!(t.tracks[1].label, "t481/main");
+        assert_eq!(t.counter_totals()["n"], 3);
+        let forest = t.forest();
+        assert!(forest[0].start >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn render_tree_shows_spans_and_counters() {
+        let sink = TraceSink::new();
+        sink.buffer(0, "main").span("synthesize", |b| {
+            b.span("fprm", |b| b.count("polarity.evaluated", 12));
+        });
+        let text = sink.take().render_tree();
+        assert!(text.contains("synthesize"), "{text}");
+        assert!(text.contains("  fprm"), "{text}");
+        assert!(text.contains("polarity.evaluated=12"), "{text}");
+        assert!(text.contains("counters:"), "{text}");
+    }
+
+    #[test]
+    fn empty_buffers_are_not_submitted() {
+        let sink = TraceSink::new();
+        drop(sink.buffer(0, "empty"));
+        assert!(sink.take().tracks.is_empty());
+    }
+
+    #[test]
+    fn zero_count_deltas_are_dropped() {
+        let sink = TraceSink::new();
+        let mut b = sink.buffer(0, "m");
+        b.count("never", 0);
+        b.count("once", 1);
+        drop(b);
+        let totals = sink.take().counter_totals();
+        assert!(!totals.contains_key("never"));
+        assert_eq!(totals["once"], 1);
+    }
+}

@@ -30,7 +30,8 @@ fn main() {
         );
     }
 
-    let (ours, report) = synthesize(&spec, &SynthOptions::default());
+    let outcome = synthesize(&spec, &SynthOptions::default());
+    let (ours, report) = (outcome.network, outcome.report);
     let baseline = script_algebraic(&spec, &ScriptOptions::default());
 
     let (our_gates, our_lits) = ours.two_input_cost();

@@ -42,7 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("parsed: {spec}");
 
     // the paper's flow
-    let (ours, report) = synthesize(&spec, &SynthOptions::default());
+    let outcome = synthesize(&spec, &SynthOptions::default());
+    let (ours, report) = (outcome.network, outcome.report);
     let (g_ours, l_ours) = ours.two_input_cost();
     println!(
         "FPRM flow: {g_ours} two-input gates / {l_ours} literals, {} divisors shared",

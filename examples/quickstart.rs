@@ -24,7 +24,8 @@ fn main() {
     println!("spec:   {spec}");
 
     // 2. Run the FPRM synthesis flow (Sections 2-4 of the paper).
-    let (optimized, report) = synthesize(&spec, &SynthOptions::default());
+    let outcome = synthesize(&spec, &SynthOptions::default());
+    let (optimized, report) = (outcome.network, outcome.report);
     println!("result: {optimized}");
     println!();
     for (name, cubes, polarity) in &report.outputs {

@@ -29,7 +29,8 @@ fn main() {
 
     // the paper's flow
     let t0 = Instant::now();
-    let (ours, report) = synthesize(&spec, &SynthOptions::default());
+    let outcome = synthesize(&spec, &SynthOptions::default());
+    let (ours, report) = (outcome.network, outcome.report);
     let t_ours = t0.elapsed();
     let (our_gates, our_lits) = ours.two_input_cost();
 

@@ -15,7 +15,7 @@ fn main() {
     for name in ["z4ml", "rd73", "t481", "xor10"] {
         let spec = circuits::build(name).expect("registered benchmark");
         let n = spec.inputs().len();
-        let (out, _) = synthesize(&spec, &SynthOptions::default());
+        let out = synthesize(&spec, &SynthOptions::default()).network;
 
         // derive the paper's pattern family from each output's FPRM form
         let mut lists = Vec::new();

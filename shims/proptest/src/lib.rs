@@ -110,6 +110,51 @@ pub mod strategy {
             T::arbitrary(rng)
         }
     }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $i:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            assert!(span > 0, "empty length range");
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` strategy drawing its length from `len` and each element
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
 }
 
 /// The `Arbitrary` trait and the `any` entry point.
@@ -148,6 +193,7 @@ pub mod arbitrary {
 
 /// Everything the property tests import.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::Config as ProptestConfig;

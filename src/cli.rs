@@ -12,10 +12,13 @@
 
 use std::fmt::Write as _;
 use xsynth_blif::{parse_blif, parse_pla, write_blif};
-use xsynth_core::{synthesize, EquivChecker, FactorMethod, SynthOptions, SynthReport};
+use xsynth_core::{
+    phase, synthesize, EquivChecker, Error, FactorMethod, SynthOptions, SynthOutcome, SynthReport,
+};
 use xsynth_map::{map_network, Library};
 use xsynth_net::Network;
 use xsynth_sop::{script_algebraic, ScriptOptions};
+use xsynth_trace::Trace;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,8 +33,10 @@ pub struct Command {
     pub engine: Engine,
     /// Skip the redundancy-removal pass.
     pub no_redundancy: bool,
-    /// Print per-phase timings and polarity-search counters.
+    /// Print the phase profile, counters and span tree.
     pub stats: bool,
+    /// Write the run's Chrome `trace_event` JSON to this path.
+    pub trace_json: Option<String>,
 }
 
 /// What to do.
@@ -78,7 +83,9 @@ options:
   -o FILE            write output to FILE
   --method ENGINE    fprm (default) | cube | ofdd | kfdd | sop | none
   --no-redundancy    skip the XOR redundancy-removal pass
-  --stats            print per-phase timings and polarity-search counters
+  --stats            print per-phase timings, counters and the span tree
+  --trace-json FILE  write Chrome trace_event JSON (chrome://tracing,
+                     Perfetto) for the synthesis run
 ";
 
 /// Parses the command line (excluding `argv[0]`).
@@ -107,12 +114,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut engine = Engine::Fprm;
     let mut no_redundancy = false;
     let mut stats = false;
+    let mut trace_json = None;
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" => {
                 output = Some(
                     it.next()
                         .ok_or_else(|| "-o needs a file".to_string())?
+                        .clone(),
+                )
+            }
+            "--trace-json" => {
+                trace_json = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace-json needs a file".to_string())?
                         .clone(),
                 )
             }
@@ -139,6 +154,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         engine,
         no_redundancy,
         stats,
+        trace_json,
     })
 }
 
@@ -185,10 +201,10 @@ fn edit_distance(a: &str, b: &str) -> usize {
 
 /// Loads a network from a path by extension (`.pla` → espresso PLA,
 /// anything else → BLIF), or from a built-in benchmark name for `bench`.
-pub fn load(cmd: &Command) -> Result<Network, String> {
+pub fn load(cmd: &Command) -> Result<Network, Error> {
     if cmd.action == Action::Bench {
         return xsynth_circuits::build(&cmd.input)
-            .ok_or_else(|| format!("unknown benchmark '{}'", cmd.input));
+            .ok_or_else(|| Error::msg(format!("unknown benchmark '{}'", cmd.input)));
     }
     // other subcommands also accept built-in benchmark names when no such
     // file exists
@@ -197,10 +213,9 @@ pub fn load(cmd: &Command) -> Result<Network, String> {
             return Ok(net);
         }
     }
-    let text = std::fs::read_to_string(&cmd.input)
-        .map_err(|e| format!("cannot read {}: {e}", cmd.input))?;
+    let text = std::fs::read_to_string(&cmd.input).map_err(|e| Error::io(&cmd.input, e))?;
     if cmd.input.ends_with(".pla") {
-        let pla = parse_pla(&text).map_err(|e| format!("{}: {e}", cmd.input))?;
+        let pla = parse_pla(&text)?;
         let name = cmd
             .input
             .rsplit('/')
@@ -209,12 +224,13 @@ pub fn load(cmd: &Command) -> Result<Network, String> {
             .trim_end_matches(".pla");
         Ok(pla.to_network(name))
     } else {
-        parse_blif(&text).map_err(|e| format!("{}: {e}", cmd.input))
+        Ok(parse_blif(&text)?)
     }
 }
 
 /// Runs the chosen engine. FPRM-family engines also return the synthesis
-/// report (for `--stats`); the SOP baseline and `none` have no report.
+/// report (for `--stats` and `--trace-json`); the SOP baseline and `none`
+/// have no report.
 pub fn run_engine(cmd: &Command, spec: &Network) -> (Network, Option<SynthReport>) {
     match cmd.engine {
         Engine::None => (spec.sweep(), None),
@@ -226,35 +242,71 @@ pub fn run_engine(cmd: &Command, spec: &Network) -> (Network, Option<SynthReport
                 Engine::Kfdd => FactorMethod::Kfdd,
                 _ => FactorMethod::Best,
             };
-            let opts = SynthOptions {
-                method,
-                redundancy_removal: !cmd.no_redundancy,
-                ..SynthOptions::default()
-            };
-            let (net, report) = synthesize(spec, &opts);
-            (net, Some(report))
+            let opts = SynthOptions::builder()
+                .method(method)
+                .redundancy_removal(!cmd.no_redundancy)
+                .build();
+            let SynthOutcome { network, report } = synthesize(spec, &opts);
+            (network, Some(report))
         }
     }
 }
 
-/// Renders the `--stats` block: per-phase wall-clock timings and the
-/// polarity-search counters from a [`SynthReport`].
+/// Renders the `--stats` block: the trace-derived per-phase wall-clock
+/// profile, the polarity-search counters, and the full span tree of a
+/// [`SynthReport`].
 pub fn render_report(report: &SynthReport) -> String {
-    let t = &report.timings;
+    let p = &report.profile;
     let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
     let mut s = String::new();
     let _ = writeln!(s, "# phase timings (ms):");
-    let _ = writeln!(s, "#   fprm generation:    {:9.2}", ms(t.fprm));
-    let _ = writeln!(s, "#   factoring:          {:9.2}", ms(t.factoring));
-    let _ = writeln!(s, "#   sharing:            {:9.2}", ms(t.sharing));
-    let _ = writeln!(s, "#   redundancy removal: {:9.2}", ms(t.redundancy));
-    let _ = writeln!(s, "#   total:              {:9.2}", ms(t.total));
+    let _ = writeln!(
+        s,
+        "#   fprm generation:    {:9.2}",
+        ms(p.duration(phase::FPRM))
+    );
+    let _ = writeln!(
+        s,
+        "#   factoring:          {:9.2}",
+        ms(p.duration(phase::FACTORING))
+    );
+    let _ = writeln!(
+        s,
+        "#   sharing:            {:9.2}",
+        ms(p.duration(phase::SHARING))
+    );
+    let _ = writeln!(
+        s,
+        "#   redundancy removal: {:9.2}",
+        ms(p.duration(phase::REDUNDANCY))
+    );
+    let _ = writeln!(
+        s,
+        "#   verify:             {:9.2}",
+        ms(p.duration(phase::VERIFY))
+    );
+    let _ = writeln!(s, "#   total:              {:9.2}", ms(p.total));
     let _ = writeln!(
         s,
         "# polarity search: {} candidates evaluated, {} memo hits",
         report.polarity_search.candidates_evaluated, report.polarity_search.memo_hits
     );
+    let _ = writeln!(s, "# trace:");
+    for line in report.trace.render_tree().lines() {
+        let _ = writeln!(s, "#   {line}");
+    }
     s
+}
+
+/// Writes the run's Chrome `trace_event` JSON to `path` (engines without a
+/// synthesis report emit an empty but valid trace document).
+fn write_trace_json(path: &str, report: Option<&SynthReport>) -> Result<String, Error> {
+    let json = match report {
+        Some(r) => r.trace.to_chrome_json(),
+        None => Trace::default().to_chrome_json(),
+    };
+    std::fs::write(path, &json).map_err(|e| Error::io(path, e))?;
+    Ok(format!("# wrote trace to {path}\n"))
 }
 
 /// Renders the `stats` block for a network.
@@ -268,12 +320,25 @@ pub fn render_stats(net: &Network) -> String {
     s
 }
 
+/// Parses and executes a command line in one step — the single fallible
+/// entry point the binary (and embedding code) calls. Usage errors, I/O
+/// errors, parse errors and verification failures all arrive as one
+/// [`Error`].
+///
+/// # Errors
+///
+/// Everything [`parse_args`] and [`execute`] can report.
+pub fn run(args: &[String]) -> Result<String, Error> {
+    let cmd = parse_args(args).map_err(Error::Msg)?;
+    execute(&cmd)
+}
+
 /// Executes a full command, returning the text to print.
 ///
 /// # Errors
 ///
-/// Propagates load/parse errors and verification failures as messages.
-pub fn execute(cmd: &Command) -> Result<String, String> {
+/// Propagates load/parse/I/O errors and verification failures.
+pub fn execute(cmd: &Command) -> Result<String, Error> {
     let spec = load(cmd)?;
     match cmd.action {
         Action::Stats => Ok(render_stats(&spec)),
@@ -281,7 +346,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             let (result, report) = run_engine(cmd, &spec);
             let mut checker = EquivChecker::new(&spec);
             if !checker.check(&result) {
-                return Err("internal error: result failed verification".into());
+                return Err(Error::msg("internal error: result failed verification"));
             }
             let mut out = String::new();
             let _ = writeln!(out, "# spec:   {}", render_stats(&spec).trim_end());
@@ -294,10 +359,13 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     }
                 }
             }
+            if let Some(path) = &cmd.trace_json {
+                out.push_str(&write_trace_json(path, report.as_ref())?);
+            }
             let blif = write_blif(&result);
             match &cmd.output {
                 Some(path) => {
-                    std::fs::write(path, &blif).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    std::fs::write(path, &blif).map_err(|e| Error::io(path, e))?;
                     let _ = writeln!(out, "# wrote {path}");
                 }
                 None => out.push_str(&blif),
@@ -327,9 +395,12 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     s.push_str(&render_report(r));
                 }
             }
+            if let Some(path) = &cmd.trace_json {
+                s.push_str(&write_trace_json(path, report.as_ref())?);
+            }
             if let Some(path) = &cmd.output {
                 let verilog = mapped.to_verilog(spec.name());
-                std::fs::write(path, &verilog).map_err(|e| format!("cannot write {path}: {e}"))?;
+                std::fs::write(path, &verilog).map_err(|e| Error::io(path, e))?;
                 let _ = writeln!(s, "  wrote Verilog netlist to {path}");
             }
             Ok(s)
@@ -391,6 +462,39 @@ mod tests {
         let out = execute(&c).unwrap();
         assert!(out.contains("phase timings"), "{out}");
         assert!(out.contains("polarity search:"), "{out}");
+        // the structured span tree rides along, with the paper phases
+        assert!(out.contains("# trace:"), "{out}");
+        assert!(out.contains("synthesize"), "{out}");
+        assert!(out.contains("fprm"), "{out}");
+        assert!(out.contains("redundancy"), "{out}");
+    }
+
+    #[test]
+    fn trace_json_flag_writes_valid_chrome_trace() {
+        let dir = std::env::temp_dir().join("xsynth_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tracep = dir.join("rd53-trace.json");
+        let c = parse_args(&argv(&format!(
+            "bench rd53 --trace-json {}",
+            tracep.display()
+        )))
+        .unwrap();
+        let out = execute(&c).unwrap();
+        assert!(out.contains("wrote trace to"), "{out}");
+        let json = std::fs::read_to_string(&tracep).unwrap();
+        xsynth_trace::json::validate(&json).expect("trace JSON must parse");
+        for phase in ["synthesize", "fprm", "factoring", "sharing", "redundancy"] {
+            assert!(json.contains(&format!("\"name\":\"{phase}\"")), "{phase}");
+        }
+    }
+
+    #[test]
+    fn run_is_a_single_fallible_entry_point() {
+        assert!(run(&argv("bench rd53")).is_ok());
+        let err = run(&argv("bench nonesuch")).unwrap_err();
+        assert!(err.to_string().contains("unknown benchmark"), "{err}");
+        let err = run(&argv("synth /no/such/file.blif")).unwrap_err();
+        assert!(matches!(err, Error::Io { .. }), "{err}");
     }
 
     #[test]
@@ -453,6 +557,7 @@ mod tests {
             engine: Engine::Fprm,
             no_redundancy: false,
             stats: false,
+            trace_json: None,
         };
         let text = execute(&cmd).unwrap();
         assert!(text.contains("wrote Verilog"), "{text}");
@@ -478,6 +583,7 @@ mod tests {
                 engine,
                 no_redundancy: false,
                 stats: false,
+                trace_json: None,
             };
             let out = execute(&cmd).expect("engine runs");
             assert!(out.contains(".model"));

@@ -32,11 +32,13 @@
 //! spec.add_output("cout", cout);
 //!
 //! // run the paper's FPRM flow
-//! let (optimized, report) = synthesize(&spec, &SynthOptions::default());
-//! assert!(report.redundancy.reverted == 0);
+//! let outcome = synthesize(&spec, &SynthOptions::default());
+//! assert!(outcome.report.redundancy.reverted == 0);
 //! for m in 0..8 {
-//!     assert_eq!(optimized.eval_u64(m), spec.eval_u64(m));
+//!     assert_eq!(outcome.network.eval_u64(m), spec.eval_u64(m));
 //! }
+//! // every run carries a structured trace of the pipeline phases
+//! assert!(outcome.report.trace.span_names().contains("synthesize"));
 //! ```
 
 #![warn(missing_docs)]
@@ -45,6 +47,9 @@ pub mod cli;
 
 /// Boolean function substrate: truth tables, cubes, SOP covers, FPRM forms.
 pub use xsynth_boolean as boolean;
+
+/// Structured tracing and metrics (spans, counters, gauges, exporters).
+pub use xsynth_trace as trace;
 
 /// Reduced ordered binary decision diagrams.
 pub use xsynth_bdd as bdd;

@@ -24,7 +24,7 @@ fn fprm_flow_preserves_every_small_benchmark() {
             continue; // wide circuits are covered by the checker test below
         }
         let spec = build(b.name).expect("registered");
-        let (out, _) = synthesize(&spec, &SynthOptions::default());
+        let out = synthesize(&spec, &SynthOptions::default()).network;
         assert!(
             equivalent_on(&spec, &out, &check_patterns(b.io.0)),
             "{} FPRM result differs",
@@ -60,7 +60,7 @@ fn wide_benchmarks_verify_through_the_checker() {
     for name in ["my_adder", "misg", "i5"] {
         let spec = build(name).expect("registered");
         let mut checker = EquivChecker::new(&spec);
-        let (out, _) = synthesize(&spec, &SynthOptions::default());
+        let out = synthesize(&spec, &SynthOptions::default()).network;
         assert!(checker.check(&out), "{name} failed verification");
     }
 }
@@ -70,7 +70,7 @@ fn mapper_preserves_synthesized_networks() {
     let lib = Library::mcnc();
     for name in ["z4ml", "rd53", "f2", "cm82a", "bcd-div3"] {
         let spec = build(name).expect("registered");
-        let (out, _) = synthesize(&spec, &SynthOptions::default());
+        let out = synthesize(&spec, &SynthOptions::default()).network;
         let mapped = map_network(&out, &lib).to_network(&lib);
         let n = spec.inputs().len();
         assert!(
@@ -84,7 +84,7 @@ fn mapper_preserves_synthesized_networks() {
 fn flows_compose_with_blif_roundtrip() {
     // synthesize → write BLIF → parse BLIF → still equivalent
     let spec = build("rd53").expect("registered");
-    let (out, _) = synthesize(&spec, &SynthOptions::default());
+    let out = synthesize(&spec, &SynthOptions::default()).network;
     let text = xsynth::blif::write_blif(&out);
     let back = xsynth::blif::parse_blif(&text).expect("own BLIF output parses");
     assert!(equivalent_on(&spec, &back, &exhaustive_patterns(5)));

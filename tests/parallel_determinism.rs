@@ -1,6 +1,7 @@
 //! Parallel synthesis must be a pure speedup: over the whole circuit
 //! registry, the parallel and sequential paths of [`synthesize`] have to
-//! produce identical networks gate-for-gate and identical report counters,
+//! produce identical networks gate-for-gate, identical report counters and
+//! identical trace phase sets / counter totals (only durations may differ),
 //! and the memoized polarity search has to pick the same winner as a
 //! plain un-memoized greedy descent.
 
@@ -26,26 +27,35 @@ fn counters(r: &SynthReport) -> impl PartialEq + std::fmt::Debug + '_ {
 fn parallel_equals_sequential_over_the_registry() {
     for bench in xsynth_circuits::registry() {
         let spec = xsynth_circuits::build(bench.name).expect("registered circuit builds");
-        let par_opts = SynthOptions {
-            parallel: true,
-            ..SynthOptions::default()
-        };
-        let seq_opts = SynthOptions {
-            parallel: false,
-            ..SynthOptions::default()
-        };
-        let (par_net, par_report) = synthesize(&spec, &par_opts);
-        let (seq_net, seq_report) = synthesize(&spec, &seq_opts);
+        let par_opts = SynthOptions::builder().parallel(true).build();
+        let seq_opts = SynthOptions::builder().parallel(false).build();
+        let par = synthesize(&spec, &par_opts);
+        let seq = synthesize(&spec, &seq_opts);
         assert_eq!(
-            xsynth_blif::write_blif(&par_net),
-            xsynth_blif::write_blif(&seq_net),
+            xsynth_blif::write_blif(&par.network),
+            xsynth_blif::write_blif(&seq.network),
             "{}: parallel and sequential networks differ",
             bench.name
         );
         assert_eq!(
-            counters(&par_report),
-            counters(&seq_report),
+            counters(&par.report),
+            counters(&seq.report),
             "{}: parallel and sequential reports differ",
+            bench.name
+        );
+        // The traces must agree on everything but timing: the same set of
+        // phases/spans is entered and every counter accumulates the same
+        // total, regardless of which thread did the work.
+        assert_eq!(
+            par.report.trace.span_names(),
+            seq.report.trace.span_names(),
+            "{}: parallel and sequential trace phase sets differ",
+            bench.name
+        );
+        assert_eq!(
+            par.report.trace.counter_totals(),
+            seq.report.trace.counter_totals(),
+            "{}: parallel and sequential trace counter totals differ",
             bench.name
         );
     }

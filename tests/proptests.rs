@@ -81,7 +81,7 @@ proptest! {
     fn fprm_flow_preserves_random_functions(bits in any::<u64>()) {
         let t = table(5, bits);
         let spec = two_level(&t);
-        let (out, _) = synthesize(&spec, &SynthOptions::default());
+        let out = synthesize(&spec, &SynthOptions::default()).network;
         for m in 0..32u64 {
             prop_assert_eq!(out.eval_u64(m)[0], t.eval(m));
         }
@@ -92,8 +92,8 @@ proptest! {
         let t = table(5, bits);
         let spec = two_level(&t);
         for method in [FactorMethod::Cube, FactorMethod::Ofdd] {
-            let opts = SynthOptions { method, ..SynthOptions::default() };
-            let (out, _) = synthesize(&spec, &opts);
+            let opts = SynthOptions::builder().method(method).build();
+            let out = synthesize(&spec, &opts).network;
             for m in 0..32u64 {
                 prop_assert_eq!(out.eval_u64(m)[0], t.eval(m));
             }

@@ -32,7 +32,7 @@ fn derive_patterns(spec: &xsynth::net::Network) -> Vec<Vec<bool>> {
 fn paper_pattern_family_matches_exhaustive_coverage() {
     for name in ["z4ml", "rd53", "f2", "cm82a"] {
         let spec = build(name).expect("registered");
-        let (out, _) = synthesize(&spec, &SynthOptions::default());
+        let out = synthesize(&spec, &SynthOptions::default()).network;
         let faults = enumerate_faults(&out);
         let n = spec.inputs().len();
 
@@ -60,7 +60,7 @@ fn synthesized_networks_are_nearly_irredundant() {
     // redundancy removal should leave few untestable faults
     for name in ["z4ml", "rd53", "t481"] {
         let spec = build(name).expect("registered");
-        let (out, _) = synthesize(&spec, &SynthOptions::default());
+        let out = synthesize(&spec, &SynthOptions::default()).network;
         let faults = enumerate_faults(&out);
         let n = spec.inputs().len();
         let patterns = if n <= 12 {
@@ -85,7 +85,7 @@ fn xor_rich_circuits_keep_full_coverage() {
     // patterns) plus AZ/AO detects them — the classic Reed-Muller
     // testability result the paper builds on (Reddy).
     let spec = build("xor10").expect("registered");
-    let (out, _) = synthesize(&spec, &SynthOptions::default());
+    let out = synthesize(&spec, &SynthOptions::default()).network;
     let faults = enumerate_faults(&out);
     let exhaustive = fault_simulate(&out, &exhaustive_patterns(10), &faults);
     assert_eq!(exhaustive.coverage(), 1.0, "parity trees are irredundant");
@@ -103,7 +103,7 @@ fn derived_family_matches_dedicated_atpg_coverage() {
     // the paper's point: the FPRM-derived family achieves what a real ATPG
     // achieves, without running one. Compare both on a synthesized adder.
     let spec = build("z4ml").expect("registered");
-    let (out, _) = synthesize(&spec, &SynthOptions::default());
+    let out = synthesize(&spec, &SynthOptions::default()).network;
     let faults = enumerate_faults(&out);
 
     // dedicated, complete BDD-based ATPG

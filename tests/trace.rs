@@ -1,0 +1,179 @@
+//! Integration tests for the structured tracing layer: span nesting under
+//! parallel fan-out, scheduling-independence of the merged trace, Chrome
+//! trace_event export validity and order-independent counter merging.
+
+use proptest::prelude::*;
+use xsynth::circuits;
+use xsynth::core::{phase, synthesize, SynthOptions};
+use xsynth::trace::{json, SpanNode, TraceSink};
+
+/// Finds the first span named `name` anywhere in the forest.
+fn find<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
+    for n in nodes {
+        if n.name == name {
+            return Some(n);
+        }
+        if let Some(hit) = find(&n.children, name) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+fn count_named(nodes: &[SpanNode], name: &str) -> usize {
+    nodes
+        .iter()
+        .map(|n| usize::from(n.name == name) + count_named(&n.children, name))
+        .sum()
+}
+
+#[test]
+fn paper_phases_nest_under_the_pipeline_root() {
+    let spec = circuits::build("z4ml").expect("registered");
+    let outcome = synthesize(&spec, &SynthOptions::default());
+    let forest = outcome.report.trace.forest();
+    let root = find(&forest, phase::SYNTHESIZE).expect("synthesize root span");
+    // all four paper phases are direct children of the pipeline root
+    for name in [
+        phase::FPRM,
+        phase::FACTORING,
+        phase::SHARING,
+        phase::REDUNDANCY,
+    ] {
+        assert!(
+            root.children.iter().any(|c| c.name == name),
+            "{name} must be a direct child of {}",
+            phase::SYNTHESIZE
+        );
+    }
+}
+
+#[test]
+fn parallel_fan_out_grafts_one_plan_per_output() {
+    let spec = circuits::build("z4ml").expect("registered");
+    let num_outputs = spec.outputs().len();
+    for parallel in [false, true] {
+        let opts = SynthOptions::builder().parallel(parallel).build();
+        let outcome = synthesize(&spec, &opts);
+        let forest = outcome.report.trace.forest();
+        let fprm = find(&forest, phase::FPRM).expect("fprm span");
+        // per-output plan tracks graft under the fprm phase even when the
+        // work ran on worker threads
+        assert_eq!(
+            count_named(std::slice::from_ref(fprm), "plan"),
+            num_outputs,
+            "parallel={parallel}: one plan span per output under fprm"
+        );
+        assert!(
+            find(std::slice::from_ref(fprm), "polarity_search").is_some(),
+            "parallel={parallel}: polarity_search nests inside a plan"
+        );
+    }
+}
+
+#[test]
+fn parallel_and_sequential_traces_agree_on_everything_but_time() {
+    for name in ["z4ml", "rd53", "5xp1"] {
+        let spec = circuits::build(name).expect("registered");
+        let par = synthesize(&spec, &SynthOptions::builder().parallel(true).build());
+        let seq = synthesize(&spec, &SynthOptions::builder().parallel(false).build());
+        let (pt, st) = (&par.report.trace, &seq.report.trace);
+        assert_eq!(pt.span_names(), st.span_names(), "{name}: phase sets");
+        assert_eq!(
+            pt.counter_totals(),
+            st.counter_totals(),
+            "{name}: counter totals"
+        );
+        assert_eq!(pt.gauge_finals(), st.gauge_finals(), "{name}: gauges");
+    }
+}
+
+#[test]
+fn chrome_export_of_a_real_run_is_valid_json() {
+    let spec = circuits::build("rd53").expect("registered");
+    let outcome = synthesize(&spec, &SynthOptions::default());
+    let text = outcome.report.trace.to_chrome_json();
+    json::validate(&text).expect("chrome trace must be valid JSON");
+    for name in [
+        phase::SYNTHESIZE,
+        phase::FPRM,
+        phase::FACTORING,
+        phase::SHARING,
+        phase::REDUNDANCY,
+    ] {
+        assert!(
+            text.contains(&format!("\"name\":\"{name}\"")),
+            "chrome trace must carry the {name} phase"
+        );
+    }
+}
+
+#[test]
+fn external_sink_collects_across_circuits() {
+    let sink = TraceSink::new();
+    for name in ["rd53", "z4ml"] {
+        let spec = circuits::build(name).expect("registered");
+        let opts = SynthOptions::builder().trace(sink.clone()).build();
+        let _ = synthesize(&spec, &opts);
+    }
+    let trace = sink.take();
+    let names = trace.span_names();
+    assert!(names.contains(phase::SYNTHESIZE));
+    // per-run labels are prefixed with the circuit name
+    assert!(trace.tracks.iter().any(|t| t.label.starts_with("rd53/")));
+    assert!(trace.tracks.iter().any(|t| t.label.starts_with("z4ml/")));
+    assert_eq!(count_named(&trace.forest(), phase::SYNTHESIZE), 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Counter merging is order-independent: no matter which order the
+    /// per-thread buffers are created or retired in, the merged totals and
+    /// the track layout are the same.
+    #[test]
+    fn counter_merge_is_order_independent(
+        deltas in prop::collection::vec((0u64..8, 1u64..100), 1..24),
+        order in prop::collection::vec(any::<u16>(), 1..24),
+    ) {
+        // reference: submit buffers in key order
+        let reference = TraceSink::new();
+        for &(key, delta) in &deltas {
+            let mut b = reference.buffer(key, format!("t{key}"));
+            b.begin("work");
+            b.count("events", delta);
+            b.end();
+        }
+        let want = reference.take();
+
+        // shuffled: same buffers retired in a permuted order, as parallel
+        // workers would
+        let shuffled = TraceSink::new();
+        let mut idx: Vec<usize> = (0..deltas.len()).collect();
+        for (i, o) in order.iter().enumerate() {
+            let j = (*o as usize) % deltas.len();
+            idx.swap(i % deltas.len(), j);
+        }
+        let mut open: Vec<_> = idx
+            .iter()
+            .map(|&i| {
+                let (key, delta) = deltas[i];
+                let mut b = shuffled.buffer(key, format!("t{key}"));
+                b.begin("work");
+                b.count("events", delta);
+                b.end();
+                b
+            })
+            .collect();
+        while let Some(b) = open.pop() {
+            drop(b); // retire in reverse-permuted order
+        }
+        let got = shuffled.take();
+
+        prop_assert_eq!(got.counter_totals(), want.counter_totals());
+        let labels = |t: &xsynth::trace::Trace| -> Vec<(u64, String)> {
+            t.tracks.iter().map(|tr| (tr.key, tr.label.clone())).collect()
+        };
+        prop_assert_eq!(labels(&got), labels(&want));
+    }
+}
