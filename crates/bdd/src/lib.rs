@@ -22,9 +22,31 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::collections::HashMap;
 use xsynth_boolean::{Sop, TruthTable, VarSet};
+
+/// Error returned by the `try_` operation forms when an operation would
+/// allocate past the manager's node cap (see
+/// [`BddManager::set_node_limit`]).
+///
+/// The manager is left in a usable state: every handle created before the
+/// failed operation remains valid, so callers can keep the best result
+/// obtained so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLimitExceeded {
+    /// The node cap that was in force when allocation failed.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for NodeLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BDD node limit of {} nodes exceeded", self.limit)
+    }
+}
+
+impl std::error::Error for NodeLimitExceeded {}
 
 /// A handle to a BDD node inside a [`BddManager`].
 ///
@@ -80,6 +102,7 @@ pub struct BddManager {
     unique: HashMap<(u32, Bdd, Bdd), Bdd>,
     cache: HashMap<(Op, Bdd, Bdd), Bdd>,
     not_cache: HashMap<Bdd, Bdd>,
+    limit: usize,
 }
 
 impl BddManager {
@@ -103,6 +126,31 @@ impl BddManager {
             unique: HashMap::new(),
             cache: HashMap::new(),
             not_cache: HashMap::new(),
+            limit: usize::MAX,
+        }
+    }
+
+    /// Creates a manager for `n` variables that refuses to grow past
+    /// `limit` nodes (terminals included). Operations must use the `try_`
+    /// forms to observe the cap as an error rather than a panic.
+    pub fn with_node_limit(n: usize, limit: usize) -> Self {
+        let mut m = Self::new(n);
+        m.limit = limit;
+        m
+    }
+
+    /// Sets (`Some`) or clears (`None`) the node cap. Nodes already
+    /// allocated are unaffected; only future allocations are checked.
+    pub fn set_node_limit(&mut self, limit: Option<usize>) {
+        self.limit = limit.unwrap_or(usize::MAX);
+    }
+
+    /// The node cap, if one is set.
+    pub fn node_limit(&self) -> Option<usize> {
+        if self.limit == usize::MAX {
+            None
+        } else {
+            Some(self.limit)
         }
     }
 
@@ -125,33 +173,58 @@ impl BddManager {
         }
     }
 
+    /// Unwraps a `try_` result for the infallible public forms, which are
+    /// only used on managers without a node cap.
+    fn expect_ok<T>(r: Result<T, NodeLimitExceeded>) -> T {
+        r.unwrap_or_else(|e| panic!("{e} (use the try_ operation forms under a node cap)"))
+    }
+
     /// The projection function of variable `var`.
     ///
     /// # Panics
     ///
-    /// Panics if `var >= self.num_vars()`.
+    /// Panics if `var >= self.num_vars()`, or if a node cap is set and
+    /// tripped (use [`BddManager::try_var`] under a budget).
     pub fn var(&mut self, var: usize) -> Bdd {
+        Self::expect_ok(self.try_var(var))
+    }
+
+    /// Fallible form of [`BddManager::var`].
+    pub fn try_var(&mut self, var: usize) -> Result<Bdd, NodeLimitExceeded> {
         assert!(var < self.n, "variable {var} out of range");
         self.mk(var as u32, Bdd::ZERO, Bdd::ONE)
     }
 
     /// The complemented projection `¬var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= self.num_vars()`, or if a node cap is set and
+    /// tripped (use [`BddManager::try_nvar`] under a budget).
     pub fn nvar(&mut self, var: usize) -> Bdd {
+        Self::expect_ok(self.try_nvar(var))
+    }
+
+    /// Fallible form of [`BddManager::nvar`].
+    pub fn try_nvar(&mut self, var: usize) -> Result<Bdd, NodeLimitExceeded> {
         assert!(var < self.n, "variable {var} out of range");
         self.mk(var as u32, Bdd::ONE, Bdd::ZERO)
     }
 
-    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Result<Bdd, NodeLimitExceeded> {
         if lo == hi {
-            return lo;
+            return Ok(lo);
         }
         if let Some(&b) = self.unique.get(&(var, lo, hi)) {
-            return b;
+            return Ok(b);
+        }
+        if self.nodes.len() >= self.limit {
+            return Err(NodeLimitExceeded { limit: self.limit });
         }
         let id = Bdd(self.nodes.len() as u32);
         self.nodes.push(Node { var, lo, hi });
         self.unique.insert((var, lo, hi), id);
-        id
+        Ok(id)
     }
 
     fn node(&self, b: Bdd) -> Node {
@@ -185,52 +258,52 @@ impl BddManager {
         }
     }
 
-    fn apply(&mut self, op: Op, f: Bdd, g: Bdd) -> Bdd {
+    fn apply(&mut self, op: Op, f: Bdd, g: Bdd) -> Result<Bdd, NodeLimitExceeded> {
         match op {
             Op::And => {
                 if f == Bdd::ZERO || g == Bdd::ZERO {
-                    return Bdd::ZERO;
+                    return Ok(Bdd::ZERO);
                 }
                 if f == Bdd::ONE {
-                    return g;
+                    return Ok(g);
                 }
                 if g == Bdd::ONE || f == g {
-                    return f;
+                    return Ok(f);
                 }
             }
             Op::Or => {
                 if f == Bdd::ONE || g == Bdd::ONE {
-                    return Bdd::ONE;
+                    return Ok(Bdd::ONE);
                 }
                 if f == Bdd::ZERO {
-                    return g;
+                    return Ok(g);
                 }
                 if g == Bdd::ZERO || f == g {
-                    return f;
+                    return Ok(f);
                 }
             }
             Op::Xor => {
                 if f == Bdd::ZERO {
-                    return g;
+                    return Ok(g);
                 }
                 if g == Bdd::ZERO {
-                    return f;
+                    return Ok(f);
                 }
                 if f == g {
-                    return Bdd::ZERO;
+                    return Ok(Bdd::ZERO);
                 }
                 if f == Bdd::ONE {
-                    return self.not(g);
+                    return self.try_not(g);
                 }
                 if g == Bdd::ONE {
-                    return self.not(f);
+                    return self.try_not(f);
                 }
             }
         }
         // commutative ops: normalize operand order for the cache
         let key = if f <= g { (op, f, g) } else { (op, g, f) };
         if let Some(&r) = self.cache.get(&key) {
-            return r;
+            return Ok(r);
         }
         let (nf, ng) = (self.node(f), self.node(g));
         let var = nf.var.min(ng.var);
@@ -244,73 +317,144 @@ impl BddManager {
         } else {
             (g, g)
         };
-        let lo = self.apply(op, f0, g0);
-        let hi = self.apply(op, f1, g1);
-        let r = self.mk(var, lo, hi);
+        let lo = self.apply(op, f0, g0)?;
+        let hi = self.apply(op, f1, g1)?;
+        let r = self.mk(var, lo, hi)?;
         self.cache.insert(key, r);
-        r
+        Ok(r)
     }
 
     /// Conjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a node cap is set and tripped (use
+    /// [`BddManager::try_and`] under a budget).
     pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        Self::expect_ok(self.apply(Op::And, f, g))
+    }
+
+    /// Fallible form of [`BddManager::and`].
+    pub fn try_and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, NodeLimitExceeded> {
         self.apply(Op::And, f, g)
     }
 
     /// Disjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a node cap is set and tripped (use
+    /// [`BddManager::try_or`] under a budget).
     pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        Self::expect_ok(self.apply(Op::Or, f, g))
+    }
+
+    /// Fallible form of [`BddManager::or`].
+    pub fn try_or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, NodeLimitExceeded> {
         self.apply(Op::Or, f, g)
     }
 
     /// Exclusive or.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a node cap is set and tripped (use
+    /// [`BddManager::try_xor`] under a budget).
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        Self::expect_ok(self.apply(Op::Xor, f, g))
+    }
+
+    /// Fallible form of [`BddManager::xor`].
+    pub fn try_xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, NodeLimitExceeded> {
         self.apply(Op::Xor, f, g)
     }
 
     /// Negation.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a node cap is set and tripped (use
+    /// [`BddManager::try_not`] under a budget).
     pub fn not(&mut self, f: Bdd) -> Bdd {
+        Self::expect_ok(self.try_not(f))
+    }
+
+    /// Fallible form of [`BddManager::not`].
+    pub fn try_not(&mut self, f: Bdd) -> Result<Bdd, NodeLimitExceeded> {
         if f == Bdd::ZERO {
-            return Bdd::ONE;
+            return Ok(Bdd::ONE);
         }
         if f == Bdd::ONE {
-            return Bdd::ZERO;
+            return Ok(Bdd::ZERO);
         }
         if let Some(&r) = self.not_cache.get(&f) {
-            return r;
+            return Ok(r);
         }
         let n = self.node(f);
-        let lo = self.not(n.lo);
-        let hi = self.not(n.hi);
-        let r = self.mk(n.var, lo, hi);
+        let lo = self.try_not(n.lo)?;
+        let hi = self.try_not(n.hi)?;
+        let r = self.mk(n.var, lo, hi)?;
         self.not_cache.insert(f, r);
         self.not_cache.insert(r, f);
-        r
+        Ok(r)
     }
 
     /// If-then-else: `c·t + ¬c·e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a node cap is set and tripped (use
+    /// [`BddManager::try_ite`] under a budget).
     pub fn ite(&mut self, c: Bdd, t: Bdd, e: Bdd) -> Bdd {
-        let ct = self.and(c, t);
-        let nc = self.not(c);
-        let nce = self.and(nc, e);
-        self.or(ct, nce)
+        Self::expect_ok(self.try_ite(c, t, e))
+    }
+
+    /// Fallible form of [`BddManager::ite`].
+    pub fn try_ite(&mut self, c: Bdd, t: Bdd, e: Bdd) -> Result<Bdd, NodeLimitExceeded> {
+        let ct = self.try_and(c, t)?;
+        let nc = self.try_not(c)?;
+        let nce = self.try_and(nc, e)?;
+        self.try_or(ct, nce)
     }
 
     /// Cofactor of `f` with `var` fixed to `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a node cap is set and tripped (use
+    /// [`BddManager::try_cofactor`] under a budget).
     pub fn cofactor(&mut self, f: Bdd, var: usize, phase: bool) -> Bdd {
+        Self::expect_ok(self.try_cofactor(f, var, phase))
+    }
+
+    /// Fallible form of [`BddManager::cofactor`].
+    pub fn try_cofactor(
+        &mut self,
+        f: Bdd,
+        var: usize,
+        phase: bool,
+    ) -> Result<Bdd, NodeLimitExceeded> {
         let var = var as u32;
         let mut memo = HashMap::new();
         self.cofactor_rec(f, var, phase, &mut memo)
     }
 
-    fn cofactor_rec(&mut self, f: Bdd, var: u32, phase: bool, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+    fn cofactor_rec(
+        &mut self,
+        f: Bdd,
+        var: u32,
+        phase: bool,
+        memo: &mut HashMap<Bdd, Bdd>,
+    ) -> Result<Bdd, NodeLimitExceeded> {
         if f.is_const() {
-            return f;
+            return Ok(f);
         }
         let n = self.node(f);
         if n.var > var {
-            return f;
+            return Ok(f);
         }
         if let Some(&r) = memo.get(&f) {
-            return r;
+            return Ok(r);
         }
         let r = if n.var == var {
             if phase {
@@ -319,12 +463,12 @@ impl BddManager {
                 n.lo
             }
         } else {
-            let lo = self.cofactor_rec(n.lo, var, phase, memo);
-            let hi = self.cofactor_rec(n.hi, var, phase, memo);
-            self.mk(n.var, lo, hi)
+            let lo = self.cofactor_rec(n.lo, var, phase, memo)?;
+            let hi = self.cofactor_rec(n.hi, var, phase, memo)?;
+            self.mk(n.var, lo, hi)?
         };
         memo.insert(f, r);
-        r
+        Ok(r)
     }
 
     /// Evaluates `f` on the assignment encoded in `minterm` (bit `i` =
@@ -342,9 +486,56 @@ impl BddManager {
         cur == Bdd::ONE
     }
 
-    /// Number of satisfying assignments over all `n` variables.
-    pub fn count_sat(&self, f: Bdd) -> u64 {
-        (self.sat_fraction(f) * (1u128 << self.n) as f64).round() as u64
+    /// Number of satisfying assignments over all `n` variables, computed
+    /// exactly by integer node-weight accumulation (no float rounding, so
+    /// counts stay exact past the ~52-variable precision limit of `f64`).
+    ///
+    /// Saturates at `u128::MAX` for managers over 128 or more variables,
+    /// where the count itself can overflow.
+    pub fn count_sat(&self, f: Bdd) -> u128 {
+        // weight(b) = satisfying assignments over variables >= level(b),
+        // where level is the node's variable index and n for terminals.
+        let mut memo: HashMap<Bdd, u128> = HashMap::new();
+        let w = self.sat_weight(f, &mut memo);
+        Self::shl_sat(w, self.level(f))
+    }
+
+    fn level(&self, b: Bdd) -> u32 {
+        if b.is_const() {
+            self.n as u32
+        } else {
+            self.node(b).var
+        }
+    }
+
+    fn shl_sat(v: u128, k: u32) -> u128 {
+        if v == 0 {
+            0
+        } else if k >= 128 || v.leading_zeros() < k {
+            u128::MAX
+        } else {
+            v << k
+        }
+    }
+
+    fn sat_weight(&self, f: Bdd, memo: &mut HashMap<Bdd, u128>) -> u128 {
+        if f == Bdd::ZERO {
+            return 0;
+        }
+        if f == Bdd::ONE {
+            return 1;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let lo = self.sat_weight(n.lo, memo);
+        let hi = self.sat_weight(n.hi, memo);
+        let lo = Self::shl_sat(lo, self.level(n.lo) - n.var - 1);
+        let hi = Self::shl_sat(hi, self.level(n.hi) - n.var - 1);
+        let r = lo.saturating_add(hi);
+        memo.insert(f, r);
+        r
     }
 
     /// Fraction of the input space on which `f` is one (the signal
@@ -409,24 +600,48 @@ impl BddManager {
     ///
     /// # Panics
     ///
-    /// Panics if the table's arity differs from the manager's.
+    /// Panics if the table's arity differs from the manager's, or if a
+    /// node cap is set and tripped (use [`BddManager::try_from_table`]
+    /// under a budget).
     pub fn from_table(&mut self, t: &TruthTable) -> Bdd {
+        Self::expect_ok(self.try_from_table(t))
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    /// Fallible form of [`BddManager::from_table`]. Still panics on an
+    /// arity mismatch, which is a programming error.
+    pub fn try_from_table(&mut self, t: &TruthTable) -> Result<Bdd, NodeLimitExceeded> {
         assert_eq!(t.num_vars(), self.n, "arity mismatch");
         self.from_table_rec(t, 0, 0)
     }
 
     #[allow(clippy::wrong_self_convention)]
-    fn from_table_rec(&mut self, t: &TruthTable, var: usize, prefix: u64) -> Bdd {
+    fn from_table_rec(
+        &mut self,
+        t: &TruthTable,
+        var: usize,
+        prefix: u64,
+    ) -> Result<Bdd, NodeLimitExceeded> {
         if var == self.n {
-            return self.constant(t.eval(prefix));
+            return Ok(self.constant(t.eval(prefix)));
         }
-        let lo = self.from_table_rec(t, var + 1, prefix);
-        let hi = self.from_table_rec(t, var + 1, prefix | (1 << var));
+        let lo = self.from_table_rec(t, var + 1, prefix)?;
+        let hi = self.from_table_rec(t, var + 1, prefix | (1 << var))?;
         self.mk(var as u32, lo, hi)
     }
 
     /// Builds a BDD from a sum-of-products cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a node cap is set and tripped (use
+    /// [`BddManager::try_from_sop`] under a budget).
     pub fn from_sop(&mut self, s: &Sop) -> Bdd {
+        Self::expect_ok(self.try_from_sop(s))
+    }
+
+    /// Fallible form of [`BddManager::from_sop`].
+    pub fn try_from_sop(&mut self, s: &Sop) -> Result<Bdd, NodeLimitExceeded> {
         let mut acc = Bdd::ZERO;
         for c in s.cubes() {
             let mut cube = Bdd::ONE;
@@ -440,12 +655,16 @@ impl BddManager {
                 .collect();
             lits.sort_unstable_by_key(|l| std::cmp::Reverse(l.0));
             for (v, ph) in lits {
-                let lit = if ph { self.var(v) } else { self.nvar(v) };
-                cube = self.and(cube, lit);
+                let lit = if ph {
+                    self.try_var(v)?
+                } else {
+                    self.try_nvar(v)?
+                };
+                cube = self.try_and(cube, lit)?;
             }
-            acc = self.or(acc, cube);
+            acc = self.try_or(acc, cube)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// Converts `f` to a truth table (requires `n ≤ MAX_TT_VARS`).
@@ -536,7 +755,7 @@ mod tests {
         let mut m = BddManager::new(6);
         let f = m.from_table(&t);
         assert_eq!(m.to_table(f), t);
-        assert_eq!(m.count_sat(f), t.count_ones());
+        assert_eq!(m.count_sat(f), t.count_ones() as u128);
     }
 
     #[test]
@@ -627,5 +846,68 @@ mod tests {
         let f = m.and(a, b);
         assert_eq!(m.cofactor(f, 3, true), f);
         assert_eq!(m.cofactor(f, 3, false), f);
+    }
+
+    #[test]
+    fn count_sat_is_exact_at_60_vars() {
+        // OR of 60 variables has 2^60 - 1 minterms; the old f64 path
+        // rounded this to 2^60 exactly (off by one past 52 bits of
+        // mantissa).
+        let n = 60;
+        let mut m = BddManager::new(n);
+        let mut f = Bdd::ZERO;
+        for v in 0..n {
+            let x = m.var(v);
+            f = m.or(f, x);
+        }
+        assert_eq!(m.count_sat(f), (1u128 << 60) - 1);
+        // AND of all 60 variables: exactly one minterm.
+        let mut g = Bdd::ONE;
+        for v in 0..n {
+            let x = m.var(v);
+            g = m.and(g, x);
+        }
+        assert_eq!(m.count_sat(g), 1);
+        assert_eq!(m.count_sat(Bdd::ONE), 1u128 << 60);
+        assert_eq!(m.count_sat(Bdd::ZERO), 0);
+    }
+
+    #[test]
+    fn count_sat_wide_free_variables() {
+        // A single variable among 100: half the space is satisfying, and
+        // the free variables on both sides of the tested one must be
+        // accounted for exactly.
+        let mut m = BddManager::new(100);
+        let x = m.var(57);
+        assert_eq!(m.count_sat(x), 1u128 << 99);
+    }
+
+    #[test]
+    fn node_limit_trips_as_error_and_keeps_manager_usable() {
+        let mut m = BddManager::with_node_limit(8, 4);
+        assert_eq!(m.node_limit(), Some(4));
+        let a = m.try_var(0).unwrap();
+        let b = m.try_var(1).unwrap();
+        // The manager is at its cap now (2 terminals + 2 vars); any new
+        // node must fail with the typed error.
+        let err = m.try_and(a, b).unwrap_err();
+        assert_eq!(err, NodeLimitExceeded { limit: 4 });
+        // Cache-hit and reduction paths still work without allocating.
+        assert_eq!(m.try_and(a, a).unwrap(), a);
+        assert_eq!(m.try_or(a, Bdd::ONE).unwrap(), Bdd::ONE);
+        // Raising the cap lets the failed operation through.
+        m.set_node_limit(Some(64));
+        let ab = m.try_and(a, b).unwrap();
+        assert!(!ab.is_const());
+        m.set_node_limit(None);
+        assert_eq!(m.node_limit(), None);
+    }
+
+    #[test]
+    fn uncapped_manager_never_errors() {
+        let mut m = BddManager::new(6);
+        let t = TruthTable::from_fn(6, |v| v % 3 == 1);
+        let f = m.try_from_table(&t).unwrap();
+        assert_eq!(m.to_table(f), t);
     }
 }

@@ -13,6 +13,7 @@
 //! equivalence of every result against the specification.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::time::Instant;
 use xsynth_circuits::{registry, Benchmark};

@@ -1,0 +1,176 @@
+//! Resource budgets for the synthesis pipeline.
+//!
+//! A [`Budget`] carried in [`SynthOptions`](crate::SynthOptions) bounds the
+//! three resources the FPRM flow can otherwise consume without limit: BDD
+//! nodes (polarity search and verification both grow the shared manager),
+//! wall-clock time per phase, and simulation pattern counts. Phases that
+//! can degrade gracefully do — the polarity search keeps its best
+//! polarity so far, redundancy removal stops sweeping, verification falls
+//! back to fixed-seed simulation — and phases that cannot report a typed
+//! [`BudgetExceeded`] through [`Error::Budget`](crate::Error::Budget)
+//! instead of panicking or growing unboundedly.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Resource limits for one synthesis run. The default is unlimited.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use xsynth_core::Budget;
+///
+/// let b = Budget::default()
+///     .bdd_node_cap(Some(5000))
+///     .phase_timeout(Some(Duration::from_millis(200)));
+/// assert!(!b.is_unlimited());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Budget {
+    /// Cap on nodes any one BDD manager in the pipeline may allocate.
+    pub bdd_node_cap: Option<usize>,
+    /// Wall-clock budget for each pipeline phase.
+    pub phase_timeout: Option<Duration>,
+    /// Cap on the number of patterns in any one simulation pattern set.
+    pub max_patterns: Option<usize>,
+}
+
+impl Budget {
+    /// An explicitly unlimited budget (the default).
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Whether no limit is set at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.bdd_node_cap.is_none() && self.phase_timeout.is_none() && self.max_patterns.is_none()
+    }
+
+    /// Sets the BDD node cap.
+    pub fn bdd_node_cap(mut self, cap: Option<usize>) -> Budget {
+        self.bdd_node_cap = cap;
+        self
+    }
+
+    /// Sets the per-phase wall-clock budget.
+    pub fn phase_timeout(mut self, timeout: Option<Duration>) -> Budget {
+        self.phase_timeout = timeout;
+        self
+    }
+
+    /// Sets the simulation-pattern cap.
+    pub fn max_patterns(mut self, cap: Option<usize>) -> Budget {
+        self.max_patterns = cap;
+        self
+    }
+
+    /// The deadline of a phase starting now, if a phase timeout is set.
+    pub fn phase_deadline(&self) -> Option<Instant> {
+        self.phase_timeout.map(|t| Instant::now() + t)
+    }
+
+    /// Caps a pattern count: `min(count, max_patterns)`, but at least one
+    /// pattern so governed paths still exercise the candidate.
+    pub fn cap_patterns(&self, count: usize) -> usize {
+        match self.max_patterns {
+            Some(cap) => count.min(cap).max(1),
+            None => count,
+        }
+    }
+}
+
+/// The resource a [`BudgetExceeded`] trip exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// The BDD node cap ([`Budget::bdd_node_cap`]).
+    BddNodes,
+    /// The per-phase wall clock ([`Budget::phase_timeout`]).
+    PhaseTime,
+    /// The simulation-pattern cap ([`Budget::max_patterns`]).
+    Patterns,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Resource::BddNodes => "BDD node cap",
+            Resource::PhaseTime => "phase time budget",
+            Resource::Patterns => "pattern cap",
+        })
+    }
+}
+
+/// A typed report that a pipeline phase ran out of budget where no
+/// degraded result was possible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The pipeline phase that tripped (e.g. `bdd`, `fprm`, `verify`).
+    pub phase: String,
+    /// Which resource ran out.
+    pub resource: Resource,
+    /// The configured limit (nodes, milliseconds, or patterns).
+    pub limit: u64,
+}
+
+impl BudgetExceeded {
+    /// Builds a trip report for `phase`.
+    pub fn new(phase: impl Into<String>, resource: Resource, limit: u64) -> BudgetExceeded {
+        BudgetExceeded {
+            phase: phase.into(),
+            resource,
+            limit,
+        }
+    }
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let unit = match self.resource {
+            Resource::BddNodes => "nodes",
+            Resource::PhaseTime => "ms",
+            Resource::Patterns => "patterns",
+        };
+        write!(
+            f,
+            "phase `{}` exceeded its {} ({} {unit})",
+            self.phase, self.resource, self.limit
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        let b = Budget::default();
+        assert!(b.is_unlimited());
+        assert!(b.phase_deadline().is_none());
+        assert_eq!(b.cap_patterns(4096), 4096);
+    }
+
+    #[test]
+    fn setters_and_caps() {
+        let b = Budget::unlimited()
+            .bdd_node_cap(Some(100))
+            .max_patterns(Some(16));
+        assert!(!b.is_unlimited());
+        assert_eq!(b.cap_patterns(4096), 16);
+        assert_eq!(b.cap_patterns(0), 1, "governed paths keep one pattern");
+        let t = Budget::default().phase_timeout(Some(Duration::from_millis(5)));
+        let d = t.phase_deadline().expect("deadline");
+        assert!(d > Instant::now());
+    }
+
+    #[test]
+    fn exceeded_display_names_phase_and_resource() {
+        let e = BudgetExceeded::new("fprm", Resource::BddNodes, 5000);
+        let s = e.to_string();
+        assert!(s.contains("fprm") && s.contains("BDD node cap") && s.contains("5000"));
+    }
+}

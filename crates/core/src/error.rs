@@ -6,15 +6,20 @@
 //! matching per-crate errors. `From` impls make `?` work across the crate
 //! boundaries.
 
+use crate::budget::BudgetExceeded;
 use std::fmt;
 use xsynth_blif::ParseError;
 use xsynth_net::NetError;
 
 /// Any error the synthesis stack can report.
+///
+/// Each variant family maps to a distinct nonzero process exit code in the
+/// CLI (see [`Error::exit_code`]).
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum Error {
-    /// A structural netlist error (unknown output, combinational cycle).
+    /// A structural netlist error (unknown output, combinational cycle,
+    /// bad gate arity).
     Net(NetError),
     /// A BLIF/PLA parse error, with its source line number.
     Parse(ParseError),
@@ -25,6 +30,18 @@ pub enum Error {
         /// The underlying OS error.
         source: std::io::Error,
     },
+    /// A candidate network's primary inputs differ from the reference the
+    /// equivalence checker was built for.
+    InputMismatch {
+        /// Input names of the reference, in order.
+        expected: Vec<String>,
+        /// Input names of the candidate, in order.
+        found: Vec<String>,
+    },
+    /// A network failed equivalence verification against its reference.
+    Verify(String),
+    /// A resource budget tripped where no degraded result was possible.
+    Budget(BudgetExceeded),
     /// A free-form usage or validation error.
     Msg(String),
 }
@@ -42,6 +59,22 @@ impl Error {
     pub fn msg(msg: impl Into<String>) -> Error {
         Error::Msg(msg.into())
     }
+
+    /// The process exit code the CLI maps this error family to. The codes
+    /// are part of the CLI contract (documented in its usage text): 2 =
+    /// usage, 3 = parse, 4 = I/O, 5 = netlist, 6 = input mismatch, 7 =
+    /// verification failure, 8 = budget exceeded.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Error::Msg(_) => 2,
+            Error::Parse(_) => 3,
+            Error::Io { .. } => 4,
+            Error::Net(_) => 5,
+            Error::InputMismatch { .. } => 6,
+            Error::Verify(_) => 7,
+            Error::Budget(_) => 8,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -50,6 +83,14 @@ impl fmt::Display for Error {
             Error::Net(e) => write!(f, "{e}"),
             Error::Parse(e) => write!(f, "{e}"),
             Error::Io { path, source } => write!(f, "{path}: {source}"),
+            Error::InputMismatch { expected, found } => write!(
+                f,
+                "candidate inputs [{}] differ from reference inputs [{}]",
+                found.join(", "),
+                expected.join(", ")
+            ),
+            Error::Verify(m) => write!(f, "verification failed: {m}"),
+            Error::Budget(e) => write!(f, "{e}"),
             Error::Msg(m) => write!(f, "{m}"),
         }
     }
@@ -61,8 +102,15 @@ impl std::error::Error for Error {
             Error::Net(e) => Some(e),
             Error::Parse(e) => Some(e),
             Error::Io { source, .. } => Some(source),
-            Error::Msg(_) => None,
+            Error::Budget(e) => Some(e),
+            Error::InputMismatch { .. } | Error::Verify(_) | Error::Msg(_) => None,
         }
+    }
+}
+
+impl From<BudgetExceeded> for Error {
+    fn from(e: BudgetExceeded) -> Error {
+        Error::Budget(e)
     }
 }
 

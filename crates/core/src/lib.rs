@@ -45,8 +45,10 @@
 //! wall-clock breakdown.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod atpg;
+mod budget;
 mod error;
 mod expr;
 mod factor;
@@ -57,6 +59,7 @@ mod redundancy;
 mod synth;
 mod verify;
 
+pub use budget::{Budget, BudgetExceeded, Resource};
 pub use error::Error;
 pub use expr::Gexpr;
 pub use factor::{
@@ -65,12 +68,14 @@ pub use factor::{
 pub use patterns::{
     literal_mask_to_pattern, merge_patterns, paper_patterns, Pattern, PatternOptions,
 };
-pub use redundancy::{remove_redundancy, remove_redundancy_traced, RedundancyStats};
-pub use synth::{
-    phase, synthesize, FactorMethod, Granularity, PhaseProfile, PhaseStat, PolarityMode,
-    SynthOptions, SynthOptionsBuilder, SynthOutcome, SynthReport,
+pub use redundancy::{
+    remove_redundancy, remove_redundancy_governed, remove_redundancy_traced, RedundancyStats,
 };
-pub use verify::{network_bdds, EquivChecker};
+pub use synth::{
+    phase, synthesize, try_synthesize, FactorMethod, Granularity, PhaseProfile, PhaseStat,
+    PolarityMode, SynthOptions, SynthOptionsBuilder, SynthOutcome, SynthReport,
+};
+pub use verify::{network_bdds, try_network_bdds, EquivChecker};
 pub use xsynth_ofdd::PolaritySearchStats;
 
 /// The one-line import for typical users of the synthesis stack.
@@ -92,10 +97,11 @@ pub use xsynth_ofdd::PolaritySearchStats;
 /// assert!(!report.outputs.is_empty());
 /// ```
 pub mod prelude {
+    pub use crate::budget::{Budget, BudgetExceeded};
     pub use crate::error::Error;
     pub use crate::synth::{
-        phase, synthesize, FactorMethod, Granularity, PhaseProfile, PolarityMode, SynthOptions,
-        SynthOutcome, SynthReport,
+        phase, synthesize, try_synthesize, FactorMethod, Granularity, PhaseProfile, PolarityMode,
+        SynthOptions, SynthOutcome, SynthReport,
     };
     pub use xsynth_trace::{Trace, TraceBuffer, TraceSink};
 }

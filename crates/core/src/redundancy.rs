@@ -30,7 +30,9 @@
 
 use crate::patterns::Pattern;
 use crate::verify::EquivChecker;
+use std::time::Instant;
 use xsynth_net::{GateKind, Network, NodeKind, SignalId};
+use xsynth_sim::{pack_patterns, PatternBlock};
 use xsynth_trace::{TraceBuffer, TraceSink};
 
 /// Counters describing what the redundancy pass did.
@@ -49,6 +51,9 @@ pub struct RedundancyStats {
     /// Rewrites the equivalence check rejected (pattern family was too
     /// small to witness testability).
     pub reverted: usize,
+    /// Whether a phase deadline stopped the sweeps early (the network
+    /// returned is still verified — only further reductions were skipped).
+    pub curtailed: bool,
 }
 
 /// One 64-lane simulation block.
@@ -64,7 +69,7 @@ struct SimState {
     blocks: Vec<Block>,
 }
 
-fn build_sim(net: &Network, patterns: &[Pattern]) -> SimState {
+fn build_sim(net: &Network, pattern_blocks: &[PatternBlock]) -> SimState {
     let order = net.topo_order();
     let mut pos = vec![usize::MAX; net.num_nodes()];
     for (i, &id) in order.iter().enumerate() {
@@ -72,23 +77,13 @@ fn build_sim(net: &Network, patterns: &[Pattern]) -> SimState {
     }
     let n_in = net.inputs().len();
     let mut blocks = Vec::new();
-    for chunk in patterns.chunks(64) {
-        let mut words = vec![0u64; n_in];
-        for (k, p) in chunk.iter().enumerate() {
-            assert_eq!(p.len(), n_in, "pattern arity mismatch");
-            for (i, &b) in p.iter().enumerate() {
-                if b {
-                    words[i] |= 1 << k;
-                }
-            }
-        }
-        let lane_mask = if chunk.len() == 64 {
-            !0u64
-        } else {
-            (1u64 << chunk.len()) - 1
-        };
-        let values = simulate(net, &order, &words);
-        blocks.push(Block { lane_mask, values });
+    for pb in pattern_blocks {
+        assert_eq!(pb.words.len(), n_in, "pattern block arity mismatch");
+        let values = simulate(net, &order, &pb.words);
+        blocks.push(Block {
+            lane_mask: pb.lane_mask(),
+            values,
+        });
     }
     SimState { order, pos, blocks }
 }
@@ -265,20 +260,52 @@ pub fn remove_redundancy_traced(
     buf: &mut TraceBuffer,
 ) -> (Network, RedundancyStats) {
     assert!(!patterns.is_empty(), "need at least one pattern (AZ/AO)");
+    let blocks = pack_patterns(net.inputs().len(), patterns);
+    remove_redundancy_governed(net, &blocks, checker, max_passes, None, buf)
+}
+
+/// The governed core of the pass: consumes the pattern set in word-packed
+/// form (one simulation word per 64 patterns, never a `Vec<bool>` per
+/// pattern) and stops sweeping when `deadline` passes — the network
+/// already rewritten and verified is kept, and
+/// [`RedundancyStats::curtailed`] plus a `redundancy.curtailed` trace
+/// counter record the early stop.
+///
+/// # Panics
+///
+/// Panics if `blocks` is empty (at least the AZ/AO pair is required).
+pub fn remove_redundancy_governed(
+    net: &Network,
+    blocks: &[PatternBlock],
+    checker: &mut EquivChecker,
+    max_passes: usize,
+    deadline: Option<Instant>,
+    buf: &mut TraceBuffer,
+) -> (Network, RedundancyStats) {
+    assert!(!blocks.is_empty(), "need at least one pattern (AZ/AO)");
+    let past_deadline = || deadline.is_some_and(|d| Instant::now() >= d);
     let mut cur = net.clone();
     let mut stats = RedundancyStats::default();
 
     for _pass in 0..max_passes {
+        if past_deadline() {
+            stats.curtailed = true;
+            break;
+        }
         buf.begin("pass");
         let before = stats.clone();
         let mut changed = false;
-        let mut state = build_sim(&cur, patterns);
+        let mut state = build_sim(&cur, blocks);
         // POs first (reverse topological), per the paper's step 1; the
         // backward domino of Properties 6–7 emerges from re-simulating
         // after each accepted rewrite.
         let mut order_rev = state.order.clone();
         order_rev.reverse();
         for id in order_rev {
+            if past_deadline() {
+                stats.curtailed = true;
+                break;
+            }
             let Some(kind) = cur.gate_kind(id) else {
                 continue;
             };
@@ -320,11 +347,11 @@ pub fn remove_redundancy_traced(
                                 stats.xor_to_and += 1;
                             }
                             changed = true;
-                            state = build_sim(&cur, patterns);
+                            state = build_sim(&cur, blocks);
                         } else {
                             stats.reverted += 1;
                             cur = snapshot;
-                            state = build_sim(&cur, patterns);
+                            state = build_sim(&cur, blocks);
                         }
                     }
                 }
@@ -351,7 +378,7 @@ pub fn remove_redundancy_traced(
                             if checker.check(&cur) {
                                 stats.fanin_removed += 1;
                                 changed = true;
-                                state = build_sim(&cur, patterns);
+                                state = build_sim(&cur, blocks);
                                 if cur.gate_kind(id) == Some(GateKind::Buf) {
                                     break;
                                 }
@@ -359,7 +386,7 @@ pub fn remove_redundancy_traced(
                             } else {
                                 stats.reverted += 1;
                                 cur = snapshot;
-                                state = build_sim(&cur, patterns);
+                                state = build_sim(&cur, blocks);
                             }
                         } else if !wire_fault_testable(&cur, &state, id, idx, const_stuck) {
                             stats.attempted += 1;
@@ -373,12 +400,12 @@ pub fn remove_redundancy_traced(
                             if checker.check(&cur) {
                                 stats.const_replaced += 1;
                                 changed = true;
-                                state = build_sim(&cur, patterns);
+                                state = build_sim(&cur, blocks);
                                 break;
                             } else {
                                 stats.reverted += 1;
                                 cur = snapshot;
-                                state = build_sim(&cur, patterns);
+                                state = build_sim(&cur, blocks);
                             }
                         }
                         idx += 1;
@@ -408,9 +435,12 @@ pub fn remove_redundancy_traced(
             (stats.reverted - before.reverted) as u64,
         );
         buf.end();
-        if !changed {
+        if stats.curtailed || !changed {
             break;
         }
+    }
+    if stats.curtailed {
+        buf.count("redundancy.curtailed", 1);
     }
     (cur.sweep(), stats)
 }
@@ -579,6 +609,42 @@ mod tests {
         for m in 0..4u64 {
             assert_eq!(out.eval_u64(m), net.eval_u64(m));
         }
+    }
+
+    #[test]
+    fn expired_deadline_curtails_but_preserves_function() {
+        // the classic carry (normally reduced to 2 ORs) under an
+        // already-expired deadline: nothing rewritten, function intact
+        let mut net = Network::new("carry");
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let ab = net.add_gate(GateKind::And, vec![a, b]);
+        let axb = net.add_gate(GateKind::Xor, vec![a, b]);
+        let t = net.add_gate(GateKind::And, vec![axb, c]);
+        let carry = net.add_gate(GateKind::Xor, vec![ab, t]);
+        net.add_output("cout", carry);
+        let pats = exhaustive_patterns(3);
+        let blocks = xsynth_sim::pack_patterns(3, &pats);
+        let mut checker = EquivChecker::new(&net);
+        let sink = TraceSink::new();
+        let (out, stats) = {
+            let mut buf = sink.buffer(0, "redundancy");
+            remove_redundancy_governed(
+                &net,
+                &blocks,
+                &mut checker,
+                8,
+                Some(std::time::Instant::now()),
+                &mut buf,
+            )
+        };
+        assert!(stats.curtailed, "{stats:?}");
+        assert_eq!(stats.xor_to_or + stats.xor_to_and, 0);
+        for m in 0..8u64 {
+            assert_eq!(out.eval_u64(m), net.eval_u64(m));
+        }
+        assert_eq!(sink.take().counter_totals()["redundancy.curtailed"], 1);
     }
 
     #[test]

@@ -20,19 +20,21 @@
 //! resulting [`Trace`] rides back in the [`SynthReport`], and the
 //! [`PhaseProfile`] is derived from it.
 
+use crate::budget::{Budget, BudgetExceeded, Resource};
+use crate::error::Error;
 use crate::factor::{factor_cubes, factor_cubes_traced, ofdd_to_network};
 use crate::gfx;
 use crate::patterns::{merge_patterns, paper_patterns, Pattern, PatternOptions};
-use crate::redundancy::{remove_redundancy_traced, RedundancyStats};
-use crate::verify::{network_bdds, EquivChecker};
+use crate::redundancy::{remove_redundancy_governed, RedundancyStats};
+use crate::verify::{try_network_bdds, EquivChecker};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xsynth_bdd::BddManager;
 use xsynth_boolean::{Polarity, VarSet};
 use xsynth_net::{GateKind, Network, SignalId};
 use xsynth_ofdd::{OfddManager, PolaritySearch, PolaritySearchStats};
-use xsynth_sim::random_patterns;
+use xsynth_sim::{pack_patterns, random_patterns};
 use xsynth_sop::SopNet;
 use xsynth_trace::{Trace, TraceBuffer, TraceSink};
 
@@ -136,6 +138,14 @@ pub struct SynthOptions {
     /// bit-identical to the sequential path; disable only to benchmark or
     /// to pin the flow to one core.
     pub parallel: bool,
+    /// Resource budget governing the run (BDD node cap, per-phase
+    /// wall-clock, simulation-pattern cap). Unlimited by default. Phases
+    /// that can degrade gracefully do (polarity search keeps its best so
+    /// far, redundancy removal stops sweeping, verification falls back to
+    /// fixed-seed simulation); the run only fails — as
+    /// [`Error::Budget`] from [`try_synthesize`] — when a phase cannot
+    /// produce any result under the cap.
+    pub budget: Budget,
     /// Optional external sink the run's trace is also appended to, for
     /// aggregating several calls (a benchmark sweep, a CLI batch) into
     /// one exportable timeline. The per-call trace is always available in
@@ -157,6 +167,7 @@ impl Default for SynthOptions {
             pattern_opts: PatternOptions::default(),
             max_passes: 6,
             parallel: true,
+            budget: Budget::default(),
             trace: None,
         }
     }
@@ -214,6 +225,8 @@ impl SynthOptionsBuilder {
         max_passes: usize,
         /// Enables or disables the thread fan-out.
         parallel: bool,
+        /// Sets the resource budget.
+        budget: Budget,
     }
 
     /// Aggregates this run's trace into an external [`TraceSink`].
@@ -304,6 +317,13 @@ pub struct SynthReport {
     pub divisors: usize,
     /// Polarity-search counters summed over all outputs.
     pub polarity_search: PolaritySearchStats,
+    /// Phases a resource budget cut short. Each entry names a phase (a
+    /// [`phase`] constant) whose best-so-far partial result was kept —
+    /// the network is still verified, just less optimized.
+    pub curtailed: Vec<String>,
+    /// Whether equivalence checking downgraded from exact BDD comparison
+    /// to fixed-seed simulation because the node cap tripped.
+    pub verify_downgraded: bool,
     /// Per-phase wall-clock breakdown, derived from `trace`.
     pub profile: PhaseProfile,
     /// The full structured trace of the run (spans, counters, gauges).
@@ -347,8 +367,20 @@ pub struct SynthOutcome {
 /// # Panics
 ///
 /// Panics if an internal factoring step produces a non-equivalent network
-/// (an invariant violation, not an input condition).
+/// (an invariant violation, not an input condition), or if a configured
+/// [`Budget`] trips where no degraded result is possible — use
+/// [`try_synthesize`] when running under a budget.
 pub fn synthesize(spec: &Network, opts: &SynthOptions) -> SynthOutcome {
+    try_synthesize(spec, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`synthesize`]: a tripped [`Budget`] surfaces as
+/// [`Error::Budget`] (when no degraded result was possible) and a failed
+/// final verification as [`Error::Verify`], instead of panicking. Phases
+/// that degraded gracefully under the budget are listed in
+/// [`SynthReport::curtailed`]; the returned network is always verified
+/// against the specification.
+pub fn try_synthesize(spec: &Network, opts: &SynthOptions) -> Result<SynthOutcome, Error> {
     let sink = TraceSink::new();
     // remember where this call starts on the external sink's timeline, so
     // aggregated runs line up end-to-end in the exported view
@@ -361,42 +393,70 @@ pub fn synthesize(spec: &Network, opts: &SynthOptions) -> SynthOutcome {
         external.append(trace.clone(), spec.name(), offset);
     }
     report.trace = trace;
-    SynthOutcome {
-        network: result,
+    Ok(SynthOutcome {
+        network: result?,
         report,
+    })
+}
+
+/// Records `phase` as budget-curtailed (once).
+fn curtail(report: &mut SynthReport, name: &str) {
+    if !report.curtailed.iter().any(|p| p == name) {
+        report.curtailed.push(name.to_string());
     }
 }
 
-/// The traced pipeline body of [`synthesize`].
+/// The traced pipeline body of [`try_synthesize`].
 fn run_pipeline(
     spec: &Network,
     opts: &SynthOptions,
     sink: &TraceSink,
     report: &mut SynthReport,
-) -> Network {
+) -> Result<Network, Error> {
     let mut main = sink.buffer(0, "pipeline");
     main.begin(phase::SYNTHESIZE);
     let spec = spec.sweep();
     let n = spec.inputs().len();
 
     main.begin(phase::FPRM);
+    let fprm_deadline = opts.budget.phase_deadline();
     main.begin("bdd");
-    let mut bm = BddManager::new(n);
-    let out_bdds = network_bdds(&spec, &mut bm);
+    let mut bm = match opts.budget.bdd_node_cap {
+        Some(cap) => BddManager::with_node_limit(n, cap),
+        None => BddManager::new(n),
+    };
+    let out_bdds = try_network_bdds(&spec, &mut bm);
     main.end();
     main.gauge("bdd.nodes", bm.num_nodes() as f64);
+    main.gauge("bdd.peak_nodes", bm.num_nodes() as f64);
+    let out_bdds = match out_bdds {
+        Ok(b) => b,
+        Err(e) => {
+            main.end(); // fprm
+            main.end(); // synthesize
+            return Err(e);
+        }
+    };
 
     // granularity decision: block mode when some output's FPRM would be
-    // unreasonably wide (cube counts are cheap to read off the OFDD)
+    // unreasonably wide (cube counts are cheap to read off the OFDD); a
+    // node-cap trip while probing counts as "too wide" and degrades to
+    // block mode rather than failing
     let use_blocks = match opts.granularity {
         Granularity::Output => false,
         Granularity::Block => true,
         Granularity::Auto => out_bdds.iter().any(|&f| {
             let mut om = OfddManager::new(Polarity::all_positive(n));
-            let root = om.from_bdd(&mut bm, f);
-            om.num_cubes(root) > opts.block_threshold
+            match om.try_from_bdd(&mut bm, f) {
+                Ok(root) => om.num_cubes(root) > opts.block_threshold,
+                Err(_) => {
+                    curtail(report, phase::FPRM);
+                    true
+                }
+            }
         }),
     };
+    main.gauge("bdd.peak_nodes", bm.num_nodes() as f64);
     main.end();
 
     let mut pattern_lists: Vec<Vec<Pattern>> = Vec::new();
@@ -412,34 +472,51 @@ fn run_pipeline(
         main.end();
         net
     } else {
-        synthesize_outputs(
+        let net = synthesize_outputs(
             &spec,
             opts,
             &mut bm,
             &out_bdds,
             report,
             &mut pattern_lists,
+            fprm_deadline,
             sink,
             &mut main,
-        )
+        );
+        match net {
+            Ok(net) => net,
+            Err(e) => {
+                main.end(); // synthesize (phase spans were closed by callee)
+                return Err(e);
+            }
+        }
     };
+    if report.polarity_search.budget_trips > 0 {
+        curtail(report, phase::FPRM);
+    }
 
     // cross-output sharing (the role `resub` plays in the paper)
     main.begin(phase::FACTORING);
     let mut result = net.strash().sweep();
     main.end();
     main.begin(phase::VERIFY);
-    let mut checker = EquivChecker::new(&spec);
-    let factored_ok = checker.check_traced(&result, &mut main);
+    let mut checker = EquivChecker::with_budget(&spec, &opts.budget);
+    let factored_ok = checker.try_check_traced(&result, &mut main);
     main.end();
-    assert!(
-        factored_ok,
-        "internal error: factored network is not equivalent to the spec"
-    );
+    if !matches!(factored_ok, Ok(true)) {
+        main.end(); // synthesize
+        report.verify_downgraded = checker.downgraded();
+        return match factored_ok {
+            Ok(_) => Err(Error::Verify(
+                "factored network is not equivalent to the spec".into(),
+            )),
+            Err(e) => Err(e),
+        };
+    }
     if opts.share {
         main.begin(phase::SHARING);
         let shared = share_pass(&result);
-        if checker.check_traced(&shared, &mut main) {
+        if matches!(checker.try_check_traced(&shared, &mut main), Ok(true)) {
             result = shared;
         }
         main.end();
@@ -449,19 +526,35 @@ fn run_pipeline(
         // a small random booster keeps testability decisions honest on
         // outputs whose cube sets were too large to enumerate
         main.begin(phase::REDUNDANCY);
-        pattern_lists.push(random_patterns(n, 64, 0x0c));
-        let patterns = merge_patterns(pattern_lists);
+        let deadline = opts.budget.phase_deadline();
+        pattern_lists.push(random_patterns(n, opts.budget.cap_patterns(64), 0x0c));
+        let mut patterns = merge_patterns(pattern_lists);
+        patterns.truncate(opts.budget.cap_patterns(patterns.len()));
         main.gauge("redundancy.patterns", patterns.len() as f64);
-        let (reduced, stats) =
-            remove_redundancy_traced(&result, &patterns, &mut checker, opts.max_passes, &mut main);
+        let blocks = pack_patterns(n, &patterns);
+        let (reduced, stats) = remove_redundancy_governed(
+            &result,
+            &blocks,
+            &mut checker,
+            opts.max_passes,
+            deadline,
+            &mut main,
+        );
+        if stats.curtailed {
+            curtail(report, phase::REDUNDANCY);
+        }
         report.redundancy = stats;
         result = reduced;
         main.end();
     }
+    report.verify_downgraded = checker.downgraded();
+    if report.verify_downgraded {
+        curtail(report, phase::VERIFY);
+    }
 
     let result = result.sweep();
     main.end();
-    result
+    Ok(result)
 }
 
 /// One output's Phase 1 result: polarity, OFDD, method decision, patterns.
@@ -484,6 +577,10 @@ struct OutputPlan {
 /// callers may run it on a clone of the manager in a worker thread and the
 /// result is identical to a sequential run. Trace events land in `buf`,
 /// the output's own deterministic-order buffer.
+///
+/// Under a budget: the polarity search keeps its best polarity so far
+/// when the node cap or `deadline` trips, and only the final OFDD build
+/// being unaffordable is a hard [`Error::Budget`].
 #[allow(clippy::too_many_arguments)]
 fn plan_output(
     name: &str,
@@ -493,24 +590,39 @@ fn plan_output(
     num_outputs: usize,
     opts: &SynthOptions,
     candidate_parallel: bool,
+    deadline: Option<Instant>,
     buf: &mut TraceBuffer,
-) -> OutputPlan {
+) -> Result<OutputPlan, Error> {
     buf.begin("plan");
     let support: Vec<usize> = bm.support(f).iter().collect();
     let (pol, stats) = {
         let mut search = PolaritySearch::new(bm, f)
             .parallel(candidate_parallel)
+            .deadline(deadline)
             .trace(buf);
         let (pol, _) = search.run(opts.polarity, &support);
         (pol, search.stats)
     };
     buf.begin("ofdd");
     let mut om = OfddManager::new(pol.clone());
-    let root = om.from_bdd(bm, f);
+    let root = match om.try_from_bdd(bm, f) {
+        Ok(root) => root,
+        Err(e) => {
+            buf.gauge("bdd.peak_nodes", bm.num_nodes() as f64);
+            buf.end(); // ofdd
+            buf.end(); // plan
+            return Err(Error::Budget(BudgetExceeded::new(
+                phase::FPRM,
+                Resource::BddNodes,
+                e.limit as u64,
+            )));
+        }
+    };
     let count = om.num_cubes(root);
     buf.end();
     buf.gauge("ofdd.nodes", om.num_nodes() as f64);
     buf.gauge("fprm.cubes", count as f64);
+    buf.gauge("bdd.peak_nodes", bm.num_nodes() as f64);
 
     let cubes: Vec<VarSet> = if count <= opts.pattern_opts.max_cubes as u64 {
         om.cubes(root)
@@ -518,7 +630,8 @@ fn plan_output(
         Vec::new()
     };
     buf.begin("patterns");
-    let patterns = paper_patterns(n, &pol, &cubes, &opts.pattern_opts);
+    let mut patterns = paper_patterns(n, &pol, &cubes, &opts.pattern_opts);
+    patterns.truncate(opts.budget.cap_patterns(patterns.len()));
     buf.end();
     buf.count("patterns.generated", patterns.len() as u64);
 
@@ -572,7 +685,7 @@ fn plan_output(
         buf.count("fprm.cube_cap_fallbacks", 1);
     }
     buf.end();
-    OutputPlan {
+    Ok(OutputPlan {
         name: name.to_string(),
         pol,
         om,
@@ -583,10 +696,11 @@ fn plan_output(
         cube_cap_fallback,
         patterns,
         search: stats,
-    }
+    })
 }
 
-/// The per-output (collapsed) synthesis path.
+/// The per-output (collapsed) synthesis path. On a hard budget trip the
+/// phase spans opened here are closed before the error propagates.
 #[allow(clippy::too_many_arguments)]
 fn synthesize_outputs(
     spec: &Network,
@@ -595,9 +709,10 @@ fn synthesize_outputs(
     out_bdds: &[xsynth_bdd::Bdd],
     report: &mut SynthReport,
     pattern_lists: &mut Vec<Vec<Pattern>>,
+    deadline: Option<Instant>,
     sink: &TraceSink,
     main: &mut TraceBuffer,
-) -> Network {
+) -> Result<Network, Error> {
     let n = spec.inputs().len();
     let mut net = Network::new(spec.name().to_string());
     let inputs: Vec<SignalId> = spec
@@ -620,7 +735,7 @@ fn synthesize_outputs(
     let candidate_parallel = opts.parallel && !parallel_outputs;
     let plan_buffer =
         |i: usize, name: &str| sink.buffer_under(1 + i as u64, format!("plan:{name}"), phase::FPRM);
-    let plans: Vec<OutputPlan> = if parallel_outputs {
+    let plans: Result<Vec<OutputPlan>, Error> = if parallel_outputs {
         let workers = std::thread::available_parallelism()
             .map(|w| w.get())
             .unwrap_or(1)
@@ -628,7 +743,7 @@ fn synthesize_outputs(
         let next = AtomicUsize::new(0);
         let bm_ref = &*bm;
         let outs = spec.outputs();
-        let done: Vec<(usize, OutputPlan)> = std::thread::scope(|s| {
+        let done: Vec<(usize, Result<OutputPlan, Error>)> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
@@ -648,6 +763,7 @@ fn synthesize_outputs(
                                 num_outputs,
                                 opts,
                                 false,
+                                deadline,
                                 &mut buf,
                             );
                             mine.push((i, plan));
@@ -661,10 +777,13 @@ fn synthesize_outputs(
                 .flat_map(|h| h.join().expect("planner worker panicked"))
                 .collect()
         });
-        let mut slots: Vec<Option<OutputPlan>> = (0..num_outputs).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<OutputPlan, Error>>> =
+            (0..num_outputs).map(|_| None).collect();
         for (i, plan) in done {
             slots[i] = Some(plan);
         }
+        // errors propagate in output-index order, so the reported trip is
+        // deterministic regardless of thread scheduling
         slots
             .into_iter()
             .map(|p| p.expect("every output planned"))
@@ -684,12 +803,19 @@ fn synthesize_outputs(
                     num_outputs,
                     opts,
                     candidate_parallel,
+                    deadline,
                     &mut buf,
                 )
             })
             .collect()
     };
-    let mut plans = plans;
+    let mut plans = match plans {
+        Ok(plans) => plans,
+        Err(e) => {
+            main.end(); // fprm
+            return Err(e);
+        }
+    };
     for plan in &mut plans {
         report
             .outputs
@@ -793,8 +919,17 @@ fn synthesize_outputs(
                 expr.emit(&mut net, &mut lits)
             }
             None if opts.method == FactorMethod::Kfdd => {
-                let (km, kroot) = xsynth_ofdd::kfdd::optimize_decomposition(bm, plan.bdd);
-                km.to_network(kroot, &mut net, &inputs)
+                match xsynth_ofdd::kfdd::try_optimize_decomposition(bm, plan.bdd) {
+                    Ok((km, kroot)) => km.to_network(kroot, &mut net, &inputs),
+                    Err(e) => {
+                        main.end(); // factoring
+                        return Err(Error::Budget(BudgetExceeded::new(
+                            phase::FACTORING,
+                            Resource::BddNodes,
+                            e.limit as u64,
+                        )));
+                    }
+                }
             }
             None => {
                 let pol = plan.pol.clone();
@@ -814,7 +949,7 @@ fn synthesize_outputs(
         net.add_output(plan.name.clone(), sig);
     }
     main.end();
-    net
+    Ok(net)
 }
 
 /// The macro-block synthesis path: rebuild SIS-style blocks with
@@ -1187,6 +1322,7 @@ mod tests {
             .pattern_opts(PatternOptions::default())
             .max_passes(1)
             .parallel(false)
+            .budget(Budget::default().bdd_node_cap(Some(1000)))
             .build();
         assert_eq!(opts.method, FactorMethod::Ofdd);
         assert_eq!(opts.polarity, PolarityMode::Greedy);
@@ -1198,6 +1334,85 @@ mod tests {
         assert_eq!(opts.cube_cap, 7);
         assert_eq!(opts.max_passes, 1);
         assert!(!opts.parallel);
+        assert_eq!(opts.budget.bdd_node_cap, Some(1000));
         assert!(opts.trace.is_none());
+    }
+
+    #[test]
+    fn node_caps_give_verified_network_or_budget_error() {
+        let spec = adder(3, true);
+        let mut succeeded = false;
+        let mut tripped = false;
+        for cap in [8, 64, 512, 100_000] {
+            let opts = SynthOptions::builder()
+                .budget(Budget::default().bdd_node_cap(Some(cap)))
+                .parallel(false)
+                .build();
+            match try_synthesize(&spec, &opts) {
+                Ok(outcome) => {
+                    succeeded = true;
+                    check_equiv(&spec, &outcome.network);
+                    let peak = outcome
+                        .report
+                        .trace
+                        .gauge_max("bdd.peak_nodes")
+                        .expect("peak gauge recorded");
+                    assert!(peak <= cap as f64, "peak {peak} exceeds cap {cap}");
+                }
+                Err(Error::Budget(b)) => {
+                    tripped = true;
+                    assert_eq!(b.resource, Resource::BddNodes);
+                }
+                Err(e) => panic!("unexpected error family: {e}"),
+            }
+        }
+        assert!(succeeded, "the loose cap must succeed");
+        assert!(tripped, "the tight cap must trip");
+    }
+
+    #[test]
+    fn expired_deadline_still_produces_verified_network() {
+        let spec = adder(2, true);
+        let opts = SynthOptions::builder()
+            .budget(Budget::default().phase_timeout(Some(Duration::ZERO)))
+            .parallel(false)
+            .build();
+        let outcome = try_synthesize(&spec, &opts).expect("time budgets degrade, never fail");
+        check_equiv(&spec, &outcome.network);
+        assert!(
+            outcome.report.curtailed.iter().any(|p| p == phase::FPRM)
+                || outcome
+                    .report
+                    .curtailed
+                    .iter()
+                    .any(|p| p == phase::REDUNDANCY),
+            "an expired deadline must curtail a phase: {:?}",
+            outcome.report.curtailed
+        );
+    }
+
+    #[test]
+    fn pattern_cap_bounds_redundancy_pattern_set() {
+        let spec = adder(3, true);
+        let opts = SynthOptions::builder()
+            .budget(Budget::default().max_patterns(Some(8)))
+            .parallel(false)
+            .build();
+        let outcome = try_synthesize(&spec, &opts).expect("pattern caps degrade, never fail");
+        check_equiv(&spec, &outcome.network);
+        let pats = outcome
+            .report
+            .trace
+            .gauge_max("redundancy.patterns")
+            .expect("pattern gauge recorded");
+        assert!(pats <= 8.0, "{pats} patterns exceed the cap");
+    }
+
+    #[test]
+    fn unlimited_budget_reports_nothing_curtailed() {
+        let spec = adder(2, false);
+        let outcome = synthesize(&spec, &SynthOptions::default());
+        assert!(outcome.report.curtailed.is_empty());
+        assert!(!outcome.report.verify_downgraded);
     }
 }

@@ -26,6 +26,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::collections::HashMap;
 use std::fmt;
@@ -139,6 +140,27 @@ pub enum NetError {
         /// Its name, when it has one.
         name: Option<String>,
     },
+    /// A gate was given the wrong number of fanins for its kind.
+    ArityMismatch {
+        /// The gate kind as text (e.g. `NOT`).
+        kind: String,
+        /// How many fanins the kind requires (`None` = at least one).
+        expected: Option<usize>,
+        /// How many fanins were supplied.
+        found: usize,
+    },
+    /// A gate referenced a fanin id that is not an existing node.
+    UnknownFanin {
+        /// The out-of-range fanin.
+        fanin: SignalId,
+        /// Number of nodes in the network at the time.
+        nodes: usize,
+    },
+    /// [`Network::try_replace_gate`] was asked to replace a primary input.
+    ReplacesInput {
+        /// The input node that was targeted.
+        node: SignalId,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -153,6 +175,22 @@ impl fmt::Display for NetError {
                 ),
                 None => write!(f, "combinational cycle through node id {}", node.index()),
             },
+            NetError::ArityMismatch {
+                kind,
+                expected,
+                found,
+            } => match expected {
+                Some(k) => write!(f, "{kind} takes exactly {k} fanin(s), got {found}"),
+                None => write!(f, "{kind} needs at least one fanin, got {found}"),
+            },
+            NetError::UnknownFanin { fanin, nodes } => write!(
+                f,
+                "fanin id {} does not exist yet (network has {nodes} nodes)",
+                fanin.index()
+            ),
+            NetError::ReplacesInput { node } => {
+                write!(f, "cannot replace primary input (id {})", node.index())
+            }
         }
     }
 }
@@ -218,26 +256,54 @@ impl Network {
     /// # Panics
     ///
     /// Panics if the gate has a fixed arity that `fanins` does not match,
-    /// or if any fanin id is out of range.
+    /// or if any fanin id is out of range; use [`Network::try_add_gate`]
+    /// to handle those cases as errors.
     pub fn add_gate(&mut self, kind: GateKind, fanins: Vec<SignalId>) -> SignalId {
-        if let Some(k) = kind.arity() {
-            assert_eq!(fanins.len(), k, "{kind} takes exactly {k} fanin(s)");
-        } else {
-            assert!(!fanins.is_empty(), "{kind} needs at least one fanin");
+        match self.try_add_gate(kind, fanins) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
         }
-        for f in &fanins {
-            assert!(
-                f.index() < self.nodes.len(),
-                "fanin {f:?} does not exist yet"
-            );
-        }
+    }
+
+    /// Adds a gate node, reporting a bad arity as
+    /// [`NetError::ArityMismatch`] and an out-of-range fanin as
+    /// [`NetError::UnknownFanin`].
+    pub fn try_add_gate(
+        &mut self,
+        kind: GateKind,
+        fanins: Vec<SignalId>,
+    ) -> Result<SignalId, NetError> {
+        self.check_gate(kind, &fanins)?;
         let id = SignalId(self.nodes.len() as u32);
         self.nodes.push(Node {
             kind: NodeKind::Gate(kind),
             fanins,
             name: None,
         });
-        id
+        Ok(id)
+    }
+
+    fn check_gate(&self, kind: GateKind, fanins: &[SignalId]) -> Result<(), NetError> {
+        let arity_ok = match kind.arity() {
+            Some(k) => fanins.len() == k,
+            None => !fanins.is_empty(),
+        };
+        if !arity_ok {
+            return Err(NetError::ArityMismatch {
+                kind: kind.to_string(),
+                expected: kind.arity(),
+                found: fanins.len(),
+            });
+        }
+        for f in fanins {
+            if f.index() >= self.nodes.len() {
+                return Err(NetError::UnknownFanin {
+                    fanin: *f,
+                    nodes: self.nodes.len(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Registers a primary output.
@@ -316,23 +382,29 @@ impl Network {
     /// # Panics
     ///
     /// Panics if `id` is an input, the arity is invalid, or a fanin is not
-    /// an existing node. Creating a combinational cycle is not checked
+    /// an existing node; use [`Network::try_replace_gate`] to handle those
+    /// cases as errors. Creating a combinational cycle is not checked
     /// here; [`Network::topo_order`] will panic on one.
     pub fn replace_gate(&mut self, id: SignalId, kind: GateKind, fanins: Vec<SignalId>) {
-        assert!(
-            matches!(self.nodes[id.index()].kind, NodeKind::Gate(_)),
-            "cannot replace an input"
-        );
-        if let Some(k) = kind.arity() {
-            assert_eq!(fanins.len(), k, "{kind} takes exactly {k} fanin(s)");
-        } else {
-            assert!(!fanins.is_empty(), "{kind} needs at least one fanin");
+        if let Err(e) = self.try_replace_gate(id, kind, fanins) {
+            panic!("{e}");
         }
-        for f in &fanins {
-            assert!(f.index() < self.nodes.len(), "fanin {f:?} does not exist");
+    }
+
+    /// Fallible form of [`Network::replace_gate`].
+    pub fn try_replace_gate(
+        &mut self,
+        id: SignalId,
+        kind: GateKind,
+        fanins: Vec<SignalId>,
+    ) -> Result<(), NetError> {
+        if !matches!(self.nodes[id.index()].kind, NodeKind::Gate(_)) {
+            return Err(NetError::ReplacesInput { node: id });
         }
+        self.check_gate(kind, &fanins)?;
         self.nodes[id.index()].kind = NodeKind::Gate(kind);
         self.nodes[id.index()].fanins = fanins;
+        Ok(())
     }
 
     /// All nodes reachable from the outputs, children before parents.

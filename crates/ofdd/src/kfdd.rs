@@ -16,7 +16,7 @@
 
 use crate::{Ofdd, OfddManager};
 use std::collections::HashMap;
-use xsynth_bdd::{Bdd, BddManager};
+use xsynth_bdd::{Bdd, BddManager, NodeLimitExceeded};
 use xsynth_boolean::{Polarity, TruthTable};
 use xsynth_net::{GateKind, Network, SignalId};
 
@@ -124,37 +124,54 @@ impl KfddManager {
     ///
     /// # Panics
     ///
-    /// Panics on arity mismatch.
+    /// Panics on arity mismatch, or if `bm` has a node cap and trips it
+    /// (use [`KfddManager::try_from_bdd`] under a budget).
     pub fn from_bdd(&mut self, bm: &mut BddManager, f: Bdd) -> Kfdd {
+        self.try_from_bdd(bm, f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    /// Fallible form of [`KfddManager::from_bdd`]: the Davio expansions
+    /// allocate XOR cofactors in `bm`, so a node-capped manager can trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch (a programming error, not a resource one).
+    pub fn try_from_bdd(&mut self, bm: &mut BddManager, f: Bdd) -> Result<Kfdd, NodeLimitExceeded> {
         assert_eq!(bm.num_vars(), self.num_vars(), "arity mismatch");
         let mut memo = HashMap::new();
         self.from_bdd_rec(bm, f, &mut memo)
     }
 
     #[allow(clippy::wrong_self_convention)]
-    fn from_bdd_rec(&mut self, bm: &mut BddManager, f: Bdd, memo: &mut HashMap<Bdd, Kfdd>) -> Kfdd {
+    fn from_bdd_rec(
+        &mut self,
+        bm: &mut BddManager,
+        f: Bdd,
+        memo: &mut HashMap<Bdd, Kfdd>,
+    ) -> Result<Kfdd, NodeLimitExceeded> {
         if f == Bdd::ZERO {
-            return Kfdd::ZERO;
+            return Ok(Kfdd::ZERO);
         }
         if f == Bdd::ONE {
-            return Kfdd::ONE;
+            return Ok(Kfdd::ONE);
         }
         if let Some(&k) = memo.get(&f) {
-            return k;
+            return Ok(k);
         }
         let var = bm.top_var(f).expect("non-terminal");
         let f0 = bm.low(f);
         let f1 = bm.high(f);
         let (lo_bdd, hi_bdd) = match self.types[var] {
             Decomposition::Shannon => (f0, f1),
-            Decomposition::PositiveDavio => (f0, bm.xor(f0, f1)),
-            Decomposition::NegativeDavio => (f1, bm.xor(f0, f1)),
+            Decomposition::PositiveDavio => (f0, bm.try_xor(f0, f1)?),
+            Decomposition::NegativeDavio => (f1, bm.try_xor(f0, f1)?),
         };
-        let lo = self.from_bdd_rec(bm, lo_bdd, memo);
-        let hi = self.from_bdd_rec(bm, hi_bdd, memo);
+        let lo = self.from_bdd_rec(bm, lo_bdd, memo)?;
+        let hi = self.from_bdd_rec(bm, hi_bdd, memo)?;
         let k = self.mk(var as u32, lo, hi);
         memo.insert(f, k);
-        k
+        Ok(k)
     }
 
     /// Convenience: builds from a truth table.
@@ -319,7 +336,23 @@ impl KfddManager {
 /// positive-Davio (the OFDD), repeatedly retypes the single variable whose
 /// change most reduces the node count, until a local minimum. Returns the
 /// winning manager and root.
+///
+/// # Panics
+///
+/// Panics if `bm` has a node cap and even the base all-positive-Davio
+/// build trips it (use [`try_optimize_decomposition`] under a budget).
 pub fn optimize_decomposition(bm: &mut BddManager, f: Bdd) -> (KfddManager, Kfdd) {
+    try_optimize_decomposition(bm, f).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`optimize_decomposition`]. Under a node-capped
+/// manager, candidate retypes that trip the cap are simply skipped (the
+/// best affordable decomposition so far is kept); the call only errors
+/// when even the base all-positive-Davio build is unaffordable.
+pub fn try_optimize_decomposition(
+    bm: &mut BddManager,
+    f: Bdd,
+) -> Result<(KfddManager, Kfdd), NodeLimitExceeded> {
     let n = bm.num_vars();
     let all = [
         Decomposition::Shannon,
@@ -329,7 +362,7 @@ pub fn optimize_decomposition(bm: &mut BddManager, f: Bdd) -> (KfddManager, Kfdd
     let mut types = vec![Decomposition::PositiveDavio; n];
     let mut best_size = {
         let mut m = KfddManager::new(types.clone());
-        let r = m.from_bdd(bm, f);
+        let r = m.try_from_bdd(bm, f)?;
         m.size(r)
     };
     loop {
@@ -342,13 +375,18 @@ pub fn optimize_decomposition(bm: &mut BddManager, f: Bdd) -> (KfddManager, Kfdd
                 }
                 types[v] = d;
                 let mut m = KfddManager::new(types.clone());
-                let r = m.from_bdd(bm, f);
-                let s = m.size(r);
-                if s < best_size {
-                    best_size = s;
-                    improved = true;
-                } else {
-                    types[v] = orig;
+                match m.try_from_bdd(bm, f) {
+                    Ok(r) => {
+                        let s = m.size(r);
+                        if s < best_size {
+                            best_size = s;
+                            improved = true;
+                        } else {
+                            types[v] = orig;
+                        }
+                    }
+                    // unaffordable candidate: keep the best so far
+                    Err(_) => types[v] = orig,
                 }
             }
         }
@@ -357,8 +395,10 @@ pub fn optimize_decomposition(bm: &mut BddManager, f: Bdd) -> (KfddManager, Kfdd
         }
     }
     let mut m = KfddManager::new(types);
-    let r = m.from_bdd(bm, f);
-    (m, r)
+    // every retype kept in `types` was built successfully above, so the
+    // final rebuild replays cached XORs and cannot trip
+    let r = m.try_from_bdd(bm, f)?;
+    Ok((m, r))
 }
 
 /// The OFDD seen as the pure positive-Davio KFDD (consistency bridge).

@@ -32,11 +32,13 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod kfdd;
 
 use std::collections::HashMap;
-use xsynth_bdd::{Bdd, BddManager};
+use std::time::Instant;
+use xsynth_bdd::{Bdd, BddManager, NodeLimitExceeded};
 use xsynth_boolean::{Fprm, Polarity, TruthTable, VarSet};
 use xsynth_trace::TraceBuffer;
 
@@ -215,38 +217,54 @@ impl OfddManager {
     ///
     /// # Panics
     ///
-    /// Panics if the BDD manager's arity differs.
+    /// Panics if the BDD manager's arity differs, or if a node cap is set
+    /// on `bm` and tripped (use [`OfddManager::try_from_bdd`] under a
+    /// budget).
     pub fn from_bdd(&mut self, bm: &mut BddManager, f: Bdd) -> Ofdd {
+        self.try_from_bdd(bm, f)
+            .unwrap_or_else(|e| panic!("{e} (use try_from_bdd under a node cap)"))
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    /// Fallible form of [`OfddManager::from_bdd`]: the conversion drives
+    /// `bm` through XOR operations that can trip its node cap. Still
+    /// panics on an arity mismatch, which is a programming error.
+    pub fn try_from_bdd(&mut self, bm: &mut BddManager, f: Bdd) -> Result<Ofdd, NodeLimitExceeded> {
         assert_eq!(bm.num_vars(), self.num_vars(), "arity mismatch");
         let mut memo = HashMap::new();
         self.from_bdd_rec(bm, f, &mut memo)
     }
 
     #[allow(clippy::wrong_self_convention)]
-    fn from_bdd_rec(&mut self, bm: &mut BddManager, f: Bdd, memo: &mut HashMap<Bdd, Ofdd>) -> Ofdd {
+    fn from_bdd_rec(
+        &mut self,
+        bm: &mut BddManager,
+        f: Bdd,
+        memo: &mut HashMap<Bdd, Ofdd>,
+    ) -> Result<Ofdd, NodeLimitExceeded> {
         if f == Bdd::ZERO {
-            return Ofdd::ZERO;
+            return Ok(Ofdd::ZERO);
         }
         if f == Bdd::ONE {
-            return Ofdd::ONE;
+            return Ok(Ofdd::ONE);
         }
         if let Some(&o) = memo.get(&f) {
-            return o;
+            return Ok(o);
         }
         let var = bm.top_var(f).expect("non-terminal");
         let f0 = bm.low(f);
         let f1 = bm.high(f);
-        let diff_bdd = bm.xor(f0, f1);
+        let diff_bdd = bm.try_xor(f0, f1)?;
         let base_bdd = if self.polarity.is_positive(var) {
             f0
         } else {
             f1
         };
-        let lo = self.from_bdd_rec(bm, base_bdd, memo);
-        let hi = self.from_bdd_rec(bm, diff_bdd, memo);
+        let lo = self.from_bdd_rec(bm, base_bdd, memo)?;
+        let hi = self.from_bdd_rec(bm, diff_bdd, memo)?;
         let o = self.mk(var as u32, lo, hi);
         memo.insert(f, o);
-        o
+        Ok(o)
     }
 
     /// Convenience: builds the OFDD of a truth table.
@@ -426,6 +444,9 @@ pub struct PolaritySearchStats {
     pub candidates_evaluated: u64,
     /// Cube-count requests answered from the memo table.
     pub memo_hits: u64,
+    /// Times the search stopped early (node cap or deadline) and kept the
+    /// best polarity found so far.
+    pub budget_trips: u64,
 }
 
 impl PolaritySearchStats {
@@ -434,6 +455,7 @@ impl PolaritySearchStats {
     pub fn absorb(&mut self, other: &PolaritySearchStats) {
         self.candidates_evaluated += other.candidates_evaluated;
         self.memo_hits += other.memo_hits;
+        self.budget_trips += other.budget_trips;
     }
 }
 
@@ -454,6 +476,7 @@ pub struct PolaritySearch<'a> {
     f: Bdd,
     memo: HashMap<Polarity, u64>,
     parallel: bool,
+    deadline: Option<Instant>,
     trace: Option<&'a mut TraceBuffer>,
     /// Counters: candidates evaluated and memo hits so far.
     pub stats: PolaritySearchStats,
@@ -461,12 +484,17 @@ pub struct PolaritySearch<'a> {
 
 impl<'a> PolaritySearch<'a> {
     /// Starts a search for `f` inside `bm`.
+    ///
+    /// A node cap set on `bm` (see [`BddManager::set_node_limit`]) governs
+    /// the search: when a candidate evaluation trips it, the search stops
+    /// and keeps the best polarity found so far instead of panicking.
     pub fn new(bm: &'a mut BddManager, f: Bdd) -> Self {
         PolaritySearch {
             bm,
             f,
             memo: HashMap::new(),
             parallel: false,
+            deadline: None,
             trace: None,
             stats: PolaritySearchStats::default(),
         }
@@ -478,6 +506,20 @@ impl<'a> PolaritySearch<'a> {
     pub fn parallel(mut self, enabled: bool) -> Self {
         self.parallel = enabled;
         self
+    }
+
+    /// Sets a wall-clock deadline. Once it passes, the search finishes the
+    /// candidate in flight, then aborts and keeps the best polarity found
+    /// so far (recorded in [`PolaritySearchStats::budget_trips`]).
+    pub fn deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Whether the search has stopped early at least once because of its
+    /// node cap or deadline.
+    pub fn budget_tripped(&self) -> bool {
+        self.stats.budget_trips > 0
     }
 
     /// Records the search into a trace buffer: [`PolaritySearch::run`]
@@ -500,22 +542,69 @@ impl<'a> PolaritySearch<'a> {
         }
     }
 
+    fn record_trip(&mut self) {
+        self.stats.budget_trips += 1;
+        if let Some(buf) = self.trace.as_deref_mut() {
+            buf.count("polarity.budget_tripped", 1);
+        }
+    }
+
+    fn past_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
     /// The FPRM cube count of the function under `pol`, memoized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager's node cap trips (use
+    /// [`PolaritySearch::try_cube_count`] under a budget).
     pub fn cube_count(&mut self, pol: &Polarity) -> u64 {
+        self.try_cube_count(pol)
+            .expect("BDD node limit exceeded during polarity search (use try_cube_count)")
+    }
+
+    /// [`PolaritySearch::cube_count`] that reports a tripped node cap as
+    /// `None` instead of panicking.
+    pub fn try_cube_count(&mut self, pol: &Polarity) -> Option<u64> {
         if let Some(&c) = self.memo.get(pol) {
             self.record(0, 1);
-            return c;
+            return Some(c);
         }
-        let c = eval_polarity(self.bm, self.f, pol);
-        self.record(1, 0);
-        self.memo.insert(pol.clone(), c);
-        c
+        match try_eval_polarity(self.bm, self.f, pol) {
+            Some(c) => {
+                self.record(1, 0);
+                self.memo.insert(pol.clone(), c);
+                Some(c)
+            }
+            None => {
+                self.record_trip();
+                None
+            }
+        }
     }
 
     /// Cube counts for a batch of candidate polarities, answered from the
     /// memo where possible and computed (in parallel when enabled) where
     /// not. The returned vector is index-aligned with `pols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager's node cap trips; the budget-governed search
+    /// strategies use the internal keep-best-so-far path instead.
     pub fn cube_counts(&mut self, pols: &[Polarity]) -> Vec<u64> {
+        let (counts, _) = self.counts_governed(pols);
+        counts
+            .into_iter()
+            .map(|c| c.expect("BDD node limit exceeded during polarity search"))
+            .collect()
+    }
+
+    /// Batch evaluation under the budget: memo hits always answer;
+    /// missing candidates evaluate until the node cap or deadline trips.
+    /// Returns the index-aligned counts (`None` = not affordable) and
+    /// whether the budget tripped.
+    fn counts_governed(&mut self, pols: &[Polarity]) -> (Vec<Option<u64>>, bool) {
         let mut out: Vec<Option<u64>> = Vec::with_capacity(pols.len());
         let mut missing: Vec<usize> = Vec::new();
         let mut hits = 0u64;
@@ -534,51 +623,80 @@ impl<'a> PolaritySearch<'a> {
         // a batch may name the same uncached polarity twice; computing it
         // twice would double-count, so dedup by key first
         missing.dedup_by_key(|&mut i| pols[i].clone());
-        let workers = if self.parallel && missing.len() >= 2 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(missing.len())
+        let mut tripped = false;
+        let mut evaluated = 0u64;
+        if self.past_deadline() {
+            tripped = true;
         } else {
-            1
-        };
-        if workers > 1 {
-            let bm = &*self.bm;
-            let f = self.f;
-            let counts: Vec<(usize, u64)> = std::thread::scope(|s| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        let chunk: Vec<usize> =
-                            missing.iter().copied().skip(w).step_by(workers).collect();
-                        let pols = &pols;
-                        s.spawn(move || {
-                            let mut local = bm.clone();
-                            chunk
-                                .into_iter()
-                                .map(|i| (i, eval_polarity(&mut local, f, &pols[i])))
-                                .collect::<Vec<_>>()
+            let workers = if self.parallel && missing.len() >= 2 {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(missing.len())
+            } else {
+                1
+            };
+            if workers > 1 {
+                let bm = &*self.bm;
+                let f = self.f;
+                let counts: Vec<(usize, Option<u64>)> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let chunk: Vec<usize> =
+                                missing.iter().copied().skip(w).step_by(workers).collect();
+                            let pols = &pols;
+                            s.spawn(move || {
+                                let mut local = bm.clone();
+                                chunk
+                                    .into_iter()
+                                    .map(|i| (i, try_eval_polarity(&mut local, f, &pols[i])))
+                                    .collect::<Vec<_>>()
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("polarity worker panicked"))
-                    .collect()
-            });
-            for (i, c) in counts {
-                self.memo.insert(pols[i].clone(), c);
-            }
-        } else {
-            for &i in &missing {
-                let c = eval_polarity(self.bm, self.f, &pols[i]);
-                self.memo.insert(pols[i].clone(), c);
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("polarity worker panicked"))
+                        .collect()
+                });
+                for (i, c) in counts {
+                    match c {
+                        Some(c) => {
+                            evaluated += 1;
+                            self.memo.insert(pols[i].clone(), c);
+                        }
+                        None => tripped = true,
+                    }
+                }
+            } else {
+                for &i in &missing {
+                    if self.past_deadline() {
+                        tripped = true;
+                        break;
+                    }
+                    match try_eval_polarity(self.bm, self.f, &pols[i]) {
+                        Some(c) => {
+                            evaluated += 1;
+                            self.memo.insert(pols[i].clone(), c);
+                        }
+                        None => {
+                            tripped = true;
+                            break;
+                        }
+                    }
+                }
             }
         }
-        self.record(missing.len() as u64, hits);
-        out.into_iter()
+        self.record(evaluated, hits);
+        if tripped {
+            self.record_trip();
+        }
+        let out = out
+            .into_iter()
             .zip(pols)
-            .map(|(c, p)| c.unwrap_or_else(|| self.memo[p]))
-            .collect()
+            .map(|(c, p)| c.or_else(|| self.memo.get(p).copied()))
+            .collect();
+        (out, tripped)
     }
 
     /// Round-based greedy descent from the all-positive polarity: each
@@ -588,7 +706,11 @@ impl<'a> PolaritySearch<'a> {
     pub fn greedy(&mut self, support: &[usize]) -> (Polarity, u64) {
         let n = self.bm.num_vars();
         let mut pol = Polarity::all_positive(n);
-        let mut best = self.cube_count(&pol.clone());
+        let Some(mut best) = self.try_cube_count(&pol.clone()) else {
+            // even the base polarity is unaffordable under the budget:
+            // keep it with an unknown cost
+            return (pol, u64::MAX);
+        };
         loop {
             let candidates: Vec<Polarity> = support
                 .iter()
@@ -601,19 +723,26 @@ impl<'a> PolaritySearch<'a> {
             if candidates.is_empty() {
                 return (pol, best);
             }
-            let counts = self.cube_counts(&candidates);
+            let (counts, tripped) = self.counts_governed(&candidates);
             let mut winner: Option<usize> = None;
-            for (i, &c) in counts.iter().enumerate() {
-                if c < best && winner.is_none_or(|w| c < counts[w]) {
-                    winner = Some(i);
+            for (i, c) in counts.iter().enumerate() {
+                if let Some(c) = *c {
+                    if c < best && winner.is_none_or(|w| Some(c) < counts[w]) {
+                        winner = Some(i);
+                    }
                 }
             }
             match winner {
                 Some(i) => {
-                    best = counts[i];
+                    best = counts[i].expect("winner has a count");
                     pol = candidates[i].clone();
                 }
                 None => return (pol, best),
+            }
+            if tripped {
+                // abort-and-keep-best: the round in flight still applied
+                // its improvement, but no further rounds start
+                return (pol, best);
             }
         }
     }
@@ -646,16 +775,25 @@ impl<'a> PolaritySearch<'a> {
         while start < total {
             let end = (start + BATCH).min(total);
             let pols: Vec<Polarity> = (start..end).map(make).collect();
-            let counts = self.cube_counts(&pols);
+            let (counts, tripped) = self.counts_governed(&pols);
             for (p, c) in pols.into_iter().zip(counts) {
-                if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
-                    best = Some((c, p));
+                if let Some(c) = c {
+                    if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
+                        best = Some((c, p));
+                    }
                 }
+            }
+            if tripped {
+                // abort-and-keep-best under the budget
+                break;
             }
             start = end;
         }
-        let (c, p) = best.expect("at least one polarity");
-        (p, c)
+        match best {
+            Some((c, p)) => (p, c),
+            // budget tripped before any candidate was affordable
+            None => (Polarity::all_positive(n), u64::MAX),
+        }
     }
 
     /// Dispatches on `mode`: all-positive, greedy descent, or gray-code
@@ -678,7 +816,7 @@ impl<'a> PolaritySearch<'a> {
         match mode {
             PolarityMode::AllPositive => {
                 let pol = Polarity::all_positive(n);
-                let c = self.cube_count(&pol.clone());
+                let c = self.try_cube_count(&pol.clone()).unwrap_or(u64::MAX);
                 (pol, c)
             }
             PolarityMode::Greedy => self.greedy(support),
@@ -694,10 +832,11 @@ impl<'a> PolaritySearch<'a> {
 }
 
 /// One candidate evaluation: BDD→OFDD conversion under `pol`, cube count.
-fn eval_polarity(bm: &mut BddManager, f: Bdd, pol: &Polarity) -> u64 {
+/// `None` when the conversion trips the manager's node cap.
+fn try_eval_polarity(bm: &mut BddManager, f: Bdd, pol: &Polarity) -> Option<u64> {
     let mut om = OfddManager::new(pol.clone());
-    let o = om.from_bdd(bm, f);
-    om.num_cubes(o)
+    let o = om.try_from_bdd(bm, f).ok()?;
+    Some(om.num_cubes(o))
 }
 
 /// Searches for a cube-minimizing polarity of `t` by the memoized greedy
@@ -850,6 +989,61 @@ mod tests {
         for m in 0..8u64 {
             assert_eq!(om.eval(o, m), t.eval(m));
         }
+    }
+
+    #[test]
+    fn try_from_bdd_trips_capped_manager() {
+        let t = TruthTable::from_fn(8, |m| (m * 31 + 7) % 11 < 4);
+        let mut bm = BddManager::new(8);
+        let f = bm.from_table(&t);
+        // the conversion drives the BDD manager through fresh XORs, so a
+        // cap at the current size must trip
+        bm.set_node_limit(Some(bm.num_nodes()));
+        let mut om = OfddManager::new(Polarity::all_positive(8));
+        assert!(om.try_from_bdd(&mut bm, f).is_err());
+        // uncapped, the same conversion succeeds
+        bm.set_node_limit(None);
+        let o = om.try_from_bdd(&mut bm, f).unwrap();
+        assert_eq!(om.num_cubes(o), om.num_cubes(o));
+    }
+
+    #[test]
+    fn capped_search_aborts_and_keeps_best() {
+        let t = TruthTable::from_fn(6, |m| (m * 37 + 11) % 5 < 2);
+        let mut bm = BddManager::new(6);
+        let f = bm.from_table(&t);
+        let support: Vec<usize> = bm.support(f).iter().collect();
+        // cap at the current size: the very first candidate is
+        // unaffordable, so the search must fall back to all-positive with
+        // an unknown count — without panicking
+        bm.set_node_limit(Some(bm.num_nodes()));
+        let mut search = PolaritySearch::new(&mut bm, f);
+        let (pol, count) = search.run(PolarityMode::Greedy, &support);
+        assert!(search.budget_tripped());
+        assert_eq!(pol, Polarity::all_positive(6));
+        assert_eq!(count, u64::MAX);
+    }
+
+    #[test]
+    fn expired_deadline_keeps_base_polarity_result() {
+        let t = TruthTable::from_fn(6, |m| m.count_ones() % 3 == 1);
+        let mut bm = BddManager::new(6);
+        let f = bm.from_table(&t);
+        let support: Vec<usize> = bm.support(f).iter().collect();
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let mut search = PolaritySearch::new(&mut bm, f).deadline(Some(past));
+        let (pol, count) = search.run(PolarityMode::Greedy, &support);
+        // greedy evaluates the base polarity before the deadline gates the
+        // flip rounds, so the result is the real all-positive count
+        assert!(search.budget_tripped());
+        assert_eq!(pol, Polarity::all_positive(6));
+        assert_ne!(count, u64::MAX);
+        // an unconstrained search finds a result at least as good
+        let mut bm2 = BddManager::new(6);
+        let f2 = bm2.from_table(&t);
+        let mut free = PolaritySearch::new(&mut bm2, f2);
+        let (_, free_count) = free.run(PolarityMode::Greedy, &support);
+        assert!(free_count <= count);
     }
 
     #[test]

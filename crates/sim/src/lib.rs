@@ -25,6 +25,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod fault;
 mod power;
@@ -41,16 +42,169 @@ use xsynth_trace::TraceBuffer;
 /// order.
 pub type Pattern = Vec<bool>;
 
+/// Error from [`try_exhaustive_patterns`]: the requested pattern set is
+/// too large to materialise as `Vec<Pattern>`. Use the streaming
+/// [`exhaustive_blocks`] form instead, whose peak memory is one 64-lane
+/// block regardless of `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternSetTooLarge {
+    /// The requested input count.
+    pub inputs: usize,
+    /// The largest input count this helper materialises.
+    pub max_inputs: usize,
+}
+
+impl std::fmt::Display for PatternSetTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exhaustive pattern set too large for {} inputs (max {}); \
+             use exhaustive_blocks for a streaming form",
+            self.inputs, self.max_inputs
+        )
+    }
+}
+
+impl std::error::Error for PatternSetTooLarge {}
+
+/// The largest input count [`exhaustive_patterns`] will materialise.
+pub const EXHAUSTIVE_MATERIALIZE_LIMIT: usize = 24;
+
 /// All `2^n` input patterns of an `n`-input network, in minterm order.
+///
+/// This materialises `2^n` `Vec<bool>`s and is meant for small `n` only;
+/// bulk consumers (redundancy removal, verification) should stream
+/// [`exhaustive_blocks`] instead.
 ///
 /// # Panics
 ///
-/// Panics if `n > 24` (16 M patterns).
+/// Panics if `n > 24` (16 M patterns); use [`try_exhaustive_patterns`]
+/// to handle that case as an error.
 pub fn exhaustive_patterns(n: usize) -> Vec<Pattern> {
-    assert!(n <= 24, "exhaustive pattern set too large for {n} inputs");
-    (0..(1u64 << n))
+    try_exhaustive_patterns(n).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`exhaustive_patterns`].
+pub fn try_exhaustive_patterns(n: usize) -> Result<Vec<Pattern>, PatternSetTooLarge> {
+    if n > EXHAUSTIVE_MATERIALIZE_LIMIT {
+        return Err(PatternSetTooLarge {
+            inputs: n,
+            max_inputs: EXHAUSTIVE_MATERIALIZE_LIMIT,
+        });
+    }
+    Ok((0..(1u64 << n))
         .map(|m| (0..n).map(|i| m & (1 << i) != 0).collect())
+        .collect())
+}
+
+/// A word-packed block of up to 64 input patterns: `words[i]` holds the
+/// values of primary input `i`, one pattern per bit lane.
+///
+/// This is the form the simulator consumes directly; packing once up
+/// front (or streaming blocks from a generator) avoids materialising one
+/// `Vec<bool>` per pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternBlock {
+    /// One word per primary input; bit `k` is the value in lane `k`.
+    pub words: Vec<u64>,
+    /// Number of valid lanes (1..=64).
+    pub lanes: u32,
+}
+
+impl PatternBlock {
+    /// Mask with one bit set per valid lane.
+    pub fn lane_mask(&self) -> u64 {
+        if self.lanes >= 64 {
+            !0
+        } else {
+            (1u64 << self.lanes) - 1
+        }
+    }
+}
+
+/// Packs an explicit pattern list into 64-lane blocks.
+///
+/// # Panics
+///
+/// Panics if any pattern's length differs from `n`.
+pub fn pack_patterns(n: usize, patterns: &[Pattern]) -> Vec<PatternBlock> {
+    patterns
+        .chunks(64)
+        .map(|chunk| {
+            let mut words = vec![0u64; n];
+            for (k, p) in chunk.iter().enumerate() {
+                assert_eq!(p.len(), n, "pattern arity mismatch");
+                for (i, &b) in p.iter().enumerate() {
+                    if b {
+                        words[i] |= 1 << k;
+                    }
+                }
+            }
+            PatternBlock {
+                words,
+                lanes: chunk.len() as u32,
+            }
+        })
         .collect()
+}
+
+// Periodic lane masks for inputs 0..6 within a full 64-lane block: bit `k`
+// of LANE_BITS[i] is bit `i` of the lane index `k`.
+const LANE_BITS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Streams the full `2^n` exhaustive pattern space as word-packed
+/// 64-lane blocks in minterm order, with peak memory bounded at one
+/// block regardless of `n`.
+///
+/// # Panics
+///
+/// Panics if `n > 32` (the iteration itself would never finish).
+pub fn exhaustive_blocks(n: usize) -> ExhaustiveBlocks {
+    assert!(n <= 32, "exhaustive simulation infeasible for {n} inputs");
+    ExhaustiveBlocks { n, next: 0 }
+}
+
+/// Iterator returned by [`exhaustive_blocks`].
+#[derive(Debug, Clone)]
+pub struct ExhaustiveBlocks {
+    n: usize,
+    next: u64,
+}
+
+impl Iterator for ExhaustiveBlocks {
+    type Item = PatternBlock;
+
+    fn next(&mut self) -> Option<PatternBlock> {
+        let total: u64 = 1u64 << self.n;
+        if self.next >= total {
+            return None;
+        }
+        let base = self.next;
+        let lanes = 64u64.min(total - base) as u32;
+        let mask = if lanes >= 64 { !0 } else { (1u64 << lanes) - 1 };
+        // Minterm `base + k` sits in lane `k`: inputs below 6 cycle within
+        // the block (fixed masks), inputs from 6 up are constant across it.
+        let words = (0..self.n)
+            .map(|i| {
+                if i < 6 {
+                    LANE_BITS[i] & mask
+                } else if base >> i & 1 != 0 {
+                    mask
+                } else {
+                    0u64
+                }
+            })
+            .collect();
+        self.next = base + 64;
+        Some(PatternBlock { words, lanes })
+    }
 }
 
 /// `count` uniformly random patterns from a fixed seed (reproducible).
@@ -111,23 +265,26 @@ impl<'a> Simulator<'a> {
         val
     }
 
+    /// Output values for one packed block: one word per primary output,
+    /// with lanes outside the block's `lane_mask` forced to zero.
+    pub fn output_words(&self, block: &PatternBlock) -> Vec<u64> {
+        let val = self.simulate_block(&block.words);
+        let mask = block.lane_mask();
+        self.net
+            .outputs()
+            .iter()
+            .map(|&(_, s)| val[s.index()] & mask)
+            .collect()
+    }
+
     /// Simulates an arbitrary pattern list, returning the output values for
     /// each pattern.
     pub fn outputs_for_patterns(&self, patterns: &[Pattern]) -> Vec<Vec<bool>> {
         let n = self.net.inputs().len();
         let mut results = Vec::with_capacity(patterns.len());
-        for chunk in patterns.chunks(64) {
-            let mut words = vec![0u64; n];
-            for (k, p) in chunk.iter().enumerate() {
-                assert_eq!(p.len(), n, "pattern arity mismatch");
-                for (i, &b) in p.iter().enumerate() {
-                    if b {
-                        words[i] |= 1 << k;
-                    }
-                }
-            }
-            let val = self.simulate_block(&words);
-            for k in 0..chunk.len() {
+        for block in pack_patterns(n, patterns) {
+            let val = self.simulate_block(&block.words);
+            for k in 0..block.lanes as usize {
                 results.push(
                     self.net
                         .outputs()
@@ -145,21 +302,9 @@ impl<'a> Simulator<'a> {
     pub fn node_one_counts(&self, patterns: &[Pattern]) -> (Vec<u64>, u64) {
         let n = self.net.inputs().len();
         let mut counts = vec![0u64; self.net.num_nodes()];
-        for chunk in patterns.chunks(64) {
-            let mut words = vec![0u64; n];
-            for (k, p) in chunk.iter().enumerate() {
-                for (i, &b) in p.iter().enumerate() {
-                    if b {
-                        words[i] |= 1 << k;
-                    }
-                }
-            }
-            let mask = if chunk.len() == 64 {
-                !0u64
-            } else {
-                (1u64 << chunk.len()) - 1
-            };
-            let val = self.simulate_block(&words);
+        for block in pack_patterns(n, patterns) {
+            let mask = block.lane_mask();
+            let val = self.simulate_block(&block.words);
             for (c, w) in counts.iter_mut().zip(val.iter()) {
                 *c += (w & mask).count_ones() as u64;
             }
@@ -192,8 +337,30 @@ pub(crate) fn eval_gate_words(kind: xsynth_net::GateKind, fanins: &[SignalId], v
 /// for complete certainty on small circuits pass
 /// [`exhaustive_patterns`].
 pub fn equivalent_on(a: &Network, b: &Network, patterns: &[Pattern]) -> bool {
+    equivalent_on_blocks(a, b, pack_patterns(a.inputs().len(), patterns))
+}
+
+/// Streaming form of [`equivalent_on`] over word-packed blocks: each block
+/// is simulated and compared as it arrives, so a generator like
+/// [`exhaustive_blocks`] keeps peak memory at one block.
+pub fn equivalent_on_blocks<I>(a: &Network, b: &Network, blocks: I) -> bool
+where
+    I: IntoIterator<Item = PatternBlock>,
+{
     let (sa, sb) = (Simulator::new(a), Simulator::new(b));
-    sa.outputs_for_patterns(patterns) == sb.outputs_for_patterns(patterns)
+    blocks
+        .into_iter()
+        .all(|blk| sa.output_words(&blk) == sb.output_words(&blk))
+}
+
+/// Complete equivalence check over the full input space, streaming
+/// [`exhaustive_blocks`] so no pattern list is ever materialised.
+///
+/// # Panics
+///
+/// Panics if the networks' input count exceeds 32.
+pub fn equivalent_exhaustive(a: &Network, b: &Network) -> bool {
+    equivalent_on_blocks(a, b, exhaustive_blocks(a.inputs().len()))
 }
 
 /// [`equivalent_on`] recording into a trace buffer: runs inside an
@@ -300,6 +467,51 @@ mod tests {
         for (i, p) in pats.iter().enumerate() {
             let m: u64 = p.iter().enumerate().map(|(b, &v)| (v as u64) << b).sum();
             assert_eq!(outs[i], n.eval_u64(m));
+        }
+    }
+
+    #[test]
+    fn exhaustive_blocks_match_materialised_patterns() {
+        for n in [0usize, 1, 3, 5, 6, 7, 9] {
+            let pats = exhaustive_patterns(n);
+            let packed = pack_patterns(n, &pats);
+            let streamed: Vec<PatternBlock> = exhaustive_blocks(n).collect();
+            assert_eq!(packed, streamed, "n={n}");
+        }
+    }
+
+    #[test]
+    fn try_exhaustive_patterns_rejects_large_n() {
+        let err = try_exhaustive_patterns(25).unwrap_err();
+        assert_eq!(err.inputs, 25);
+        assert_eq!(err.max_inputs, EXHAUSTIVE_MATERIALIZE_LIMIT);
+        assert!(try_exhaustive_patterns(8).is_ok());
+    }
+
+    #[test]
+    fn streaming_equivalence_matches_pattern_equivalence() {
+        let n1 = adder2();
+        let n2 = adder2().sweep();
+        assert!(equivalent_exhaustive(&n1, &n2));
+        let mut broken = adder2();
+        let out = broken.outputs()[0].1;
+        broken.replace_gate(out, GateKind::Xnor, broken.fanins(out).to_vec());
+        assert!(!equivalent_exhaustive(&n1, &broken));
+    }
+
+    #[test]
+    fn output_words_agree_with_scalar_outputs() {
+        let n = adder2();
+        let sim = Simulator::new(&n);
+        for block in exhaustive_blocks(4) {
+            let words = sim.output_words(&block);
+            assert_eq!(words.len(), n.outputs().len());
+            for k in 0..block.lanes as u64 {
+                let expect = n.eval_u64(k);
+                for (o, w) in words.iter().enumerate() {
+                    assert_eq!(w >> k & 1 != 0, expect[o]);
+                }
+            }
         }
     }
 

@@ -42,6 +42,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod chrome;
 pub mod json;
@@ -356,6 +357,39 @@ impl Trace {
         finals
     }
 
+    /// Maximum recorded sample of every gauge across all tracks — the peak
+    /// of the measurement rather than its last value. Budget enforcement
+    /// asserts against this (e.g. `bdd.peak_nodes` under a node cap).
+    pub fn gauge_maxima(&self) -> BTreeMap<String, f64> {
+        let mut maxima: BTreeMap<String, f64> = BTreeMap::new();
+        for t in &self.tracks {
+            for e in &t.events {
+                if let Event::Gauge { name, value } = e {
+                    maxima
+                        .entry(name.clone())
+                        .and_modify(|m| *m = m.max(*value))
+                        .or_insert(*value);
+                }
+            }
+        }
+        maxima
+    }
+
+    /// Maximum recorded sample of one gauge, if it was ever sampled.
+    pub fn gauge_max(&self, name: &str) -> Option<f64> {
+        let mut max: Option<f64> = None;
+        for t in &self.tracks {
+            for e in &t.events {
+                if let Event::Gauge { name: n, value } = e {
+                    if n == name {
+                        max = Some(max.map_or(*value, |m: f64| m.max(*value)));
+                    }
+                }
+            }
+        }
+        max
+    }
+
     /// The set of span names appearing anywhere in the trace.
     pub fn span_names(&self) -> BTreeSet<String> {
         let mut names = BTreeSet::new();
@@ -520,6 +554,26 @@ fn find_first_mut<'a>(nodes: &'a mut [SpanNode], name: &str) -> Option<&'a mut S
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gauge_maxima_track_peaks_not_finals() {
+        let sink = TraceSink::new();
+        {
+            let mut b = sink.buffer(0, "main");
+            b.gauge("nodes", 10.0);
+            b.gauge("nodes", 70.0);
+            b.gauge("nodes", 40.0);
+        }
+        {
+            let mut b = sink.buffer(1, "worker");
+            b.gauge("nodes", 55.0);
+        }
+        let t = sink.take();
+        assert_eq!(t.gauge_finals()["nodes"], 55.0);
+        assert_eq!(t.gauge_maxima()["nodes"], 70.0);
+        assert_eq!(t.gauge_max("nodes"), Some(70.0));
+        assert_eq!(t.gauge_max("missing"), None);
+    }
 
     #[test]
     fn spans_nest_and_time() {

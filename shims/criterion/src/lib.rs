@@ -10,6 +10,7 @@
 //! timings suitable for before/after comparisons on one machine.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

@@ -10,6 +10,7 @@
 //! the assertion message.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 /// Test-runner configuration.
 pub mod test_runner {

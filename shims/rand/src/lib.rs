@@ -10,6 +10,7 @@
 //! stream).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 /// Low-level generator interface: a source of uniform `u64`s.
 pub trait RngCore {

@@ -9,11 +9,18 @@
 //! * `map <in>` — synthesize and technology-map, print the cell netlist
 //!   summary.
 //! * `bench <circuit>` — run a built-in Table 2 benchmark by name.
+//! * `verify <a> <b>` — check two networks for combinational equivalence.
+//!
+//! Every run can be resource-governed with `--bdd-node-cap`,
+//! `--phase-timeout-ms` and `--max-patterns`; error families map to
+//! distinct process exit codes (see [`USAGE`]).
 
 use std::fmt::Write as _;
+use std::time::Duration;
 use xsynth_blif::{parse_blif, parse_pla, write_blif};
 use xsynth_core::{
-    phase, synthesize, EquivChecker, Error, FactorMethod, SynthOptions, SynthOutcome, SynthReport,
+    phase, try_synthesize, Budget, EquivChecker, Error, FactorMethod, SynthOptions, SynthOutcome,
+    SynthReport,
 };
 use xsynth_map::{map_network, Library};
 use xsynth_net::Network;
@@ -23,10 +30,12 @@ use xsynth_trace::Trace;
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Command {
-    /// Subcommand: synth | stats | map | bench.
+    /// Subcommand: synth | stats | map | bench | verify.
     pub action: Action,
     /// Input path or benchmark name.
     pub input: String,
+    /// Second input (the candidate) for `verify`.
+    pub input2: Option<String>,
     /// Output path (`-o`), stdout when absent.
     pub output: Option<String>,
     /// Synthesis engine.
@@ -37,6 +46,9 @@ pub struct Command {
     pub stats: bool,
     /// Write the run's Chrome `trace_event` JSON to this path.
     pub trace_json: Option<String>,
+    /// Resource budget (`--bdd-node-cap`, `--phase-timeout-ms`,
+    /// `--max-patterns`); unlimited by default.
+    pub budget: Budget,
 }
 
 /// What to do.
@@ -50,6 +62,8 @@ pub enum Action {
     Map,
     /// Run a built-in benchmark by name.
     Bench,
+    /// Check two networks for combinational equivalence.
+    Verify,
 }
 
 /// Which synthesis engine to run.
@@ -71,21 +85,31 @@ pub enum Engine {
 
 /// Usage text.
 pub const USAGE: &str = "\
-usage: xsynth <synth|stats|map|bench> <input> [options]
+usage: xsynth <synth|stats|map|bench|verify> <input> [options]
 
   synth <in.blif|in.pla>   synthesize, write BLIF (stdout or -o FILE)
   stats <in.blif|in.pla>   print cost metrics for the input network
   map   <in.blif|in.pla>   synthesize + technology-map, print cells
                            (-o FILE writes a structural Verilog netlist)
   bench <name>             run a built-in Table 2 circuit by name
+  verify <a> <b>           check two networks for equivalence
 
 options:
-  -o FILE            write output to FILE
-  --method ENGINE    fprm (default) | cube | ofdd | kfdd | sop | none
-  --no-redundancy    skip the XOR redundancy-removal pass
-  --stats            print per-phase timings, counters and the span tree
-  --trace-json FILE  write Chrome trace_event JSON (chrome://tracing,
-                     Perfetto) for the synthesis run
+  -o FILE               write output to FILE
+  --method ENGINE       fprm (default) | cube | ofdd | kfdd | sop | none
+  --no-redundancy       skip the XOR redundancy-removal pass
+  --stats               print per-phase timings, counters and the span tree
+  --trace-json FILE     write Chrome trace_event JSON (chrome://tracing,
+                        Perfetto) for the synthesis run
+  --bdd-node-cap N      cap every BDD manager at N nodes; phases degrade
+                        gracefully where possible, else exit 8
+  --phase-timeout-ms N  wall-clock budget per pipeline phase; tripped
+                        phases keep their best result so far
+  --max-patterns N      cap every simulation pattern set at N patterns
+
+exit codes:
+  0 ok          2 usage       3 parse error      4 I/O error
+  5 netlist     6 input mismatch   7 verification failed   8 budget exceeded
 ";
 
 /// Parses the command line (excluding `argv[0]`).
@@ -100,6 +124,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         Some("stats") => Action::Stats,
         Some("map") => Action::Map,
         Some("bench") => Action::Bench,
+        Some("verify") => Action::Verify,
         Some(other) => return Err(format!("unknown subcommand '{other}'\n{USAGE}")),
         None => return Err(USAGE.to_string()),
     };
@@ -110,11 +135,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     if action == Action::Bench {
         validate_bench_name(&input)?;
     }
+    let input2 = if action == Action::Verify {
+        Some(
+            it.next()
+                .ok_or_else(|| format!("verify needs two inputs\n{USAGE}"))?
+                .clone(),
+        )
+    } else {
+        None
+    };
+    fn number(flag: &str, value: Option<&String>) -> Result<u64, String> {
+        let v = value.ok_or_else(|| format!("{flag} needs a number"))?;
+        v.parse()
+            .map_err(|_| format!("{flag} needs a number, got '{v}'"))
+    }
     let mut output = None;
     let mut engine = Engine::Fprm;
     let mut no_redundancy = false;
     let mut stats = false;
     let mut trace_json = None;
+    let mut budget = Budget::default();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" => {
@@ -144,17 +184,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             "--no-redundancy" => no_redundancy = true,
             "--stats" => stats = true,
+            "--bdd-node-cap" => {
+                budget = budget.bdd_node_cap(Some(number(a, it.next())? as usize));
+            }
+            "--phase-timeout-ms" => {
+                budget = budget.phase_timeout(Some(Duration::from_millis(number(a, it.next())?)));
+            }
+            "--max-patterns" => {
+                budget = budget.max_patterns(Some(number(a, it.next())? as usize));
+            }
             other => return Err(format!("unknown option '{other}'\n{USAGE}")),
         }
     }
     Ok(Command {
         action,
         input,
+        input2,
         output,
         engine,
         no_redundancy,
         stats,
         trace_json,
+        budget,
     })
 }
 
@@ -202,22 +253,27 @@ fn edit_distance(a: &str, b: &str) -> usize {
 /// Loads a network from a path by extension (`.pla` → espresso PLA,
 /// anything else → BLIF), or from a built-in benchmark name for `bench`.
 pub fn load(cmd: &Command) -> Result<Network, Error> {
-    if cmd.action == Action::Bench {
-        return xsynth_circuits::build(&cmd.input)
-            .ok_or_else(|| Error::msg(format!("unknown benchmark '{}'", cmd.input)));
+    load_source(&cmd.input, cmd.action == Action::Bench)
+}
+
+/// Loads one network source: a benchmark name (`bench_only`), or a file
+/// path that falls back to the benchmark registry when no file exists.
+fn load_source(input: &str, bench_only: bool) -> Result<Network, Error> {
+    if bench_only {
+        return xsynth_circuits::build(input)
+            .ok_or_else(|| Error::msg(format!("unknown benchmark '{input}'")));
     }
     // other subcommands also accept built-in benchmark names when no such
     // file exists
-    if !std::path::Path::new(&cmd.input).exists() {
-        if let Some(net) = xsynth_circuits::build(&cmd.input) {
+    if !std::path::Path::new(input).exists() {
+        if let Some(net) = xsynth_circuits::build(input) {
             return Ok(net);
         }
     }
-    let text = std::fs::read_to_string(&cmd.input).map_err(|e| Error::io(&cmd.input, e))?;
-    if cmd.input.ends_with(".pla") {
+    let text = std::fs::read_to_string(input).map_err(|e| Error::io(input, e))?;
+    if input.ends_with(".pla") {
         let pla = parse_pla(&text)?;
-        let name = cmd
-            .input
+        let name = input
             .rsplit('/')
             .next()
             .unwrap_or("pla")
@@ -231,10 +287,15 @@ pub fn load(cmd: &Command) -> Result<Network, Error> {
 /// Runs the chosen engine. FPRM-family engines also return the synthesis
 /// report (for `--stats` and `--trace-json`); the SOP baseline and `none`
 /// have no report.
-pub fn run_engine(cmd: &Command, spec: &Network) -> (Network, Option<SynthReport>) {
+///
+/// # Errors
+///
+/// Returns [`Error::Budget`] when the command's budget is too tight for
+/// the pipeline to produce any result.
+pub fn run_engine(cmd: &Command, spec: &Network) -> Result<(Network, Option<SynthReport>), Error> {
     match cmd.engine {
-        Engine::None => (spec.sweep(), None),
-        Engine::Sop => (script_algebraic(spec, &ScriptOptions::default()), None),
+        Engine::None => Ok((spec.sweep(), None)),
+        Engine::Sop => Ok((script_algebraic(spec, &ScriptOptions::default()), None)),
         Engine::Fprm | Engine::FprmCube | Engine::FprmOfdd | Engine::Kfdd => {
             let method = match cmd.engine {
                 Engine::FprmCube => FactorMethod::Cube,
@@ -245,11 +306,33 @@ pub fn run_engine(cmd: &Command, spec: &Network) -> (Network, Option<SynthReport
             let opts = SynthOptions::builder()
                 .method(method)
                 .redundancy_removal(!cmd.no_redundancy)
+                .budget(cmd.budget.clone())
                 .build();
-            let SynthOutcome { network, report } = synthesize(spec, &opts);
-            (network, Some(report))
+            let SynthOutcome { network, report } = try_synthesize(spec, &opts)?;
+            Ok((network, Some(report)))
         }
     }
+}
+
+/// Renders the report's budget-degradation notes (curtailed phases and a
+/// downgraded verification backend), or an empty string when the run was
+/// not resource-constrained.
+fn render_budget_notes(report: &SynthReport) -> String {
+    let mut s = String::new();
+    if !report.curtailed.is_empty() {
+        let _ = writeln!(
+            s,
+            "# budget: curtailed phases: {}",
+            report.curtailed.join(", ")
+        );
+    }
+    if report.verify_downgraded {
+        let _ = writeln!(
+            s,
+            "# budget: verification downgraded to fixed-seed simulation"
+        );
+    }
+    s
 }
 
 /// Renders the `--stats` block: the trace-derived per-phase wall-clock
@@ -342,15 +425,39 @@ pub fn execute(cmd: &Command) -> Result<String, Error> {
     let spec = load(cmd)?;
     match cmd.action {
         Action::Stats => Ok(render_stats(&spec)),
+        Action::Verify => {
+            let candidate = load_source(cmd.input2.as_deref().unwrap_or_default(), false)?;
+            let mut checker = EquivChecker::with_budget(&spec, &cmd.budget);
+            if !checker.try_check(&candidate)? {
+                return Err(Error::Verify(format!(
+                    "{} is not equivalent to {}",
+                    cmd.input2.as_deref().unwrap_or_default(),
+                    cmd.input
+                )));
+            }
+            let backend = if checker.is_exact() {
+                "exact BDD check"
+            } else if checker.downgraded() {
+                "simulation, downgraded by budget"
+            } else {
+                "simulation"
+            };
+            Ok(format!("equivalent ({backend})\n"))
+        }
         Action::Synth | Action::Bench => {
-            let (result, report) = run_engine(cmd, &spec);
-            let mut checker = EquivChecker::new(&spec);
-            if !checker.check(&result) {
-                return Err(Error::msg("internal error: result failed verification"));
+            let (result, report) = run_engine(cmd, &spec)?;
+            let mut checker = EquivChecker::with_budget(&spec, &cmd.budget);
+            if !checker.try_check(&result)? {
+                return Err(Error::Verify(
+                    "internal error: result failed verification".into(),
+                ));
             }
             let mut out = String::new();
             let _ = writeln!(out, "# spec:   {}", render_stats(&spec).trim_end());
             let _ = writeln!(out, "# result: {}", render_stats(&result).trim_end());
+            if let Some(r) = &report {
+                out.push_str(&render_budget_notes(r));
+            }
             if cmd.stats {
                 match &report {
                     Some(r) => out.push_str(&render_report(r)),
@@ -373,7 +480,7 @@ pub fn execute(cmd: &Command) -> Result<String, Error> {
             Ok(out)
         }
         Action::Map => {
-            let (result, report) = run_engine(cmd, &spec);
+            let (result, report) = run_engine(cmd, &spec)?;
             let lib = Library::mcnc();
             let mapped = map_network(&result, &lib);
             let mut s = render_stats(&result);
@@ -553,17 +660,95 @@ mod tests {
         let cmd = Command {
             action: Action::Map,
             input: "f2".into(),
+            input2: None,
             output: Some(outp.display().to_string()),
             engine: Engine::Fprm,
             no_redundancy: false,
             stats: false,
             trace_json: None,
+            budget: Budget::default(),
         };
         let text = execute(&cmd).unwrap();
         assert!(text.contains("wrote Verilog"), "{text}");
         let v = std::fs::read_to_string(&outp).unwrap();
         assert!(v.contains("module f2"), "{v}");
         assert!(v.contains("endmodule"));
+    }
+
+    #[test]
+    fn parse_budget_flags() {
+        let c = parse_args(&argv(
+            "bench rd53 --bdd-node-cap 5000 --phase-timeout-ms 250 --max-patterns 64",
+        ))
+        .unwrap();
+        assert_eq!(
+            c.budget,
+            Budget::default()
+                .bdd_node_cap(Some(5000))
+                .phase_timeout(Some(Duration::from_millis(250)))
+                .max_patterns(Some(64))
+        );
+        assert!(parse_args(&argv("bench rd53 --bdd-node-cap")).is_err());
+        assert!(parse_args(&argv("bench rd53 --bdd-node-cap many")).is_err());
+        assert!(parse_args(&argv("bench rd53 --phase-timeout-ms -5")).is_err());
+    }
+
+    #[test]
+    fn verify_subcommand_compares_two_networks() {
+        // two built-in names resolve through the registry fallback
+        let out = run(&argv("verify rd53 rd53")).unwrap();
+        assert!(out.contains("equivalent"), "{out}");
+        let err = run(&argv("verify rd53 rd73")).unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}"); // different input sets
+        assert!(run(&argv("verify rd53")).is_err());
+    }
+
+    #[test]
+    fn verify_failure_maps_to_exit_code_7() {
+        let dir = std::env::temp_dir().join("xsynth_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("vf_a.blif");
+        let b = dir.join("vf_b.blif");
+        std::fs::write(
+            &a,
+            ".model m\n.inputs a b\n.outputs y\n.names a b y\n10 1\n01 1\n.end\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &b,
+            ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n",
+        )
+        .unwrap();
+        let err = run(&argv(&format!("verify {} {}", a.display(), b.display()))).unwrap_err();
+        assert!(matches!(err, Error::Verify(_)), "{err}");
+        assert_eq!(err.exit_code(), 7);
+        let out = run(&argv(&format!("verify {} {}", a.display(), a.display()))).unwrap();
+        assert!(out.contains("exact BDD check"), "{out}");
+    }
+
+    #[test]
+    fn budget_exhaustion_maps_to_exit_code_8() {
+        // 8 BDD nodes cannot hold a 5-input benchmark's spec BDDs
+        let err = run(&argv("bench rd53 --bdd-node-cap 8")).unwrap_err();
+        assert!(matches!(err, Error::Budget(_)), "{err}");
+        assert_eq!(err.exit_code(), 8);
+    }
+
+    #[test]
+    fn parse_error_maps_to_exit_code_3() {
+        let dir = std::env::temp_dir().join("xsynth_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.blif");
+        std::fs::write(&bad, ".model m\n.names a y\nthis is not a cover\n.end\n").unwrap();
+        let err = run(&argv(&format!("synth {}", bad.display()))).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+    }
+
+    #[test]
+    fn starved_bench_reports_curtailed_phases() {
+        let out = run(&argv("bench rd53 --phase-timeout-ms 0 --max-patterns 4")).unwrap();
+        assert!(out.contains("# budget: curtailed phases:"), "{out}");
+        assert!(out.contains(".model"), "{out}");
     }
 
     #[test]
@@ -579,11 +764,13 @@ mod tests {
             let cmd = Command {
                 action: Action::Bench,
                 input: "rd53".into(),
+                input2: None,
                 output: None,
                 engine,
                 no_redundancy: false,
                 stats: false,
                 trace_json: None,
+                budget: Budget::default(),
             };
             let out = execute(&cmd).expect("engine runs");
             assert!(out.contains(".model"));

@@ -1,5 +1,9 @@
 //! The `xsynth` command-line tool: BLIF/PLA in, synthesized BLIF or cell
 //! reports out. Run `xsynth` with no arguments for usage.
+//!
+//! Exit codes follow the error taxonomy in `xsynth_core::Error` — 2 usage,
+//! 3 parse, 4 I/O, 5 netlist, 6 input mismatch, 7 verification failed,
+//! 8 budget exceeded.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -12,9 +16,9 @@ fn main() {
     };
     match xsynth::cli::execute(&cmd) {
         Ok(text) => print!("{text}"),
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(1);
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(err.exit_code());
         }
     }
 }

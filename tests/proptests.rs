@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use xsynth::bdd::BddManager;
 use xsynth::boolean::{Fprm, Polarity, Sop, TruthTable};
-use xsynth::core::{synthesize, FactorMethod, SynthOptions};
+use xsynth::core::{synthesize, try_synthesize, Budget, Error, FactorMethod, SynthOptions};
 use xsynth::map::{map_network, Library};
 use xsynth::net::{GateKind, Network};
 use xsynth::ofdd::OfddManager;
@@ -142,6 +142,46 @@ proptest! {
         let back = xsynth::blif::parse_blif(&text).expect("self-written BLIF parses");
         for m in 0..32u64 {
             prop_assert_eq!(back.eval_u64(m)[0], t.eval(m));
+        }
+    }
+
+    #[test]
+    fn tight_budgets_never_panic_or_miscompile(
+        bits in any::<u64>(),
+        cap in 1usize..400,
+        timeout_ms in 0u64..4,
+        max_patterns in 0usize..16,
+    ) {
+        let t = table(5, bits);
+        let spec = two_level(&t);
+        // the top of each range doubles as "unlimited"
+        let budget = Budget::default()
+            .bdd_node_cap(Some(cap))
+            .phase_timeout((timeout_ms < 3).then(|| std::time::Duration::from_millis(timeout_ms)))
+            .max_patterns((max_patterns > 0).then_some(max_patterns));
+        let opts = SynthOptions::builder()
+            .budget(budget)
+            .parallel(false)
+            .build();
+        // the contract: a verified network, or a budget-family error —
+        // never a panic. Full-strength (non-downgraded) verification means
+        // the network is exactly equivalent; a downgraded run only promises
+        // equivalence on the budgeted pattern sample, and must say so.
+        match try_synthesize(&spec, &opts) {
+            Ok(outcome) if !outcome.report.verify_downgraded => {
+                for m in 0..32u64 {
+                    prop_assert_eq!(outcome.network.eval_u64(m)[0], t.eval(m));
+                }
+            }
+            Ok(outcome) => {
+                prop_assert!(
+                    outcome.report.curtailed.contains(&"verify".to_string()),
+                    "downgraded run must report verify as curtailed: {:?}",
+                    outcome.report.curtailed
+                );
+            }
+            Err(Error::Budget(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error family: {other}"),
         }
     }
 
