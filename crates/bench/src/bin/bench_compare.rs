@@ -1,0 +1,16 @@
+//! Diffs two benchmark telemetry suites (`BENCH_*.json`) and exits
+//! non-zero on regression — the CI perf/quality gate.
+//!
+//! Usage: `bench_compare <old.json> <new.json> [--max-regress-pct N]
+//! [--time-floor-ms N]`
+//!
+//! Quality metrics (literals, gates, power, verification status) compare
+//! exactly; time and memory regress only past both the relative threshold
+//! and an absolute floor. Exit codes: 0 no regression, 1 regression,
+//! 2 usage, 3 parse error, 4 I/O error.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = xsynth_bench::compare::run_compare_cli(&args, &mut std::io::stdout());
+    std::process::exit(code);
+}

@@ -1,22 +1,62 @@
 //! Measures the wall-clock effect of parallel synthesis: runs the FPRM
-//! flow twice per circuit (parallel on/off), checks the networks are
-//! bit-identical, and prints the speedup.
+//! flow twice per circuit (parallel on/off) through the shared
+//! [`xsynth_bench::measure_flow`] path, checks the networks are
+//! bit-identical, and prints the speedup from the run medians.
 //!
-//! Usage: `par_speedup [circuit ...]` — defaults to the multi-output
-//! arithmetic circuits where the per-output fan-out matters most.
+//! Usage: `par_speedup [--json FILE] [--runs N] [circuit ...]` — defaults
+//! to the multi-output arithmetic circuits where the per-output fan-out
+//! matters most. `--json FILE` persists both flows' records (`fprm` and
+//! `fprm-seq`) as a telemetry suite.
 
-use std::time::Instant;
-use xsynth_core::{synthesize, SynthOptions};
+use xsynth_bench::{measure_flow, BenchSuite, Flow, MeasureOptions};
+use xsynth_core::SynthOptions;
+use xsynth_map::Library;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let names: Vec<String> = if args.is_empty() {
-        ["z4ml", "adr4", "add6", "addm4", "mlp4", "my_adder"]
+    let mut names: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut runs = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => {
+                let Some(p) = args.next() else {
+                    eprintln!("error: --json needs a file path");
+                    std::process::exit(2);
+                };
+                json_path = Some(p);
+            }
+            "--runs" => {
+                let Some(n) = args.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("error: --runs needs a positive integer");
+                    std::process::exit(2);
+                };
+                runs = n.max(1);
+            }
+            f if f.starts_with("--") => {
+                eprintln!("error: unknown flag {f}");
+                eprintln!("usage: par_speedup [--json FILE] [--runs N] [circuit ...]");
+                std::process::exit(2);
+            }
+            _ => names.push(a),
+        }
+    }
+    if names.is_empty() {
+        names = ["z4ml", "adr4", "add6", "addm4", "mlp4", "my_adder"]
             .map(String::from)
-            .to_vec()
-    } else {
-        args
+            .to_vec();
+    }
+    let lib = Library::mcnc();
+    let seq_opts = MeasureOptions {
+        runs,
+        synth: SynthOptions::builder().parallel(false).build(),
+        ..Default::default()
     };
+    let par_opts = MeasureOptions {
+        runs,
+        ..Default::default()
+    };
+    let mut records = Vec::new();
     println!(
         "{:<10} {:>6} {:>10} {:>10} {:>8}  identical?",
         "circuit", "outs", "seq (ms)", "par (ms)", "speedup"
@@ -26,15 +66,11 @@ fn main() {
             eprintln!("unknown circuit {name}");
             continue;
         };
-        let seq_opts = SynthOptions::builder().parallel(false).build();
-        let par_opts = SynthOptions::default();
-        let t0 = Instant::now();
-        let seq_net = synthesize(&spec, &seq_opts).network;
-        let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let t1 = Instant::now();
-        let par_net = synthesize(&spec, &par_opts).network;
-        let par_ms = t1.elapsed().as_secs_f64() * 1e3;
-        let same = xsynth_blif::write_blif(&seq_net) == xsynth_blif::write_blif(&par_net);
+        let seq = measure_flow(&name, &spec, Flow::Fprm, "fprm-seq", &lib, &seq_opts);
+        let par = measure_flow(&name, &spec, Flow::Fprm, "fprm", &lib, &par_opts);
+        let seq_ms = seq.record.median_seconds * 1e3;
+        let par_ms = par.record.median_seconds * 1e3;
+        let same = xsynth_blif::write_blif(&seq.network) == xsynth_blif::write_blif(&par.network);
         println!(
             "{:<10} {:>6} {:>10.1} {:>10.1} {:>7.2}x  {}",
             name,
@@ -44,5 +80,17 @@ fn main() {
             seq_ms / par_ms,
             if same { "yes" } else { "NO — BUG" }
         );
+        records.push(seq.record);
+        records.push(par.record);
+    }
+    if let Some(path) = json_path {
+        let suite = BenchSuite {
+            suite: "par_speedup".to_string(),
+            records,
+        };
+        if let Err(e) = std::fs::write(&path, suite.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(4);
+        }
     }
 }

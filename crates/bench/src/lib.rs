@@ -9,19 +9,46 @@
 //!
 //! then measures literals before mapping (two-input AND/OR form, XOR = 3
 //! gates), gate/literal counts after technology mapping onto the mcnc-like
-//! library, the `power_estimate` model, wall-clock time, and functional
-//! equivalence of every result against the specification.
+//! library, the `power_estimate` model, wall-clock time (split into
+//! synthesis / mapping / verification), and functional equivalence of
+//! every result against the specification.
+//!
+//! All three binaries (`table2`, `par_speedup`, `flow_report`) report
+//! from one measurement path, [`measure_flow`], which also produces the
+//! machine-readable [`telemetry::BenchRecord`] persisted as
+//! `BENCH_*.json` and gated in CI by `bench_compare` (see [`compare`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compare;
+pub mod telemetry;
+
 use std::time::Instant;
 use xsynth_circuits::{registry, Benchmark};
-use xsynth_core::{phase, synthesize, EquivChecker, SynthOptions, SynthOutcome, SynthReport};
+use xsynth_core::{
+    phase, synthesize, Budget, EquivChecker, SynthOptions, SynthOutcome, SynthReport,
+};
 use xsynth_map::{map_network, Library};
 use xsynth_net::Network;
 use xsynth_sim::power_estimate;
 use xsynth_sop::{script_algebraic, ScriptOptions};
+
+pub use telemetry::{BenchRecord, BenchSuite, VerifyStatus};
+
+/// BDD node cap for benchmark verification. Generous enough that every
+/// registry circuit verifies exactly today; a pathological case trips it
+/// and degrades to fixed-seed simulation (`verified: "downgraded"`)
+/// instead of stalling the whole sweep.
+pub const VERIFY_NODE_CAP: usize = 4_000_000;
+
+/// The quick registry subset used by the CI regression gate and the
+/// committed `BENCH_baseline.json`: small enough to run with repetitions
+/// in seconds, broad enough to cover both granularities, XOR-heavy and
+/// SOP-friendly circuits.
+pub const QUICK_SUBSET: [&str; 8] = [
+    "z4ml", "f2", "majority", "t481", "rd53", "cm82a", "adr4", "mlp4",
+];
 
 /// Metrics of one synthesized implementation.
 #[derive(Debug, Clone)]
@@ -38,23 +65,50 @@ pub struct FlowResult {
     pub map_area: f64,
     /// Normalized switching power of the mapped netlist.
     pub power: f64,
-    /// Flow wall-clock seconds (synthesis only, excluding mapping).
-    pub seconds: f64,
-    /// Whether the result checked equivalent to the specification.
-    pub verified: bool,
+    /// Synthesis wall-clock seconds (the flow itself).
+    pub synth_seconds: f64,
+    /// Technology-mapping + power-model wall-clock seconds.
+    pub map_seconds: f64,
+    /// Equivalence-check wall-clock seconds.
+    pub verify_seconds: f64,
+    /// Equivalence-check outcome against the specification.
+    pub verified: VerifyStatus,
     /// The synthesis report with per-phase timings and polarity-search
     /// counters (`None` for the SOP baseline, which has no FPRM phases).
     pub report: Option<SynthReport>,
 }
 
-/// Runs one synthesized network through mapping/power/verification.
-fn evaluate(spec: &Network, result: &Network, lib: &Library, seconds: f64) -> FlowResult {
+impl FlowResult {
+    /// Total wall-clock attributed to this flow (synth + map + verify).
+    pub fn total_seconds(&self) -> f64 {
+        self.synth_seconds + self.map_seconds + self.verify_seconds
+    }
+}
+
+/// Runs one synthesized network through mapping/power/verification,
+/// timing each stage separately. Verification runs under `budget` via
+/// `try_check`, so a blowup degrades to simulation instead of stalling.
+fn evaluate(
+    spec: &Network,
+    result: &Network,
+    lib: &Library,
+    synth_seconds: f64,
+    budget: &Budget,
+) -> FlowResult {
     let (premap_gates, premap_lits) = result.two_input_cost();
+    let t_map = Instant::now();
     let mapped = map_network(result, lib);
     let mapped_net = mapped.to_network(lib);
     let power = power_estimate(&mapped_net).total;
-    let mut checker = EquivChecker::new(spec);
-    let verified = checker.check(result);
+    let map_seconds = t_map.elapsed().as_secs_f64();
+    let t_verify = Instant::now();
+    let mut checker = EquivChecker::with_budget(spec, budget);
+    let verified = match checker.try_check(result) {
+        Ok(true) if checker.downgraded() => VerifyStatus::Downgraded,
+        Ok(true) => VerifyStatus::Verified,
+        _ => VerifyStatus::Failed,
+    };
+    let verify_seconds = t_verify.elapsed().as_secs_f64();
     FlowResult {
         premap_gates,
         premap_lits,
@@ -62,28 +116,197 @@ fn evaluate(spec: &Network, result: &Network, lib: &Library, seconds: f64) -> Fl
         map_lits: mapped.num_literals(),
         map_area: mapped.area(),
         power,
-        seconds,
+        synth_seconds,
+        map_seconds,
+        verify_seconds,
         verified,
         report: None,
     }
 }
 
+/// Which flow [`measure_flow`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// The paper's FPRM pipeline ([`xsynth_core::synthesize`]).
+    Fprm,
+    /// The SIS-style SOP baseline ([`xsynth_sop::script_algebraic`]).
+    Sop,
+}
+
+/// Options for the shared measurement path.
+#[derive(Debug, Clone)]
+pub struct MeasureOptions {
+    /// Timed synthesis repetitions (median/min are taken over these).
+    pub runs: usize,
+    /// FPRM flow options.
+    pub synth: SynthOptions,
+    /// SOP baseline options.
+    pub script: ScriptOptions,
+    /// Verification budget (see [`VERIFY_NODE_CAP`]).
+    pub verify_budget: Budget,
+}
+
+impl Default for MeasureOptions {
+    fn default() -> Self {
+        MeasureOptions {
+            runs: 1,
+            synth: SynthOptions::default(),
+            script: ScriptOptions::default(),
+            verify_budget: Budget::default().bdd_node_cap(Some(VERIFY_NODE_CAP)),
+        }
+    }
+}
+
+/// One measured flow: the human-facing [`FlowResult`] plus the
+/// machine-readable [`BenchRecord`] and the synthesized network itself.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// The telemetry record (persisted in `BENCH_*.json`).
+    pub record: BenchRecord,
+    /// The human-facing metrics (drives `render_table2`).
+    pub flow: FlowResult,
+    /// The synthesized network of the recorded (last) run.
+    pub network: Network,
+}
+
+/// The shared measurement path: synthesizes `spec` `opts.runs` times
+/// (keeping the last result — all runs are deterministic), evaluates it
+/// once, and assembles the [`BenchRecord`] with median/min wall-clock,
+/// per-phase durations, counter totals, trace gauge maxima, and the
+/// process peak-RSS gauge.
+pub fn measure_flow(
+    name: &str,
+    spec: &Network,
+    flow: Flow,
+    flow_label: &str,
+    lib: &Library,
+    opts: &MeasureOptions,
+) -> Measured {
+    let runs = opts.runs.max(1);
+    // scope the peak-RSS gauge to this measurement (best-effort; without
+    // the reset the gauge reports the process-lifetime high-water mark)
+    xsynth_trace::mem::reset_peak_rss();
+    let mut times = Vec::with_capacity(runs);
+    let mut last: Option<(Network, Option<SynthReport>)> = None;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let (network, report) = match flow {
+            Flow::Fprm => {
+                let SynthOutcome { network, report } = synthesize(spec, &opts.synth);
+                (network, Some(report))
+            }
+            Flow::Sop => (script_algebraic(spec, &opts.script), None),
+        };
+        times.push(t0.elapsed().as_secs_f64());
+        last = Some((network, report));
+    }
+    let (network, report) = last.expect("runs >= 1");
+    record_from_run(
+        name,
+        flow_label,
+        spec,
+        network,
+        report,
+        &times,
+        lib,
+        &opts.verify_budget,
+    )
+}
+
+/// Assembles a [`Measured`] from an already-synthesized network — the
+/// tail of [`measure_flow`], also used by the CLI's `--bench-json` so the
+/// record describes the exact run the CLI performed.
+#[allow(clippy::too_many_arguments)]
+pub fn record_from_run(
+    name: &str,
+    flow_label: &str,
+    spec: &Network,
+    network: Network,
+    report: Option<SynthReport>,
+    synth_times: &[f64],
+    lib: &Library,
+    verify_budget: &Budget,
+) -> Measured {
+    let synth_seconds = synth_times.last().copied().unwrap_or(0.0);
+    let mut fr = evaluate(spec, &network, lib, synth_seconds, verify_budget);
+    fr.report = report;
+    let mut record = BenchRecord {
+        name: name.to_string(),
+        flow: flow_label.to_string(),
+        premap_gates: fr.premap_gates as u64,
+        premap_lits: fr.premap_lits as u64,
+        map_gates: fr.map_gates as u64,
+        map_lits: fr.map_lits as u64,
+        map_area: fr.map_area,
+        power: fr.power,
+        verified: fr.verified,
+        runs: synth_times.len() as u64,
+        median_seconds: median(synth_times),
+        min_seconds: synth_times.iter().copied().fold(f64::INFINITY, f64::min),
+        synth_seconds,
+        map_seconds: fr.map_seconds,
+        verify_seconds: fr.verify_seconds,
+        phases: Default::default(),
+        counters: Default::default(),
+        gauges: Default::default(),
+    };
+    if !record.min_seconds.is_finite() {
+        record.min_seconds = 0.0;
+    }
+    if let Some(r) = &fr.report {
+        for p in &r.profile.phases {
+            record
+                .phases
+                .insert(p.name.clone(), p.duration.as_secs_f64());
+        }
+        record.counters = r.trace.counter_totals();
+        record.gauges = r.trace.gauge_maxima();
+    }
+    // sampled by the harness, not the pipeline trace: peak RSS is
+    // process-wide and nondeterministic, so it must never enter the trace
+    // the parallel≡sequential tests compare
+    if let Some(kb) = xsynth_trace::mem::peak_rss_kb() {
+        record
+            .gauges
+            .insert("mem.peak_rss_kb".to_string(), kb as f64);
+    }
+    Measured {
+        record,
+        flow: fr,
+        network,
+    }
+}
+
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
 /// Runs the paper's FPRM flow on `spec` and evaluates it.
 pub fn run_fprm_flow(spec: &Network, opts: &SynthOptions, lib: &Library) -> FlowResult {
-    let t0 = Instant::now();
-    let SynthOutcome { network, report } = synthesize(spec, opts);
-    let seconds = t0.elapsed().as_secs_f64();
-    let mut fr = evaluate(spec, &network, lib, seconds);
-    fr.report = Some(report);
-    fr
+    let m_opts = MeasureOptions {
+        synth: opts.clone(),
+        ..Default::default()
+    };
+    measure_flow("adhoc", spec, Flow::Fprm, "fprm", lib, &m_opts).flow
 }
 
 /// Runs the SIS-style SOP baseline on `spec` and evaluates it.
 pub fn run_sop_flow(spec: &Network, opts: &ScriptOptions, lib: &Library) -> FlowResult {
-    let t0 = Instant::now();
-    let result = script_algebraic(spec, opts);
-    let seconds = t0.elapsed().as_secs_f64();
-    evaluate(spec, &result, lib, seconds)
+    let m_opts = MeasureOptions {
+        script: opts.clone(),
+        ..Default::default()
+    };
+    measure_flow("adhoc", spec, Flow::Sop, "sop", lib, &m_opts).flow
 }
 
 /// Renders a one-line phase-timing breakdown from a flow's report:
@@ -136,13 +359,17 @@ fn percent(base: f64, ours: f64) -> f64 {
     }
 }
 
-/// Runs the full Table 2 experiment over the registry (optionally
-/// restricted to names in `filter`).
-pub fn run_table2(filter: Option<&[&str]>) -> Vec<Table2Row> {
+/// Runs both flows over the registry (optionally restricted to names in
+/// `filter`), returning the human-facing rows *and* the telemetry suite
+/// from the same measurements.
+pub fn run_suite(
+    filter: Option<&[&str]>,
+    suite_label: &str,
+    opts: &MeasureOptions,
+) -> (Vec<Table2Row>, BenchSuite) {
     let lib = Library::mcnc();
-    let synth_opts = SynthOptions::default();
-    let sop_opts = ScriptOptions::default();
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for bench in registry() {
         if let Some(f) = filter {
             if !f.contains(&bench.name) {
@@ -150,11 +377,29 @@ pub fn run_table2(filter: Option<&[&str]>) -> Vec<Table2Row> {
             }
         }
         let spec = xsynth_circuits::build(bench.name).expect("registered circuit builds");
-        let sop = run_sop_flow(&spec, &sop_opts, &lib);
-        let fprm = run_fprm_flow(&spec, &synth_opts, &lib);
-        rows.push(Table2Row { bench, sop, fprm });
+        let sop = measure_flow(bench.name, &spec, Flow::Sop, "sop", &lib, opts);
+        let fprm = measure_flow(bench.name, &spec, Flow::Fprm, "fprm", &lib, opts);
+        records.push(sop.record);
+        records.push(fprm.record);
+        rows.push(Table2Row {
+            bench,
+            sop: sop.flow,
+            fprm: fprm.flow,
+        });
     }
-    rows
+    (
+        rows,
+        BenchSuite {
+            suite: suite_label.to_string(),
+            records,
+        },
+    )
+}
+
+/// Runs the full Table 2 experiment over the registry (optionally
+/// restricted to names in `filter`).
+pub fn run_table2(filter: Option<&[&str]>) -> Vec<Table2Row> {
+    run_suite(filter, "table2", &MeasureOptions::default()).0
 }
 
 /// Renders rows in the paper's Table 2 layout, with subtotals and the
@@ -181,9 +426,9 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
             label,
             rows.len(),
             sum(&|r| r.sop.premap_lits as f64),
-            sum(&|r| r.sop.seconds),
+            sum(&|r| r.sop.synth_seconds),
             sum(&|r| r.fprm.premap_lits as f64),
-            sum(&|r| r.fprm.seconds),
+            sum(&|r| r.fprm.synth_seconds),
             sum(&|r| r.sop.map_gates as f64),
             b_lits,
             sum(&|r| r.fprm.map_gates as f64),
@@ -205,9 +450,9 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
             r.bench.io.0,
             r.bench.io.1,
             r.sop.premap_lits,
-            r.sop.seconds,
+            r.sop.synth_seconds,
             r.fprm.premap_lits,
-            r.fprm.seconds,
+            r.fprm.synth_seconds,
             r.sop.map_gates,
             r.sop.map_lits,
             r.fprm.map_gates,
@@ -216,8 +461,16 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
             r.bench.paper.improve_lits,
             r.improve_power(),
             r.bench.paper.improve_power,
-            if r.sop.verified { "" } else { "BASE-UNVERIFIED " },
-            if r.fprm.verified { "ok" } else { "FPRM-UNVERIFIED" },
+            match r.sop.verified {
+                VerifyStatus::Verified => "",
+                VerifyStatus::Downgraded => "base~ ",
+                VerifyStatus::Failed => "BASE-UNVERIFIED ",
+            },
+            match r.fprm.verified {
+                VerifyStatus::Verified => "ok",
+                VerifyStatus::Downgraded => "ok~ (sim only)",
+                VerifyStatus::Failed => "FPRM-UNVERIFIED",
+            },
         ));
     }
     s.push_str(&"-".repeat(132));
@@ -247,9 +500,20 @@ mod tests {
         let rows = run_table2(Some(&["z4ml", "f2", "majority"]));
         assert_eq!(rows.len(), 3);
         for r in &rows {
-            assert!(r.sop.verified, "{} baseline unverified", r.bench.name);
-            assert!(r.fprm.verified, "{} fprm unverified", r.bench.name);
+            assert_eq!(
+                r.sop.verified,
+                VerifyStatus::Verified,
+                "{} baseline unverified",
+                r.bench.name
+            );
+            assert_eq!(
+                r.fprm.verified,
+                VerifyStatus::Verified,
+                "{} fprm unverified",
+                r.bench.name
+            );
             assert!(r.fprm.map_lits > 0);
+            assert!(r.fprm.map_seconds >= 0.0 && r.fprm.verify_seconds >= 0.0);
         }
         let text = render_table2(&rows);
         assert!(text.contains("z4ml"));
@@ -260,7 +524,7 @@ mod tests {
     fn t481_fprm_flow_crushes_baseline() {
         let rows = run_table2(Some(&["t481"]));
         let r = &rows[0];
-        assert!(r.fprm.verified);
+        assert!(r.fprm.verified.passed());
         // the paper reports 50 premap literals for t481; anything in that
         // ballpark demonstrates the reproduction (SIS needed 474)
         assert!(
@@ -268,5 +532,62 @@ mod tests {
             "t481 premap lits {} too high",
             r.fprm.premap_lits
         );
+    }
+
+    #[test]
+    fn measure_flow_fills_the_record() {
+        let lib = Library::mcnc();
+        let spec = xsynth_circuits::build("z4ml").unwrap();
+        let opts = MeasureOptions {
+            runs: 3,
+            ..Default::default()
+        };
+        let m = measure_flow("z4ml", &spec, Flow::Fprm, "fprm", &lib, &opts);
+        let r = &m.record;
+        assert_eq!(
+            (r.name.as_str(), r.flow.as_str(), r.runs),
+            ("z4ml", "fprm", 3)
+        );
+        assert_eq!(r.verified, VerifyStatus::Verified);
+        assert!(r.min_seconds <= r.median_seconds);
+        assert!(r.premap_lits > 0 && r.map_lits > 0);
+        assert!(r.phases.contains_key(phase::FPRM), "phases: {:?}", r.phases);
+        assert!(
+            r.gauges.contains_key("bdd.peak_nodes") && r.gauges.contains_key("net.gates"),
+            "gauges: {:?}",
+            r.gauges
+        );
+        #[cfg(target_os = "linux")]
+        assert!(r.gauges["mem.peak_rss_kb"] > 0.0);
+        // SOP flow has no pipeline trace but still gets the memory gauge
+        let m = measure_flow("z4ml", &spec, Flow::Sop, "sop", &lib, &opts);
+        assert!(m.record.phases.is_empty());
+        #[cfg(target_os = "linux")]
+        assert!(m.record.gauges.contains_key("mem.peak_rss_kb"));
+    }
+
+    #[test]
+    fn quick_subset_names_are_registered() {
+        for name in QUICK_SUBSET {
+            assert!(
+                xsynth_circuits::build(name).is_some(),
+                "{name} not in registry"
+            );
+        }
+    }
+
+    #[test]
+    fn run_suite_produces_one_record_per_flow() {
+        let (rows, suite) = run_suite(
+            Some(&["f2", "majority"]),
+            "test",
+            &MeasureOptions::default(),
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(suite.records.len(), 4);
+        assert!(suite.find("f2", "sop").is_some());
+        assert!(suite.find("f2", "fprm").is_some());
+        let text = suite.to_json();
+        assert_eq!(BenchSuite::from_json(&text).unwrap(), suite);
     }
 }

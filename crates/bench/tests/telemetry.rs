@@ -1,0 +1,244 @@
+//! End-to-end tests for the benchmark telemetry subsystem: JSON
+//! round-trip through the strict parser, the `bench_compare` /
+//! `table2 --json` binaries' exit codes (driven via `CARGO_BIN_EXE_*`),
+//! and a property test that `BenchRecord` serialization never produces
+//! invalid JSON (the validator pattern from `tests/trace.rs`).
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+use xsynth_bench::{BenchRecord, BenchSuite, VerifyStatus};
+
+fn tmp_file(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "xsynth_telemetry_{}_{tag}.json",
+        std::process::id()
+    ))
+}
+
+fn record(name: &str, flow: &str, map_lits: u64, median_seconds: f64) -> BenchRecord {
+    BenchRecord {
+        name: name.into(),
+        flow: flow.into(),
+        premap_gates: 4,
+        premap_lits: 8,
+        map_gates: 3,
+        map_lits,
+        map_area: 7.0,
+        power: 2.5,
+        verified: VerifyStatus::Verified,
+        runs: 1,
+        median_seconds,
+        min_seconds: median_seconds,
+        synth_seconds: median_seconds,
+        map_seconds: 0.001,
+        verify_seconds: 0.001,
+        phases: BTreeMap::new(),
+        counters: BTreeMap::new(),
+        gauges: BTreeMap::new(),
+    }
+}
+
+fn suite(records: Vec<BenchRecord>) -> BenchSuite {
+    BenchSuite {
+        suite: "test".into(),
+        records,
+    }
+}
+
+#[test]
+fn suite_write_strict_parse_round_trip() {
+    let mut r = record("adder \"x\"\n\t", "fprm", 31, 0.012);
+    r.phases.insert("fprm".into(), 0.25);
+    r.counters.insert("patterns.generated".into(), 1_000_000);
+    r.gauges.insert("mem.peak_rss_kb".into(), 123_456.0);
+    r.gauges.insert("bdd.peak_nodes".into(), 0.5);
+    let s = suite(vec![r, record("b", "sop", 1, 0.0)]);
+    let text = s.to_json();
+    xsynth_trace::json::validate(&text).expect("valid JSON");
+    assert_eq!(BenchSuite::from_json(&text).expect("strict parse"), s);
+}
+
+fn run_compare(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .args(args)
+        .output()
+        .expect("spawn bench_compare");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn bench_compare_exit_codes() {
+    let old_path = tmp_file("old");
+    let new_path = tmp_file("new");
+    let bad_path = tmp_file("bad");
+    let base = suite(vec![record("a", "fprm", 10, 1.0)]);
+    std::fs::write(&old_path, base.to_json()).unwrap();
+
+    // identical suites → 0
+    std::fs::write(&new_path, base.to_json()).unwrap();
+    let (code, out) = run_compare(&[old_path.to_str().unwrap(), new_path.to_str().unwrap()]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("OK: no regressions"), "{out}");
+
+    // mapped literals regress exactly → 1
+    std::fs::write(
+        &new_path,
+        suite(vec![record("a", "fprm", 11, 1.0)]).to_json(),
+    )
+    .unwrap();
+    let (code, out) = run_compare(&[old_path.to_str().unwrap(), new_path.to_str().unwrap()]);
+    assert_eq!(code, 1, "{out}");
+    assert!(
+        out.contains("map_lits") && out.contains("REGRESSED"),
+        "{out}"
+    );
+
+    // median time past threshold + floor → 1; within a loose threshold → 0
+    std::fs::write(
+        &new_path,
+        suite(vec![record("a", "fprm", 10, 1.5)]).to_json(),
+    )
+    .unwrap();
+    let args = [old_path.to_str().unwrap(), new_path.to_str().unwrap()];
+    assert_eq!(run_compare(&args).0, 1);
+    let (code, _) = run_compare(&[&args[..], &["--max-regress-pct", "100"]].concat());
+    assert_eq!(code, 0);
+
+    // usage error → 2
+    assert_eq!(run_compare(&[old_path.to_str().unwrap()]).0, 2);
+    assert_eq!(run_compare(&[&args[..], &["--nonsense"]].concat()).0, 2);
+
+    // malformed JSON → 3
+    std::fs::write(&bad_path, "{\"schema_version\": 1").unwrap();
+    assert_eq!(
+        run_compare(&[old_path.to_str().unwrap(), bad_path.to_str().unwrap()]).0,
+        3
+    );
+
+    // unreadable file → 4
+    assert_eq!(
+        run_compare(&[old_path.to_str().unwrap(), "/nonexistent/x.json"]).0,
+        4
+    );
+
+    for p in [old_path, new_path, bad_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn table2_json_emits_a_parsable_versioned_suite() {
+    let path = tmp_file("table2");
+    let out = Command::new(env!("CARGO_BIN_EXE_table2"))
+        .args([
+            "--json",
+            path.to_str().unwrap(),
+            "--runs",
+            "2",
+            "f2",
+            "majority",
+        ])
+        .output()
+        .expect("spawn table2");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    let s = BenchSuite::from_json(&text).expect("strict parse of emitted suite");
+    assert_eq!(s.suite, "table2");
+    for name in ["f2", "majority"] {
+        for flow in ["sop", "fprm"] {
+            let r = s.find(name, flow).expect("record present");
+            assert_eq!(r.runs, 2);
+            assert_eq!(r.verified, VerifyStatus::Verified);
+            assert!(r.min_seconds <= r.median_seconds);
+        }
+    }
+    // and the emitted suite compares clean against itself through the
+    // real gate binary
+    let (code, out_text) = run_compare(&[path.to_str().unwrap(), path.to_str().unwrap()]);
+    assert_eq!(code, 0, "{out_text}");
+    let _ = std::fs::remove_file(path);
+}
+
+fn byte_string(bytes: &[u8]) -> String {
+    // includes quotes, backslashes, control and non-ASCII characters
+    bytes.iter().map(|&b| b as char).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `BenchSuite::to_json` emits strictly valid JSON for arbitrary
+    /// names, metric keys, and finite values — and round-trips exactly.
+    #[test]
+    fn serialization_never_produces_invalid_json(
+        name_bytes in prop::collection::vec(any::<u8>(), 0..16),
+        flow_bytes in prop::collection::vec(any::<u8>(), 1..5),
+        ints in prop::collection::vec(any::<u32>(), 6..7),
+        float_bits in prop::collection::vec(any::<i64>(), 6..7),
+        metric_keys in prop::collection::vec((any::<u8>(), any::<u8>(), any::<i64>()), 0..6),
+        status in 0u8..3,
+    ) {
+        let f = |i: usize| float_bits[i % float_bits.len()] as f64 * 1.5e-5;
+        let n = |i: usize| ints[i % ints.len()] as u64;
+        let mut rec = BenchRecord {
+            name: byte_string(&name_bytes),
+            flow: byte_string(&flow_bytes),
+            premap_gates: n(0),
+            premap_lits: n(1),
+            map_gates: n(2),
+            map_lits: n(3),
+            map_area: f(0),
+            power: f(1),
+            verified: [VerifyStatus::Verified, VerifyStatus::Downgraded, VerifyStatus::Failed]
+                [status as usize],
+            runs: n(4),
+            median_seconds: f(2),
+            min_seconds: f(3),
+            synth_seconds: f(4),
+            map_seconds: f(5),
+            verify_seconds: f(0).abs(),
+            phases: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+        };
+        for (i, &(a, b, v)) in metric_keys.iter().enumerate() {
+            let key = byte_string(&[a, b, i as u8]);
+            rec.phases.insert(key.clone(), v as f64 * 1e-6);
+            // counters are clamped to 2^53 by the writer; stay below so
+            // the round-trip is exact
+            rec.counters.insert(key.clone(), v.unsigned_abs() & ((1 << 52) - 1));
+            rec.gauges.insert(key, v as f64);
+        }
+        let s = BenchSuite { suite: byte_string(&name_bytes), records: vec![rec] };
+        let text = s.to_json();
+        prop_assert!(
+            xsynth_trace::json::validate(&text).is_ok(),
+            "invalid JSON emitted: {text}"
+        );
+        let back = BenchSuite::from_json(&text).unwrap();
+        prop_assert_eq!(back, s);
+    }
+}
+
+#[test]
+fn non_finite_floats_serialize_as_zero() {
+    let mut r = record("a", "fprm", 1, 0.0);
+    r.map_area = f64::NAN;
+    r.power = f64::INFINITY;
+    r.gauges.insert("g".into(), f64::NEG_INFINITY);
+    let text = suite(vec![r]).to_json();
+    xsynth_trace::json::validate(&text).expect("valid JSON");
+    let back = BenchSuite::from_json(&text).unwrap();
+    assert_eq!(back.records[0].map_area, 0.0);
+    assert_eq!(back.records[0].power, 0.0);
+    assert_eq!(back.records[0].gauges["g"], 0.0);
+}

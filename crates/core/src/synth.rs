@@ -498,6 +498,7 @@ fn run_pipeline(
     // cross-output sharing (the role `resub` plays in the paper)
     main.begin(phase::FACTORING);
     let mut result = net.strash().sweep();
+    main.gauge("net.gates", result.num_gates() as f64);
     main.end();
     main.begin(phase::VERIFY);
     let mut checker = EquivChecker::with_budget(&spec, &opts.budget);
@@ -519,6 +520,7 @@ fn run_pipeline(
         if matches!(checker.try_check_traced(&shared, &mut main), Ok(true)) {
             result = shared;
         }
+        main.gauge("net.gates", result.num_gates() as f64);
         main.end();
     }
 
@@ -545,6 +547,7 @@ fn run_pipeline(
         }
         report.redundancy = stats;
         result = reduced;
+        main.gauge("net.gates", result.num_gates() as f64);
         main.end();
     }
     report.verify_downgraded = checker.downgraded();
@@ -553,6 +556,7 @@ fn run_pipeline(
     }
 
     let result = result.sweep();
+    main.gauge("net.gates", result.num_gates() as f64);
     main.end();
     Ok(result)
 }

@@ -806,6 +806,9 @@ impl<'a> PolaritySearch<'a> {
         }
         let result = self.dispatch(mode, support);
         if let Some(buf) = self.trace.as_deref_mut() {
+            if result.1 != u64::MAX {
+                buf.gauge("polarity.best_cubes", result.1 as f64);
+            }
             buf.end();
         }
         result

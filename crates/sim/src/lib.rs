@@ -375,6 +375,7 @@ pub fn equivalent_on_traced(
     buf.span("equivalent_on", |buf| {
         buf.count("sim.patterns", 2 * patterns.len() as u64);
         buf.count("sim.blocks", 2 * patterns.chunks(64).len() as u64);
+        buf.gauge("sim.pattern_blocks", patterns.chunks(64).len() as f64);
         equivalent_on(a, b, patterns)
     })
 }

@@ -46,6 +46,7 @@
 
 mod chrome;
 pub mod json;
+pub mod mem;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};

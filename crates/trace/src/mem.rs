@@ -1,0 +1,63 @@
+//! Process memory gauges read from `/proc/self/status`.
+//!
+//! The benchmark telemetry layer records `mem.peak_rss_kb` alongside the
+//! wall-clock numbers so memory regressions are as visible as time
+//! regressions. Linux exposes the high-water mark (`VmHWM`) and current
+//! resident set (`VmRSS`) as text in `/proc/self/status`, so the readers
+//! here are zero-dependency and contain no `unsafe`. On platforms without
+//! procfs they return `None` and callers simply omit the gauge.
+
+/// Peak resident set size of this process in kilobytes (`VmHWM`), or
+/// `None` when `/proc/self/status` is unavailable.
+pub fn peak_rss_kb() -> Option<u64> {
+    status_kb("VmHWM:")
+}
+
+/// Current resident set size of this process in kilobytes (`VmRSS`), or
+/// `None` when `/proc/self/status` is unavailable.
+pub fn current_rss_kb() -> Option<u64> {
+    status_kb("VmRSS:")
+}
+
+/// Resets the peak-RSS high-water mark to the current RSS by writing `5`
+/// to `/proc/self/clear_refs`, so a subsequent [`peak_rss_kb`] reading
+/// reflects only the work since the reset rather than the whole process
+/// lifetime. Best-effort: returns `false` where procfs doesn't allow it.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+fn status_kb(key: &str) -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status_kb(&text, key)
+}
+
+fn parse_status_kb(text: &str, key: &str) -> Option<u64> {
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(key) {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_lines() {
+        let text = "Name:\txsynth\nVmHWM:\t  123456 kB\nVmRSS:\t   98765 kB\n";
+        assert_eq!(parse_status_kb(text, "VmHWM:"), Some(123_456));
+        assert_eq!(parse_status_kb(text, "VmRSS:"), Some(98_765));
+        assert_eq!(parse_status_kb(text, "VmSwap:"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reads_live_values_on_linux() {
+        let peak = peak_rss_kb().expect("VmHWM available");
+        let cur = current_rss_kb().expect("VmRSS available");
+        assert!(peak > 0 && cur > 0 && peak >= cur / 2);
+    }
+}

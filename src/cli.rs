@@ -46,6 +46,9 @@ pub struct Command {
     pub stats: bool,
     /// Write the run's Chrome `trace_event` JSON to this path.
     pub trace_json: Option<String>,
+    /// Write a single-record benchmark telemetry suite (`BENCH_*.json`
+    /// schema) for the run to this path (`synth`/`bench`/`map` only).
+    pub bench_json: Option<String>,
     /// Resource budget (`--bdd-node-cap`, `--phase-timeout-ms`,
     /// `--max-patterns`); unlimited by default.
     pub budget: Budget,
@@ -101,6 +104,8 @@ options:
   --stats               print per-phase timings, counters and the span tree
   --trace-json FILE     write Chrome trace_event JSON (chrome://tracing,
                         Perfetto) for the synthesis run
+  --bench-json FILE     write the run's benchmark telemetry record
+                        (schema-versioned BENCH_*.json, see bench_compare)
   --bdd-node-cap N      cap every BDD manager at N nodes; phases degrade
                         gracefully where possible, else exit 8
   --phase-timeout-ms N  wall-clock budget per pipeline phase; tripped
@@ -154,6 +159,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut no_redundancy = false;
     let mut stats = false;
     let mut trace_json = None;
+    let mut bench_json = None;
     let mut budget = Budget::default();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -168,6 +174,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 trace_json = Some(
                     it.next()
                         .ok_or_else(|| "--trace-json needs a file".to_string())?
+                        .clone(),
+                )
+            }
+            "--bench-json" => {
+                bench_json = Some(
+                    it.next()
+                        .ok_or_else(|| "--bench-json needs a file".to_string())?
                         .clone(),
                 )
             }
@@ -205,6 +218,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         no_redundancy,
         stats,
         trace_json,
+        bench_json,
         budget,
     })
 }
@@ -381,6 +395,48 @@ pub fn render_report(report: &SynthReport) -> String {
     s
 }
 
+/// The telemetry `flow` label for an engine.
+fn engine_label(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Fprm => "fprm",
+        Engine::FprmCube => "fprm-cube",
+        Engine::FprmOfdd => "fprm-ofdd",
+        Engine::Kfdd => "kfdd",
+        Engine::Sop => "sop",
+        Engine::None => "none",
+    }
+}
+
+/// Writes a single-record benchmark telemetry suite describing the exact
+/// run the CLI just performed (same `BENCH_*.json` schema as
+/// `table2 --json`; diffable with `bench_compare`).
+fn write_bench_json(
+    path: &str,
+    cmd: &Command,
+    spec: &Network,
+    result: &Network,
+    report: Option<SynthReport>,
+    synth_seconds: f64,
+) -> Result<String, Error> {
+    let lib = Library::mcnc();
+    let measured = xsynth_bench::record_from_run(
+        &cmd.input,
+        engine_label(cmd.engine),
+        spec,
+        result.clone(),
+        report,
+        &[synth_seconds],
+        &lib,
+        &cmd.budget,
+    );
+    let suite = xsynth_bench::BenchSuite {
+        suite: "cli".to_string(),
+        records: vec![measured.record],
+    };
+    std::fs::write(path, suite.to_json()).map_err(|e| Error::io(path, e))?;
+    Ok(format!("# wrote benchmark record to {path}\n"))
+}
+
 /// Writes the run's Chrome `trace_event` JSON to `path` (engines without a
 /// synthesis report emit an empty but valid trace document).
 fn write_trace_json(path: &str, report: Option<&SynthReport>) -> Result<String, Error> {
@@ -445,7 +501,9 @@ pub fn execute(cmd: &Command) -> Result<String, Error> {
             Ok(format!("equivalent ({backend})\n"))
         }
         Action::Synth | Action::Bench => {
+            let t0 = std::time::Instant::now();
             let (result, report) = run_engine(cmd, &spec)?;
+            let synth_seconds = t0.elapsed().as_secs_f64();
             let mut checker = EquivChecker::with_budget(&spec, &cmd.budget);
             if !checker.try_check(&result)? {
                 return Err(Error::Verify(
@@ -469,6 +527,16 @@ pub fn execute(cmd: &Command) -> Result<String, Error> {
             if let Some(path) = &cmd.trace_json {
                 out.push_str(&write_trace_json(path, report.as_ref())?);
             }
+            if let Some(path) = &cmd.bench_json {
+                out.push_str(&write_bench_json(
+                    path,
+                    cmd,
+                    &spec,
+                    &result,
+                    report.clone(),
+                    synth_seconds,
+                )?);
+            }
             let blif = write_blif(&result);
             match &cmd.output {
                 Some(path) => {
@@ -480,7 +548,9 @@ pub fn execute(cmd: &Command) -> Result<String, Error> {
             Ok(out)
         }
         Action::Map => {
+            let t0 = std::time::Instant::now();
             let (result, report) = run_engine(cmd, &spec)?;
+            let synth_seconds = t0.elapsed().as_secs_f64();
             let lib = Library::mcnc();
             let mapped = map_network(&result, &lib);
             let mut s = render_stats(&result);
@@ -504,6 +574,16 @@ pub fn execute(cmd: &Command) -> Result<String, Error> {
             }
             if let Some(path) = &cmd.trace_json {
                 s.push_str(&write_trace_json(path, report.as_ref())?);
+            }
+            if let Some(path) = &cmd.bench_json {
+                s.push_str(&write_bench_json(
+                    path,
+                    cmd,
+                    &spec,
+                    &result,
+                    report.clone(),
+                    synth_seconds,
+                )?);
             }
             if let Some(path) = &cmd.output {
                 let verilog = mapped.to_verilog(spec.name());
@@ -596,6 +676,22 @@ mod tests {
     }
 
     #[test]
+    fn bench_json_flag_writes_telemetry_record() {
+        let dir = std::env::temp_dir().join("xsynth_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("rd53-bench.json");
+        let out = run(&argv(&format!("bench rd53 --bench-json {}", p.display()))).unwrap();
+        assert!(out.contains("wrote benchmark record"), "{out}");
+        let text = std::fs::read_to_string(&p).unwrap();
+        let suite = xsynth_bench::BenchSuite::from_json(&text).expect("strict parse");
+        assert_eq!(suite.suite, "cli");
+        let r = suite.find("rd53", "fprm").expect("record present");
+        assert!(r.verified.passed());
+        assert!(r.map_lits > 0 && r.runs == 1);
+        assert!(r.phases.contains_key(phase::FPRM));
+    }
+
+    #[test]
     fn run_is_a_single_fallible_entry_point() {
         assert!(run(&argv("bench rd53")).is_ok());
         let err = run(&argv("bench nonesuch")).unwrap_err();
@@ -666,6 +762,7 @@ mod tests {
             no_redundancy: false,
             stats: false,
             trace_json: None,
+            bench_json: None,
             budget: Budget::default(),
         };
         let text = execute(&cmd).unwrap();
@@ -770,6 +867,7 @@ mod tests {
                 no_redundancy: false,
                 stats: false,
                 trace_json: None,
+                bench_json: None,
                 budget: Budget::default(),
             };
             let out = execute(&cmd).expect("engine runs");

@@ -78,3 +78,6 @@ pub use xsynth_map as map;
 
 /// The Table 2 benchmark suite.
 pub use xsynth_circuits as circuits;
+
+/// Benchmark harness, telemetry schema, and regression comparison.
+pub use xsynth_bench as bench;
