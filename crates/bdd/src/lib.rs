@@ -218,6 +218,7 @@ impl BddManager {
         if let Some(&b) = self.unique.get(&(var, lo, hi)) {
             return Ok(b);
         }
+        xsynth_trace::fail_point!("bdd.alloc", Err(NodeLimitExceeded { limit: self.limit }));
         if self.nodes.len() >= self.limit {
             return Err(NodeLimitExceeded { limit: self.limit });
         }

@@ -172,6 +172,25 @@ fn compare_records(
         0.0,
     );
     push("power", MetricKind::Exact, o.power, n.power, 0.0);
+    // a salvaged output means the pipeline degraded somewhere — any
+    // increase is a quality regression even though the result verified
+    push(
+        "salvaged",
+        MetricKind::Exact,
+        o.salvaged as f64,
+        n.salvaged as f64,
+        0.0,
+    );
+    // likewise for factored emissions that failed their self-check and
+    // were rolled back (absent counter = 0, so v1 baselines compare clean)
+    let rolled = |r: &BenchRecord| *r.counters.get("rewrite.rolled_back").unwrap_or(&0) as f64;
+    push(
+        "rewrite.rolled_back",
+        MetricKind::Exact,
+        rolled(o),
+        rolled(n),
+        0.0,
+    );
     // verification confidence may only go up; compare negated ranks so
     // "higher is worse" matches the Exact rule
     push(
@@ -415,6 +434,21 @@ mod tests {
         let text = render_compare(&r, &CompareOptions::default());
         assert!(text.contains("MISSING"));
         assert!(text.contains("FAIL"));
+    }
+
+    #[test]
+    fn salvage_counts_as_quality_regression() {
+        let old = suite(vec![rec("a", 10, 1.0)]);
+        let mut worse = rec("a", 10, 1.0);
+        worse.salvaged = 1;
+        let r = compare_suites(&old, &suite(vec![worse]), &CompareOptions::default());
+        assert!(r.has_regressions());
+        assert_eq!(r.regressions()[0].metric, "salvaged");
+        let mut rolled = rec("a", 10, 1.0);
+        rolled.counters.insert("rewrite.rolled_back".into(), 2);
+        let r = compare_suites(&old, &suite(vec![rolled]), &CompareOptions::default());
+        assert!(r.has_regressions());
+        assert_eq!(r.regressions()[0].metric, "rewrite.rolled_back");
     }
 
     #[test]

@@ -34,7 +34,7 @@ use xsynth_net::Network;
 use xsynth_sim::power_estimate;
 use xsynth_sop::{script_algebraic, ScriptOptions};
 
-pub use telemetry::{BenchRecord, BenchSuite, VerifyStatus};
+pub use telemetry::{BenchRecord, BenchSuite, VerifyStatus, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 
 /// BDD node cap for benchmark verification. Generous enough that every
 /// registry circuit verifies exactly today; a pathological case trips it
@@ -240,6 +240,7 @@ pub fn record_from_run(
         map_area: fr.map_area,
         power: fr.power,
         verified: fr.verified,
+        salvaged: fr.report.as_ref().map_or(0, |r| r.salvaged.len() as u64),
         runs: synth_times.len() as u64,
         median_seconds: median(synth_times),
         min_seconds: synth_times.iter().copied().fold(f64::INFINITY, f64::min),

@@ -21,7 +21,7 @@
 //!       "name": "z4ml", "flow": "fprm",
 //!       "premap_gates": 16, "premap_lits": 32,
 //!       "map_gates": 10, "map_lits": 31, "map_area": 23.0, "power": 6.1,
-//!       "verified": "verified",
+//!       "verified": "verified", "salvaged": 0,
 //!       "runs": 3, "median_seconds": 0.011, "min_seconds": 0.010,
 //!       "synth_seconds": 0.011, "map_seconds": 0.001, "verify_seconds": 0.002,
 //!       "phases":   { "fprm": 0.008, "factoring": 0.001 },
@@ -41,7 +41,16 @@ use std::fmt::Write as _;
 use xsynth_trace::json::{self, Value};
 
 /// Version stamp written into every suite; bump on breaking changes.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version history:
+/// * **1** — the original schema.
+/// * **2** — adds the required `salvaged` field (outputs recovered by the
+///   salvage ladder). The parser still accepts version-1 suites, reading
+///   `salvaged` as 0, so existing baselines keep working.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`BenchSuite::from_json`] still accepts.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Outcome of the equivalence check of one flow's result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
@@ -113,6 +122,11 @@ pub struct BenchRecord {
     pub power: f64,
     /// Equivalence-check outcome.
     pub verified: VerifyStatus,
+    /// Outputs the salvage ladder recovered instead of failing the run.
+    /// Nonzero means the result is degraded — `bench_compare` treats any
+    /// increase as a quality regression. Schema version 2; reads as 0
+    /// from version-1 suites.
+    pub salvaged: u64,
     /// How many timed synthesis runs the timing stats aggregate.
     pub runs: u64,
     /// Median synthesis wall-clock over `runs` repetitions.
@@ -177,17 +191,22 @@ impl BenchSuite {
 
     /// Strictly parses a suite from JSON.
     ///
+    /// Accepts schema versions [`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`];
+    /// fields added in later versions read as their defaults from older
+    /// suites (and remain unknown-field errors there).
+    ///
     /// # Errors
     ///
-    /// Rejects syntax errors, wrong `schema_version`, and any missing,
-    /// unknown, duplicate, or wrongly-typed field.
+    /// Rejects syntax errors, an out-of-range `schema_version`, and any
+    /// missing, unknown, duplicate, or wrongly-typed field.
     pub fn from_json(src: &str) -> Result<BenchSuite, String> {
         let root = json::parse(src)?;
         let mut top = Fields::new(&root, "suite")?;
         let version = top.u64("schema_version")?;
-        if version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+                "unsupported schema_version {version} \
+                 (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             ));
         }
         let suite = top.string("suite")?;
@@ -198,7 +217,8 @@ impl BenchSuite {
         top.finish()?;
         let mut records = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
-            records.push(record_from_value(item).map_err(|e| format!("records[{i}]: {e}"))?);
+            records
+                .push(record_from_value(item, version).map_err(|e| format!("records[{i}]: {e}"))?);
         }
         Ok(BenchSuite { suite, records })
     }
@@ -214,6 +234,7 @@ fn record_json(s: &mut String, r: &BenchRecord) {
     let _ = write!(s, ", \"map_area\": {}", json::number(r.map_area));
     let _ = write!(s, ", \"power\": {}", json::number(r.power));
     let _ = write!(s, ", \"verified\": \"{}\"", r.verified.as_str());
+    let _ = write!(s, ", \"salvaged\": {}", r.salvaged);
     let _ = write!(s, ", \"runs\": {}", r.runs);
     let _ = write!(
         s,
@@ -249,7 +270,7 @@ fn record_json(s: &mut String, r: &BenchRecord) {
     s.push_str("}}");
 }
 
-fn record_from_value(v: &Value) -> Result<BenchRecord, String> {
+fn record_from_value(v: &Value, version: u64) -> Result<BenchRecord, String> {
     let mut f = Fields::new(v, "record")?;
     let r = BenchRecord {
         name: f.string("name")?,
@@ -265,6 +286,9 @@ fn record_from_value(v: &Value) -> Result<BenchRecord, String> {
             VerifyStatus::parse(&s)
                 .ok_or_else(|| format!("field 'verified': unknown status {s:?}"))?
         },
+        // required from v2 on; v1 suites predate the salvage ladder, so a
+        // v1 record carrying the field is still an unknown-field error
+        salvaged: if version >= 2 { f.u64("salvaged")? } else { 0 },
         runs: f.u64("runs")?,
         median_seconds: f.f64("median_seconds")?,
         min_seconds: f.f64("min_seconds")?,
@@ -381,6 +405,7 @@ mod tests {
             map_area: 23.5,
             power: 6.125,
             verified: VerifyStatus::Verified,
+            salvaged: 0,
             runs: 3,
             median_seconds: 0.0115,
             min_seconds: 0.0101,
@@ -416,11 +441,16 @@ mod tests {
         }
         .to_json();
         BenchSuite::from_json(&good).unwrap();
-        // wrong version
-        let bad = good.replace("\"schema_version\": 1", "\"schema_version\": 2");
+        // future version
+        let bad = good.replace("\"schema_version\": 2", "\"schema_version\": 3");
         assert!(BenchSuite::from_json(&bad)
             .unwrap_err()
             .contains("schema_version"));
+        // v1 suites must not carry v2 fields
+        let bad = good.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        assert!(BenchSuite::from_json(&bad)
+            .unwrap_err()
+            .contains("salvaged"));
         // unknown field
         let bad = good.replace("\"runs\": 3", "\"runs\": 3, \"bogus\": 1");
         assert!(BenchSuite::from_json(&bad).unwrap_err().contains("bogus"));
@@ -436,6 +466,23 @@ mod tests {
         // duplicate key (rejected by the JSON layer itself)
         let bad = good.replace("\"runs\": 3", "\"runs\": 3, \"runs\": 3");
         assert!(BenchSuite::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn version_1_suites_still_parse() {
+        let v2 = BenchSuite {
+            suite: "s".into(),
+            records: vec![sample_record("a", "fprm")],
+        }
+        .to_json();
+        // a legacy suite: version 1, no salvaged field
+        let v1 = v2
+            .replace("\"schema_version\": 2", "\"schema_version\": 1")
+            .replace(", \"salvaged\": 0", "");
+        let back = BenchSuite::from_json(&v1).expect("v1 accepted");
+        assert_eq!(back.records[0].salvaged, 0);
+        // re-serializing upgrades it to the current schema
+        assert!(back.to_json().contains("\"schema_version\": 2"));
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn record(name: &str, flow: &str, map_lits: u64, median_seconds: f64) -> BenchRe
         map_area: 7.0,
         power: 2.5,
         verified: VerifyStatus::Verified,
+        salvaged: 0,
         runs: 1,
         median_seconds,
         min_seconds: median_seconds,
@@ -200,6 +201,7 @@ proptest! {
             power: f(1),
             verified: [VerifyStatus::Verified, VerifyStatus::Downgraded, VerifyStatus::Failed]
                 [status as usize],
+            salvaged: n(5),
             runs: n(4),
             median_seconds: f(2),
             min_seconds: f(3),

@@ -15,6 +15,20 @@ struct NamesNode {
     line: usize,
 }
 
+/// Largest logical line (after continuation joining) the parser accepts,
+/// in bytes. Real benchmark files stay far below this; an adversarial
+/// stream of continuations is cut off as a parse error instead of being
+/// accumulated without bound.
+pub const MAX_LINE_LEN: usize = 1 << 20;
+
+/// Largest cover (cube count) one `.names` node may carry.
+pub const MAX_CUBES_PER_COVER: usize = 1 << 20;
+
+/// Deepest `.names` dependency chain the instantiator follows. The
+/// resolver recurses per fanin level, so an adversarial chain of nested
+/// definitions must become a parse error before it overflows the stack.
+pub const MAX_INSTANTIATE_DEPTH: usize = 512;
+
 /// Parses a BLIF model into a [`Network`].
 ///
 /// Supports the combinational subset used by the IWLS'91 benchmarks:
@@ -24,7 +38,9 @@ struct NamesNode {
 /// # Errors
 ///
 /// Returns a [`ParseError`] on malformed input, unknown directives,
-/// undefined signals, or cyclic definitions.
+/// undefined signals, cyclic definitions, or input exceeding the
+/// [`MAX_LINE_LEN`] / [`MAX_CUBES_PER_COVER`] / [`MAX_INSTANTIATE_DEPTH`]
+/// robustness limits.
 pub fn parse_blif(src: &str) -> Result<Network, ParseError> {
     // Join continuation lines, strip comments, keep line numbers.
     let mut lines: Vec<(usize, String)> = Vec::new();
@@ -43,6 +59,12 @@ pub fn parse_blif(src: &str) -> Result<Network, ParseError> {
             Some((l0, mut acc)) => {
                 acc.push(' ');
                 acc.push_str(text.trim());
+                if acc.len() > MAX_LINE_LEN {
+                    return Err(ParseError::new(
+                        l0,
+                        format!("logical line exceeds {MAX_LINE_LEN} bytes"),
+                    ));
+                }
                 if continued {
                     pending = Some((l0, acc));
                 } else {
@@ -50,6 +72,12 @@ pub fn parse_blif(src: &str) -> Result<Network, ParseError> {
                 }
             }
             None => {
+                if text.len() > MAX_LINE_LEN {
+                    return Err(ParseError::new(
+                        i + 1,
+                        format!("logical line exceeds {MAX_LINE_LEN} bytes"),
+                    ));
+                }
                 if continued {
                     pending = Some((i + 1, text));
                 } else if !text.trim().is_empty() {
@@ -194,6 +222,12 @@ pub fn parse_blif(src: &str) -> Result<Network, ParseError> {
                     "mixed on-set and off-set rows in one .names",
                 ));
             }
+            if node.cubes.len() >= MAX_CUBES_PER_COVER {
+                return Err(ParseError::new(
+                    *lineno,
+                    format!("cover exceeds {MAX_CUBES_PER_COVER} cubes"),
+                ));
+            }
             node.on_set = on;
             node.cubes.push(cube);
         }
@@ -227,6 +261,12 @@ pub fn parse_blif(src: &str) -> Result<Network, ParseError> {
             return Err(ParseError::new(
                 node.line,
                 format!("cyclic definition of {name}"),
+            ));
+        }
+        if visiting.len() >= MAX_INSTANTIATE_DEPTH {
+            return Err(ParseError::new(
+                node.line,
+                format!("definition nesting exceeds {MAX_INSTANTIATE_DEPTH} levels"),
             ));
         }
         visiting.push(name.to_string());

@@ -34,9 +34,9 @@ mod blif;
 mod genlib;
 mod pla;
 
-pub use blif::{parse_blif, write_blif};
+pub use blif::{parse_blif, write_blif, MAX_CUBES_PER_COVER, MAX_INSTANTIATE_DEPTH, MAX_LINE_LEN};
 pub use genlib::{parse_genlib, GenlibGate};
-pub use pla::{parse_pla, write_pla, Pla};
+pub use pla::{parse_pla, write_pla, Pla, MAX_PLA_ARITY};
 
 use std::fmt;
 

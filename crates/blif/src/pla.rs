@@ -95,6 +95,12 @@ impl Pla {
     }
 }
 
+/// Largest `.i`/`.o` arity the parser accepts. The declared counts drive
+/// up-front allocations (default names, one cover per output), so a
+/// hostile header like `.i 9999999999` must fail as a parse error before
+/// any allocation, not as an out-of-memory abort.
+pub const MAX_PLA_ARITY: usize = 1 << 16;
+
 /// Parses espresso PLA text (`.i`, `.o`, `.ilb`, `.ob`, `.p`, `.type fr|f`,
 /// product-term rows, `.e`).
 ///
@@ -104,7 +110,8 @@ impl Pla {
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] on malformed rows or missing `.i`/`.o`.
+/// Returns a [`ParseError`] on malformed rows, missing `.i`/`.o`, or
+/// declared arities above [`MAX_PLA_ARITY`].
 pub fn parse_pla(src: &str) -> Result<Pla, ParseError> {
     let mut num_inputs: Option<usize> = None;
     let mut num_outputs: Option<usize> = None;
@@ -125,18 +132,30 @@ pub fn parse_pla(src: &str) -> Result<Pla, ParseError> {
             let mut tok = rest.split_whitespace();
             match tok.next().unwrap_or("") {
                 "i" => {
-                    num_inputs = Some(
-                        tok.next()
-                            .and_then(|t| t.parse().ok())
-                            .ok_or_else(|| ParseError::new(lineno, "bad .i"))?,
-                    )
+                    let n: usize = tok
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| ParseError::new(lineno, "bad .i"))?;
+                    if n > MAX_PLA_ARITY {
+                        return Err(ParseError::new(
+                            lineno,
+                            format!(".i {n} exceeds the supported maximum {MAX_PLA_ARITY}"),
+                        ));
+                    }
+                    num_inputs = Some(n);
                 }
                 "o" => {
-                    num_outputs = Some(
-                        tok.next()
-                            .and_then(|t| t.parse().ok())
-                            .ok_or_else(|| ParseError::new(lineno, "bad .o"))?,
-                    )
+                    let n: usize = tok
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| ParseError::new(lineno, "bad .o"))?;
+                    if n > MAX_PLA_ARITY {
+                        return Err(ParseError::new(
+                            lineno,
+                            format!(".o {n} exceeds the supported maximum {MAX_PLA_ARITY}"),
+                        ));
+                    }
+                    num_outputs = Some(n);
                 }
                 "ilb" => input_names = Some(tok.map(str::to_string).collect()),
                 "ob" => output_names = Some(tok.map(str::to_string).collect()),

@@ -42,6 +42,15 @@ pub enum Error {
     Verify(String),
     /// A resource budget tripped where no degraded result was possible.
     Budget(BudgetExceeded),
+    /// One output's synthesis failed (typically a contained worker panic)
+    /// and no salvage rung could recover it.
+    OutputFailed {
+        /// Name of the failing primary output (or `"pipeline"` for a
+        /// fault outside any per-output scope).
+        output: String,
+        /// The underlying panic message or error description.
+        cause: String,
+    },
     /// A free-form usage or validation error.
     Msg(String),
 }
@@ -63,7 +72,7 @@ impl Error {
     /// The process exit code the CLI maps this error family to. The codes
     /// are part of the CLI contract (documented in its usage text): 2 =
     /// usage, 3 = parse, 4 = I/O, 5 = netlist, 6 = input mismatch, 7 =
-    /// verification failure, 8 = budget exceeded.
+    /// verification failure, 8 = budget exceeded, 9 = output failed.
     pub fn exit_code(&self) -> i32 {
         match self {
             Error::Msg(_) => 2,
@@ -73,6 +82,7 @@ impl Error {
             Error::InputMismatch { .. } => 6,
             Error::Verify(_) => 7,
             Error::Budget(_) => 8,
+            Error::OutputFailed { .. } => 9,
         }
     }
 }
@@ -91,6 +101,9 @@ impl fmt::Display for Error {
             ),
             Error::Verify(m) => write!(f, "verification failed: {m}"),
             Error::Budget(e) => write!(f, "{e}"),
+            Error::OutputFailed { output, cause } => {
+                write!(f, "output `{output}` failed: {cause}")
+            }
             Error::Msg(m) => write!(f, "{m}"),
         }
     }
@@ -103,7 +116,10 @@ impl std::error::Error for Error {
             Error::Parse(e) => Some(e),
             Error::Io { source, .. } => Some(source),
             Error::Budget(e) => Some(e),
-            Error::InputMismatch { .. } | Error::Verify(_) | Error::Msg(_) => None,
+            Error::InputMismatch { .. }
+            | Error::Verify(_)
+            | Error::OutputFailed { .. }
+            | Error::Msg(_) => None,
         }
     }
 }

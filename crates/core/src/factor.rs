@@ -26,6 +26,7 @@ use xsynth_trace::TraceBuffer;
 /// expression keeps every XOR (assumption (3) of Section 4, which the
 /// redundancy-removal pass expects).
 pub fn factor_cubes(cubes: &[VarSet], apply_rules: bool) -> Gexpr {
+    xsynth_trace::fail_point!("core.factor");
     // Assumption (2): the constant-one cube becomes an inverter at the
     // primary output (f = g ⊕ 1 = ¬g).
     let constant_parity = cubes.iter().filter(|c| c.is_empty()).count() % 2 == 1;

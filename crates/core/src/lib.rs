@@ -73,7 +73,8 @@ pub use redundancy::{
 };
 pub use synth::{
     phase, synthesize, try_synthesize, FactorMethod, Granularity, PhaseProfile, PhaseStat,
-    PolarityMode, SynthOptions, SynthOptionsBuilder, SynthOutcome, SynthReport,
+    PolarityMode, SalvageRecord, SalvageRung, SynthOptions, SynthOptionsBuilder, SynthOutcome,
+    SynthReport,
 };
 pub use verify::{network_bdds, try_network_bdds, EquivChecker};
 pub use xsynth_ofdd::PolaritySearchStats;
@@ -101,7 +102,7 @@ pub mod prelude {
     pub use crate::error::Error;
     pub use crate::synth::{
         phase, synthesize, try_synthesize, FactorMethod, Granularity, PhaseProfile, PolarityMode,
-        SynthOptions, SynthOutcome, SynthReport,
+        SalvageRecord, SalvageRung, SynthOptions, SynthOutcome, SynthReport,
     };
     pub use xsynth_trace::{Trace, TraceBuffer, TraceSink};
 }

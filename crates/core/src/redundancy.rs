@@ -283,6 +283,14 @@ pub fn remove_redundancy_governed(
     buf: &mut TraceBuffer,
 ) -> (Network, RedundancyStats) {
     assert!(!blocks.is_empty(), "need at least one pattern (AZ/AO)");
+    xsynth_trace::fail_point!("core.redundancy");
+    // Every rewrite is accepted only if the equivalence checker still
+    // passes; the `core.redundancy.accept` failpoint forces a rejection to
+    // exercise the rollback path deterministically.
+    fn accept(checker: &mut EquivChecker, cur: &Network) -> bool {
+        xsynth_trace::fail_point!("core.redundancy.accept", false);
+        checker.check(cur)
+    }
     let past_deadline = || deadline.is_some_and(|d| Instant::now() >= d);
     let mut cur = net.clone();
     let mut stats = RedundancyStats::default();
@@ -340,7 +348,7 @@ pub fn remove_redundancy_governed(
                             let nd = cur.add_gate(GateKind::Not, vec![drop]);
                             cur.replace_gate(id, GateKind::And, vec![keep, nd]);
                         }
-                        if checker.check(&cur) {
+                        if accept(checker, &cur) {
                             if is_or {
                                 stats.xor_to_or += 1;
                             } else {
@@ -375,7 +383,7 @@ pub fn remove_redundancy_governed(
                             } else {
                                 cur.replace_gate(id, kind, fanins);
                             }
-                            if checker.check(&cur) {
+                            if accept(checker, &cur) {
                                 stats.fanin_removed += 1;
                                 changed = true;
                                 state = build_sim(&cur, blocks);
@@ -397,7 +405,7 @@ pub fn remove_redundancy_governed(
                                 GateKind::Const1
                             };
                             cur.replace_gate(id, ck, vec![]);
-                            if checker.check(&cur) {
+                            if accept(checker, &cur) {
                                 stats.const_replaced += 1;
                                 changed = true;
                                 state = build_sim(&cur, blocks);
@@ -432,6 +440,13 @@ pub fn remove_redundancy_governed(
         );
         buf.count(
             "redundancy.reverted",
+            (stats.reverted - before.reverted) as u64,
+        );
+        // the cross-phase self-checking-rewrite counter (shared with the
+        // emission self-check in synth.rs): every reverted rewrite is a
+        // rollback
+        buf.count(
+            "rewrite.rolled_back",
             (stats.reverted - before.reverted) as u64,
         );
         buf.end();

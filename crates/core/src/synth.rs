@@ -28,13 +28,14 @@ use crate::patterns::{merge_patterns, paper_patterns, Pattern, PatternOptions};
 use crate::redundancy::{remove_redundancy_governed, RedundancyStats};
 use crate::verify::{try_network_bdds, EquivChecker};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use xsynth_bdd::BddManager;
 use xsynth_boolean::{Polarity, VarSet};
 use xsynth_net::{GateKind, Network, SignalId};
 use xsynth_ofdd::{OfddManager, PolaritySearch, PolaritySearchStats};
-use xsynth_sim::{pack_patterns, random_patterns};
+use xsynth_sim::{exhaustive_patterns, pack_patterns, random_patterns, Simulator};
 use xsynth_sop::SopNet;
 use xsynth_trace::{Trace, TraceBuffer, TraceSink};
 
@@ -146,6 +147,13 @@ pub struct SynthOptions {
     /// [`Error::Budget`] from [`try_synthesize`] — when a phase cannot
     /// produce any result under the cap.
     pub budget: Budget,
+    /// When an output's planning fails (a contained panic or a typed
+    /// error), retry it down the salvage ladder — skip factorization, then
+    /// a direct all-positive FPRM translation — before failing just that
+    /// output as [`Error::OutputFailed`]. Salvaged outputs are recorded in
+    /// [`SynthReport::salvaged`] and the result is still verified against
+    /// the specification. Disable to make the first fault fatal.
+    pub salvage: bool,
     /// Optional external sink the run's trace is also appended to, for
     /// aggregating several calls (a benchmark sweep, a CLI batch) into
     /// one exportable timeline. The per-call trace is always available in
@@ -168,6 +176,7 @@ impl Default for SynthOptions {
             max_passes: 6,
             parallel: true,
             budget: Budget::default(),
+            salvage: true,
             trace: None,
         }
     }
@@ -227,6 +236,8 @@ impl SynthOptionsBuilder {
         parallel: bool,
         /// Sets the resource budget.
         budget: Budget,
+        /// Enables or disables the per-output salvage ladder.
+        salvage: bool,
     }
 
     /// Aggregates this run's trace into an external [`TraceSink`].
@@ -302,6 +313,46 @@ impl PhaseProfile {
     }
 }
 
+/// A rung of the per-output salvage ladder, in descending order of
+/// ambition. Rung 0 — the full pipeline — is not listed: reaching it means
+/// nothing was salvaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SalvageRung {
+    /// The full plan failed; the output was replanned with the OFDD
+    /// method (its searched polarity kept, factorization skipped).
+    SkipFactor,
+    /// Skipping factorization also failed; the output fell back to a
+    /// direct all-positive FPRM translation.
+    DirectFprm,
+    /// Emitting the shared GF(2) divisors failed; every cube-method
+    /// output was rolled back to its unshared pre-extraction cover.
+    SkipSharing,
+}
+
+impl SalvageRung {
+    /// Human-readable rung name for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SalvageRung::SkipFactor => "skip-factor",
+            SalvageRung::DirectFprm => "direct-fprm",
+            SalvageRung::SkipSharing => "skip-sharing",
+        }
+    }
+}
+
+/// One output the pipeline recovered on a lower salvage rung instead of
+/// failing the whole run. The final network — salvaged outputs included —
+/// is still verified against the specification.
+#[derive(Debug, Clone)]
+pub struct SalvageRecord {
+    /// The primary output that was salvaged.
+    pub output: String,
+    /// The rung that produced the kept implementation.
+    pub rung: SalvageRung,
+    /// What the original attempt died of (panic message or typed error).
+    pub cause: String,
+}
+
 /// What the pipeline did, per output and overall.
 #[derive(Debug, Clone, Default)]
 pub struct SynthReport {
@@ -324,6 +375,9 @@ pub struct SynthReport {
     /// Whether equivalence checking downgraded from exact BDD comparison
     /// to fixed-seed simulation because the node cap tripped.
     pub verify_downgraded: bool,
+    /// Outputs recovered by the salvage ladder (or an emission rollback)
+    /// instead of failing the run. Empty on a clean pass.
+    pub salvaged: Vec<SalvageRecord>,
     /// Per-phase wall-clock breakdown, derived from `trace`.
     pub profile: PhaseProfile,
     /// The full structured trace of the run (spans, counters, gauges).
@@ -386,7 +440,19 @@ pub fn try_synthesize(spec: &Network, opts: &SynthOptions) -> Result<SynthOutcom
     // aggregated runs line up end-to-end in the exported view
     let external_offset = opts.trace.as_ref().map(TraceSink::elapsed);
     let mut report = SynthReport::default();
-    let result = run_pipeline(spec, opts, &sink, &mut report);
+    // Fault containment: a panic anywhere in the pipeline (an invariant
+    // violation, or an armed failpoint) becomes a typed error instead of
+    // unwinding into the caller. Buffers dropped during the unwind still
+    // submit, so the partial trace survives for diagnosis.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_pipeline(spec, opts, &sink, &mut report)
+    }))
+    .unwrap_or_else(|p| {
+        Err(Error::OutputFailed {
+            output: "pipeline".to_string(),
+            cause: panic_message(p.as_ref()),
+        })
+    });
     let trace = sink.take();
     report.profile = PhaseProfile::from_trace(&trace);
     if let (Some(external), Some(offset)) = (&opts.trace, external_offset) {
@@ -597,6 +663,13 @@ fn plan_output(
     deadline: Option<Instant>,
     buf: &mut TraceBuffer,
 ) -> Result<OutputPlan, Error> {
+    xsynth_trace::fail_point!(
+        "core.plan",
+        Err(Error::OutputFailed {
+            output: name.to_string(),
+            cause: "injected fault: core.plan tripped".to_string(),
+        })
+    );
     buf.begin("plan");
     let support: Vec<usize> = bm.support(f).iter().collect();
     let (pol, stats) = {
@@ -703,6 +776,148 @@ fn plan_output(
     })
 }
 
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".to_string()
+    }
+}
+
+/// [`plan_output`] behind the per-output salvage ladder. A panic in the
+/// attempt is contained with `catch_unwind` and — like a typed error —
+/// retried down the rungs when [`SynthOptions::salvage`] is on:
+///
+/// 1. the full plan (`opts` as given),
+/// 2. [`SalvageRung::SkipFactor`]: the OFDD method, factorization skipped,
+/// 3. [`SalvageRung::DirectFprm`]: all-positive polarity, OFDD method —
+///    the least ambitious translation the paper admits.
+///
+/// Each retry counts `salvage.attempts` in its own fresh trace buffer;
+/// failed attempts' buffers are discarded so the merged trace only shows
+/// the kept attempt. When every rung fails, the *first* attempt's typed
+/// error propagates (preserving the [`Error::Budget`] taxonomy), or
+/// [`Error::OutputFailed`] if the first failure was a panic.
+#[allow(clippy::too_many_arguments)]
+fn plan_with_salvage(
+    name: &str,
+    f: xsynth_bdd::Bdd,
+    bm: &mut BddManager,
+    n: usize,
+    num_outputs: usize,
+    opts: &SynthOptions,
+    candidate_parallel: bool,
+    deadline: Option<Instant>,
+    mut make_buf: impl FnMut() -> TraceBuffer,
+) -> Result<(OutputPlan, Option<SalvageRecord>), Error> {
+    let mut buf = make_buf();
+    let first = catch_unwind(AssertUnwindSafe(|| {
+        plan_output(
+            name,
+            f,
+            bm,
+            n,
+            num_outputs,
+            opts,
+            candidate_parallel,
+            deadline,
+            &mut buf,
+        )
+    }));
+    let (cause, first_typed) = match first {
+        Ok(Ok(plan)) => return Ok((plan, None)),
+        Ok(Err(e)) => {
+            buf.discard();
+            (e.to_string(), Some(e))
+        }
+        Err(p) => {
+            buf.discard();
+            (panic_message(p.as_ref()), None)
+        }
+    };
+    let fail = |typed: Option<Error>, cause: String| {
+        typed.unwrap_or_else(|| Error::OutputFailed {
+            output: name.to_string(),
+            cause,
+        })
+    };
+    if !opts.salvage {
+        return Err(fail(first_typed, cause));
+    }
+    for rung in [SalvageRung::SkipFactor, SalvageRung::DirectFprm] {
+        let mut ropts = opts.clone();
+        ropts.method = FactorMethod::Ofdd;
+        if rung == SalvageRung::DirectFprm {
+            ropts.polarity = PolarityMode::AllPositive;
+        }
+        let mut buf = make_buf();
+        buf.count("salvage.attempts", 1);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            plan_output(
+                name,
+                f,
+                bm,
+                n,
+                num_outputs,
+                &ropts,
+                candidate_parallel,
+                deadline,
+                &mut buf,
+            )
+        }));
+        match attempt {
+            Ok(Ok(plan)) => {
+                let record = SalvageRecord {
+                    output: name.to_string(),
+                    rung,
+                    cause: cause.clone(),
+                };
+                return Ok((plan, Some(record)));
+            }
+            Ok(Err(_)) | Err(_) => buf.discard(),
+        }
+    }
+    Err(fail(first_typed, cause))
+}
+
+/// Word-packed simulation check that the cone rooted at `sig` in `net`
+/// computes `f`. Exhaustive up to 11 inputs, otherwise 128 fixed-seed
+/// random patterns; past 64 inputs the packed minterm encoding runs out,
+/// so the cone is trusted and the full verification pass is the backstop.
+fn emitted_cone_matches(net: &Network, sig: SignalId, bm: &BddManager, f: xsynth_bdd::Bdd) -> bool {
+    let n = net.inputs().len();
+    if n > 64 {
+        return true;
+    }
+    let patterns = if n <= 11 {
+        exhaustive_patterns(n)
+    } else {
+        random_patterns(n, 128, 0x5eed_fa11)
+    };
+    let sim = Simulator::for_cone(net, sig);
+    for (block, chunk) in pack_patterns(n, &patterns).iter().zip(patterns.chunks(64)) {
+        let vals = sim.simulate_block(&block.words);
+        let got = vals[sig.index()];
+        let mut want = 0u64;
+        for (lane, pattern) in chunk.iter().enumerate() {
+            let minterm = pattern
+                .iter()
+                .enumerate()
+                .fold(0u64, |m, (v, &bit)| m | (u64::from(bit) << v));
+            if bm.eval(f, minterm) {
+                want |= 1 << lane;
+            }
+        }
+        if (got ^ want) & block.lane_mask() != 0 {
+            return false;
+        }
+    }
+    true
+}
+
 /// The per-output (collapsed) synthesis path. On a hard budget trip the
 /// phase spans opened here are closed before the error propagates.
 #[allow(clippy::too_many_arguments)]
@@ -739,7 +954,9 @@ fn synthesize_outputs(
     let candidate_parallel = opts.parallel && !parallel_outputs;
     let plan_buffer =
         |i: usize, name: &str| sink.buffer_under(1 + i as u64, format!("plan:{name}"), phase::FPRM);
-    let plans: Result<Vec<OutputPlan>, Error> = if parallel_outputs {
+    type Planned = (OutputPlan, Option<SalvageRecord>);
+    type PlanSlots = (Vec<(usize, Result<Planned, Error>)>, Vec<String>);
+    let plans: Result<Vec<Planned>, Error> = if parallel_outputs {
         let workers = std::thread::available_parallelism()
             .map(|w| w.get())
             .unwrap_or(1)
@@ -747,7 +964,12 @@ fn synthesize_outputs(
         let next = AtomicUsize::new(0);
         let bm_ref = &*bm;
         let outs = spec.outputs();
-        let done: Vec<(usize, Result<OutputPlan, Error>)> = std::thread::scope(|s| {
+        // Workers are panic-isolated twice over: plan_with_salvage
+        // contains panics inside each attempt, and a worker that still
+        // dies (a panic outside the contained region) is recorded here
+        // instead of aborting the process — its unplanned outputs become
+        // typed errors below.
+        let (done, worker_deaths): PlanSlots = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
@@ -758,8 +980,7 @@ fn synthesize_outputs(
                             if i >= num_outputs {
                                 break;
                             }
-                            let mut buf = plan_buffer(i, &outs[i].0);
-                            let plan = plan_output(
+                            let plan = plan_with_salvage(
                                 &outs[i].0,
                                 out_bdds[i],
                                 &mut local,
@@ -768,7 +989,7 @@ fn synthesize_outputs(
                                 opts,
                                 false,
                                 deadline,
-                                &mut buf,
+                                || plan_buffer(i, &outs[i].0),
                             );
                             mine.push((i, plan));
                         }
@@ -776,21 +997,37 @@ fn synthesize_outputs(
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("planner worker panicked"))
-                .collect()
+            let mut done = Vec::new();
+            let mut deaths = Vec::new();
+            for h in handles {
+                match h.join() {
+                    Ok(mine) => done.extend(mine),
+                    Err(p) => deaths.push(panic_message(p.as_ref())),
+                }
+            }
+            (done, deaths)
         });
-        let mut slots: Vec<Option<Result<OutputPlan, Error>>> =
+        let mut slots: Vec<Option<Result<Planned, Error>>> =
             (0..num_outputs).map(|_| None).collect();
         for (i, plan) in done {
             slots[i] = Some(plan);
         }
         // errors propagate in output-index order, so the reported trip is
-        // deterministic regardless of thread scheduling
+        // deterministic regardless of thread scheduling; an output whose
+        // worker died before planning it carries the worker's panic
         slots
             .into_iter()
-            .map(|p| p.expect("every output planned"))
+            .enumerate()
+            .map(|(i, p)| {
+                p.unwrap_or_else(|| {
+                    Err(Error::OutputFailed {
+                        output: outs[i].0.clone(),
+                        cause: worker_deaths.first().cloned().unwrap_or_else(|| {
+                            "planner worker terminated before planning this output".to_string()
+                        }),
+                    })
+                })
+            })
             .collect()
     } else {
         spec.outputs()
@@ -798,8 +1035,7 @@ fn synthesize_outputs(
             .zip(out_bdds.iter())
             .enumerate()
             .map(|(i, ((name, _), &f))| {
-                let mut buf = plan_buffer(i, name);
-                plan_output(
+                plan_with_salvage(
                     name,
                     f,
                     bm,
@@ -808,18 +1044,27 @@ fn synthesize_outputs(
                     opts,
                     candidate_parallel,
                     deadline,
-                    &mut buf,
+                    || plan_buffer(i, name),
                 )
             })
             .collect()
     };
-    let mut plans = match plans {
+    let plans = match plans {
         Ok(plans) => plans,
         Err(e) => {
             main.end(); // fprm
             return Err(e);
         }
     };
+    let mut plans: Vec<OutputPlan> = plans
+        .into_iter()
+        .map(|(plan, salvage)| {
+            if let Some(record) = salvage {
+                report.salvaged.push(record);
+            }
+            plan
+        })
+        .collect();
     for plan in &mut plans {
         report
             .outputs
@@ -840,10 +1085,17 @@ fn synthesize_outputs(
         .enumerate()
         .filter_map(|(i, p)| p.lit_cubes.is_some().then_some(i))
         .collect();
-    let extraction = if opts.share && !cube_outputs.is_empty() {
+    let (extraction, saved_cubes) = if opts.share && !cube_outputs.is_empty() {
         let funcs: Vec<Vec<VarSet>> = cube_outputs
             .iter()
             .map(|&i| plans[i].lit_cubes.clone().expect("cube output"))
+            .collect();
+        // pre-extraction covers, kept so a failed divisor emission can
+        // roll the outputs back to their unshared forms
+        let saved: Vec<(usize, Vec<VarSet>)> = cube_outputs
+            .iter()
+            .copied()
+            .zip(funcs.iter().cloned())
             .collect();
         let ext = main.span("gfx_extract", |_| {
             gfx::extract(funcs, 2 * n, &gfx::ExtractOptions::default())
@@ -853,9 +1105,9 @@ fn synthesize_outputs(
         for (&i, rewritten) in cube_outputs.iter().zip(ext.functions.iter()) {
             plans[i].lit_cubes = Some(rewritten.clone());
         }
-        ext.divisors
+        (ext.divisors, saved)
     } else {
-        Vec::new()
+        (Vec::new(), Vec::new())
     };
 
     // Phase 3: emit divisors (dependency order), then outputs.
@@ -908,19 +1160,97 @@ fn synthesize_outputs(
             }
         };
     }
-    for k in emit_order {
-        let (y, cubes) = &extraction[k];
-        let expr = factor_cubes_traced(cubes, opts.apply_rules, main);
-        let mut lits = resolve_lits!();
-        let sig = expr.emit(&mut net, &mut lits);
-        divisor_sig.insert(*y, sig);
+    // The divisors are shared structure: a fault emitting any of them is
+    // contained by un-sharing — every cube output rolls back to its saved
+    // pre-extraction cover (which references no divisor literals) and the
+    // abandoned attempt's gates are dead, swept by the later strash pass.
+    let divisors_attempt = catch_unwind(AssertUnwindSafe(|| {
+        for k in emit_order {
+            let (y, cubes) = &extraction[k];
+            let expr = factor_cubes_traced(cubes, opts.apply_rules, main);
+            let mut lits = resolve_lits!();
+            let sig = expr.emit(&mut net, &mut lits);
+            divisor_sig.insert(*y, sig);
+        }
+    }));
+    if let Err(p) = divisors_attempt {
+        let cause = panic_message(p.as_ref());
+        if !opts.salvage {
+            main.end(); // factoring
+            return Err(Error::OutputFailed {
+                output: "shared-divisors".to_string(),
+                cause,
+            });
+        }
+        main.count("salvage.attempts", 1);
+        main.count("rewrite.rolled_back", 1);
+        report.salvaged.push(SalvageRecord {
+            output: "shared-divisors".to_string(),
+            rung: SalvageRung::SkipSharing,
+            cause,
+        });
+        report.divisors = 0;
+        divisor_sig.clear();
+        for (i, cubes) in saved_cubes {
+            plans[i].lit_cubes = Some(cubes);
+        }
     }
     for plan in plans {
         let sig = match &plan.lit_cubes {
             Some(cubes) => {
-                let expr = factor_cubes_traced(cubes, opts.apply_rules, main);
-                let mut lits = resolve_lits!();
-                expr.emit(&mut net, &mut lits)
+                // Self-checking rewrite: the factored emission is
+                // re-simulated against the output's BDD and rolled back
+                // to the direct OFDD translation when it diverges (or
+                // panics mid-emit). Gates emitted by an abandoned
+                // attempt are dead and swept by the later strash pass.
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    let expr = factor_cubes_traced(cubes, opts.apply_rules, main);
+                    let mut lits = resolve_lits!();
+                    let sig = expr.emit(&mut net, &mut lits);
+                    let ok = emitted_cone_matches(&net, sig, bm, plan.bdd);
+                    #[cfg(feature = "failpoints")]
+                    let ok = ok && !xsynth_trace::failpoint::hit("core.emit_check");
+                    (sig, ok)
+                }));
+                match attempt {
+                    Ok((sig, true)) => sig,
+                    other => {
+                        let cause = match &other {
+                            Ok(_) => {
+                                "factored emission diverged from its FPRM reference".to_string()
+                            }
+                            Err(p) => panic_message(p.as_ref()),
+                        };
+                        if other.is_err() && !opts.salvage {
+                            main.end(); // factoring
+                            return Err(Error::OutputFailed {
+                                output: plan.name.clone(),
+                                cause,
+                            });
+                        }
+                        main.count("rewrite.rolled_back", 1);
+                        if other.is_err() {
+                            main.count("salvage.attempts", 1);
+                        }
+                        report.salvaged.push(SalvageRecord {
+                            output: plan.name.clone(),
+                            rung: SalvageRung::SkipFactor,
+                            cause,
+                        });
+                        let pol = plan.pol.clone();
+                        let mut lits = |net: &mut Network, v: usize| -> SignalId {
+                            if pol.is_positive(v) {
+                                inputs[v]
+                            } else {
+                                *not_cache
+                                    .entry(v)
+                                    .or_insert_with(|| net.add_gate(GateKind::Not, vec![inputs[v]]))
+                            }
+                        };
+                        main.count("factor.ofdd_lowered", 1);
+                        ofdd_to_network(&plan.om, plan.root, &mut net, &mut lits)
+                    }
+                }
             }
             None if opts.method == FactorMethod::Kfdd => {
                 match xsynth_ofdd::kfdd::try_optimize_decomposition(bm, plan.bdd) {
@@ -1327,6 +1657,7 @@ mod tests {
             .max_passes(1)
             .parallel(false)
             .budget(Budget::default().bdd_node_cap(Some(1000)))
+            .salvage(false)
             .build();
         assert_eq!(opts.method, FactorMethod::Ofdd);
         assert_eq!(opts.polarity, PolarityMode::Greedy);
@@ -1339,6 +1670,7 @@ mod tests {
         assert_eq!(opts.max_passes, 1);
         assert!(!opts.parallel);
         assert_eq!(opts.budget.bdd_node_cap, Some(1000));
+        assert!(!opts.salvage);
         assert!(opts.trace.is_none());
     }
 

@@ -138,6 +138,10 @@ impl EquivChecker {
     /// the checker downgrades itself to fixed-seed simulation (recorded by
     /// [`EquivChecker::downgraded`]) and re-runs the comparison there.
     pub fn try_check(&mut self, candidate: &Network) -> Result<bool, Error> {
+        xsynth_trace::fail_point!(
+            "core.verify",
+            Err(Error::Verify("injected fault: core.verify tripped".into()))
+        );
         let cand_names: Vec<&str> = candidate
             .inputs()
             .iter()

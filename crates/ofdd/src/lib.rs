@@ -231,6 +231,12 @@ impl OfddManager {
     /// panics on an arity mismatch, which is a programming error.
     pub fn try_from_bdd(&mut self, bm: &mut BddManager, f: Bdd) -> Result<Ofdd, NodeLimitExceeded> {
         assert_eq!(bm.num_vars(), self.num_vars(), "arity mismatch");
+        xsynth_trace::fail_point!(
+            "ofdd.from_bdd",
+            Err(NodeLimitExceeded {
+                limit: bm.node_limit().unwrap_or(0),
+            })
+        );
         let mut memo = HashMap::new();
         self.from_bdd_rec(bm, f, &mut memo)
     }
@@ -801,6 +807,7 @@ impl<'a> PolaritySearch<'a> {
     /// trace buffer is attached the whole search runs inside a
     /// `polarity_search` span.
     pub fn run(&mut self, mode: PolarityMode, support: &[usize]) -> (Polarity, u64) {
+        xsynth_trace::fail_point!("ofdd.polarity_search");
         if let Some(buf) = self.trace.as_deref_mut() {
             buf.begin("polarity_search");
         }

@@ -239,6 +239,38 @@ impl<'a> Simulator<'a> {
         self.net
     }
 
+    /// Prepares a simulator whose evaluation order covers exactly the
+    /// cone rooted at `root`, children before parents. Unlike [`new`],
+    /// this works on a network still under construction that has no
+    /// outputs yet — the use case is self-checking an emitted cone
+    /// before it is registered as an output.
+    ///
+    /// [`new`]: Simulator::new
+    pub fn for_cone(net: &'a Network, root: SignalId) -> Self {
+        let mut seen = vec![false; net.num_nodes()];
+        let mut order = Vec::new();
+        let mut stack: Vec<(SignalId, usize)> = vec![(root, 0)];
+        while let Some(&mut (id, ref mut next)) = stack.last_mut() {
+            if seen[id.index()] {
+                stack.pop();
+                continue;
+            }
+            let fanins = net.fanins(id);
+            if *next < fanins.len() {
+                let child = fanins[*next];
+                *next += 1;
+                if !seen[child.index()] {
+                    stack.push((child, 0));
+                }
+            } else {
+                seen[id.index()] = true;
+                order.push(id);
+                stack.pop();
+            }
+        }
+        Simulator { net, order }
+    }
+
     /// Simulates one 64-pattern block. `input_words[i]` holds the 64 values
     /// of primary input `i` (pattern `k` in bit `k`). Returns one word per
     /// network node (indexed by `SignalId::index`); unreachable nodes stay
@@ -248,6 +280,7 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if `input_words.len()` differs from the input count.
     pub fn simulate_block(&self, input_words: &[u64]) -> Vec<u64> {
+        xsynth_trace::fail_point!("sim.block");
         assert_eq!(
             input_words.len(),
             self.net.inputs().len(),
@@ -443,6 +476,30 @@ mod tests {
         assert_eq!(total, 4);
         assert_eq!(counts[g.index()], 1);
         assert_eq!(counts[a.index()], 2);
+    }
+
+    #[test]
+    fn cone_simulation_works_without_outputs() {
+        // a net still under construction: gates exist, no outputs yet
+        let mut n = Network::new("partial");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_gate(GateKind::And, vec![a, b]);
+        let root = n.add_gate(GateKind::Xor, vec![ab, c]);
+        let stray = n.add_gate(GateKind::Or, vec![a, c]);
+        let sim = Simulator::for_cone(&n, root);
+        let pats = exhaustive_patterns(3);
+        for block in pack_patterns(3, &pats) {
+            let val = sim.simulate_block(&block.words);
+            for k in 0..block.lanes as usize {
+                let (av, bv, cv) = (pats[k][0], pats[k][1], pats[k][2]);
+                let want = (av && bv) ^ cv;
+                assert_eq!(val[root.index()] & (1 << k) != 0, want, "pattern {k}");
+            }
+            // nodes outside the cone are untouched
+            assert_eq!(val[stray.index()], 0);
+        }
     }
 
     #[test]

@@ -45,8 +45,47 @@
 #![forbid(unsafe_code)]
 
 mod chrome;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
 pub mod json;
 pub mod mem;
+
+/// Marks a named fault-injection site (see [`failpoint`]).
+///
+/// With the `failpoints` feature off the macro expands to nothing.
+/// Feature resolution happens in the *invoking* crate, so every crate
+/// placing failpoints forwards its own `failpoints` feature to
+/// `xsynth-trace/failpoints`.
+///
+/// Two forms:
+///
+/// - `fail_point!("name")` — a *bare* site: an armed `error` action is
+///   reported by `failpoint::hit` but otherwise ignored here (panic and
+///   delay actions still apply). Use where there is no error channel.
+/// - `fail_point!("name", expr)` — an *error* site: when an armed `error`
+///   action trips, the enclosing function returns `expr`.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        let _ = $crate::failpoint::hit($name);
+    };
+    ($name:expr, $on_err:expr) => {
+        if $crate::failpoint::hit($name) {
+            return $on_err;
+        }
+    };
+}
+
+/// Marks a named fault-injection site (see the `failpoint` module, built
+/// under the `failpoints` feature). Compiled out: this build has the
+/// feature off, so the macro expands to nothing.
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {};
+    ($name:expr, $on_err:expr) => {};
+}
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};

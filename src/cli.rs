@@ -42,6 +42,10 @@ pub struct Command {
     pub engine: Engine,
     /// Skip the redundancy-removal pass.
     pub no_redundancy: bool,
+    /// Disable the per-output salvage ladder: the first fault in any
+    /// output's pipeline fails the whole run (exit 9) instead of being
+    /// retried on a degraded rung.
+    pub no_salvage: bool,
     /// Print the phase profile, counters and span tree.
     pub stats: bool,
     /// Write the run's Chrome `trace_event` JSON to this path.
@@ -101,6 +105,8 @@ options:
   -o FILE               write output to FILE
   --method ENGINE       fprm (default) | cube | ofdd | kfdd | sop | none
   --no-redundancy       skip the XOR redundancy-removal pass
+  --no-salvage          disable the per-output salvage ladder (first fault
+                        in any output's pipeline is fatal)
   --stats               print per-phase timings, counters and the span tree
   --trace-json FILE     write Chrome trace_event JSON (chrome://tracing,
                         Perfetto) for the synthesis run
@@ -115,6 +121,7 @@ options:
 exit codes:
   0 ok          2 usage       3 parse error      4 I/O error
   5 netlist     6 input mismatch   7 verification failed   8 budget exceeded
+  9 output failed (fault not recoverable by the salvage ladder)
 ";
 
 /// Parses the command line (excluding `argv[0]`).
@@ -157,6 +164,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut output = None;
     let mut engine = Engine::Fprm;
     let mut no_redundancy = false;
+    let mut no_salvage = false;
     let mut stats = false;
     let mut trace_json = None;
     let mut bench_json = None;
@@ -196,6 +204,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             "--no-redundancy" => no_redundancy = true,
+            "--no-salvage" => no_salvage = true,
             "--stats" => stats = true,
             "--bdd-node-cap" => {
                 budget = budget.bdd_node_cap(Some(number(a, it.next())? as usize));
@@ -216,6 +225,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         output,
         engine,
         no_redundancy,
+        no_salvage,
         stats,
         trace_json,
         bench_json,
@@ -320,6 +330,7 @@ pub fn run_engine(cmd: &Command, spec: &Network) -> Result<(Network, Option<Synt
             let opts = SynthOptions::builder()
                 .method(method)
                 .redundancy_removal(!cmd.no_redundancy)
+                .salvage(!cmd.no_salvage)
                 .budget(cmd.budget.clone())
                 .build();
             let SynthOutcome { network, report } = try_synthesize(spec, &opts)?;
@@ -328,9 +339,9 @@ pub fn run_engine(cmd: &Command, spec: &Network) -> Result<(Network, Option<Synt
     }
 }
 
-/// Renders the report's budget-degradation notes (curtailed phases and a
-/// downgraded verification backend), or an empty string when the run was
-/// not resource-constrained.
+/// Renders the report's degradation notes — curtailed phases, a
+/// downgraded verification backend, and outputs the salvage ladder
+/// recovered — or an empty string when the run was clean.
 fn render_budget_notes(report: &SynthReport) -> String {
     let mut s = String::new();
     if !report.curtailed.is_empty() {
@@ -344,6 +355,15 @@ fn render_budget_notes(report: &SynthReport) -> String {
         let _ = writeln!(
             s,
             "# budget: verification downgraded to fixed-seed simulation"
+        );
+    }
+    for rec in &report.salvaged {
+        let _ = writeln!(
+            s,
+            "# salvage: output `{}` recovered at {}: {}",
+            rec.output,
+            rec.rung.as_str(),
+            rec.cause.lines().next().unwrap_or("")
         );
     }
     s
@@ -468,6 +488,11 @@ pub fn render_stats(net: &Network) -> String {
 ///
 /// Everything [`parse_args`] and [`execute`] can report.
 pub fn run(args: &[String]) -> Result<String, Error> {
+    // Fault-injection builds honour `XSYNTH_FAILPOINTS` for the whole
+    // invocation; release builds compile this away entirely. A malformed
+    // plan is a usage error, same as any bad flag.
+    #[cfg(feature = "failpoints")]
+    xsynth_trace::failpoint::arm_from_env().map_err(Error::Msg)?;
     let cmd = parse_args(args).map_err(Error::Msg)?;
     execute(&cmd)
 }
@@ -760,6 +785,7 @@ mod tests {
             output: Some(outp.display().to_string()),
             engine: Engine::Fprm,
             no_redundancy: false,
+            no_salvage: false,
             stats: false,
             trace_json: None,
             bench_json: None,
@@ -788,6 +814,16 @@ mod tests {
         assert!(parse_args(&argv("bench rd53 --bdd-node-cap")).is_err());
         assert!(parse_args(&argv("bench rd53 --bdd-node-cap many")).is_err());
         assert!(parse_args(&argv("bench rd53 --phase-timeout-ms -5")).is_err());
+    }
+
+    #[test]
+    fn parse_no_salvage_flag() {
+        assert!(!parse_args(&argv("bench rd53")).unwrap().no_salvage);
+        let c = parse_args(&argv("bench rd53 --no-salvage")).unwrap();
+        assert!(c.no_salvage);
+        // the flagged command still runs end to end on a healthy circuit
+        let out = execute(&c).unwrap();
+        assert!(out.contains(".model"), "{out}");
     }
 
     #[test]
@@ -865,6 +901,7 @@ mod tests {
                 output: None,
                 engine,
                 no_redundancy: false,
+                no_salvage: false,
                 stats: false,
                 trace_json: None,
                 bench_json: None,

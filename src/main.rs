@@ -3,9 +3,16 @@
 //!
 //! Exit codes follow the error taxonomy in `xsynth_core::Error` — 2 usage,
 //! 3 parse, 4 I/O, 5 netlist, 6 input mismatch, 7 verification failed,
-//! 8 budget exceeded.
+//! 8 budget exceeded, 9 output failed.
 
 fn main() {
+    // Fault-injection builds honour `XSYNTH_FAILPOINTS`; release builds
+    // compile the sites away and never read the variable.
+    #[cfg(feature = "failpoints")]
+    if let Err(msg) = xsynth_trace::failpoint::arm_from_env() {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match xsynth::cli::parse_args(&args) {
         Ok(c) => c,

@@ -1,0 +1,286 @@
+//! Chaos suite: arm every registered failpoint, one at a time, and assert
+//! the fault-containment contract — a synthesis call never lets a panic
+//! escape, and always ends in exactly one of
+//!
+//! 1. a verified network (possibly with [`SynthReport::salvaged`] entries),
+//! 2. a typed [`Error`] with a meaningful exit code.
+//!
+//! Only built under `--features failpoints`; the release pipeline compiles
+//! the sites away entirely.
+//!
+//! The armed plan and hit counts are process-global, so every test here
+//! serializes on one lock, re-arms from scratch, and runs the pipeline
+//! with `parallel(false)` — across threads the global hit ordering is
+//! scheduling-dependent, which would make trip placement nondeterministic.
+
+#![cfg(feature = "failpoints")]
+
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock};
+use xsynth_core::{
+    try_synthesize, EquivChecker, Error, FactorMethod, SalvageRung, SynthOptions, SynthOutcome,
+};
+use xsynth_net::Network;
+use xsynth_trace::failpoint::{self, Action, FailPlan};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn opts() -> SynthOptions {
+    SynthOptions::builder().parallel(false).build()
+}
+
+fn circuit(name: &str) -> Network {
+    xsynth_circuits::build(name).expect("registry circuit")
+}
+
+/// Runs the pipeline under the currently armed plan and asserts the
+/// containment contract; returns the outcome for further inspection.
+/// Verification of a successful result runs with everything disarmed, so
+/// an armed `core.verify` or `sim.block` cannot vouch for a bad network.
+fn run_contained(spec: &Network, opts: &SynthOptions) -> Result<SynthOutcome, Error> {
+    let result = catch_unwind(AssertUnwindSafe(|| try_synthesize(spec, opts)));
+    failpoint::disarm();
+    let result = result.expect("a panic escaped try_synthesize");
+    if let Ok(outcome) = &result {
+        let mut checker = EquivChecker::new(spec);
+        assert!(
+            checker.check(&outcome.network),
+            "salvaged or clean result must still match the spec"
+        );
+    }
+    result
+}
+
+#[test]
+fn plan_panic_salvages_at_skip_factor() {
+    let _g = exclusive();
+    let spec = circuit("majority");
+    failpoint::arm(&FailPlan::new().point_for("core.plan", Action::Panic, 1, 1));
+    let outcome = run_contained(&spec, &opts()).expect("rung 2 salvages the output");
+    let salvaged = &outcome.report.salvaged;
+    assert_eq!(salvaged.len(), 1, "{salvaged:?}");
+    assert_eq!(salvaged[0].output, "y0");
+    assert_eq!(salvaged[0].rung, SalvageRung::SkipFactor);
+    assert!(
+        salvaged[0].cause.contains("core.plan"),
+        "{}",
+        salvaged[0].cause
+    );
+    let attempts = outcome.report.trace.counter_totals();
+    assert!(attempts.get("salvage.attempts").copied().unwrap_or(0) >= 1);
+}
+
+#[test]
+fn plan_double_fault_salvages_at_direct_fprm() {
+    let _g = exclusive();
+    let spec = circuit("majority");
+    failpoint::arm(&FailPlan::new().point_for("core.plan", Action::Panic, 1, 2));
+    let outcome = run_contained(&spec, &opts()).expect("rung 3 salvages the output");
+    let salvaged = &outcome.report.salvaged;
+    assert_eq!(salvaged.len(), 1, "{salvaged:?}");
+    assert_eq!(salvaged[0].rung, SalvageRung::DirectFprm);
+}
+
+#[test]
+fn exhausted_ladder_fails_just_that_output() {
+    let _g = exclusive();
+    let spec = circuit("majority");
+    failpoint::arm(&FailPlan::new().point_for("core.plan", Action::Panic, 1, 3));
+    let err = run_contained(&spec, &opts()).expect_err("all three rungs tripped");
+    match &err {
+        Error::OutputFailed { output, cause } => {
+            assert_eq!(output, "y0");
+            assert!(cause.contains("core.plan"), "{cause}");
+        }
+        other => panic!("want OutputFailed, got {other}"),
+    }
+    assert_eq!(err.exit_code(), 9);
+}
+
+#[test]
+fn no_salvage_makes_the_first_fault_fatal() {
+    let _g = exclusive();
+    let spec = circuit("majority");
+    // a single tripped hit that the ladder would recover from...
+    failpoint::arm(&FailPlan::new().point_for("core.plan", Action::Error, 1, 1));
+    let strict = SynthOptions::builder()
+        .parallel(false)
+        .salvage(false)
+        .build();
+    let err = run_contained(&spec, &strict).expect_err("salvage disabled");
+    assert_eq!(err.exit_code(), 9, "{err}");
+    // ...and indeed the same plan with salvage on succeeds
+    failpoint::arm(&FailPlan::new().point_for("core.plan", Action::Error, 1, 1));
+    run_contained(&spec, &opts()).expect("ladder recovers the same fault");
+}
+
+#[test]
+fn bdd_alloc_fault_keeps_the_budget_taxonomy() {
+    let _g = exclusive();
+    let spec = circuit("majority");
+    // a node-cap fault while building the spec BDDs is a hard Budget
+    // error — exit 8, not remapped to a generic OutputFailed
+    failpoint::arm(&FailPlan::new().point("bdd.alloc", Action::Error, 1));
+    let err = run_contained(&spec, &opts()).expect_err("no BDD, no pipeline");
+    assert!(matches!(err, Error::Budget(_)), "{err}");
+    assert_eq!(err.exit_code(), 8);
+}
+
+#[test]
+fn ofdd_faults_degrade_to_the_curtailed_fallback() {
+    let _g = exclusive();
+    let spec = circuit("majority");
+    // every OFDD build failing exhausts the ladder with a typed Budget
+    // error, which the budget layer then absorbs: the FPRM phase is
+    // curtailed and the two-level fallback still produces a verified net
+    failpoint::arm(&FailPlan::new().point("ofdd.from_bdd", Action::Error, 1));
+    let outcome = run_contained(&spec, &opts()).expect("curtailed fallback");
+    assert!(
+        outcome.report.curtailed.iter().any(|p| p == "fprm"),
+        "{:?}",
+        outcome.report.curtailed
+    );
+}
+
+#[test]
+fn emission_self_check_rolls_back_to_the_fprm_form() {
+    let _g = exclusive();
+    let spec = circuit("majority");
+    let opts = SynthOptions::builder()
+        .parallel(false)
+        .method(FactorMethod::Cube)
+        .build();
+    failpoint::arm(&FailPlan::new().point("core.emit_check", Action::Error, 1));
+    let outcome = run_contained(&spec, &opts).expect("rollback keeps the run alive");
+    let salvaged = &outcome.report.salvaged;
+    assert_eq!(salvaged.len(), 1, "{salvaged:?}");
+    assert_eq!(salvaged[0].rung, SalvageRung::SkipFactor);
+    assert!(
+        salvaged[0].cause.contains("diverged"),
+        "{}",
+        salvaged[0].cause
+    );
+    let totals = outcome.report.trace.counter_totals();
+    assert!(totals.get("rewrite.rolled_back").copied().unwrap_or(0) >= 1);
+}
+
+#[test]
+fn factoring_panic_during_emission_is_contained() {
+    let _g = exclusive();
+    let spec = circuit("majority");
+    let cube = SynthOptions::builder()
+        .parallel(false)
+        .method(FactorMethod::Cube)
+        .build();
+    failpoint::arm(&FailPlan::new().point("core.factor", Action::Panic, 1));
+    let outcome = run_contained(&spec, &cube).expect("emission falls back to the OFDD form");
+    // the shared-divisor emission un-shares, then the output's own
+    // factored emission rolls back to the direct OFDD translation
+    let salvaged = &outcome.report.salvaged;
+    assert!(
+        salvaged
+            .iter()
+            .any(|r| r.output == "y0" && r.rung == SalvageRung::SkipFactor),
+        "{salvaged:?}"
+    );
+    // with salvage off the same panic fails the run with the output's name
+    failpoint::arm(&FailPlan::new().point("core.factor", Action::Panic, 1));
+    let no_salvage = SynthOptions::builder()
+        .parallel(false)
+        .method(FactorMethod::Cube)
+        .salvage(false)
+        .build();
+    let err = run_contained(&spec, &no_salvage).expect_err("first fault fatal");
+    assert_eq!(err.exit_code(), 9, "{err}");
+}
+
+#[test]
+fn delay_action_only_slows_the_pipeline() {
+    let _g = exclusive();
+    let spec = circuit("majority");
+    failpoint::arm(&FailPlan::parse("sim.block=delay(1)@1x2").expect("valid plan"));
+    let outcome = run_contained(&spec, &opts()).expect("delays are not faults");
+    assert!(outcome.report.salvaged.is_empty());
+}
+
+/// Every failpoint site a clean warmup run of the pipeline executes. The
+/// warmup is memoized: `registered()` is process-global and only grows.
+fn swept_sites() -> &'static [String] {
+    static SITES: OnceLock<Vec<String>> = OnceLock::new();
+    SITES.get_or_init(|| {
+        failpoint::disarm();
+        for name in ["majority", "f2"] {
+            let spec = circuit(name);
+            // the cube method reaches the emission self-check site
+            let cube = SynthOptions::builder()
+                .parallel(false)
+                .method(FactorMethod::Cube)
+                .build();
+            try_synthesize(&spec, &cube).expect("clean warmup");
+            try_synthesize(&spec, &opts()).expect("clean warmup");
+        }
+        let sites = failpoint::registered();
+        assert!(
+            sites.len() >= 8,
+            "warmup should reach most of the pipeline's sites: {sites:?}"
+        );
+        for expect in ["bdd.alloc", "core.plan", "core.verify", "sim.block"] {
+            assert!(sites.iter().any(|s| s == expect), "{expect} not registered");
+        }
+        sites
+    })
+}
+
+/// The tentpole acceptance sweep: each registered site armed alone, as a
+/// persistent error and as a persistent panic, must end in a verified
+/// network or a typed error — never an escaped panic.
+#[test]
+fn every_registered_failpoint_is_contained() {
+    let _g = exclusive();
+    let sites = swept_sites().to_vec();
+    let spec = circuit("majority");
+    for site in &sites {
+        for action in [Action::Error, Action::Panic] {
+            failpoint::arm(&FailPlan::new().point(site, action, 1));
+            let result = run_contained(&spec, &opts());
+            if let Err(e) = result {
+                let code = e.exit_code();
+                assert!(
+                    (2..=9).contains(&code),
+                    "site {site} ({action:?}) escaped the exit-code taxonomy: {e}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single tripped failpoint — any site, error or panic, any early
+    /// trip window — leaves quick circuits verified, salvaged, or failed
+    /// with a typed error.
+    #[test]
+    fn any_single_tripped_failpoint_is_contained(
+        site_idx in 0usize..64,
+        panic_action in any::<bool>(),
+        nth in 1u64..4,
+        alt_circuit in any::<bool>(),
+    ) {
+        let _g = exclusive();
+        let sites = swept_sites();
+        let site = &sites[site_idx % sites.len()];
+        let action = if panic_action { Action::Panic } else { Action::Error };
+        let spec = circuit(if alt_circuit { "f2" } else { "majority" });
+        failpoint::arm(&FailPlan::new().point(site, action, nth));
+        let result = run_contained(&spec, &opts());
+        if let Err(e) = result {
+            prop_assert!((2..=9).contains(&e.exit_code()), "{site}: {e}");
+        }
+    }
+}
