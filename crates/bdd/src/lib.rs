@@ -1,4 +1,5 @@
-//! A reduced ordered binary decision diagram (ROBDD) package.
+//! A reduced ordered binary decision diagram (ROBDD) package with a
+//! shared concurrent node store.
 //!
 //! This is the workspace's stand-in for the "SIS 1.2 ROBDD package" the
 //! paper builds on (Bryant, 1986). It provides a [`BddManager`] arena with a
@@ -6,6 +7,23 @@
 //! equivalence checking is pointer comparison), the usual apply operations,
 //! cofactors, satisfy counting and conversion to and from the
 //! representations in [`xsynth_boolean`].
+//!
+//! # Concurrency
+//!
+//! A manager is a cheap handle (`Arc`) onto one shared substrate, and
+//! [`BddManager::clone`] is O(1): the clone addresses the *same* DAG, so
+//! handles created through any clone are valid — and canonical — through
+//! every other. The substrate is lock-striped: nodes, the unique table and
+//! the operation caches are split across [`NUM_SHARDS`] shards selected by
+//! a deterministic hash of the node (or cache key), so threads hash-consing
+//! different subfunctions rarely contend. Node *reads* (child traversal,
+//! evaluation, counting) take no lock at all — the arena is append-only and
+//! slots are published through `OnceLock`.
+//!
+//! The node cap ([`BddManager::set_node_limit`]) is a single atomic
+//! allocation counter on the shared substrate: N worker threads driving
+//! clones of one manager collectively observe one global cap, not N private
+//! ones.
 //!
 //! # Examples
 //!
@@ -24,7 +42,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use xsynth_boolean::{Sop, TruthTable, VarSet};
 
 /// Error returned by the `try_` operation forms when an operation would
@@ -48,10 +70,26 @@ impl std::fmt::Display for NodeLimitExceeded {
 
 impl std::error::Error for NodeLimitExceeded {}
 
+/// Number of shards the unique table, node arena and operation caches are
+/// striped across.
+pub const NUM_SHARDS: usize = 1 << SHARD_BITS;
+
+const SHARD_BITS: u32 = 6;
+const SHARD_MASK: u32 = (NUM_SHARDS as u32) - 1;
+/// First arena chunk holds 2^10 slots; each subsequent chunk doubles.
+const CHUNK_BASE_BITS: u32 = 10;
+/// 17 doubling chunks cover the full 26-bit per-shard slot space.
+const MAX_CHUNKS: usize = 17;
+const MAX_SLOT: u32 = (1 << (32 - SHARD_BITS)) - 1;
+
 /// A handle to a BDD node inside a [`BddManager`].
 ///
-/// Handles are canonical: two handles from the same manager are equal if
-/// and only if they denote the same Boolean function.
+/// Handles are canonical: two handles from the same substrate (the manager
+/// or any clone of it) are equal if and only if they denote the same
+/// Boolean function. The numeric value of a handle encodes its shard and
+/// arena slot; under parallel construction the value a given function gets
+/// depends on allocation interleaving, so nothing semantic may depend on
+/// handle numbering — only on handle *equality*.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Bdd(u32);
 
@@ -69,6 +107,14 @@ impl Bdd {
     /// Raw index, for debugging and statistics.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    fn shard(self) -> usize {
+        (self.0 & SHARD_MASK) as usize
+    }
+
+    fn slot(self) -> u32 {
+        self.0 >> SHARD_BITS
     }
 }
 
@@ -88,45 +134,177 @@ enum Op {
     Xor,
 }
 
+/// Append-only node storage for one shard: a fixed directory of doubling
+/// chunks whose slots are published through `OnceLock`, so readers need no
+/// lock and never observe a half-written node. Writers are already
+/// serialized by the shard's unique-table mutex.
+#[derive(Debug)]
+struct Arena {
+    chunks: [OnceLock<Box<[OnceLock<Node>]>>; MAX_CHUNKS],
+}
+
+impl Arena {
+    fn new() -> Self {
+        Arena {
+            chunks: std::array::from_fn(|_| OnceLock::new()),
+        }
+    }
+
+    /// Chunk index and offset of `slot`: chunk `c` starts at
+    /// `2^BASE · (2^c − 1)` and holds `2^(BASE+c)` slots.
+    fn locate(slot: u32) -> (usize, usize) {
+        let c = u32::BITS - 1 - ((slot >> CHUNK_BASE_BITS) + 1).leading_zeros();
+        let start = ((1u32 << c) - 1) << CHUNK_BASE_BITS;
+        (c as usize, (slot - start) as usize)
+    }
+
+    fn get(&self, slot: u32) -> Node {
+        let (c, off) = Self::locate(slot);
+        *self.chunks[c]
+            .get()
+            .and_then(|chunk| chunk[off].get())
+            .expect("BDD handle does not belong to this substrate")
+    }
+
+    /// Publishes `node` at `slot`. Caller holds the shard's unique-table
+    /// lock, so slots are written exactly once, in order.
+    fn set(&self, slot: u32, node: Node) {
+        let (c, off) = Self::locate(slot);
+        let chunk = self.chunks[c].get_or_init(|| {
+            (0..1usize << (CHUNK_BASE_BITS as usize + c))
+                .map(|_| OnceLock::new())
+                .collect()
+        });
+        let _ = chunk[off].set(node);
+    }
+}
+
+/// The unique table of one shard plus that shard's next free arena slot;
+/// guarded by one mutex so lookup + allocate + insert is atomic and a node
+/// can never be inserted twice.
+#[derive(Debug, Default)]
+struct UniqueTable {
+    map: HashMap<(u32, Bdd, Bdd), Bdd>,
+    len: u32,
+}
+
+#[derive(Debug)]
+struct Shard {
+    nodes: Arena,
+    unique: Mutex<UniqueTable>,
+    apply: Mutex<HashMap<(Op, Bdd, Bdd), Bdd>>,
+    not: Mutex<HashMap<Bdd, Bdd>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            nodes: Arena::new(),
+            unique: Mutex::new(UniqueTable::default()),
+            apply: Mutex::new(HashMap::new()),
+            not: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// The substrate all clones of one manager address.
+#[derive(Debug)]
+struct Shared {
+    n: usize,
+    shards: Vec<Shard>,
+    /// Total nodes allocated, terminals included — the single global
+    /// counter the node cap is enforced against.
+    node_count: AtomicUsize,
+    /// The node cap; `usize::MAX` means uncapped.
+    limit: AtomicUsize,
+    apply_hits: AtomicU64,
+    apply_misses: AtomicU64,
+}
+
+/// Locks a shard-level mutex, ignoring poisoning: a panic inside the
+/// package only ever fires *before* the guarded state is mutated (the
+/// fault-injection site sits ahead of the allocation), so the data behind
+/// a poisoned lock is still consistent and the fault-containment layers
+/// above keep using the manager.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Shard selector: a deterministic (fixed-key) hash, so a key's shard —
+/// and therefore the node set each shard ends up with — is stable across
+/// runs and processes.
+fn shard_of<T: Hash>(key: &T) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) & (NUM_SHARDS - 1)
+}
+
+/// Worker-thread count for the workspace's parallel fan-outs: the
+/// `XSYNTH_THREADS` environment variable when set to a positive integer,
+/// otherwise the machine's available parallelism, clamped to `cap` (the
+/// number of independent work items). `XSYNTH_THREADS=1` forces every
+/// fan-out onto the calling thread, which CI uses to run the determinism
+/// and chaos suites across a thread-count matrix.
+pub fn worker_threads(cap: usize) -> usize {
+    let configured = std::env::var("XSYNTH_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0);
+    let threads = configured.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    threads.min(cap.max(1))
+}
+
 /// An arena of shared, reduced, ordered BDD nodes over a fixed number of
 /// variables in natural index order.
 ///
-/// Cloning a manager duplicates the node arena and caches; handles created
-/// in the original remain valid (and denote the same functions) in the
-/// clone, which is what lets the polarity search fan candidate evaluations
-/// out across threads.
+/// Cloning a manager is O(1) and yields a new handle onto the *same*
+/// substrate: handles created through any clone are valid and canonical
+/// through every other, allocations count against one shared node cap, and
+/// the unique table / operation caches are shared. This is what lets the
+/// per-output synthesis workers and the polarity search fan out across
+/// threads while hash-consing into one DAG.
 #[derive(Debug, Clone)]
 pub struct BddManager {
-    n: usize,
-    nodes: Vec<Node>,
-    unique: HashMap<(u32, Bdd, Bdd), Bdd>,
-    cache: HashMap<(Op, Bdd, Bdd), Bdd>,
-    not_cache: HashMap<Bdd, Bdd>,
-    limit: usize,
+    shared: Arc<Shared>,
 }
 
 impl BddManager {
     /// Creates a manager for functions of `n` variables.
     pub fn new(n: usize) -> Self {
-        let nodes = vec![
+        let shards: Vec<Shard> = (0..NUM_SHARDS).map(|_| Shard::new()).collect();
+        // terminals live at slot 0 of shards 0 and 1, so their handle
+        // values are the fixed 0 and 1 `is_const` relies on
+        shards[0].nodes.set(
+            0,
             Node {
                 var: TERMINAL_VAR,
                 lo: Bdd::ZERO,
                 hi: Bdd::ZERO,
             },
+        );
+        lock(&shards[0].unique).len = 1;
+        shards[1].nodes.set(
+            0,
             Node {
                 var: TERMINAL_VAR,
                 lo: Bdd::ONE,
                 hi: Bdd::ONE,
             },
-        ];
+        );
+        lock(&shards[1].unique).len = 1;
         BddManager {
-            n,
-            nodes,
-            unique: HashMap::new(),
-            cache: HashMap::new(),
-            not_cache: HashMap::new(),
-            limit: usize::MAX,
+            shared: Arc::new(Shared {
+                n,
+                shards,
+                node_count: AtomicUsize::new(2),
+                limit: AtomicUsize::new(usize::MAX),
+                apply_hits: AtomicU64::new(0),
+                apply_misses: AtomicU64::new(0),
+            }),
         }
     }
 
@@ -134,34 +312,53 @@ impl BddManager {
     /// `limit` nodes (terminals included). Operations must use the `try_`
     /// forms to observe the cap as an error rather than a panic.
     pub fn with_node_limit(n: usize, limit: usize) -> Self {
-        let mut m = Self::new(n);
-        m.limit = limit;
+        let m = Self::new(n);
+        m.shared.limit.store(limit, Ordering::Relaxed);
         m
     }
 
     /// Sets (`Some`) or clears (`None`) the node cap. Nodes already
-    /// allocated are unaffected; only future allocations are checked.
+    /// allocated are unaffected; only future allocations are checked. The
+    /// cap lives on the shared substrate, so it governs this manager *and
+    /// every clone of it* — N worker threads collectively stay under one
+    /// global budget.
     pub fn set_node_limit(&mut self, limit: Option<usize>) {
-        self.limit = limit.unwrap_or(usize::MAX);
+        self.shared
+            .limit
+            .store(limit.unwrap_or(usize::MAX), Ordering::Relaxed);
     }
 
     /// The node cap, if one is set.
     pub fn node_limit(&self) -> Option<usize> {
-        if self.limit == usize::MAX {
-            None
-        } else {
-            Some(self.limit)
+        match self.shared.limit.load(Ordering::Relaxed) {
+            usize::MAX => None,
+            l => Some(l),
         }
     }
 
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
-        self.n
+        self.shared.n
     }
 
-    /// Total number of nodes allocated (including both terminals).
+    /// Total number of nodes allocated across all clones of this manager
+    /// (including both terminals).
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.shared.node_count.load(Ordering::Relaxed)
+    }
+
+    /// Apply-cache hits and misses accumulated over the life of the
+    /// substrate (all clones, all threads). The *ratio* proves cache
+    /// effectiveness — e.g. that commutative operand normalization turns
+    /// `apply(And, g, f)` into a hit after `apply(And, f, g)` — but the
+    /// split between hits and misses is schedule-dependent under
+    /// parallelism, so callers must report these as gauges, never as
+    /// determinism-checked counters.
+    pub fn apply_cache_stats(&self) -> (u64, u64) {
+        (
+            self.shared.apply_hits.load(Ordering::Relaxed),
+            self.shared.apply_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// The constant function `value`.
@@ -191,7 +388,7 @@ impl BddManager {
 
     /// Fallible form of [`BddManager::var`].
     pub fn try_var(&mut self, var: usize) -> Result<Bdd, NodeLimitExceeded> {
-        assert!(var < self.n, "variable {var} out of range");
+        assert!(var < self.shared.n, "variable {var} out of range");
         self.mk(var as u32, Bdd::ZERO, Bdd::ONE)
     }
 
@@ -207,29 +404,55 @@ impl BddManager {
 
     /// Fallible form of [`BddManager::nvar`].
     pub fn try_nvar(&mut self, var: usize) -> Result<Bdd, NodeLimitExceeded> {
-        assert!(var < self.n, "variable {var} out of range");
+        assert!(var < self.shared.n, "variable {var} out of range");
         self.mk(var as u32, Bdd::ONE, Bdd::ZERO)
     }
 
-    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Result<Bdd, NodeLimitExceeded> {
+    /// Hash-conses `(var, lo, hi)`: one shard (selected by node hash) owns
+    /// both the unique-table entry and the arena slot, and its mutex is
+    /// held across lookup + cap check + allocate + insert, so two threads
+    /// racing on the same node serialize and double-insertion is
+    /// impossible. Lock order is strictly unique(shard) → nothing: the
+    /// arena write needs no lock and no other mutex is taken while the
+    /// unique lock is held, so interleaved operations cannot deadlock.
+    fn mk(&self, var: u32, lo: Bdd, hi: Bdd) -> Result<Bdd, NodeLimitExceeded> {
         if lo == hi {
             return Ok(lo);
         }
-        if let Some(&b) = self.unique.get(&(var, lo, hi)) {
+        let sh = shard_of(&(var, lo, hi));
+        let shard = &self.shared.shards[sh];
+        let mut tab = lock(&shard.unique);
+        if let Some(&b) = tab.map.get(&(var, lo, hi)) {
             return Ok(b);
         }
-        xsynth_trace::fail_point!("bdd.alloc", Err(NodeLimitExceeded { limit: self.limit }));
-        if self.nodes.len() >= self.limit {
-            return Err(NodeLimitExceeded { limit: self.limit });
+        let limit = self.shared.limit.load(Ordering::Relaxed);
+        xsynth_trace::fail_point!("bdd.alloc", Err(NodeLimitExceeded { limit }));
+        // the global cap: claim one allocation or refuse
+        if self
+            .shared
+            .node_count
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                (c < limit).then_some(c + 1)
+            })
+            .is_err()
+        {
+            return Err(NodeLimitExceeded { limit });
         }
-        let id = Bdd(self.nodes.len() as u32);
-        self.nodes.push(Node { var, lo, hi });
-        self.unique.insert((var, lo, hi), id);
+        let slot = tab.len;
+        if slot > MAX_SLOT {
+            // handle space exhausted in this shard; give the claim back
+            self.shared.node_count.fetch_sub(1, Ordering::Relaxed);
+            return Err(NodeLimitExceeded { limit });
+        }
+        let id = Bdd((slot << SHARD_BITS) | sh as u32);
+        shard.nodes.set(slot, Node { var, lo, hi });
+        tab.len += 1;
+        tab.map.insert((var, lo, hi), id);
         Ok(id)
     }
 
     fn node(&self, b: Bdd) -> Node {
-        self.nodes[b.0 as usize]
+        self.shared.shards[b.shard()].nodes.get(b.slot())
     }
 
     /// The top variable of `b`, or `None` for constants.
@@ -259,7 +482,7 @@ impl BddManager {
         }
     }
 
-    fn apply(&mut self, op: Op, f: Bdd, g: Bdd) -> Result<Bdd, NodeLimitExceeded> {
+    fn apply(&self, op: Op, f: Bdd, g: Bdd) -> Result<Bdd, NodeLimitExceeded> {
         match op {
             Op::And => {
                 if f == Bdd::ZERO || g == Bdd::ZERO {
@@ -294,18 +517,22 @@ impl BddManager {
                     return Ok(Bdd::ZERO);
                 }
                 if f == Bdd::ONE {
-                    return self.try_not(g);
+                    return self.not_rec(g);
                 }
                 if g == Bdd::ONE {
-                    return self.try_not(f);
+                    return self.not_rec(f);
                 }
             }
         }
-        // commutative ops: normalize operand order for the cache
+        // commutative ops: normalize operand order for the cache, so
+        // apply(op, g, f) hits the entry apply(op, f, g) populated
         let key = if f <= g { (op, f, g) } else { (op, g, f) };
-        if let Some(&r) = self.cache.get(&key) {
+        let cache = &self.shared.shards[shard_of(&key)].apply;
+        if let Some(&r) = lock(cache).get(&key) {
+            self.shared.apply_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(r);
         }
+        self.shared.apply_misses.fetch_add(1, Ordering::Relaxed);
         let (nf, ng) = (self.node(f), self.node(g));
         let var = nf.var.min(ng.var);
         let (f0, f1) = if nf.var == var {
@@ -321,7 +548,7 @@ impl BddManager {
         let lo = self.apply(op, f0, g0)?;
         let hi = self.apply(op, f1, g1)?;
         let r = self.mk(var, lo, hi)?;
-        self.cache.insert(key, r);
+        lock(cache).insert(key, r);
         Ok(r)
     }
 
@@ -377,26 +604,31 @@ impl BddManager {
     /// Panics only if a node cap is set and tripped (use
     /// [`BddManager::try_not`] under a budget).
     pub fn not(&mut self, f: Bdd) -> Bdd {
-        Self::expect_ok(self.try_not(f))
+        Self::expect_ok(self.not_rec(f))
     }
 
     /// Fallible form of [`BddManager::not`].
     pub fn try_not(&mut self, f: Bdd) -> Result<Bdd, NodeLimitExceeded> {
+        self.not_rec(f)
+    }
+
+    fn not_rec(&self, f: Bdd) -> Result<Bdd, NodeLimitExceeded> {
         if f == Bdd::ZERO {
             return Ok(Bdd::ONE);
         }
         if f == Bdd::ONE {
             return Ok(Bdd::ZERO);
         }
-        if let Some(&r) = self.not_cache.get(&f) {
+        let cache = |b: Bdd| &self.shared.shards[shard_of(&b)].not;
+        if let Some(&r) = lock(cache(f)).get(&f) {
             return Ok(r);
         }
         let n = self.node(f);
-        let lo = self.try_not(n.lo)?;
-        let hi = self.try_not(n.hi)?;
+        let lo = self.not_rec(n.lo)?;
+        let hi = self.not_rec(n.hi)?;
         let r = self.mk(n.var, lo, hi)?;
-        self.not_cache.insert(f, r);
-        self.not_cache.insert(r, f);
+        lock(cache(f)).insert(f, r);
+        lock(cache(r)).insert(r, f);
         Ok(r)
     }
 
@@ -441,7 +673,7 @@ impl BddManager {
     }
 
     fn cofactor_rec(
-        &mut self,
+        &self,
         f: Bdd,
         var: u32,
         phase: bool,
@@ -503,7 +735,7 @@ impl BddManager {
 
     fn level(&self, b: Bdd) -> u32 {
         if b.is_const() {
-            self.n as u32
+            self.shared.n as u32
         } else {
             self.node(b).var
         }
@@ -612,18 +844,18 @@ impl BddManager {
     /// Fallible form of [`BddManager::from_table`]. Still panics on an
     /// arity mismatch, which is a programming error.
     pub fn try_from_table(&mut self, t: &TruthTable) -> Result<Bdd, NodeLimitExceeded> {
-        assert_eq!(t.num_vars(), self.n, "arity mismatch");
+        assert_eq!(t.num_vars(), self.shared.n, "arity mismatch");
         self.from_table_rec(t, 0, 0)
     }
 
     #[allow(clippy::wrong_self_convention)]
     fn from_table_rec(
-        &mut self,
+        &self,
         t: &TruthTable,
         var: usize,
         prefix: u64,
     ) -> Result<Bdd, NodeLimitExceeded> {
-        if var == self.n {
+        if var == self.shared.n {
             return Ok(self.constant(t.eval(prefix)));
         }
         let lo = self.from_table_rec(t, var + 1, prefix)?;
@@ -670,7 +902,7 @@ impl BddManager {
 
     /// Converts `f` to a truth table (requires `n ≤ MAX_TT_VARS`).
     pub fn to_table(&self, f: Bdd) -> TruthTable {
-        TruthTable::from_fn(self.n, |m| self.eval(f, m))
+        TruthTable::from_fn(self.shared.n, |m| self.eval(f, m))
     }
 
     /// One satisfying assignment of `f` (variables outside the support are
@@ -679,7 +911,7 @@ impl BddManager {
         if f == Bdd::ZERO {
             return None;
         }
-        let mut assignment = vec![false; self.n];
+        let mut assignment = vec![false; self.shared.n];
         let mut cur = f;
         while !cur.is_const() {
             let node = self.node(cur);
@@ -910,5 +1142,89 @@ mod tests {
         let t = TruthTable::from_fn(6, |v| v % 3 == 1);
         let f = m.try_from_table(&t).unwrap();
         assert_eq!(m.to_table(f), t);
+    }
+
+    #[test]
+    fn clones_share_one_substrate() {
+        let mut m = BddManager::new(4);
+        let (a, b) = (m.var(0), m.var(1));
+        let before = m.num_nodes();
+        // the same function built through a clone allocates nothing new
+        // and returns the very same handle
+        let mut c = m.clone();
+        let ab = m.and(a, b);
+        assert_eq!(c.and(a, b), ab);
+        assert_eq!(m.num_nodes(), before + 1);
+        // new structure built in the clone is visible (and canonical) in
+        // the original
+        let x = c.xor(a, b);
+        assert_eq!(m.xor(a, b), x);
+        assert_eq!(m.num_nodes(), c.num_nodes());
+        assert!(m.eval(x, 0b01));
+    }
+
+    #[test]
+    fn node_limit_is_global_across_clones() {
+        let mut m = BddManager::with_node_limit(8, 5);
+        let mut c = m.clone();
+        let a = m.try_var(0).unwrap();
+        let b = c.try_var(1).unwrap();
+        // 2 terminals + 2 vars allocated; the next node (through either
+        // handle) reaches the cap of 5, the one after must trip
+        let ab = c.try_and(a, b).unwrap();
+        assert!(!ab.is_const());
+        assert!(m.try_or(a, b).is_err());
+        assert!(c.try_xor(a, b).is_err());
+        // raising the cap through one handle unblocks every clone
+        m.set_node_limit(Some(64));
+        assert!(c.try_xor(a, b).is_ok());
+        assert_eq!(m.num_nodes(), c.num_nodes());
+    }
+
+    #[test]
+    fn commuted_apply_hits_the_cache() {
+        let mut m = BddManager::new(6);
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let g = m.xor(b, c);
+        for op in [Op::And, Op::Or, Op::Xor] {
+            let first = m.apply(op, f, g).unwrap();
+            let (hits0, misses0) = m.apply_cache_stats();
+            let second = m.apply(op, g, f).unwrap();
+            let (hits1, misses1) = m.apply_cache_stats();
+            assert_eq!(first, second);
+            assert_eq!(hits1, hits0 + 1, "swapped operands must hit ({op:?})");
+            assert_eq!(misses1, misses0, "swapped operands must not miss ({op:?})");
+        }
+    }
+
+    #[test]
+    fn worker_threads_respects_cap() {
+        // no env manipulation here (tests run concurrently); just the
+        // clamping contract
+        assert_eq!(worker_threads(0), 1);
+        assert!(worker_threads(1) == 1);
+        assert!(worker_threads(usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn arena_locate_is_dense_and_in_bounds() {
+        // every slot maps into its chunk's bounds, consecutive slots are
+        // consecutive, and chunk starts line up with the doubling layout
+        let mut expected_start = 0u32;
+        for c in 0..MAX_CHUNKS as u32 {
+            let size = 1u32 << (CHUNK_BASE_BITS + c);
+            assert_eq!(Arena::locate(expected_start), (c as usize, 0));
+            assert_eq!(
+                Arena::locate(expected_start + size - 1),
+                (c as usize, size as usize - 1)
+            );
+            expected_start += size;
+            if expected_start > MAX_SLOT {
+                break;
+            }
+        }
+        assert!(expected_start >= MAX_SLOT, "chunks must cover slot space");
     }
 }

@@ -1,0 +1,205 @@
+//! Concurrency contract of the shared BDD substrate: clones of one
+//! manager address the same DAG, so threads hash-consing the same
+//! functions get *identical* handles, the node count matches a sequential
+//! build (no duplicate insertion, ever), the global node cap binds all
+//! threads together, and interleaved `try_` operations never deadlock.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use xsynth_bdd::{Bdd, BddManager, NodeLimitExceeded};
+
+/// A deterministic little formula family over `n` variables, built only
+/// from `try_` ops so capped managers can run it too: XOR-chains, AND/OR
+/// ladders and their negations, selected by `seed`.
+fn build_formula(m: &mut BddManager, n: usize, seed: u64) -> Result<Bdd, NodeLimitExceeded> {
+    let mut acc = m.constant(seed & 1 == 0);
+    for v in 0..n {
+        let x = if (seed >> (v % 48)) & 1 == 0 {
+            m.try_var(v)?
+        } else {
+            m.try_nvar(v)?
+        };
+        acc = match (seed >> (2 * v)) % 3 {
+            0 => m.try_and(acc, x)?,
+            1 => m.try_or(acc, x)?,
+            _ => m.try_xor(acc, x)?,
+        };
+        if (seed >> (v % 31)) & 4 == 4 {
+            acc = m.try_not(acc)?;
+        }
+    }
+    Ok(acc)
+}
+
+#[test]
+fn racing_threads_get_identical_canonical_handles() {
+    const THREADS: usize = 8;
+    const SEEDS: u64 = 24;
+    let n = 12;
+    let m = BddManager::new(n);
+    // every thread builds every formula, racing on the same substrate
+    let per_thread: Vec<Vec<Bdd>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let mut local = m.clone();
+                s.spawn(move || {
+                    (0..SEEDS)
+                        // stagger the order per thread so the races cover
+                        // different allocation interleavings
+                        .map(|k| (k + t as u64) % SEEDS)
+                        .map(|seed| build_formula(&mut local, n, seed).expect("uncapped"))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no worker panics"))
+            .collect()
+    });
+    // thread t built seed (k + t) % SEEDS at position k; re-align back to
+    // seed order, then demand handle-for-handle equality across threads
+    let aligned: Vec<Vec<Bdd>> = per_thread
+        .iter()
+        .enumerate()
+        .map(|(t, v)| {
+            (0..SEEDS as usize)
+                .map(|k| v[(k + SEEDS as usize - t % SEEDS as usize) % SEEDS as usize])
+                .collect()
+        })
+        .collect();
+    for t in 1..THREADS {
+        assert_eq!(
+            aligned[0], aligned[t],
+            "thread {t} disagrees on canonical handles"
+        );
+    }
+    // replaying the whole family sequentially allocates nothing new: the
+    // substrate already holds every node, proving the racing inserts were
+    // deduplicated rather than duplicated
+    let after_race = m.num_nodes();
+    let mut replay = m.clone();
+    for seed in 0..SEEDS {
+        build_formula(&mut replay, n, seed).expect("uncapped");
+    }
+    assert_eq!(
+        m.num_nodes(),
+        after_race,
+        "sequential replay allocated new nodes — the racy build duplicated some"
+    );
+    // and a fresh manager building the same family sequentially needs at
+    // least as many nodes: the shared build can't have lost anything
+    let mut fresh = BddManager::new(n);
+    for seed in 0..SEEDS {
+        build_formula(&mut fresh, n, seed).expect("uncapped");
+    }
+    assert!(fresh.num_nodes() <= after_race);
+}
+
+#[test]
+fn node_cap_is_enforced_at_the_true_global_count() {
+    // Regression for the pre-shared-substrate bug where every worker got a
+    // private clone with a private cap, so N workers could collectively
+    // allocate N× the budget. Here 8 threads hammer one capped substrate
+    // with *distinct* functions; the global count must never pass the cap.
+    const CAP: usize = 200;
+    const THREADS: usize = 8;
+    let n = 16;
+    let m = BddManager::with_node_limit(n, CAP);
+    let trips = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let mut local = m.clone();
+            let trips = &trips;
+            s.spawn(move || {
+                for seed in 0..64u64 {
+                    // disjoint seed ranges per thread → mostly distinct
+                    // functions → real allocation pressure from each
+                    let seed = seed + 1000 * t as u64;
+                    if build_formula(&mut local, n, seed).is_err() {
+                        trips.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert!(
+        m.num_nodes() <= CAP,
+        "global count {} exceeds the shared cap {CAP}",
+        m.num_nodes()
+    );
+    assert!(
+        trips.load(Ordering::Relaxed) > 0,
+        "the workload was sized to trip a {CAP}-node cap"
+    );
+    // the documented keep-best contract: handles made before the trip are
+    // still usable for read-only work
+    let mut probe = m.clone();
+    let a = probe.try_var(0).expect("var 0 was interned before the cap");
+    assert!(probe.eval(a, 0b1));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Interleaved `try_` operations from several threads — arbitrary op
+    /// mixes, with and without a node cap — always terminate (no deadlock:
+    /// the substrate holds at most one shard lock at a time) and never
+    /// double-insert (same handle ⇔ same function, counted once).
+    #[test]
+    fn interleaved_try_ops_never_deadlock_or_double_insert(
+        seeds in proptest::collection::vec(0u64..1 << 40, 4..12),
+        raw_cap in 0usize..400,
+        threads in 2usize..6,
+    ) {
+        let n = 10;
+        // raw_cap below 50 means "uncapped"; otherwise it is the cap
+        let cap = (raw_cap >= 50).then_some(raw_cap);
+        let m = match cap {
+            Some(c) => BddManager::with_node_limit(n, c),
+            None => BddManager::new(n),
+        };
+        let results: Vec<Vec<Option<Bdd>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let mut local = m.clone();
+                    let seeds = seeds.clone();
+                    s.spawn(move || {
+                        seeds
+                            .iter()
+                            .cycle()
+                            .skip(t)
+                            .take(seeds.len())
+                            .map(|&seed| build_formula(&mut local, n, seed).ok())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        });
+        // under a cap some builds may fail, but every *successful* build
+        // of the same seed must have produced the same canonical handle
+        let mut by_seed: std::collections::HashMap<u64, Bdd> = std::collections::HashMap::new();
+        for (t, thread_results) in results.iter().enumerate() {
+            for (j, maybe) in thread_results.iter().enumerate() {
+                let seed = seeds[(j + t) % seeds.len()];
+                if let Some(b) = maybe {
+                    if let Some(prev) = by_seed.insert(seed, *b) {
+                        prop_assert_eq!(prev, *b, "seed {} got two handles", seed);
+                    }
+                }
+            }
+        }
+        if let Some(c) = cap {
+            prop_assert!(m.num_nodes() <= c, "count {} over cap {}", m.num_nodes(), c);
+        }
+        // replay sequentially: every formula that succeeded above must
+        // still resolve to its recorded handle (canonicity survives races)
+        let mut replay = m.clone();
+        replay.set_node_limit(None);
+        for (&seed, &b) in &by_seed {
+            let again = build_formula(&mut replay, n, seed).expect("uncapped replay");
+            prop_assert_eq!(again, b);
+        }
+    }
+}

@@ -310,6 +310,14 @@ pub fn run_compare_cli(args: &[String], out: &mut dyn std::io::Write) -> i32 {
                 };
                 opts.time_floor_seconds = v / 1e3;
             }
+            "--mem-floor-kb" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+                    let _ = writeln!(out, "error: --mem-floor-kb needs a number");
+                    return 2;
+                };
+                opts.mem_floor_kb = v;
+            }
             "--help" | "-h" => {
                 let _ = writeln!(out, "{USAGE}");
                 return 0;
@@ -350,7 +358,7 @@ pub fn run_compare_cli(args: &[String], out: &mut dyn std::io::Write) -> i32 {
 }
 
 const USAGE: &str = "usage: bench_compare <old.json> <new.json> \
-[--max-regress-pct N] [--time-floor-ms N]";
+[--max-regress-pct N] [--time-floor-ms N] [--mem-floor-kb N]";
 
 #[cfg(test)]
 mod tests {
@@ -464,5 +472,37 @@ mod tests {
         );
         assert!(r.has_regressions());
         assert_eq!(r.regressions()[0].metric, "mem.peak_rss_kb");
+    }
+
+    #[test]
+    fn mem_floor_flag_tightens_the_memory_gate() {
+        // a 2× blow-up from 25 MB to 50 MB: under the default 50 MB floor
+        // it is noise, but `--mem-floor-kb 20480` must flag it
+        let mut old_r = rec("a", 10, 1.0);
+        old_r.gauges.insert("mem.peak_rss_kb".into(), 25_600.0);
+        let mut new_r = rec("a", 10, 1.0);
+        new_r.gauges.insert("mem.peak_rss_kb".into(), 51_200.0);
+        let dir = std::env::temp_dir().join("xsynth_mem_floor_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old_path = dir.join("old.json");
+        let new_path = dir.join("new.json");
+        std::fs::write(&old_path, suite(vec![old_r]).to_json()).unwrap();
+        std::fs::write(&new_path, suite(vec![new_r]).to_json()).unwrap();
+        let base: Vec<String> = vec![
+            old_path.display().to_string(),
+            new_path.display().to_string(),
+        ];
+        let mut out = Vec::new();
+        assert_eq!(run_compare_cli(&base, &mut out), 0);
+        let mut args = base.clone();
+        args.extend(["--mem-floor-kb".to_string(), "20480".to_string()]);
+        let mut out = Vec::new();
+        assert_eq!(run_compare_cli(&args, &mut out), 1);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("mem.peak_rss_kb"), "{text}");
+        let mut bad = base.clone();
+        bad.push("--mem-floor-kb".to_string());
+        let mut out = Vec::new();
+        assert_eq!(run_compare_cli(&bad, &mut out), 2);
     }
 }

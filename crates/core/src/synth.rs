@@ -621,6 +621,16 @@ fn run_pipeline(
         curtail(report, phase::VERIFY);
     }
 
+    // Apply-cache effectiveness over the whole shared substrate. The
+    // hit/miss split is schedule-dependent under parallel planning (which
+    // thread warms an entry decides who hits it), so these are gauges —
+    // the determinism contract only covers counters.
+    let (apply_hits, apply_misses) = bm.apply_cache_stats();
+    main.gauge("bdd.apply_hits", apply_hits as f64);
+    main.gauge("bdd.apply_misses", apply_misses as f64);
+    main.gauge("bdd.nodes", bm.num_nodes() as f64);
+    main.gauge("bdd.peak_nodes", bm.num_nodes() as f64);
+
     let result = result.sweep();
     main.gauge("net.gates", result.num_gates() as f64);
     main.end();
@@ -942,12 +952,14 @@ fn synthesize_outputs(
 
     // Phase 1: per-output polarity + FPRM cubes; decide the method. With
     // multiple outputs the planning fans out across worker threads, each
-    // owning a clone of the BDD manager (handles stay valid in clones);
-    // with a single output the parallelism moves inside the polarity
-    // search instead, so the machine is never oversubscribed. Plans are
-    // merged back by output index — and each output records into its own
-    // trace buffer keyed by that index — which makes both the result and
-    // the trace independent of thread scheduling.
+    // holding a cheap clone handle onto the one shared BDD substrate, so
+    // every worker hash-conses into the same DAG (and the node budget is
+    // one global cap, not a per-worker one); with a single output the
+    // parallelism moves inside the polarity search instead, so the
+    // machine is never oversubscribed. Plans are merged back by output
+    // index — and each output records into its own trace buffer keyed by
+    // that index — which makes both the result and the trace independent
+    // of thread scheduling.
     main.begin(phase::FPRM);
     let num_outputs = spec.outputs().len();
     let parallel_outputs = opts.parallel && num_outputs > 1;
@@ -957,10 +969,7 @@ fn synthesize_outputs(
     type Planned = (OutputPlan, Option<SalvageRecord>);
     type PlanSlots = (Vec<(usize, Result<Planned, Error>)>, Vec<String>);
     let plans: Result<Vec<Planned>, Error> = if parallel_outputs {
-        let workers = std::thread::available_parallelism()
-            .map(|w| w.get())
-            .unwrap_or(1)
-            .min(num_outputs);
+        let workers = xsynth_bdd::worker_threads(num_outputs);
         let next = AtomicUsize::new(0);
         let bm_ref = &*bm;
         let outs = spec.outputs();
@@ -1086,10 +1095,10 @@ fn synthesize_outputs(
         .filter_map(|(i, p)| p.lit_cubes.is_some().then_some(i))
         .collect();
     let (extraction, saved_cubes) = if opts.share && !cube_outputs.is_empty() {
-        let funcs: Vec<Vec<VarSet>> = cube_outputs
-            .iter()
-            .map(|&i| plans[i].lit_cubes.clone().expect("cube output"))
-            .collect();
+        // the covers are pulled from the plans by presence (the same
+        // predicate that built `cube_outputs`), so no indexed unwrap can
+        // ever observe a cube-less plan
+        let funcs: Vec<Vec<VarSet>> = plans.iter().filter_map(|p| p.lit_cubes.clone()).collect();
         // pre-extraction covers, kept so a failed divisor emission can
         // roll the outputs back to their unshared forms
         let saved: Vec<(usize, Vec<VarSet>)> = cube_outputs
@@ -1097,15 +1106,54 @@ fn synthesize_outputs(
             .copied()
             .zip(funcs.iter().cloned())
             .collect();
-        let ext = main.span("gfx_extract", |_| {
-            gfx::extract(funcs, 2 * n, &gfx::ExtractOptions::default())
-        });
-        main.count("share.divisors", ext.divisors.len() as u64);
-        report.divisors = ext.divisors.len();
-        for (&i, rewritten) in cube_outputs.iter().zip(ext.functions.iter()) {
-            plans[i].lit_cubes = Some(rewritten.clone());
+        // The extraction is a pure cover rewrite: a fault inside it is
+        // contained by skipping cross-output sharing for this run — the
+        // plans still hold their unshared covers, so nothing needs
+        // rolling back. With salvage off the fault is fatal and keeps its
+        // typed identity where it has one.
+        let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<gfx::Extraction, Error> {
+            xsynth_trace::fail_point!(
+                "core.share",
+                Err(Error::OutputFailed {
+                    output: "shared-divisors".to_string(),
+                    cause: "injected fault: core.share tripped".to_string(),
+                })
+            );
+            Ok(main.span("gfx_extract", |_| {
+                gfx::extract(funcs, 2 * n, &gfx::ExtractOptions::default())
+            }))
+        }));
+        let attempt: Result<gfx::Extraction, (String, Option<Error>)> = match attempt {
+            Ok(Ok(ext)) => Ok(ext),
+            Ok(Err(e)) => Err((e.to_string(), Some(e))),
+            Err(p) => Err((panic_message(p.as_ref()), None)),
+        };
+        match attempt {
+            Ok(ext) => {
+                main.count("share.divisors", ext.divisors.len() as u64);
+                report.divisors = ext.divisors.len();
+                for (&i, rewritten) in cube_outputs.iter().zip(ext.functions.iter()) {
+                    plans[i].lit_cubes = Some(rewritten.clone());
+                }
+                (ext.divisors, saved)
+            }
+            Err((cause, typed)) => {
+                if !opts.salvage {
+                    main.end(); // factoring
+                    return Err(typed.unwrap_or_else(|| Error::OutputFailed {
+                        output: "shared-divisors".to_string(),
+                        cause,
+                    }));
+                }
+                main.count("salvage.attempts", 1);
+                report.salvaged.push(SalvageRecord {
+                    output: "shared-divisors".to_string(),
+                    rung: SalvageRung::SkipSharing,
+                    cause,
+                });
+                (Vec::new(), Vec::new())
+            }
         }
-        (ext.divisors, saved)
     } else {
         (Vec::new(), Vec::new())
     };

@@ -472,7 +472,9 @@ impl PolaritySearchStats {
 /// the BDD→OFDD conversion. Evaluated polarities are memoized (keyed by
 /// the polarity vector itself), so greedy rounds never re-evaluate a visited
 /// vector, and the independent single-flip candidates of a round can be
-/// evaluated in parallel on clones of the manager (`parallel(true)`).
+/// evaluated in parallel (`parallel(true)`) on clone handles of the shared
+/// manager substrate, every worker hash-consing into the same DAG under
+/// one global node cap.
 /// Results are bit-identical with and without parallelism: workers only
 /// compute cube counts, and the selection logic is a pure function of
 /// those counts applied in a fixed order.
@@ -635,10 +637,7 @@ impl<'a> PolaritySearch<'a> {
             tripped = true;
         } else {
             let workers = if self.parallel && missing.len() >= 2 {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-                    .min(missing.len())
+                xsynth_bdd::worker_threads(missing.len())
             } else {
                 1
             };

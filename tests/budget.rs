@@ -120,6 +120,44 @@ fn cli_exit_codes_match_the_documented_contract() {
     assert_eq!(err.exit_code(), 8, "{err}");
 }
 
+/// Parallel synthesis observes the node cap as ONE global budget: the
+/// planner workers share a single BDD substrate with one atomic
+/// allocation counter, so the traced peak can never show N workers each
+/// consuming the full cap (which the old clone-per-worker managers
+/// allowed — N clones, N private caps, N× the memory).
+#[test]
+fn parallel_node_cap_is_one_global_budget() {
+    let spec = xsynth::circuits::build("adr4").expect("adr4 is in the registry");
+    assert!(
+        spec.outputs().len() > 1,
+        "the global-cap regression needs a multi-output circuit"
+    );
+    const CAP: usize = 3000;
+    let sink = TraceSink::new();
+    let opts = SynthOptions::builder()
+        .parallel(true)
+        .budget(Budget::default().bdd_node_cap(Some(CAP)))
+        .trace(sink.clone())
+        .build();
+    match try_synthesize(&spec, &opts) {
+        Ok(outcome) => {
+            for m in 0..256u64 {
+                assert_eq!(outcome.network.eval_u64(m), spec.eval_u64(m));
+            }
+        }
+        Err(Error::Budget(_)) | Err(Error::OutputFailed { .. }) => {}
+        Err(other) => panic!("unexpected error family: {other}"),
+    }
+    let trace = sink.take();
+    let peak = trace
+        .gauge_max("bdd.peak_nodes")
+        .expect("the pipeline gauges its substrate");
+    assert!(
+        peak <= CAP as f64,
+        "peak {peak} exceeds the global cap {CAP} — workers are not sharing one budget"
+    );
+}
+
 /// A starved-but-survivable budget still yields a verified network and
 /// reports what was curtailed.
 #[test]

@@ -200,6 +200,39 @@ fn factoring_panic_during_emission_is_contained() {
 }
 
 #[test]
+fn share_extraction_fault_salvages_by_skipping_sharing() {
+    let _g = exclusive();
+    let spec = circuit("majority");
+    let cube = SynthOptions::builder()
+        .parallel(false)
+        .method(FactorMethod::Cube)
+        .build();
+    // a fault inside the cross-output divisor extraction — typed error or
+    // panic — skips sharing and keeps the per-output covers
+    for action in [Action::Error, Action::Panic] {
+        failpoint::arm(&FailPlan::new().point("core.share", action, 1));
+        let outcome = run_contained(&spec, &cube).expect("sharing is optional structure");
+        let salvaged = &outcome.report.salvaged;
+        assert_eq!(salvaged.len(), 1, "{action:?}: {salvaged:?}");
+        assert_eq!(salvaged[0].output, "shared-divisors");
+        assert_eq!(salvaged[0].rung, SalvageRung::SkipSharing);
+        assert_eq!(outcome.report.divisors, 0, "{action:?}");
+        let totals = outcome.report.trace.counter_totals();
+        assert!(totals.get("salvage.attempts").copied().unwrap_or(0) >= 1);
+    }
+    // with salvage off the same fault is fatal, with the typed error's
+    // exit code
+    failpoint::arm(&FailPlan::new().point("core.share", Action::Error, 1));
+    let strict = SynthOptions::builder()
+        .parallel(false)
+        .method(FactorMethod::Cube)
+        .salvage(false)
+        .build();
+    let err = run_contained(&spec, &strict).expect_err("salvage disabled");
+    assert_eq!(err.exit_code(), 9, "{err}");
+}
+
+#[test]
 fn delay_action_only_slows_the_pipeline() {
     let _g = exclusive();
     let spec = circuit("majority");
@@ -229,7 +262,13 @@ fn swept_sites() -> &'static [String] {
             sites.len() >= 8,
             "warmup should reach most of the pipeline's sites: {sites:?}"
         );
-        for expect in ["bdd.alloc", "core.plan", "core.verify", "sim.block"] {
+        for expect in [
+            "bdd.alloc",
+            "core.plan",
+            "core.share",
+            "core.verify",
+            "sim.block",
+        ] {
             assert!(sites.iter().any(|s| s == expect), "{expect} not registered");
         }
         sites

@@ -58,6 +58,16 @@ fn parallel_equals_sequential_over_the_registry() {
             "{}: parallel and sequential trace counter totals differ",
             bench.name
         );
+        // The shared substrate's final node count is the size of the
+        // hash-consed node set, which is schedule-independent: the same
+        // operations run either way, so the workers' interleaved
+        // allocations must produce exactly the sequential run's DAG.
+        assert_eq!(
+            par.report.trace.gauge_finals().get("bdd.nodes"),
+            seq.report.trace.gauge_finals().get("bdd.nodes"),
+            "{}: parallel and sequential substrate node counts differ",
+            bench.name
+        );
     }
 }
 
