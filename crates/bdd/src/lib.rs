@@ -219,6 +219,11 @@ struct Shared {
     limit: AtomicUsize,
     apply_hits: AtomicU64,
     apply_misses: AtomicU64,
+    /// Bumped by [`BddManager::try_reclaim`] each time the substrate is
+    /// replaced wholesale. Handles are only meaningful within one
+    /// generation; long-lived owners compare generations to notice that
+    /// cached handles went stale.
+    generation: u64,
 }
 
 /// Locks a shard-level mutex, ignoring poisoning: a panic inside the
@@ -304,6 +309,7 @@ impl BddManager {
                 limit: AtomicUsize::new(usize::MAX),
                 apply_hits: AtomicU64::new(0),
                 apply_misses: AtomicU64::new(0),
+                generation: 0,
             }),
         }
     }
@@ -334,6 +340,38 @@ impl BddManager {
             usize::MAX => None,
             l => Some(l),
         }
+    }
+
+    /// The substrate generation this handle addresses. Starts at 0 and is
+    /// bumped by each successful [`BddManager::try_reclaim`]; two handles
+    /// with different generations share no nodes, so a cached [`Bdd`]
+    /// stamped with an older generation must be discarded, not resolved.
+    pub fn generation(&self) -> u64 {
+        self.shared.generation
+    }
+
+    /// Generational reclamation for long-lived owners (the daemon's engine
+    /// pool): replaces the entire substrate — unique tables, operation
+    /// caches, arena — with a fresh, empty generation, releasing every
+    /// node at once instead of pinning dead ones against the global cap.
+    ///
+    /// Reclamation is refused (returns `false`, substrate untouched) while
+    /// any other clone of this manager is alive, because their handles
+    /// would dangle into the dropped arena. The node cap carries over; the
+    /// generation counter increments so stale-handle caches can tell.
+    pub fn try_reclaim(&mut self) -> bool {
+        if Arc::get_mut(&mut self.shared).is_none() {
+            return false;
+        }
+        let limit = self.shared.limit.load(Ordering::Relaxed);
+        let next_gen = self.shared.generation + 1;
+        let mut fresh = BddManager::new(self.shared.n);
+        fresh.shared.limit.store(limit, Ordering::Relaxed);
+        Arc::get_mut(&mut fresh.shared)
+            .expect("freshly constructed Arc is unique")
+            .generation = next_gen;
+        self.shared = fresh.shared;
+        true
     }
 
     /// Number of variables.
@@ -1134,6 +1172,39 @@ mod tests {
         assert!(!ab.is_const());
         m.set_node_limit(None);
         assert_eq!(m.node_limit(), None);
+    }
+
+    #[test]
+    fn reclaim_resets_nodes_and_bumps_generation() {
+        let mut m = BddManager::with_node_limit(8, 1 << 20);
+        assert_eq!(m.generation(), 0);
+        let a = m.var(0);
+        let b = m.var(1);
+        m.and(a, b);
+        let grown = m.num_nodes();
+        assert!(grown > 2);
+        assert!(m.try_reclaim());
+        assert_eq!(m.generation(), 1);
+        assert_eq!(m.num_nodes(), 2, "only terminals survive reclamation");
+        assert_eq!(m.node_limit(), Some(1 << 20), "cap carries over");
+        // the fresh generation is fully usable
+        let a2 = m.var(0);
+        let b2 = m.var(1);
+        assert!(!m.and(a2, b2).is_const());
+    }
+
+    #[test]
+    fn reclaim_refused_while_clones_are_alive() {
+        let mut m = BddManager::new(4);
+        let clone = m.clone();
+        let a = m.var(0);
+        assert!(!m.try_reclaim(), "a live clone pins the substrate");
+        assert_eq!(m.generation(), 0);
+        // existing handles stay valid because nothing was dropped
+        assert_eq!(m.and(a, Bdd::ONE), a);
+        drop(clone);
+        assert!(m.try_reclaim());
+        assert_eq!(m.generation(), 1);
     }
 
     #[test]

@@ -183,9 +183,12 @@ pub fn measure_flow(
     opts: &MeasureOptions,
 ) -> Measured {
     let runs = opts.runs.max(1);
-    // scope the peak-RSS gauge to this measurement (best-effort; without
-    // the reset the gauge reports the process-lifetime high-water mark)
-    xsynth_trace::mem::reset_peak_rss();
+    // Scope the peak-RSS gauge to this measurement. The scope guard is the
+    // daemon-safe form of the old process-wide reset: the outermost live
+    // scope resets the high-water mark, overlapping measurements (serve
+    // jobs in flight) observe shared upper bounds instead of truncating
+    // each other mid-read.
+    let _mem_scope = xsynth_trace::mem::MemScope::begin();
     let mut times = Vec::with_capacity(runs);
     let mut last: Option<(Network, Option<SynthReport>)> = None;
     for _ in 0..runs {

@@ -1,0 +1,602 @@
+//! Content-addressed result cache for the synthesis stack.
+//!
+//! The cache key insight comes straight from the domain: an FPRM cover is
+//! a canonical GF(2) polynomial of its cone, so a **canonical structural
+//! hash of an output cone** is a sound content address for everything the
+//! pipeline derives from that cone — the winning polarity vector, the FPRM
+//! cube list, and the factored sub-network. Two structurally identical
+//! cones (same gate DAG shape, input names and node ids ignored) hash to
+//! the same key, so a long-lived daemon serving duplicate or
+//! near-duplicate jobs can skip the polarity descent and factoring for
+//! cones it has already solved.
+//!
+//! Three memo tiers share one byte-budgeted LRU store:
+//!
+//! * [`Tier::Polarity`] — the winning polarity vector, expressed over the
+//!   cone's *canonical input order* (first-visit order of the DFS that
+//!   hashed it), so it transfers between circuits that merely renumber
+//!   their inputs;
+//! * [`Tier::Cubes`] — the FPRM cube list under that polarity, again in
+//!   canonical input numbering and in OFDD enumeration order;
+//! * [`Tier::Factored`] — the factored expression of a cover, keyed by a
+//!   content hash of the exact literal-cube list (factoring is a pure
+//!   function of the cover, so the memo is exact).
+//!
+//! The store is a plain `Mutex` around a hash map plus an LRU index:
+//! lookups are rare (a handful per synthesis job) and entries are small,
+//! so contention is negligible next to the BDD work the hits avoid.
+//! Hit/miss/evict totals are exposed via [`ResultCache::stats`] and the
+//! synthesis pipeline re-emits its per-job counts in the existing gauge
+//! vocabulary (`cache.hits`, `cache.misses`, `cache.evictions`,
+//! `cache.bytes`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, MutexGuard};
+use xsynth_net::{GateKind, Network, NodeKind, SignalId};
+
+/// A 128-bit content address (FNV-1a over the canonical encoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(u128);
+
+impl Key {
+    /// The raw 128-bit value (for diagnostics and tests).
+    pub fn raw(self) -> u128 {
+        self.0
+    }
+
+    /// Derives a new key by continuing the hash over `salt`. Callers use
+    /// this to partition one content address by context — e.g. the same
+    /// cone keyed separately per polarity-search mode, so entries computed
+    /// under different options never alias.
+    pub fn mix(self, salt: u64) -> Key {
+        let mut h = Fnv128(self.0);
+        h.word(salt);
+        h.finish()
+    }
+}
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Incremental FNV-1a-128 over a stream of `u64` words.
+#[derive(Debug, Clone)]
+struct Fnv128(u128);
+
+impl Fnv128 {
+    fn new() -> Self {
+        Fnv128(FNV_OFFSET)
+    }
+
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u128::from(byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(self) -> Key {
+        Key(self.0)
+    }
+}
+
+/// One output cone's content address plus the mapping that grounds it.
+///
+/// `support[slot]` is the primary-input index (the variable number) the
+/// cone's `slot`-th canonical input corresponds to in the circuit the cone
+/// was hashed from. Cached polarity bits and cube variables are expressed
+/// in canonical slots; callers remap through `support` when seeding a
+/// plan, which is what lets an entry populated by one circuit serve a
+/// structurally identical cone in another.
+#[derive(Debug, Clone)]
+pub struct Cone {
+    /// Canonical structural hash of the cone.
+    pub key: Key,
+    /// Canonical slot → primary-input index of the hashed circuit.
+    pub support: Vec<usize>,
+}
+
+/// Stable per-kind codes for the canonical encoding. Input nodes use 1.
+fn kind_code(kind: GateKind) -> u64 {
+    match kind {
+        GateKind::Const0 => 2,
+        GateKind::Const1 => 3,
+        GateKind::Buf => 4,
+        GateKind::Not => 5,
+        GateKind::And => 6,
+        GateKind::Or => 7,
+        GateKind::Nand => 8,
+        GateKind::Nor => 9,
+        GateKind::Xor => 10,
+        GateKind::Xnor => 11,
+    }
+}
+
+/// Computes the canonical structural hash of the cone rooted at `root`.
+///
+/// The cone is walked depth-first from the root, fanins in order; every
+/// node is numbered by first visit, and the hash covers each node's kind
+/// and the canonical numbers of its fanins. Node ids, node names and input
+/// names never enter the encoding, so two cones built independently — even
+/// in different circuits — hash equal exactly when their DAGs have the
+/// same shape. Primary inputs are numbered in the same first-visit order;
+/// the returned [`Cone::support`] records which circuit variable each
+/// canonical slot stands for.
+pub fn cone_of(net: &Network, root: SignalId) -> Cone {
+    let var_of: HashMap<SignalId, usize> = net
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(v, &sig)| (sig, v))
+        .collect();
+    let mut canon: HashMap<SignalId, u64> = HashMap::new();
+    let mut visit_order: Vec<SignalId> = Vec::new();
+    let mut support: Vec<usize> = Vec::new();
+    let mut stack = vec![root];
+    while let Some(sig) = stack.pop() {
+        if canon.contains_key(&sig) {
+            continue;
+        }
+        canon.insert(sig, visit_order.len() as u64);
+        visit_order.push(sig);
+        if let Some(&v) = var_of.get(&sig) {
+            support.push(v);
+        } else {
+            // fanins pushed in reverse so they pop in declaration order
+            for &f in net.fanins(sig).iter().rev() {
+                stack.push(f);
+            }
+        }
+    }
+    let mut h = Fnv128::new();
+    h.word(visit_order.len() as u64);
+    for &sig in &visit_order {
+        match net.kind(sig) {
+            NodeKind::Input => h.word(1),
+            NodeKind::Gate(k) => {
+                h.word(kind_code(*k));
+                let fanins = net.fanins(sig);
+                h.word(fanins.len() as u64);
+                for f in fanins {
+                    h.word(canon[f]);
+                }
+            }
+        }
+    }
+    Cone {
+        key: h.finish(),
+        support,
+    }
+}
+
+/// Content hash of a cube list (each cube a sorted variable/literal list),
+/// order-sensitive, salted — the factored tier salts with the
+/// rule-application flag so covers factored under different options never
+/// alias.
+pub fn cubes_key(cubes: &[Vec<u32>], salt: u64) -> Key {
+    let mut h = Fnv128::new();
+    h.word(salt);
+    h.word(cubes.len() as u64);
+    for cube in cubes {
+        h.word(cube.len() as u64);
+        for &v in cube {
+            h.word(u64::from(v));
+        }
+    }
+    h.finish()
+}
+
+/// The memo tiers sharing one [`ResultCache`] store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Winning polarity vector of a cone (canonical input order).
+    Polarity,
+    /// FPRM cube list of a cone under its winning polarity.
+    Cubes,
+    /// Factored expression of an exact literal-cube cover.
+    Factored,
+}
+
+impl Tier {
+    fn code(self) -> u8 {
+        match self {
+            Tier::Polarity => 0,
+            Tier::Cubes => 1,
+            Tier::Factored => 2,
+        }
+    }
+
+    /// Human-readable tier name (gauge suffixes, logs).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Polarity => "polarity",
+            Tier::Cubes => "cubes",
+            Tier::Factored => "factored",
+        }
+    }
+}
+
+/// A factored GF(2) expression in cache-neutral form, mirroring the
+/// synthesis crate's `Gexpr` shape one-to-one so the conversion is
+/// lossless. Literal ids are stored verbatim: the factored tier is keyed
+/// by the exact cube list, so the ids mean the same thing on both sides of
+/// the memo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactoredExpr {
+    /// Constant zero.
+    Zero,
+    /// Constant one.
+    One,
+    /// A literal id.
+    Lit(u32),
+    /// Complement.
+    Not(Box<FactoredExpr>),
+    /// Product.
+    And(Vec<FactoredExpr>),
+    /// Disjunction.
+    Or(Vec<FactoredExpr>),
+    /// GF(2) sum.
+    Xor(Vec<FactoredExpr>),
+}
+
+impl FactoredExpr {
+    fn bytes(&self) -> usize {
+        let children: usize = match self {
+            FactoredExpr::Zero | FactoredExpr::One | FactoredExpr::Lit(_) => 0,
+            FactoredExpr::Not(x) => x.bytes(),
+            FactoredExpr::And(xs) | FactoredExpr::Or(xs) | FactoredExpr::Xor(xs) => {
+                xs.iter().map(FactoredExpr::bytes).sum()
+            }
+        };
+        32 + children
+    }
+}
+
+/// One cached value. The variants correspond to the [`Tier`]s; a lookup
+/// that returns the wrong variant for its tier is treated as a miss by the
+/// callers (it cannot happen through this API, which keys by tier).
+#[derive(Debug, Clone)]
+pub enum CacheEntry {
+    /// Polarity bits in canonical slot order (`true` = positive).
+    Polarity(Vec<bool>),
+    /// FPRM cube list in canonical numbering and enumeration order, plus
+    /// its cube count (kept even when the list itself was too large to
+    /// store, so warm runs can skip the recount).
+    Cubes {
+        /// Number of FPRM cubes under the winning polarity.
+        count: u64,
+        /// The cubes (canonical variable slots), empty when elided.
+        cubes: Vec<Vec<u32>>,
+    },
+    /// Factored expression of an exact cover.
+    Factored(FactoredExpr),
+}
+
+impl CacheEntry {
+    fn bytes(&self) -> usize {
+        match self {
+            CacheEntry::Polarity(bits) => 32 + bits.len(),
+            CacheEntry::Cubes { cubes, .. } => {
+                48 + cubes.iter().map(|c| 24 + 4 * c.len()).sum::<usize>()
+            }
+            CacheEntry::Factored(fx) => fx.bytes(),
+        }
+    }
+}
+
+/// Aggregate statistics of one [`ResultCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted by the byte-budget LRU.
+    pub evictions: u64,
+    /// Entries inserted over the cache's lifetime.
+    pub insertions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Approximate resident bytes.
+    pub bytes: u64,
+    /// The byte budget evictions keep the cache under.
+    pub budget: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    entry: CacheEntry,
+    bytes: usize,
+    stamp: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<(u8, Key), Slot>,
+    lru: BTreeMap<u64, (u8, Key)>,
+    next_stamp: u64,
+    bytes: usize,
+    budget: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+}
+
+/// A shared, byte-budgeted, content-addressed memo store.
+///
+/// Cloning is O(1): clones address the same store, so one cache can be
+/// shared across every worker of a long-lived engine. All methods take
+/// `&self`.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// Default byte budget: plenty for thousands of typical cones while
+/// keeping a runaway daemon bounded.
+pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::new(DEFAULT_CACHE_BYTES)
+    }
+}
+
+impl ResultCache {
+    /// Creates a cache bounded to approximately `budget_bytes` resident
+    /// bytes (entries are evicted least-recently-used past the budget).
+    pub fn new(budget_bytes: usize) -> ResultCache {
+        ResultCache {
+            inner: Arc::new(Mutex::new(Inner {
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                next_stamp: 0,
+                bytes: 0,
+                budget: budget_bytes.max(1),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                insertions: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up `key` in `tier`, refreshing its LRU position. Returns a
+    /// clone of the entry (entries are small by construction).
+    pub fn get(&self, tier: Tier, key: Key) -> Option<CacheEntry> {
+        let mut inner = self.lock();
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        match inner.map.get_mut(&(tier.code(), key)) {
+            Some(slot) => {
+                let old = slot.stamp;
+                slot.stamp = stamp;
+                let entry = slot.entry.clone();
+                inner.lru.remove(&old);
+                inner.lru.insert(stamp, (tier.code(), key));
+                inner.hits += 1;
+                Some(entry)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key` in `tier`, then evicts
+    /// least-recently-used entries until the store fits its byte budget.
+    /// An entry larger than the whole budget is not stored at all.
+    pub fn put(&self, tier: Tier, key: Key, entry: CacheEntry) {
+        let bytes = entry.bytes();
+        let mut inner = self.lock();
+        if bytes > inner.budget {
+            return;
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        if let Some(old) = inner.map.insert(
+            (tier.code(), key),
+            Slot {
+                entry,
+                bytes,
+                stamp,
+            },
+        ) {
+            inner.lru.remove(&old.stamp);
+            inner.bytes -= old.bytes;
+        } else {
+            inner.insertions += 1;
+        }
+        inner.lru.insert(stamp, (tier.code(), key));
+        inner.bytes += bytes;
+        while inner.bytes > inner.budget {
+            let Some((&victim_stamp, &victim_key)) = inner.lru.iter().next() else {
+                break;
+            };
+            if victim_stamp == stamp {
+                break; // never evict the entry just inserted
+            }
+            inner.lru.remove(&victim_stamp);
+            if let Some(slot) = inner.map.remove(&victim_key) {
+                inner.bytes -= slot.bytes;
+                inner.evictions += 1;
+            }
+        }
+    }
+
+    /// Lifetime statistics plus the current resident footprint.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            insertions: inner.insertions,
+            entries: inner.map.len() as u64,
+            bytes: inner.bytes as u64,
+            budget: inner.budget as u64,
+        }
+    }
+
+    /// Drops every entry (statistics are kept).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.lru.clear();
+        inner.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsynth_net::{GateKind, Network};
+
+    fn xor_cone(name: &str, in_a: &str, in_b: &str) -> Network {
+        let mut net = Network::new(name);
+        let a = net.add_input(in_a);
+        let b = net.add_input(in_b);
+        let x = net.add_gate(GateKind::Xor, vec![a, b]);
+        let y = net.add_gate(GateKind::And, vec![x, a]);
+        net.add_output("f", y);
+        net
+    }
+
+    #[test]
+    fn structurally_equal_cones_hash_equal() {
+        let n1 = xor_cone("one", "a", "b");
+        let n2 = xor_cone("two", "p", "q");
+        let c1 = cone_of(&n1, n1.outputs()[0].1);
+        let c2 = cone_of(&n2, n2.outputs()[0].1);
+        assert_eq!(c1.key, c2.key);
+        assert_eq!(c1.support, c2.support);
+    }
+
+    #[test]
+    fn gate_kind_changes_the_hash() {
+        let n1 = xor_cone("one", "a", "b");
+        let mut n2 = Network::new("two");
+        let a = n2.add_input("a");
+        let b = n2.add_input("b");
+        let x = n2.add_gate(GateKind::Or, vec![a, b]);
+        let y = n2.add_gate(GateKind::And, vec![x, a]);
+        n2.add_output("f", y);
+        let c1 = cone_of(&n1, n1.outputs()[0].1);
+        let c2 = cone_of(&n2, n2.outputs()[0].1);
+        assert_ne!(c1.key, c2.key);
+    }
+
+    #[test]
+    fn fanin_order_is_part_of_the_shape() {
+        let mut n1 = Network::new("one");
+        let a = n1.add_input("a");
+        let b = n1.add_input("b");
+        let x = n1.add_gate(GateKind::And, vec![a, b]);
+        let g = n1.add_gate(GateKind::Xor, vec![x, a]);
+        n1.add_output("f", g);
+        let mut n2 = Network::new("two");
+        let a = n2.add_input("a");
+        let b = n2.add_input("b");
+        let x = n2.add_gate(GateKind::And, vec![b, a]);
+        let g = n2.add_gate(GateKind::Xor, vec![x, a]);
+        n2.add_output("f", g);
+        let c1 = cone_of(&n1, n1.outputs()[0].1);
+        let c2 = cone_of(&n2, n2.outputs()[0].1);
+        assert_ne!(c1.key, c2.key, "swapped fanins are a different shape");
+    }
+
+    #[test]
+    fn support_is_first_visit_order() {
+        let mut net = Network::new("n");
+        let a = net.add_input("a"); // var 0
+        let b = net.add_input("b"); // var 1
+        let c = net.add_input("c"); // var 2
+        let g = net.add_gate(GateKind::And, vec![c, a, b]);
+        net.add_output("f", g);
+        let cone = cone_of(&net, net.outputs()[0].1);
+        assert_eq!(cone.support, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn cubes_key_is_order_and_salt_sensitive() {
+        let cubes = vec![vec![0u32, 2], vec![1]];
+        let swapped = vec![vec![1u32], vec![0, 2]];
+        assert_ne!(cubes_key(&cubes, 0), cubes_key(&swapped, 0));
+        assert_ne!(cubes_key(&cubes, 0), cubes_key(&cubes, 1));
+        assert_eq!(cubes_key(&cubes, 7), cubes_key(&cubes.clone(), 7));
+    }
+
+    #[test]
+    fn get_put_roundtrip_and_stats() {
+        let cache = ResultCache::new(1 << 20);
+        let key = cubes_key(&[vec![0]], 0);
+        assert!(cache.get(Tier::Polarity, key).is_none());
+        cache.put(Tier::Polarity, key, CacheEntry::Polarity(vec![true, false]));
+        match cache.get(Tier::Polarity, key) {
+            Some(CacheEntry::Polarity(bits)) => assert_eq!(bits, vec![true, false]),
+            other => panic!("unexpected entry: {other:?}"),
+        }
+        // tiers are separate namespaces over the same key
+        assert!(cache.get(Tier::Cubes, key).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 2, 1));
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        // each polarity entry costs 32 + len bytes; budget fits two
+        let cache = ResultCache::new(100);
+        let keys: Vec<Key> = (0..3u32).map(|i| cubes_key(&[vec![i]], 0)).collect();
+        cache.put(Tier::Polarity, keys[0], CacheEntry::Polarity(vec![true; 8]));
+        cache.put(Tier::Polarity, keys[1], CacheEntry::Polarity(vec![true; 8]));
+        // touch key 0 so key 1 is the LRU victim
+        assert!(cache.get(Tier::Polarity, keys[0]).is_some());
+        cache.put(Tier::Polarity, keys[2], CacheEntry::Polarity(vec![true; 8]));
+        assert!(cache.get(Tier::Polarity, keys[0]).is_some());
+        assert!(cache.get(Tier::Polarity, keys[1]).is_none(), "LRU evicted");
+        assert!(cache.get(Tier::Polarity, keys[2]).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes <= s.budget);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_stored() {
+        let cache = ResultCache::new(64);
+        let key = cubes_key(&[vec![0]], 0);
+        cache.put(
+            Tier::Cubes,
+            key,
+            CacheEntry::Cubes {
+                count: 4,
+                cubes: vec![vec![0; 64]; 4],
+            },
+        );
+        assert!(cache.get(Tier::Cubes, key).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn clear_keeps_statistics() {
+        let cache = ResultCache::new(1 << 20);
+        let key = cubes_key(&[vec![3]], 0);
+        cache.put(Tier::Factored, key, CacheEntry::Factored(FactoredExpr::One));
+        assert!(cache.get(Tier::Factored, key).is_some());
+        cache.clear();
+        assert!(cache.get(Tier::Factored, key).is_none());
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.bytes, 0);
+        assert_eq!(s.insertions, 1);
+    }
+}

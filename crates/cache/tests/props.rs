@@ -1,0 +1,102 @@
+//! Property tests for the content-address layer: structural cone hashing
+//! must identify exactly structure, and the cube-list hash must be
+//! sensitive to any single-cube mutation.
+
+use proptest::prelude::*;
+use xsynth_cache::{cone_of, cubes_key};
+use xsynth_net::{GateKind, Network, SignalId};
+
+const KINDS: [GateKind; 6] = [
+    GateKind::And,
+    GateKind::Or,
+    GateKind::Xor,
+    GateKind::Nand,
+    GateKind::Nor,
+    GateKind::Xnor,
+];
+
+/// A reproducible random DAG: `picks[i]` chooses the kind and the second
+/// fanin of gate `i`; the first fanin is always the newest signal, so the
+/// gates form a chain and every one of them lies in the root's cone.
+fn build_net(name: &str, input_prefix: &str, n_inputs: usize, picks: &[(u8, u8, u8)]) -> Network {
+    let mut net = Network::new(name);
+    let mut sigs: Vec<SignalId> = (0..n_inputs)
+        .map(|i| net.add_input(format!("{input_prefix}{i}")))
+        .collect();
+    for &(k, _, b) in picks {
+        let kind = KINDS[k as usize % KINDS.len()];
+        let fa = *sigs.last().expect("inputs exist");
+        let fb = sigs[b as usize % sigs.len()];
+        let g = net.add_gate(kind, vec![fa, fb]);
+        sigs.push(g);
+    }
+    let root = *sigs.last().expect("at least one signal");
+    net.add_output("f", root);
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structurally equal cones hash equal even when every name and the
+    /// declaration interleaving differ between the two circuits.
+    #[test]
+    fn structurally_equal_cones_hash_equal(
+        n_inputs in 1usize..6,
+        picks in proptest::collection::vec((0u8..6, 0u8..8, 0u8..8), 1..12),
+    ) {
+        let n1 = build_net("left", "a", n_inputs, &picks);
+        let n2 = build_net("right", "zz", n_inputs, &picks);
+        let c1 = cone_of(&n1, n1.outputs()[0].1);
+        let c2 = cone_of(&n2, n2.outputs()[0].1);
+        prop_assert_eq!(c1.key, c2.key);
+        prop_assert_eq!(c1.support, c2.support);
+    }
+
+    /// Changing one gate's kind changes the cone hash.
+    #[test]
+    fn gate_kind_mutation_changes_cone_hash(
+        n_inputs in 1usize..6,
+        picks in proptest::collection::vec((0u8..6, 0u8..8, 0u8..8), 1..12),
+        which in 0usize..12,
+        bump in 1u8..6,
+    ) {
+        let idx = which % picks.len();
+        let mut mutated = picks.clone();
+        mutated[idx].0 = (mutated[idx].0 + bump) % 6;
+        // the mutation must actually change the resolved kind
+        prop_assume!(mutated[idx].0 % 6 != picks[idx].0 % 6);
+        let n1 = build_net("left", "a", n_inputs, &picks);
+        let n2 = build_net("right", "a", n_inputs, &mutated);
+        let c1 = cone_of(&n1, n1.outputs()[0].1);
+        let c2 = cone_of(&n2, n2.outputs()[0].1);
+        prop_assert_ne!(c1.key, c2.key);
+    }
+
+    /// Any single-cube mutation — dropping a cube, duplicating a cube, or
+    /// flipping one variable inside one cube — changes the cube-list hash.
+    #[test]
+    fn single_cube_mutation_changes_cubes_key(
+        cubes in proptest::collection::vec(
+            proptest::collection::vec(0u32..16, 1..5), 1..8),
+        which in 0usize..8,
+        var_bump in 1u32..16,
+    ) {
+        let base = cubes_key(&cubes, 0);
+        let idx = which % cubes.len();
+
+        let mut dropped = cubes.clone();
+        dropped.remove(idx);
+        prop_assert_ne!(base, cubes_key(&dropped, 0));
+
+        let mut doubled = cubes.clone();
+        doubled.insert(idx, cubes[idx].clone());
+        prop_assert_ne!(base, cubes_key(&doubled, 0));
+
+        let mut flipped = cubes.clone();
+        let vi = which % flipped[idx].len();
+        flipped[idx][vi] = (flipped[idx][vi] + var_bump) % 16;
+        prop_assume!(flipped[idx][vi] != cubes[idx][vi]);
+        prop_assert_ne!(base, cubes_key(&flipped, 0));
+    }
+}

@@ -1,0 +1,457 @@
+//! The long-lived synthesis engine.
+//!
+//! [`Engine`] is the primary entry point of the crate: a handle that owns
+//! the pieces worth keeping warm across calls — the content-addressed
+//! result cache ([`xsynth_cache::ResultCache`]), a pool of BDD substrates
+//! keyed by arity, and the default [`SynthOptions`]. The free functions
+//! [`crate::synthesize`] / [`crate::try_synthesize`] are thin one-shot
+//! wrappers over a throwaway engine, so their behavior is unchanged; a
+//! daemon constructs one engine and routes every job through it, which is
+//! what lets duplicate and near-duplicate traffic skip the polarity
+//! descent via cache hits.
+//!
+//! # Cache tiers
+//!
+//! Per output cone (keyed by [`xsynth_cache::cone_of`]'s canonical
+//! structural hash, salted with the polarity-search mode):
+//!
+//! * **polarity** — the winning polarity vector over the cone's canonical
+//!   input order;
+//! * **cubes** — the FPRM cube list under that polarity;
+//! * **factored** — keyed separately by the exact literal-cube list, the
+//!   factored expression (a pure-function memo, so hits are exact).
+//!
+//! Seeding happens in a sequential pre-pass before the planning fan-out
+//! and stores happen post-merge in output-index order, so the
+//! parallel ≡ sequential determinism contract is untouched: worker
+//! threads never read or write the cache.
+
+use crate::budget::Budget;
+use crate::error::Error;
+use crate::expr::Gexpr;
+use crate::factor::factor_cubes_traced;
+use crate::synth::{SynthOptions, SynthOutcome};
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+use xsynth_bdd::BddManager;
+use xsynth_boolean::{Polarity, VarSet};
+use xsynth_cache::{cubes_key, CacheEntry, CacheStats, Cone, FactoredExpr, ResultCache, Tier};
+use xsynth_net::Network;
+use xsynth_trace::TraceBuffer;
+
+/// Substrate node count past which [`Engine::checkin`] attempts a
+/// generational reclamation before pooling the manager for reuse.
+pub const DEFAULT_RECLAIM_NODE_WATERMARK: usize = 1 << 20;
+
+/// A long-lived synthesis handle owning the BDD substrate pool, the
+/// content-addressed result cache, and the default [`SynthOptions`].
+///
+/// All methods take `&self`; the engine is `Sync`, so one instance can be
+/// shared across the worker threads of a daemon. Each job gets per-job
+/// trace/memory scoping; only the cache and (for uncapped jobs) the warm
+/// BDD substrate persist between calls.
+///
+/// # Examples
+///
+/// ```
+/// use xsynth_core::Engine;
+/// use xsynth_net::{GateKind, Network};
+///
+/// let mut spec = Network::new("f");
+/// let a = spec.add_input("a");
+/// let b = spec.add_input("b");
+/// let g = spec.add_gate(GateKind::Xor, vec![a, b]);
+/// spec.add_output("f", g);
+///
+/// let engine = Engine::new();
+/// let cold = engine.try_synthesize(&spec).unwrap();
+/// let warm = engine.try_synthesize(&spec).unwrap();
+/// // the second run planned every output from the cache...
+/// assert!(warm.report.cache.polarity_hits > 0);
+/// // ...skipping the polarity descent entirely
+/// assert_eq!(warm.report.polarity_search.candidates_evaluated, 0);
+/// // and the result is bit-identical
+/// assert_eq!(
+///     xsynth_blif::write_blif(&warm.network),
+///     xsynth_blif::write_blif(&cold.network),
+/// );
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    options: SynthOptions,
+    cache: ResultCache,
+    pool: Mutex<HashMap<usize, BddManager>>,
+    reclaim_watermark: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with default options and a default-budget cache.
+    pub fn new() -> Engine {
+        Engine::with_options(SynthOptions::default())
+    }
+
+    /// An engine whose [`Engine::try_synthesize`] uses `options`.
+    pub fn with_options(options: SynthOptions) -> Engine {
+        Engine {
+            options,
+            cache: ResultCache::default(),
+            pool: Mutex::new(HashMap::new()),
+            reclaim_watermark: DEFAULT_RECLAIM_NODE_WATERMARK,
+        }
+    }
+
+    /// Replaces the result cache with one bounded to `bytes` (builder
+    /// style, for construction time).
+    pub fn cache_budget(mut self, bytes: usize) -> Engine {
+        self.cache = ResultCache::new(bytes);
+        self
+    }
+
+    /// Sets the substrate node count past which a checked-in manager is
+    /// generationally reclaimed instead of kept warm (builder style).
+    pub fn reclaim_watermark(mut self, nodes: usize) -> Engine {
+        self.reclaim_watermark = nodes;
+        self
+    }
+
+    /// The engine's default options.
+    pub fn options(&self) -> &SynthOptions {
+        &self.options
+    }
+
+    /// Lifetime statistics of the shared result cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached entry (statistics are kept).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Synthesizes `spec` under the engine's default options, consulting
+    /// and populating the shared cache. See [`crate::try_synthesize`] for
+    /// the error contract.
+    pub fn try_synthesize(&self, spec: &Network) -> Result<SynthOutcome, Error> {
+        crate::synth::try_synthesize_on(self, spec, &self.options)
+    }
+
+    /// Synthesizes `spec` under per-job `opts` (budgets, tracing, method
+    /// choices), still sharing the engine's cache and substrate pool.
+    pub fn try_synthesize_with(
+        &self,
+        spec: &Network,
+        opts: &SynthOptions,
+    ) -> Result<SynthOutcome, Error> {
+        crate::synth::try_synthesize_on(self, spec, opts)
+    }
+
+    fn lock_pool(&self) -> MutexGuard<'_, HashMap<usize, BddManager>> {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Hands out a BDD manager for an `n`-variable job. Capped jobs get a
+    /// fresh private substrate so the node cap stays a true per-job limit;
+    /// uncapped jobs reuse the pooled substrate of the same arity (warm
+    /// unique-table and apply caches) when one is available.
+    pub(crate) fn checkout(&self, n: usize, budget: &Budget) -> BddManager {
+        if let Some(cap) = budget.bdd_node_cap {
+            return BddManager::with_node_limit(n, cap);
+        }
+        self.lock_pool()
+            .remove(&n)
+            .unwrap_or_else(|| BddManager::new(n))
+    }
+
+    /// Returns a manager to the pool. Capped managers are dropped (their
+    /// cap was per-job). A substrate grown past the reclaim watermark is
+    /// generationally reclaimed first; if reclamation is refused (a clone
+    /// is still alive somewhere) the bloated substrate is dropped rather
+    /// than pooled, so the pool never accumulates dead nodes.
+    pub(crate) fn checkin(&self, mut bm: BddManager) {
+        if bm.node_limit().is_some() {
+            return;
+        }
+        if bm.num_nodes() > self.reclaim_watermark && !bm.try_reclaim() {
+            return;
+        }
+        self.lock_pool().insert(bm.num_vars(), bm);
+    }
+
+    /// Looks up the polarity + cube seed for one output cone. `mode_salt`
+    /// partitions entries by polarity-search mode so a winner found under
+    /// one mode never masquerades as another's. Returns `None` unless the
+    /// polarity tier hits with a vector of the right width; the cube list
+    /// rides along when present and consistent.
+    pub(crate) fn lookup_seed(&self, cone: &Cone, n: usize, mode_salt: u64) -> Option<PlanSeed> {
+        let key = cone.key.mix(mode_salt);
+        let bits = match self.cache.get(Tier::Polarity, key) {
+            Some(CacheEntry::Polarity(bits)) if bits.len() == cone.support.len() => bits,
+            _ => return None,
+        };
+        if cone.support.iter().any(|&v| v >= n) {
+            return None;
+        }
+        let mut pol = Polarity::all_positive(n);
+        for (slot, &positive) in bits.iter().enumerate() {
+            pol.set(cone.support[slot], positive);
+        }
+        let cubes = match self.cache.get(Tier::Cubes, key) {
+            Some(CacheEntry::Cubes { count, cubes }) if !cubes.is_empty() => {
+                let remapped: Option<Vec<VarSet>> = cubes
+                    .iter()
+                    .map(|cube| {
+                        cube.iter()
+                            .map(|&slot| cone.support.get(slot as usize).copied())
+                            .collect::<Option<VarSet>>()
+                    })
+                    .collect();
+                remapped.map(|list| (count, list))
+            }
+            _ => None,
+        };
+        Some(PlanSeed { pol, cubes })
+    }
+
+    /// Stores one planned output's results: the winning polarity (always)
+    /// and the FPRM cube list (when it was enumerated), both remapped to
+    /// the cone's canonical input order so structurally identical cones in
+    /// other circuits can reuse them.
+    pub(crate) fn store_plan(
+        &self,
+        cone: &Cone,
+        mode_salt: u64,
+        pol: &Polarity,
+        count: u64,
+        fprm_cubes: &[VarSet],
+    ) {
+        let key = cone.key.mix(mode_salt);
+        let bits: Vec<bool> = cone.support.iter().map(|&v| pol.is_positive(v)).collect();
+        self.cache
+            .put(Tier::Polarity, key, CacheEntry::Polarity(bits));
+        if fprm_cubes.is_empty() {
+            return;
+        }
+        let slot_of: HashMap<usize, u32> = cone
+            .support
+            .iter()
+            .enumerate()
+            .map(|(slot, &v)| (v, slot as u32))
+            .collect();
+        let mut remapped: Vec<Vec<u32>> = Vec::with_capacity(fprm_cubes.len());
+        for cube in fprm_cubes {
+            let mut out = Vec::with_capacity(cube.len());
+            for v in cube.iter() {
+                match slot_of.get(&v) {
+                    Some(&slot) => out.push(slot),
+                    // a cube variable outside the structural support would
+                    // mean the cone hash missed a dependency — don't store
+                    None => return,
+                }
+            }
+            remapped.push(out);
+        }
+        self.cache.put(
+            Tier::Cubes,
+            key,
+            CacheEntry::Cubes {
+                count,
+                cubes: remapped,
+            },
+        );
+    }
+
+    /// [`factor_cubes_traced`] behind the factored-tier memo. Factoring is
+    /// a pure function of `(cubes, apply_rules)`, so a hit returns exactly
+    /// the expression a recomputation would — callers keep bit-identical
+    /// results either way. `hits`/`misses` are the caller's per-job
+    /// counters.
+    pub(crate) fn factor_cubes_cached(
+        &self,
+        cubes: &[VarSet],
+        apply_rules: bool,
+        buf: &mut TraceBuffer,
+        hits: &mut u64,
+        misses: &mut u64,
+    ) -> Gexpr {
+        let raw: Vec<Vec<u32>> = cubes
+            .iter()
+            .map(|c| c.iter().map(|v| v as u32).collect())
+            .collect();
+        let key = cubes_key(&raw, u64::from(apply_rules));
+        if let Some(CacheEntry::Factored(fx)) = self.cache.get(Tier::Factored, key) {
+            *hits += 1;
+            return from_cached_expr(&fx);
+        }
+        *misses += 1;
+        let expr = factor_cubes_traced(cubes, apply_rules, buf);
+        self.cache.put(
+            Tier::Factored,
+            key,
+            CacheEntry::Factored(to_cached_expr(&expr)),
+        );
+        expr
+    }
+}
+
+/// A cache-derived plan seed for one output: the winning polarity and,
+/// when available, the FPRM cube list (already remapped into the current
+/// circuit's variable numbering). A seeded plan skips the polarity descent
+/// entirely.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanSeed {
+    pub(crate) pol: Polarity,
+    pub(crate) cubes: Option<(u64, Vec<VarSet>)>,
+}
+
+fn to_cached_expr(e: &Gexpr) -> FactoredExpr {
+    match e {
+        Gexpr::Zero => FactoredExpr::Zero,
+        Gexpr::One => FactoredExpr::One,
+        Gexpr::Lit(v) => FactoredExpr::Lit(*v as u32),
+        Gexpr::Not(x) => FactoredExpr::Not(Box::new(to_cached_expr(x))),
+        Gexpr::And(xs) => FactoredExpr::And(xs.iter().map(to_cached_expr).collect()),
+        Gexpr::Or(xs) => FactoredExpr::Or(xs.iter().map(to_cached_expr).collect()),
+        Gexpr::Xor(xs) => FactoredExpr::Xor(xs.iter().map(to_cached_expr).collect()),
+    }
+}
+
+fn from_cached_expr(e: &FactoredExpr) -> Gexpr {
+    match e {
+        FactoredExpr::Zero => Gexpr::Zero,
+        FactoredExpr::One => Gexpr::One,
+        FactoredExpr::Lit(v) => Gexpr::Lit(*v as usize),
+        FactoredExpr::Not(x) => Gexpr::Not(Box::new(from_cached_expr(x))),
+        FactoredExpr::And(xs) => Gexpr::And(xs.iter().map(from_cached_expr).collect()),
+        FactoredExpr::Or(xs) => Gexpr::Or(xs.iter().map(from_cached_expr).collect()),
+        FactoredExpr::Xor(xs) => Gexpr::Xor(xs.iter().map(from_cached_expr).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsynth_net::GateKind;
+
+    fn adder_bit(name: &str) -> Network {
+        let mut net = Network::new(name);
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("cin");
+        let s = net.add_gate(GateKind::Xor, vec![a, b, c]);
+        let ab = net.add_gate(GateKind::And, vec![a, b]);
+        let axb = net.add_gate(GateKind::Xor, vec![a, b]);
+        let t = net.add_gate(GateKind::And, vec![axb, c]);
+        let cout = net.add_gate(GateKind::Or, vec![ab, t]);
+        net.add_output("s", s);
+        net.add_output("cout", cout);
+        net
+    }
+
+    #[test]
+    fn warm_run_is_bit_identical_and_skips_the_descent() {
+        let engine = Engine::new();
+        let spec = adder_bit("fa");
+        let cold = engine.try_synthesize(&spec).unwrap();
+        assert_eq!(cold.report.cache.polarity_hits, 0);
+        assert!(cold.report.polarity_search.candidates_evaluated > 0);
+        let warm = engine.try_synthesize(&spec).unwrap();
+        assert_eq!(warm.report.cache.polarity_hits, 2, "both outputs seeded");
+        assert_eq!(
+            warm.report.polarity_search.candidates_evaluated, 0,
+            "descent skipped on the warm run"
+        );
+        assert_eq!(
+            xsynth_blif::write_blif(&warm.network),
+            xsynth_blif::write_blif(&cold.network)
+        );
+        assert_eq!(warm.report.outputs, cold.report.outputs);
+    }
+
+    #[test]
+    fn structurally_identical_circuit_hits_across_names() {
+        let engine = Engine::new();
+        let one = adder_bit("one");
+        engine.try_synthesize(&one).unwrap();
+        // same structure, different circuit/IO declaration names
+        let mut two = Network::new("two");
+        let a = two.add_input("x");
+        let b = two.add_input("y");
+        let c = two.add_input("z");
+        let s = two.add_gate(GateKind::Xor, vec![a, b, c]);
+        let ab = two.add_gate(GateKind::And, vec![a, b]);
+        let axb = two.add_gate(GateKind::Xor, vec![a, b]);
+        let t = two.add_gate(GateKind::And, vec![axb, c]);
+        let cout = two.add_gate(GateKind::Or, vec![ab, t]);
+        two.add_output("sum", s);
+        two.add_output("carry", cout);
+        let warm = engine.try_synthesize(&two).unwrap();
+        assert_eq!(warm.report.cache.polarity_hits, 2);
+        // the result is still verified against *this* spec
+        for m in 0..8 {
+            assert_eq!(warm.network.eval_u64(m), two.eval_u64(m));
+        }
+    }
+
+    #[test]
+    fn one_shot_wrappers_start_cold_every_time() {
+        let spec = adder_bit("fa");
+        let first = crate::try_synthesize(&spec, &SynthOptions::default()).unwrap();
+        let second = crate::try_synthesize(&spec, &SynthOptions::default()).unwrap();
+        assert_eq!(second.report.cache.polarity_hits, 0);
+        assert_eq!(
+            xsynth_blif::write_blif(&first.network),
+            xsynth_blif::write_blif(&second.network)
+        );
+    }
+
+    #[test]
+    fn capped_jobs_get_private_substrates() {
+        let engine = Engine::new();
+        let budget = Budget {
+            bdd_node_cap: Some(64),
+            ..Budget::default()
+        };
+        let bm = engine.checkout(4, &budget);
+        assert_eq!(bm.node_limit(), Some(64));
+        engine.checkin(bm);
+        // capped managers are never pooled
+        let again = engine.checkout(4, &Budget::default());
+        assert_eq!(again.node_limit(), None);
+        assert_eq!(again.num_nodes(), 2, "fresh substrate, not the capped one");
+    }
+
+    #[test]
+    fn pooled_substrate_is_reused_and_reclaimed_past_watermark() {
+        let engine = Engine::new().reclaim_watermark(8);
+        let mut bm = engine.checkout(4, &Budget::default());
+        let a = bm.var(0);
+        let b = bm.var(1);
+        bm.and(a, b);
+        let grown = bm.num_nodes();
+        assert!(grown > 2 && grown <= 8);
+        engine.checkin(bm);
+        // under the watermark: the same warm substrate comes back
+        let bm = engine.checkout(4, &Budget::default());
+        assert_eq!(bm.num_nodes(), grown);
+        assert_eq!(bm.generation(), 0);
+        engine.checkin(bm);
+        // grow past the watermark: checkin reclaims to a fresh generation
+        let mut bm = engine.checkout(4, &Budget::default());
+        let c = bm.var(2);
+        let d = bm.var(3);
+        let cd = bm.and(c, d);
+        bm.xor(cd, a);
+        assert!(bm.num_nodes() > 8);
+        engine.checkin(bm);
+        let bm = engine.checkout(4, &Budget::default());
+        assert_eq!(bm.num_nodes(), 2, "reclaimed past the watermark");
+        assert_eq!(bm.generation(), 1);
+    }
+}

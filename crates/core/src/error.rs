@@ -51,6 +51,11 @@ pub enum Error {
         /// The underlying panic message or error description.
         cause: String,
     },
+    /// A service protocol violation: a well-formed JSON message whose
+    /// shape or `protocol_version` the serve wire contract rejects.
+    /// Distinct from [`Error::Parse`] (malformed input text) — the message
+    /// parsed fine, its *meaning* is outside the contract.
+    Protocol(String),
     /// A free-form usage or validation error.
     Msg(String),
 }
@@ -72,7 +77,8 @@ impl Error {
     /// The process exit code the CLI maps this error family to. The codes
     /// are part of the CLI contract (documented in its usage text): 2 =
     /// usage, 3 = parse, 4 = I/O, 5 = netlist, 6 = input mismatch, 7 =
-    /// verification failure, 8 = budget exceeded, 9 = output failed.
+    /// verification failure, 8 = budget exceeded, 9 = output failed,
+    /// 10 = protocol violation.
     pub fn exit_code(&self) -> i32 {
         match self {
             Error::Msg(_) => 2,
@@ -83,6 +89,7 @@ impl Error {
             Error::Verify(_) => 7,
             Error::Budget(_) => 8,
             Error::OutputFailed { .. } => 9,
+            Error::Protocol(_) => 10,
         }
     }
 }
@@ -104,6 +111,7 @@ impl fmt::Display for Error {
             Error::OutputFailed { output, cause } => {
                 write!(f, "output `{output}` failed: {cause}")
             }
+            Error::Protocol(m) => write!(f, "protocol violation: {m}"),
             Error::Msg(m) => write!(f, "{m}"),
         }
     }
@@ -119,6 +127,7 @@ impl std::error::Error for Error {
             Error::InputMismatch { .. }
             | Error::Verify(_)
             | Error::OutputFailed { .. }
+            | Error::Protocol(_)
             | Error::Msg(_) => None,
         }
     }

@@ -49,6 +49,7 @@
 
 pub mod atpg;
 mod budget;
+mod engine;
 mod error;
 mod expr;
 mod factor;
@@ -60,6 +61,7 @@ mod synth;
 mod verify;
 
 pub use budget::{Budget, BudgetExceeded, Resource};
+pub use engine::{Engine, DEFAULT_RECLAIM_NODE_WATERMARK};
 pub use error::Error;
 pub use expr::Gexpr;
 pub use factor::{
@@ -72,9 +74,9 @@ pub use redundancy::{
     remove_redundancy, remove_redundancy_governed, remove_redundancy_traced, RedundancyStats,
 };
 pub use synth::{
-    phase, synthesize, try_synthesize, FactorMethod, Granularity, PhaseProfile, PhaseStat,
-    PolarityMode, SalvageRecord, SalvageRung, SynthOptions, SynthOptionsBuilder, SynthOutcome,
-    SynthReport,
+    phase, synthesize, try_synthesize, CacheUse, FactorMethod, Granularity, PhaseProfile,
+    PhaseStat, PolarityMode, SalvageRecord, SalvageRung, SynthOptions, SynthOptionsBuilder,
+    SynthOutcome, SynthReport,
 };
 pub use verify::{network_bdds, try_network_bdds, EquivChecker};
 pub use xsynth_ofdd::PolaritySearchStats;
@@ -99,10 +101,12 @@ pub use xsynth_ofdd::PolaritySearchStats;
 /// ```
 pub mod prelude {
     pub use crate::budget::{Budget, BudgetExceeded};
+    pub use crate::engine::Engine;
     pub use crate::error::Error;
     pub use crate::synth::{
-        phase, synthesize, try_synthesize, FactorMethod, Granularity, PhaseProfile, PolarityMode,
-        SalvageRecord, SalvageRung, SynthOptions, SynthOutcome, SynthReport,
+        phase, synthesize, try_synthesize, CacheUse, FactorMethod, Granularity, PhaseProfile,
+        PolarityMode, SalvageRecord, SalvageRung, SynthOptions, SynthOutcome, SynthReport,
     };
+    pub use xsynth_cache::{CacheStats, ResultCache};
     pub use xsynth_trace::{Trace, TraceBuffer, TraceSink};
 }

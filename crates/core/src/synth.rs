@@ -21,6 +21,7 @@
 //! [`PhaseProfile`] is derived from it.
 
 use crate::budget::{Budget, BudgetExceeded, Resource};
+use crate::engine::{Engine, PlanSeed};
 use crate::error::Error;
 use crate::factor::{factor_cubes, factor_cubes_traced, ofdd_to_network};
 use crate::gfx;
@@ -353,6 +354,37 @@ pub struct SalvageRecord {
     pub cause: String,
 }
 
+/// Per-job content-cache interaction summary. Deterministic given the
+/// engine's cache state when the job started (lookups happen in a
+/// sequential pre-pass, stores post-merge), so the same job replayed
+/// against the same cache reports the same numbers; one-shot calls
+/// through a throwaway [`Engine`] always report zero hits on the
+/// polarity/cube tiers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheUse {
+    /// Outputs whose winning polarity was seeded from the cache (each
+    /// skips its polarity descent entirely).
+    pub polarity_hits: u64,
+    /// Outputs whose FPRM cube list was seeded from the cache.
+    pub cubes_hits: u64,
+    /// Factoring calls answered from the factored-expression memo.
+    pub factored_hits: u64,
+    /// Cache lookups that found nothing.
+    pub lookup_misses: u64,
+}
+
+impl CacheUse {
+    /// Total hits across the three tiers.
+    pub fn hits(&self) -> u64 {
+        self.polarity_hits + self.cubes_hits + self.factored_hits
+    }
+
+    /// Total lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.lookup_misses
+    }
+}
+
 /// What the pipeline did, per output and overall.
 #[derive(Debug, Clone, Default)]
 pub struct SynthReport {
@@ -378,6 +410,8 @@ pub struct SynthReport {
     /// Outputs recovered by the salvage ladder (or an emission rollback)
     /// instead of failing the run. Empty on a clean pass.
     pub salvaged: Vec<SalvageRecord>,
+    /// Content-cache hits/misses for this job (see [`CacheUse`]).
+    pub cache: CacheUse,
     /// Per-phase wall-clock breakdown, derived from `trace`.
     pub profile: PhaseProfile,
     /// The full structured trace of the run (spans, counters, gauges).
@@ -434,7 +468,24 @@ pub fn synthesize(spec: &Network, opts: &SynthOptions) -> SynthOutcome {
 /// that degraded gracefully under the budget are listed in
 /// [`SynthReport::curtailed`]; the returned network is always verified
 /// against the specification.
+///
+/// This is a one-shot convenience over a throwaway [`Engine`]: the
+/// content cache and substrate pool start empty and are dropped with the
+/// call, so repeated invocations behave identically. Long-lived callers
+/// should hold an [`Engine`] and use [`Engine::try_synthesize`], which
+/// keeps both warm across jobs.
 pub fn try_synthesize(spec: &Network, opts: &SynthOptions) -> Result<SynthOutcome, Error> {
+    Engine::with_options(opts.clone()).try_synthesize(spec)
+}
+
+/// The traced, fault-contained synthesis entry shared by the free
+/// functions (throwaway engine) and [`Engine::try_synthesize`]
+/// (long-lived engine).
+pub(crate) fn try_synthesize_on(
+    engine: &Engine,
+    spec: &Network,
+    opts: &SynthOptions,
+) -> Result<SynthOutcome, Error> {
     let sink = TraceSink::new();
     // remember where this call starts on the external sink's timeline, so
     // aggregated runs line up end-to-end in the exported view
@@ -445,7 +496,7 @@ pub fn try_synthesize(spec: &Network, opts: &SynthOptions) -> Result<SynthOutcom
     // unwinding into the caller. Buffers dropped during the unwind still
     // submit, so the partial trace survives for diagnosis.
     let result = catch_unwind(AssertUnwindSafe(|| {
-        run_pipeline(spec, opts, &sink, &mut report)
+        run_pipeline(engine, spec, opts, &sink, &mut report)
     }))
     .unwrap_or_else(|p| {
         Err(Error::OutputFailed {
@@ -474,6 +525,7 @@ fn curtail(report: &mut SynthReport, name: &str) {
 
 /// The traced pipeline body of [`try_synthesize`].
 fn run_pipeline(
+    engine: &Engine,
     spec: &Network,
     opts: &SynthOptions,
     sink: &TraceSink,
@@ -487,10 +539,7 @@ fn run_pipeline(
     main.begin(phase::FPRM);
     let fprm_deadline = opts.budget.phase_deadline();
     main.begin("bdd");
-    let mut bm = match opts.budget.bdd_node_cap {
-        Some(cap) => BddManager::with_node_limit(n, cap),
-        None => BddManager::new(n),
-    };
+    let mut bm = engine.checkout(n, &opts.budget);
     let out_bdds = try_network_bdds(&spec, &mut bm);
     main.end();
     main.gauge("bdd.nodes", bm.num_nodes() as f64);
@@ -539,6 +588,7 @@ fn run_pipeline(
         net
     } else {
         let net = synthesize_outputs(
+            engine,
             &spec,
             opts,
             &mut bm,
@@ -631,10 +681,31 @@ fn run_pipeline(
     main.gauge("bdd.nodes", bm.num_nodes() as f64);
     main.gauge("bdd.peak_nodes", bm.num_nodes() as f64);
 
+    // Content-cache effectiveness. The per-job hit/miss split depends on
+    // what earlier jobs populated — engine state, not this job's inputs —
+    // so like the apply-cache stats these are gauges, never counters.
+    let cache = engine.cache_stats();
+    main.gauge("cache.hits", report.cache.hits() as f64);
+    main.gauge("cache.misses", report.cache.misses() as f64);
+    main.gauge("cache.evictions", cache.evictions as f64);
+    main.gauge("cache.bytes", cache.bytes as f64);
+    main.gauge("cache.entries", cache.entries as f64);
+
     let result = result.sweep();
     main.gauge("net.gates", result.num_gates() as f64);
     main.end();
+    engine.checkin(bm);
     Ok(result)
+}
+
+/// Stable per-mode code used to salt cone cache keys, so a polarity found
+/// under one search mode is never served to a job running another.
+fn polarity_mode_salt(mode: PolarityMode) -> u64 {
+    match mode {
+        PolarityMode::AllPositive => 1,
+        PolarityMode::Greedy => 2,
+        PolarityMode::Exhaustive => 3,
+    }
 }
 
 /// One output's Phase 1 result: polarity, OFDD, method decision, patterns.
@@ -646,6 +717,9 @@ struct OutputPlan {
     bdd: xsynth_bdd::Bdd,
     /// literal-space cubes (id = 2v for positive, 2v+1 for negative)
     lit_cubes: Option<Vec<VarSet>>,
+    /// variable-space FPRM cubes (empty when not enumerated), kept so the
+    /// post-merge pass can populate the content cache
+    fprm_cubes: Vec<VarSet>,
     cube_count: u64,
     cube_cap_fallback: bool,
     patterns: Vec<Pattern>,
@@ -671,6 +745,7 @@ fn plan_output(
     opts: &SynthOptions,
     candidate_parallel: bool,
     deadline: Option<Instant>,
+    seed: Option<&PlanSeed>,
     buf: &mut TraceBuffer,
 ) -> Result<OutputPlan, Error> {
     xsynth_trace::fail_point!(
@@ -682,13 +757,24 @@ fn plan_output(
     );
     buf.begin("plan");
     let support: Vec<usize> = bm.support(f).iter().collect();
-    let (pol, stats) = {
-        let mut search = PolaritySearch::new(bm, f)
-            .parallel(candidate_parallel)
-            .deadline(deadline)
-            .trace(buf);
-        let (pol, _) = search.run(opts.polarity, &support);
-        (pol, search.stats)
+    let (pol, stats) = match seed {
+        // A cache seed replaces the whole polarity descent: the seeded
+        // vector is the winner a search under these options found before
+        // (every mode starts from all-positive and flips support vars
+        // only, which is exactly how the seed is reconstructed), so the
+        // search stats stay at their zero defaults.
+        Some(s) => {
+            buf.count("cache.seeded", 1);
+            (s.pol.clone(), PolaritySearchStats::default())
+        }
+        None => {
+            let mut search = PolaritySearch::new(bm, f)
+                .parallel(candidate_parallel)
+                .deadline(deadline)
+                .trace(buf);
+            let (pol, _) = search.run(opts.polarity, &support);
+            (pol, search.stats)
+        }
     };
     buf.begin("ofdd");
     let mut om = OfddManager::new(pol.clone());
@@ -712,7 +798,13 @@ fn plan_output(
     buf.gauge("bdd.peak_nodes", bm.num_nodes() as f64);
 
     let cubes: Vec<VarSet> = if count <= opts.pattern_opts.max_cubes as u64 {
-        om.cubes(root)
+        // a seeded cube list is exactly what enumeration would produce
+        // (same cone, same polarity, OFDD enumeration order is canonical);
+        // the count guard is a defensive consistency check
+        match seed.and_then(|s| s.cubes.as_ref()) {
+            Some((c, list)) if *c == count => list.clone(),
+            _ => om.cubes(root),
+        }
     } else {
         Vec::new()
     };
@@ -779,6 +871,7 @@ fn plan_output(
         root,
         bdd: f,
         lit_cubes,
+        fprm_cubes: cubes,
         cube_count: count,
         cube_cap_fallback,
         patterns,
@@ -821,6 +914,7 @@ fn plan_with_salvage(
     opts: &SynthOptions,
     candidate_parallel: bool,
     deadline: Option<Instant>,
+    seed: Option<&PlanSeed>,
     mut make_buf: impl FnMut() -> TraceBuffer,
 ) -> Result<(OutputPlan, Option<SalvageRecord>), Error> {
     let mut buf = make_buf();
@@ -834,6 +928,7 @@ fn plan_with_salvage(
             opts,
             candidate_parallel,
             deadline,
+            seed,
             &mut buf,
         )
     }));
@@ -865,6 +960,8 @@ fn plan_with_salvage(
         }
         let mut buf = make_buf();
         buf.count("salvage.attempts", 1);
+        // salvage rungs never reuse the seed: if the seeded attempt died,
+        // the cached entry is a suspect and the rung re-derives from scratch
         let attempt = catch_unwind(AssertUnwindSafe(|| {
             plan_output(
                 name,
@@ -875,6 +972,7 @@ fn plan_with_salvage(
                 &ropts,
                 candidate_parallel,
                 deadline,
+                None,
                 &mut buf,
             )
         }));
@@ -932,6 +1030,7 @@ fn emitted_cone_matches(net: &Network, sig: SignalId, bm: &BddManager, f: xsynth
 /// phase spans opened here are closed before the error propagates.
 #[allow(clippy::too_many_arguments)]
 fn synthesize_outputs(
+    engine: &Engine,
     spec: &Network,
     opts: &SynthOptions,
     bm: &mut BddManager,
@@ -964,6 +1063,34 @@ fn synthesize_outputs(
     let num_outputs = spec.outputs().len();
     let parallel_outputs = opts.parallel && num_outputs > 1;
     let candidate_parallel = opts.parallel && !parallel_outputs;
+    // Cache pre-pass (sequential, before the fan-out): hash each output
+    // cone and pull whatever seeds the engine's cache holds for it. The
+    // seed set is fixed here, and stores happen post-merge in output-index
+    // order, so worker threads never touch the cache and the
+    // parallel ≡ sequential determinism contract is preserved.
+    let mode_salt = polarity_mode_salt(opts.polarity);
+    let cones: Vec<xsynth_cache::Cone> = spec
+        .outputs()
+        .iter()
+        .map(|(_, sig)| xsynth_cache::cone_of(spec, *sig))
+        .collect();
+    let seeds: Vec<Option<PlanSeed>> = cones
+        .iter()
+        .map(|cone| engine.lookup_seed(cone, n, mode_salt))
+        .collect();
+    for seed in &seeds {
+        match seed {
+            Some(s) => {
+                report.cache.polarity_hits += 1;
+                if s.cubes.is_some() {
+                    report.cache.cubes_hits += 1;
+                } else {
+                    report.cache.lookup_misses += 1;
+                }
+            }
+            None => report.cache.lookup_misses += 2, // polarity + cubes tiers
+        }
+    }
     let plan_buffer =
         |i: usize, name: &str| sink.buffer_under(1 + i as u64, format!("plan:{name}"), phase::FPRM);
     type Planned = (OutputPlan, Option<SalvageRecord>);
@@ -998,6 +1125,7 @@ fn synthesize_outputs(
                                 opts,
                                 false,
                                 deadline,
+                                seeds[i].as_ref(),
                                 || plan_buffer(i, &outs[i].0),
                             );
                             mine.push((i, plan));
@@ -1053,6 +1181,7 @@ fn synthesize_outputs(
                     opts,
                     candidate_parallel,
                     deadline,
+                    seeds[i].as_ref(),
                     || plan_buffer(i, name),
                 )
             })
@@ -1067,9 +1196,20 @@ fn synthesize_outputs(
     };
     let mut plans: Vec<OutputPlan> = plans
         .into_iter()
-        .map(|(plan, salvage)| {
-            if let Some(record) = salvage {
-                report.salvaged.push(record);
+        .enumerate()
+        .map(|(i, (plan, salvage))| {
+            match salvage {
+                Some(record) => report.salvaged.push(record),
+                // populate the cache from clean plans only: a salvaged
+                // plan's polarity/cubes reflect a degraded rung, not the
+                // winner these options would find on a healthy run
+                None => engine.store_plan(
+                    &cones[i],
+                    mode_salt,
+                    &plan.pol,
+                    plan.cube_count,
+                    &plan.fprm_cubes,
+                ),
             }
             plan
         })
@@ -1212,10 +1352,17 @@ fn synthesize_outputs(
     // contained by un-sharing — every cube output rolls back to its saved
     // pre-extraction cover (which references no divisor literals) and the
     // abandoned attempt's gates are dead, swept by the later strash pass.
+    let (mut factored_hits, mut factored_misses) = (0u64, 0u64);
     let divisors_attempt = catch_unwind(AssertUnwindSafe(|| {
         for k in emit_order {
             let (y, cubes) = &extraction[k];
-            let expr = factor_cubes_traced(cubes, opts.apply_rules, main);
+            let expr = engine.factor_cubes_cached(
+                cubes,
+                opts.apply_rules,
+                main,
+                &mut factored_hits,
+                &mut factored_misses,
+            );
             let mut lits = resolve_lits!();
             let sig = expr.emit(&mut net, &mut lits);
             divisor_sig.insert(*y, sig);
@@ -1252,7 +1399,13 @@ fn synthesize_outputs(
                 // panics mid-emit). Gates emitted by an abandoned
                 // attempt are dead and swept by the later strash pass.
                 let attempt = catch_unwind(AssertUnwindSafe(|| {
-                    let expr = factor_cubes_traced(cubes, opts.apply_rules, main);
+                    let expr = engine.factor_cubes_cached(
+                        cubes,
+                        opts.apply_rules,
+                        main,
+                        &mut factored_hits,
+                        &mut factored_misses,
+                    );
                     let mut lits = resolve_lits!();
                     let sig = expr.emit(&mut net, &mut lits);
                     let ok = emitted_cone_matches(&net, sig, bm, plan.bdd);
@@ -1330,6 +1483,8 @@ fn synthesize_outputs(
         };
         net.add_output(plan.name.clone(), sig);
     }
+    report.cache.factored_hits += factored_hits;
+    report.cache.lookup_misses += factored_misses;
     main.end();
     Ok(net)
 }

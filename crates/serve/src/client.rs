@@ -1,0 +1,149 @@
+//! A small blocking client for the serve protocol, used by the
+//! integration tests, the chaos suite, and CI smoke scripts.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+use xsynth_core::{Budget, Error};
+use xsynth_trace::json::{self, Value};
+
+use crate::proto::{self, JobFormat, PROTOCOL_VERSION};
+
+/// One connection to a running daemon. Requests are synchronous: each
+/// call writes one line and blocks for the matching reply line.
+#[derive(Debug)]
+pub struct Client<S: Read + Write> {
+    stream: BufReader<S>,
+}
+
+impl Client<TcpStream> {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the connection cannot be established.
+    pub fn connect_tcp(addr: &str) -> Result<Client<TcpStream>, Error> {
+        let stream = TcpStream::connect(addr).map_err(|e| Error::io(addr, e))?;
+        Ok(Client::from_stream(stream))
+    }
+}
+
+#[cfg(unix)]
+impl Client<UnixStream> {
+    /// Connects over a unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the connection cannot be established.
+    pub fn connect_unix(path: impl AsRef<std::path::Path>) -> Result<Client<UnixStream>, Error> {
+        let path = path.as_ref();
+        let stream =
+            UnixStream::connect(path).map_err(|e| Error::io(path.display().to_string(), e))?;
+        Ok(Client::from_stream(stream))
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wraps an already-connected bidirectional stream.
+    pub fn from_stream(stream: S) -> Client<S> {
+        Client {
+            stream: BufReader::new(stream),
+        }
+    }
+
+    /// Sends one raw request line and returns the parsed reply.
+    ///
+    /// The reply is returned whether its `status` is `"ok"` or
+    /// `"error"` — a typed error *reply* is a successful protocol
+    /// exchange. Only transport failures (closed connection, bad reply
+    /// JSON, version skew) are `Err`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on transport failure, [`Error::Protocol`] when the
+    /// reply is not a valid protocol message.
+    pub fn request_line(&mut self, line: &str) -> Result<Value, Error> {
+        let w = self.stream.get_mut();
+        w.write_all(line.as_bytes())
+            .and_then(|_| w.write_all(b"\n"))
+            .and_then(|_| w.flush())
+            .map_err(|e| Error::io("serve connection", e))?;
+        let mut reply = String::new();
+        self.stream
+            .read_line(&mut reply)
+            .map_err(|e| Error::io("serve connection", e))?;
+        if reply.is_empty() {
+            return Err(Error::io(
+                "serve connection",
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before reply",
+                ),
+            ));
+        }
+        let v = json::parse(reply.trim())
+            .map_err(|e| Error::Protocol(format!("reply is not valid JSON: {e}")))?;
+        match v.get("protocol_version").and_then(Value::as_u64) {
+            Some(PROTOCOL_VERSION) => Ok(v),
+            Some(other) => Err(Error::Protocol(format!(
+                "daemon speaks protocol_version {other}, this client speaks {PROTOCOL_VERSION}"
+            ))),
+            None => Err(Error::Protocol("reply missing protocol_version".into())),
+        }
+    }
+
+    /// Submits one synthesis job.
+    ///
+    /// # Errors
+    ///
+    /// Transport or reply-framing failures (see [`Client::request_line`]).
+    pub fn synth(
+        &mut self,
+        source: &str,
+        format: JobFormat,
+        id: Option<&str>,
+        budget: Option<&Budget>,
+        telemetry: bool,
+    ) -> Result<Value, Error> {
+        let line = proto::synth_request(source, format, id, budget, telemetry);
+        self.request_line(&line)
+    }
+
+    /// Submits a BLIF job with default budget and no telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Transport or reply-framing failures (see [`Client::request_line`]).
+    pub fn synth_blif(&mut self, source: &str, id: Option<&str>) -> Result<Value, Error> {
+        self.synth(source, JobFormat::Blif, id, None, false)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport or reply-framing failures (see [`Client::request_line`]).
+    pub fn ping(&mut self) -> Result<Value, Error> {
+        self.request_line(&proto::simple_request("ping"))
+    }
+
+    /// Fetches engine cache / job-counter statistics.
+    ///
+    /// # Errors
+    ///
+    /// Transport or reply-framing failures (see [`Client::request_line`]).
+    pub fn stats(&mut self) -> Result<Value, Error> {
+        self.request_line(&proto::simple_request("stats"))
+    }
+
+    /// Requests graceful daemon shutdown and returns its acknowledgment.
+    ///
+    /// # Errors
+    ///
+    /// Transport or reply-framing failures (see [`Client::request_line`]).
+    pub fn shutdown(&mut self) -> Result<Value, Error> {
+        self.request_line(&proto::simple_request("shutdown"))
+    }
+}

@@ -1,0 +1,47 @@
+//! `xsynth serve` — a long-lived synthesis daemon.
+//!
+//! The one-shot CLI pays the full pipeline cost on every invocation:
+//! substrate allocation, polarity descent, factoring. Interactive use —
+//! an editor plugin resynthesizing on save, a design-space sweep
+//! resubmitting near-identical cones — repeats almost all of that work.
+//! This crate keeps a single [`xsynth_core::Engine`] alive behind TCP
+//! and/or unix-socket listeners: the engine's content-addressed result
+//! cache answers resubmitted cones without rerunning the polarity
+//! search, and its substrate pool skips per-job BDD re-allocation.
+//!
+//! The wire protocol is newline-delimited JSON (see [`proto`]), framed
+//! with the same zero-dependency [`xsynth_trace::json`] parser the
+//! benchmark telemetry uses, and versioned with a `protocol_version`
+//! field both sides validate ([`PROTOCOL_VERSION`]). Shape or version
+//! violations produce a typed error *reply* (CLI exit-code family 10,
+//! [`xsynth_core::Error::Protocol`]) and leave the connection open.
+//!
+//! # Examples
+//!
+//! ```
+//! use xsynth_serve::{Client, ServeOptions, Server};
+//!
+//! let server = Server::bind(ServeOptions {
+//!     tcp: Some("127.0.0.1:0".into()),
+//!     workers: 1,
+//!     ..ServeOptions::default()
+//! })
+//! .expect("bind");
+//! let addr = server.tcp_addr().expect("tcp bound").to_string();
+//! let mut client = Client::connect_tcp(&addr).expect("connect");
+//! let pong = client.ping().expect("ping");
+//! assert_eq!(pong.get("status").and_then(|v| v.as_str()), Some("ok"));
+//! client.shutdown().expect("shutdown ack");
+//! server.wait();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod client;
+pub mod proto;
+mod server;
+
+pub use client::Client;
+pub use proto::{JobFormat, JobRequest, Request, PROTOCOL_VERSION};
+pub use server::{ServeOptions, Server};

@@ -1,0 +1,650 @@
+//! The daemon: listeners, the fair job scheduler, and the worker pool.
+//!
+//! Architecture — one thread family per concern, all std-only:
+//!
+//! - an **accept loop** per listener (TCP and/or unix socket) polls a
+//!   nonblocking `accept` so shutdown never hangs on a blocked syscall;
+//! - a **reader thread** per connection turns the byte stream into
+//!   newline-delimited request lines and submits them to the scheduler;
+//! - the **scheduler** keeps one FIFO queue per connection and hands jobs
+//!   out round-robin across connections, so a client that pipelines a
+//!   hundred jobs cannot starve a client that sends one;
+//! - a **worker pool** executes jobs against one shared
+//!   [`Engine`] — the long-lived substrate pool and content-addressed
+//!   result cache are what make resubmitting a job cheap — and writes
+//!   each reply under the connection's write lock.
+//!
+//! Worker panics are contained per job: the connection receives a typed
+//! `status: "error"` reply instead of being dropped. A `shutdown` request
+//! answers, then drains queued jobs, closes the listeners, and lets
+//! [`Server::wait`] return — the daemon's exit-0 path.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use xsynth_bench::{record_from_run, BenchSuite};
+use xsynth_blif::{parse_blif, parse_pla, write_blif};
+use xsynth_core::{Budget, Engine, Error, SynthOptions};
+use xsynth_map::Library;
+use xsynth_trace::json;
+
+use crate::proto::{self, JobFormat, JobRequest, Request};
+
+/// How often the accept loops check the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// BDD node cap for per-job telemetry verification, matching the
+/// benchmark harness's bounded-verify discipline.
+const VERIFY_NODE_CAP: usize = 1 << 22;
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// TCP listen address (e.g. `"127.0.0.1:7171"`, port 0 for
+    /// ephemeral). `None` skips the TCP listener.
+    pub tcp: Option<String>,
+    /// Unix-domain socket path. `None` skips the unix listener. A stale
+    /// socket file (left by a killed daemon) is removed and rebound; a
+    /// *live* one is an [`Error::Io`].
+    pub unix: Option<PathBuf>,
+    /// Worker pool size; `0` sizes from available parallelism (capped
+    /// at 4 — each job may fan out internally).
+    pub workers: usize,
+    /// Byte budget of the engine's content-addressed result cache.
+    pub cache_bytes: usize,
+    /// Default synthesis options for jobs that don't override them.
+    pub options: SynthOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            tcp: None,
+            unix: None,
+            workers: 0,
+            cache_bytes: xsynth_cache::DEFAULT_CACHE_BYTES,
+            options: SynthOptions::default(),
+        }
+    }
+}
+
+/// One queued unit of work: a request line plus where to write the reply.
+struct Job {
+    conn: u64,
+    line: String,
+    writer: SharedWriter,
+}
+
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Round-robin fair scheduler: one FIFO per connection, connections
+/// rotate. Submitting N jobs at once costs a connection its place in
+/// line once per job, not zero times.
+struct Scheduler {
+    state: Mutex<SchedState>,
+    ready: Condvar,
+}
+
+struct SchedState {
+    /// Pending jobs per connection.
+    queues: HashMap<u64, VecDeque<Job>>,
+    /// Rotation of connection ids that currently have pending jobs; each
+    /// id appears at most once.
+    order: VecDeque<u64>,
+    stop: bool,
+}
+
+impl Scheduler {
+    fn new() -> Scheduler {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                queues: HashMap::new(),
+                order: VecDeque::new(),
+                stop: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job; returns `false` if the scheduler has stopped (the
+    /// caller should answer the connection itself).
+    fn submit(&self, job: Job) -> bool {
+        let mut s = self.state.lock().expect("scheduler lock");
+        if s.stop {
+            return false;
+        }
+        let conn = job.conn;
+        let queue = s.queues.entry(conn).or_default();
+        queue.push_back(job);
+        if !s.order.contains(&conn) {
+            s.order.push_back(conn);
+        }
+        drop(s);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks for the next job in round-robin order; `None` once stopped
+    /// *and* drained.
+    fn next(&self) -> Option<Job> {
+        let mut s = self.state.lock().expect("scheduler lock");
+        loop {
+            if let Some(conn) = s.order.pop_front() {
+                let queue = s.queues.get_mut(&conn).expect("queued conn has a queue");
+                let job = queue.pop_front().expect("queued conn has a job");
+                if queue.is_empty() {
+                    s.queues.remove(&conn);
+                } else {
+                    s.order.push_back(conn);
+                }
+                return Some(job);
+            }
+            if s.stop {
+                return None;
+            }
+            s = self.ready.wait(s).expect("scheduler lock");
+        }
+    }
+
+    fn stop(&self) {
+        self.state.lock().expect("scheduler lock").stop = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Shared per-daemon state every worker sees.
+struct Ctx {
+    engine: Engine,
+    lib: Library,
+    verify_budget: Budget,
+    jobs_done: AtomicU64,
+    stop: AtomicBool,
+    sched: Scheduler,
+}
+
+/// A running daemon. Bind with [`Server::bind`], then either
+/// [`Server::wait`] (blocking daemon mode) or drive it from tests via
+/// [`Server::tcp_addr`] / [`Server::unix_path`] and stop it with
+/// [`Server::shutdown`] (or a `shutdown` request).
+pub struct Server {
+    ctx: Arc<Ctx>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the configured listeners, spawns the worker pool, and
+    /// returns the running server.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when a listener cannot bind (including a unix
+    /// socket path owned by a *live* daemon), [`Error::Msg`] when no
+    /// listener is configured at all.
+    pub fn bind(opts: ServeOptions) -> Result<Server, Error> {
+        if opts.tcp.is_none() && opts.unix.is_none() {
+            return Err(Error::msg("serve needs at least one of --tcp / --socket"));
+        }
+        let engine = Engine::with_options(opts.options.clone()).cache_budget(opts.cache_bytes);
+        let ctx = Arc::new(Ctx {
+            engine,
+            lib: Library::mcnc(),
+            verify_budget: Budget::default().bdd_node_cap(Some(VERIFY_NODE_CAP)),
+            jobs_done: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            sched: Scheduler::new(),
+        });
+
+        let mut handles = Vec::new();
+        let workers = if opts.workers > 0 {
+            opts.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(4)
+        };
+        for w in 0..workers {
+            let ctx = ctx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("xsynth-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&ctx))
+                    .map_err(|e| Error::io("spawn worker", e))?,
+            );
+        }
+
+        let conn_ids = Arc::new(AtomicU64::new(0));
+        let mut tcp_addr = None;
+        if let Some(addr) = &opts.tcp {
+            let listener = TcpListener::bind(addr).map_err(|e| Error::io(addr.clone(), e))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| Error::io(addr.clone(), e))?;
+            tcp_addr = Some(
+                listener
+                    .local_addr()
+                    .map_err(|e| Error::io(addr.clone(), e))?,
+            );
+            let ctx = ctx.clone();
+            let ids = conn_ids.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name("xsynth-serve-tcp".into())
+                    .spawn(move || accept_tcp(listener, &ctx, &ids))
+                    .map_err(|e| Error::io("spawn acceptor", e))?,
+            );
+        }
+        let mut unix_path = None;
+        #[cfg(unix)]
+        if let Some(path) = &opts.unix {
+            let listener = bind_unix(path)?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| Error::io(path.display().to_string(), e))?;
+            unix_path = Some(path.clone());
+            let ctx = ctx.clone();
+            let ids = conn_ids.clone();
+            let path = path.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name("xsynth-serve-unix".into())
+                    .spawn(move || accept_unix(listener, path, &ctx, &ids))
+                    .map_err(|e| Error::io("spawn acceptor", e))?,
+            );
+        }
+        #[cfg(not(unix))]
+        if opts.unix.is_some() {
+            return Err(Error::msg(
+                "unix sockets are not available on this platform",
+            ));
+        }
+
+        Ok(Server {
+            ctx,
+            tcp_addr,
+            unix_path,
+            handles,
+        })
+    }
+
+    /// Binds and blocks until shutdown — the CLI daemon entry point.
+    pub fn run(opts: ServeOptions) -> Result<(), Error> {
+        Server::bind(opts)?.wait();
+        Ok(())
+    }
+
+    /// The bound TCP address (useful with port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound unix socket path.
+    pub fn unix_path(&self) -> Option<&std::path::Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// The daemon's engine (cache statistics, default options).
+    pub fn engine(&self) -> &Engine {
+        &self.ctx.engine
+    }
+
+    /// Jobs completed (ok or error) since the daemon started.
+    pub fn jobs_done(&self) -> u64 {
+        self.ctx.jobs_done.load(Ordering::Relaxed)
+    }
+
+    /// Requests shutdown programmatically: equivalent to a `shutdown`
+    /// message — queued jobs drain, listeners close.
+    pub fn shutdown(&self) {
+        self.ctx.stop.store(true, Ordering::SeqCst);
+        self.ctx.sched.stop();
+    }
+
+    /// Joins the accept loops and worker pool. Returns once shutdown was
+    /// requested and all queued jobs have been answered.
+    pub fn wait(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(unix)]
+fn bind_unix(path: &std::path::Path) -> Result<UnixListener, Error> {
+    match UnixListener::bind(path) {
+        Ok(l) => Ok(l),
+        Err(first) if path.exists() => {
+            // A socket file exists. If nobody answers it, it's stale
+            // (a killed daemon) — reclaim it; if a live daemon answers,
+            // surface address-in-use.
+            if UnixStream::connect(path).is_ok() {
+                return Err(Error::io(path.display().to_string(), first));
+            }
+            std::fs::remove_file(path).map_err(|e| Error::io(path.display().to_string(), e))?;
+            UnixListener::bind(path).map_err(|e| Error::io(path.display().to_string(), e))
+        }
+        Err(e) => Err(Error::io(path.display().to_string(), e)),
+    }
+}
+
+fn accept_tcp(listener: TcpListener, ctx: &Arc<Ctx>, ids: &AtomicU64) {
+    while !ctx.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => spawn_conn(stream, ctx, ids),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+#[cfg(unix)]
+fn accept_unix(listener: UnixListener, path: PathBuf, ctx: &Arc<Ctx>, ids: &AtomicU64) {
+    while !ctx.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => spawn_conn(stream, ctx, ids),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A bidirectional stream the daemon can split into independently owned
+/// read and write halves.
+trait Conn: Send + 'static {
+    fn split(self) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)>;
+}
+
+impl Conn for TcpStream {
+    fn split(self) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+        self.set_nonblocking(false)?;
+        let reader = self.try_clone()?;
+        Ok((Box::new(reader), Box::new(self)))
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn split(self) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+        self.set_nonblocking(false)?;
+        let reader = self.try_clone()?;
+        Ok((Box::new(reader), Box::new(self)))
+    }
+}
+
+/// Spawns the per-connection reader thread. Reader threads are detached:
+/// they exit on EOF/error, and at process shutdown any still blocked in
+/// `read` die with the process.
+fn spawn_conn(stream: impl Conn, ctx: &Arc<Ctx>, ids: &AtomicU64) {
+    let conn = ids.fetch_add(1, Ordering::Relaxed);
+    let Ok((read_half, write_half)) = stream.split() else {
+        return;
+    };
+    let writer: SharedWriter = Arc::new(Mutex::new(write_half));
+    let ctx = ctx.clone();
+    let _ = std::thread::Builder::new()
+        .name(format!("xsynth-serve-conn-{conn}"))
+        .spawn(move || {
+            let mut reader = BufReader::new(read_half);
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let job = Job {
+                    conn,
+                    line: line.clone(),
+                    writer: writer.clone(),
+                };
+                if !ctx.sched.submit(job) {
+                    let resp = proto::error_response(None, &Error::msg("daemon is shutting down"));
+                    write_reply(&writer, &resp);
+                    break;
+                }
+            }
+        });
+}
+
+fn write_reply(writer: &SharedWriter, line: &str) {
+    let mut w = writer.lock().expect("connection write lock");
+    // A dead peer is not a daemon error; the reader side notices EOF.
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.write_all(b"\n");
+    let _ = w.flush();
+}
+
+fn worker_loop(ctx: &Arc<Ctx>) {
+    while let Some(job) = ctx.sched.next() {
+        let (reply, shutdown) = match catch_unwind(AssertUnwindSafe(|| handle_line(ctx, &job.line)))
+        {
+            Ok(r) => r,
+            Err(panic) => {
+                let cause = panic_message(&panic);
+                let err = Error::OutputFailed {
+                    output: "serve.worker".into(),
+                    cause,
+                };
+                (proto::error_response(None, &err), false)
+            }
+        };
+        // Count the job before the reply goes out: a client that has
+        // received N replies must never observe `jobs_done` < N via a
+        // subsequent `stats` request handled by a sibling worker.
+        ctx.jobs_done.fetch_add(1, Ordering::Relaxed);
+        write_reply(&job.writer, &reply);
+        if shutdown {
+            ctx.stop.store(true, Ordering::SeqCst);
+            ctx.sched.stop();
+        }
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".into()
+    }
+}
+
+/// Dispatches one request line to its handler; the second element
+/// reports whether a graceful shutdown was requested.
+fn handle_line(ctx: &Ctx, line: &str) -> (String, bool) {
+    let req = match proto::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return (proto::error_response(None, &e), false),
+    };
+    match req {
+        Request::Ping => {
+            let mut o = proto::Obj::new();
+            o.num("protocol_version", proto::PROTOCOL_VERSION as f64);
+            o.str("status", "ok");
+            o.str("op", "ping");
+            (o.finish(), false)
+        }
+        Request::Stats => (stats_response(ctx), false),
+        Request::Shutdown => {
+            let mut o = proto::Obj::new();
+            o.num("protocol_version", proto::PROTOCOL_VERSION as f64);
+            o.str("status", "ok");
+            o.str("op", "shutdown");
+            (o.finish(), true)
+        }
+        Request::Synth(job) => {
+            let id = job.id.clone();
+            match run_job(ctx, job) {
+                Ok(resp) => (resp, false),
+                Err(e) => (proto::error_response(id.as_deref(), &e), false),
+            }
+        }
+    }
+}
+
+fn stats_response(ctx: &Ctx) -> String {
+    let stats = ctx.engine.cache_stats();
+    let mut cache = proto::Obj::new();
+    cache.num("hits", stats.hits as f64);
+    cache.num("misses", stats.misses as f64);
+    cache.num("evictions", stats.evictions as f64);
+    cache.num("insertions", stats.insertions as f64);
+    cache.num("entries", stats.entries as f64);
+    cache.num("bytes", stats.bytes as f64);
+    cache.num("budget", stats.budget as f64);
+    let mut o = proto::Obj::new();
+    o.num("protocol_version", proto::PROTOCOL_VERSION as f64);
+    o.str("status", "ok");
+    o.str("op", "stats");
+    o.raw("cache", &cache.finish());
+    o.num("jobs_done", ctx.jobs_done.load(Ordering::Relaxed) as f64);
+    o.finish()
+}
+
+/// Executes one synthesis job end to end: admission failpoint, parse,
+/// synthesize on the shared engine, reply with the network and cache
+/// accounting (plus telemetry on request).
+fn run_job(ctx: &Ctx, job: JobRequest) -> Result<String, Error> {
+    xsynth_trace::fail_point!(
+        "serve.accept",
+        Err(Error::OutputFailed {
+            output: "serve.accept".into(),
+            cause: "injected fault: job admission refused".into(),
+        })
+    );
+    // Scope the peak-RSS gauge to this job; overlapping jobs observe
+    // shared upper bounds instead of resetting each other (`MemScope`).
+    let mem = xsynth_trace::mem::MemScope::begin();
+    let spec = match job.format {
+        JobFormat::Blif => parse_blif(&job.source).map_err(Error::Parse)?,
+        JobFormat::Pla => parse_pla(&job.source)
+            .map_err(Error::Parse)?
+            .to_network(job.id.as_deref().unwrap_or("pla")),
+    };
+    let mut opts = ctx.engine.options().clone();
+    if let Some(budget) = job.budget {
+        opts.budget = budget;
+    }
+    let t0 = Instant::now();
+    let outcome = ctx.engine.try_synthesize_with(&spec, &opts)?;
+    let seconds = t0.elapsed().as_secs_f64();
+
+    let mut cache = proto::Obj::new();
+    cache.num("polarity_hits", outcome.report.cache.polarity_hits as f64);
+    cache.num("cubes_hits", outcome.report.cache.cubes_hits as f64);
+    cache.num("factored_hits", outcome.report.cache.factored_hits as f64);
+    cache.num("lookup_misses", outcome.report.cache.lookup_misses as f64);
+
+    let mut o = proto::Obj::new();
+    o.num("protocol_version", proto::PROTOCOL_VERSION as f64);
+    o.str("status", "ok");
+    o.str("op", "synth");
+    if let Some(id) = &job.id {
+        o.str("id", id);
+    }
+    o.str("name", spec.name());
+    o.str("network_blif", &write_blif(&outcome.network));
+    o.num("outputs", outcome.network.outputs().len() as f64);
+    o.num("salvaged", outcome.report.salvaged.len() as f64);
+    o.raw("cache", &cache.finish());
+    o.num("seconds", seconds);
+    match mem.peak_kb() {
+        Some(kb) => o.num("peak_rss_kb", kb as f64),
+        None => o.null("peak_rss_kb"),
+    }
+    o.bool("mem_exclusive", mem.is_exclusive());
+    if job.telemetry {
+        let name = job.id.as_deref().unwrap_or_else(|| spec.name()).to_string();
+        let measured = record_from_run(
+            &name,
+            "serve",
+            &spec,
+            outcome.network,
+            Some(outcome.report),
+            &[seconds],
+            &ctx.lib,
+            &ctx.verify_budget,
+        );
+        let suite = BenchSuite {
+            suite: "serve".into(),
+            records: vec![measured.record],
+        };
+        let doc = json::parse(&suite.to_json())
+            .map_err(|e| Error::msg(format!("telemetry serialization failed: {e}")))?;
+        let mut compacted = String::new();
+        proto::compact(&doc, &mut compacted);
+        o.raw("telemetry", &compacted);
+    }
+    Ok(o.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_job(conn: u64, tag: &str, writer: &SharedWriter) -> Job {
+        Job {
+            conn,
+            line: tag.to_string(),
+            writer: writer.clone(),
+        }
+    }
+
+    #[test]
+    fn scheduler_rotates_across_connections() {
+        let sched = Scheduler::new();
+        let w: SharedWriter = Arc::new(Mutex::new(Box::new(Vec::<u8>::new())));
+        // conn 0 pipelines three jobs before conn 1's single job arrives
+        for tag in ["a0", "a1", "a2"] {
+            assert!(sched.submit(dummy_job(0, tag, &w)));
+        }
+        assert!(sched.submit(dummy_job(1, "b0", &w)));
+        let order: Vec<String> = std::iter::from_fn(|| {
+            sched.stop_if_empty();
+            sched.next().map(|j| j.line)
+        })
+        .collect();
+        assert_eq!(order, ["a0", "b0", "a1", "a2"]);
+    }
+
+    impl Scheduler {
+        /// Test helper: stop once drained so `next` terminates.
+        fn stop_if_empty(&self) {
+            let mut s = self.state.lock().expect("scheduler lock");
+            if s.order.is_empty() {
+                s.stop = true;
+                drop(s);
+                self.ready.notify_all();
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_rejects_after_stop() {
+        let sched = Scheduler::new();
+        sched.stop();
+        let w: SharedWriter = Arc::new(Mutex::new(Box::new(Vec::<u8>::new())));
+        assert!(!sched.submit(dummy_job(0, "late", &w)));
+        assert!(sched.next().is_none());
+    }
+}

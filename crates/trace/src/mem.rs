@@ -27,6 +27,71 @@ pub fn reset_peak_rss() -> bool {
     std::fs::write("/proc/self/clear_refs", "5").is_ok()
 }
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of live [`MemScope`]s in this process.
+static ACTIVE_SCOPES: AtomicUsize = AtomicUsize::new(0);
+
+/// A per-job peak-RSS measurement scope for long-lived processes.
+///
+/// The `VmHWM` high-water mark and its `clear_refs` reset are inherently
+/// process-wide, which is fine for a one-shot CLI but wrong for a daemon:
+/// one job's reset would silently truncate another in-flight job's
+/// measurement. `MemScope` makes the one-shot assumption explicit and
+/// safe: the *outermost* scope resets the high-water mark when it opens;
+/// scopes opened while others are live skip the reset (their readings are
+/// upper bounds over the overlapping work, never truncated ones). Reading
+/// [`MemScope::peak_kb`] at the end of a job gives the per-job gauge the
+/// telemetry layer records.
+///
+/// # Examples
+///
+/// ```
+/// let scope = xsynth_trace::mem::MemScope::begin();
+/// let work: Vec<u64> = (0..100_000).collect();
+/// assert!(work.len() == 100_000);
+/// if let Some(kb) = scope.peak_kb() {
+///     assert!(kb > 0);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct MemScope {
+    /// Whether this scope actually reset the high-water mark (it was the
+    /// outermost live scope and procfs allowed the write).
+    exclusive: bool,
+}
+
+impl MemScope {
+    /// Opens a measurement scope. The outermost live scope resets the
+    /// process high-water mark so its reading covers only its own span;
+    /// nested/overlapping scopes observe shared, non-reset readings.
+    pub fn begin() -> MemScope {
+        let first = ACTIVE_SCOPES.fetch_add(1, Ordering::SeqCst) == 0;
+        let exclusive = first && reset_peak_rss();
+        MemScope { exclusive }
+    }
+
+    /// Whether the reading is scoped to this span alone (`true`), or an
+    /// upper bound shared with overlapping scopes / earlier process
+    /// history (`false`).
+    pub fn is_exclusive(&self) -> bool {
+        self.exclusive
+    }
+
+    /// The peak resident set in kilobytes observed since this scope
+    /// opened (exactly, when [`MemScope::is_exclusive`]; as an upper
+    /// bound otherwise).
+    pub fn peak_kb(&self) -> Option<u64> {
+        peak_rss_kb()
+    }
+}
+
+impl Drop for MemScope {
+    fn drop(&mut self) {
+        ACTIVE_SCOPES.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn status_kb(key: &str) -> Option<u64> {
     let text = std::fs::read_to_string("/proc/self/status").ok()?;
     parse_status_kb(&text, key)
@@ -51,6 +116,23 @@ mod tests {
         assert_eq!(parse_status_kb(text, "VmHWM:"), Some(123_456));
         assert_eq!(parse_status_kb(text, "VmRSS:"), Some(98_765));
         assert_eq!(parse_status_kb(text, "VmSwap:"), None);
+    }
+
+    #[test]
+    fn scopes_nest_without_stealing_the_reset() {
+        // serialize against other tests in this binary that open scopes
+        let outer = MemScope::begin();
+        let inner = MemScope::begin();
+        assert!(
+            !inner.is_exclusive(),
+            "a nested scope must never reset the shared high-water mark"
+        );
+        drop(inner);
+        drop(outer);
+        // with all scopes closed, a fresh one is outermost again; whether
+        // it is exclusive depends only on procfs permitting the reset
+        let fresh = MemScope::begin();
+        assert_eq!(fresh.is_exclusive(), reset_peak_rss());
     }
 
     #[cfg(target_os = "linux")]

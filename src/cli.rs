@@ -10,6 +10,9 @@
 //!   summary.
 //! * `bench <circuit>` — run a built-in Table 2 benchmark by name.
 //! * `verify <a> <b>` — check two networks for combinational equivalence.
+//! * `serve` — run the long-lived synthesis daemon (`--tcp` and/or
+//!   `--socket`), sharing one engine, substrate pool, and
+//!   content-addressed result cache across all jobs.
 //!
 //! Every run can be resource-governed with `--bdd-node-cap`,
 //! `--phase-timeout-ms` and `--max-patterns`; error families map to
@@ -56,6 +59,14 @@ pub struct Command {
     /// Resource budget (`--bdd-node-cap`, `--phase-timeout-ms`,
     /// `--max-patterns`); unlimited by default.
     pub budget: Budget,
+    /// `serve`: TCP listen address (`--tcp`, e.g. `127.0.0.1:7171`).
+    pub tcp: Option<String>,
+    /// `serve`: unix-domain socket path (`--socket`).
+    pub socket: Option<String>,
+    /// `serve`: worker pool size (`--workers`, 0 = auto).
+    pub workers: usize,
+    /// `serve`: result-cache byte budget in MiB (`--cache-mb`).
+    pub cache_mb: Option<usize>,
 }
 
 /// What to do.
@@ -71,6 +82,8 @@ pub enum Action {
     Bench,
     /// Check two networks for combinational equivalence.
     Verify,
+    /// Run the long-lived synthesis daemon.
+    Serve,
 }
 
 /// Which synthesis engine to run.
@@ -92,7 +105,7 @@ pub enum Engine {
 
 /// Usage text.
 pub const USAGE: &str = "\
-usage: xsynth <synth|stats|map|bench|verify> <input> [options]
+usage: xsynth <synth|stats|map|bench|verify|serve> [input] [options]
 
   synth <in.blif|in.pla>   synthesize, write BLIF (stdout or -o FILE)
   stats <in.blif|in.pla>   print cost metrics for the input network
@@ -100,6 +113,15 @@ usage: xsynth <synth|stats|map|bench|verify> <input> [options]
                            (-o FILE writes a structural Verilog netlist)
   bench <name>             run a built-in Table 2 circuit by name
   verify <a> <b>           check two networks for equivalence
+  serve                    run the synthesis daemon (newline-delimited JSON
+                           over --tcp and/or --socket; one shared engine,
+                           substrate pool and result cache for all jobs)
+
+serve options:
+  --tcp ADDR            listen on a TCP address (e.g. 127.0.0.1:7171)
+  --socket PATH         listen on a unix-domain socket at PATH
+  --workers N           worker pool size (default: sized from CPU count)
+  --cache-mb N          result-cache byte budget in MiB (default 64)
 
 options:
   -o FILE               write output to FILE
@@ -122,6 +144,7 @@ exit codes:
   0 ok          2 usage       3 parse error      4 I/O error
   5 netlist     6 input mismatch   7 verification failed   8 budget exceeded
   9 output failed (fault not recoverable by the salvage ladder)
+  10 protocol violation (serve wire message outside the contract)
 ";
 
 /// Parses the command line (excluding `argv[0]`).
@@ -137,13 +160,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         Some("map") => Action::Map,
         Some("bench") => Action::Bench,
         Some("verify") => Action::Verify,
+        Some("serve") => Action::Serve,
         Some(other) => return Err(format!("unknown subcommand '{other}'\n{USAGE}")),
         None => return Err(USAGE.to_string()),
     };
-    let input = it
-        .next()
-        .ok_or_else(|| format!("missing input\n{USAGE}"))?
-        .clone();
+    // `serve` takes no positional input; the circuits arrive on the wire.
+    let input = if action == Action::Serve {
+        String::new()
+    } else {
+        it.next()
+            .ok_or_else(|| format!("missing input\n{USAGE}"))?
+            .clone()
+    };
     if action == Action::Bench {
         validate_bench_name(&input)?;
     }
@@ -169,6 +197,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut trace_json = None;
     let mut bench_json = None;
     let mut budget = Budget::default();
+    let mut tcp = None;
+    let mut socket = None;
+    let mut workers = 0usize;
+    let mut cache_mb = None;
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" => {
@@ -215,6 +247,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--max-patterns" => {
                 budget = budget.max_patterns(Some(number(a, it.next())? as usize));
             }
+            "--tcp" if action == Action::Serve => {
+                tcp = Some(
+                    it.next()
+                        .ok_or_else(|| "--tcp needs an address".to_string())?
+                        .clone(),
+                )
+            }
+            "--socket" if action == Action::Serve => {
+                socket = Some(
+                    it.next()
+                        .ok_or_else(|| "--socket needs a path".to_string())?
+                        .clone(),
+                )
+            }
+            "--workers" if action == Action::Serve => {
+                workers = number(a, it.next())? as usize;
+            }
+            "--cache-mb" if action == Action::Serve => {
+                cache_mb = Some(number(a, it.next())? as usize);
+            }
             other => return Err(format!("unknown option '{other}'\n{USAGE}")),
         }
     }
@@ -230,6 +282,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         trace_json,
         bench_json,
         budget,
+        tcp,
+        socket,
+        workers,
+        cache_mb,
     })
 }
 
@@ -503,8 +559,12 @@ pub fn run(args: &[String]) -> Result<String, Error> {
 ///
 /// Propagates load/parse/I/O errors and verification failures.
 pub fn execute(cmd: &Command) -> Result<String, Error> {
+    if cmd.action == Action::Serve {
+        return run_serve(cmd);
+    }
     let spec = load(cmd)?;
     match cmd.action {
+        Action::Serve => unreachable!("handled above"),
         Action::Stats => Ok(render_stats(&spec)),
         Action::Verify => {
             let candidate = load_source(cmd.input2.as_deref().unwrap_or_default(), false)?;
@@ -618,6 +678,48 @@ pub fn execute(cmd: &Command) -> Result<String, Error> {
             Ok(s)
         }
     }
+}
+
+/// Runs the `serve` daemon: binds the configured listeners, announces
+/// them on stdout (so scripts using an ephemeral TCP port can read the
+/// bound address), and blocks until a `shutdown` request drains the
+/// queue. Jobs inherit the command's engine, redundancy/salvage flags
+/// and budget as daemon defaults; each job may override its budget.
+fn run_serve(cmd: &Command) -> Result<String, Error> {
+    let method = match cmd.engine {
+        Engine::Fprm => FactorMethod::Best,
+        Engine::FprmCube => FactorMethod::Cube,
+        Engine::FprmOfdd => FactorMethod::Ofdd,
+        Engine::Kfdd => FactorMethod::Kfdd,
+        Engine::Sop | Engine::None => {
+            return Err(Error::msg("serve only runs the FPRM-family engines"));
+        }
+    };
+    let options = SynthOptions::builder()
+        .method(method)
+        .redundancy_removal(!cmd.no_redundancy)
+        .salvage(!cmd.no_salvage)
+        .budget(cmd.budget.clone())
+        .build();
+    let mut opts = xsynth_serve::ServeOptions {
+        tcp: cmd.tcp.clone(),
+        unix: cmd.socket.clone().map(Into::into),
+        workers: cmd.workers,
+        options,
+        ..xsynth_serve::ServeOptions::default()
+    };
+    if let Some(mb) = cmd.cache_mb {
+        opts.cache_bytes = mb << 20;
+    }
+    let server = xsynth_serve::Server::bind(opts)?;
+    if let Some(addr) = server.tcp_addr() {
+        println!("# serve: listening on tcp {addr}");
+    }
+    if let Some(path) = server.unix_path() {
+        println!("# serve: listening on unix {}", path.display());
+    }
+    server.wait();
+    Ok("# serve: shutdown complete\n".to_string())
 }
 
 #[cfg(test)]
@@ -790,6 +892,10 @@ mod tests {
             trace_json: None,
             bench_json: None,
             budget: Budget::default(),
+            tcp: None,
+            socket: None,
+            workers: 0,
+            cache_mb: None,
         };
         let text = execute(&cmd).unwrap();
         assert!(text.contains("wrote Verilog"), "{text}");
@@ -824,6 +930,32 @@ mod tests {
         // the flagged command still runs end to end on a healthy circuit
         let out = execute(&c).unwrap();
         assert!(out.contains(".model"), "{out}");
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        let c = parse_args(&argv(
+            "serve --tcp 127.0.0.1:0 --socket /tmp/x.sock --workers 2 --cache-mb 16",
+        ))
+        .unwrap();
+        assert_eq!(c.action, Action::Serve);
+        assert_eq!(c.input, "");
+        assert_eq!(c.tcp.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(c.socket.as_deref(), Some("/tmp/x.sock"));
+        assert_eq!(c.workers, 2);
+        assert_eq!(c.cache_mb, Some(16));
+        // serve-only flags stay serve-only
+        assert!(parse_args(&argv("bench rd53 --tcp 127.0.0.1:0")).is_err());
+    }
+
+    #[test]
+    fn serve_misconfigurations_are_usage_errors() {
+        // no listener at all
+        let c = parse_args(&argv("serve")).unwrap();
+        assert_eq!(execute(&c).unwrap_err().exit_code(), 2);
+        // the SOP baseline has no FPRM engine to keep warm
+        let c = parse_args(&argv("serve --tcp 127.0.0.1:0 --method sop")).unwrap();
+        assert_eq!(execute(&c).unwrap_err().exit_code(), 2);
     }
 
     #[test]
@@ -906,6 +1038,10 @@ mod tests {
                 trace_json: None,
                 bench_json: None,
                 budget: Budget::default(),
+                tcp: None,
+                socket: None,
+                workers: 0,
+                cache_mb: None,
             };
             let out = execute(&cmd).expect("engine runs");
             assert!(out.contains(".model"));

@@ -3,7 +3,7 @@
 //!
 //! Exit codes follow the error taxonomy in `xsynth_core::Error` — 2 usage,
 //! 3 parse, 4 I/O, 5 netlist, 6 input mismatch, 7 verification failed,
-//! 8 budget exceeded, 9 output failed.
+//! 8 budget exceeded, 9 output failed, 10 protocol violation.
 
 fn main() {
     // Fault-injection builds honour `XSYNTH_FAILPOINTS`; release builds

@@ -323,3 +323,48 @@ proptest! {
         }
     }
 }
+
+/// The daemon's admission failpoint: an armed `serve.accept` fault must
+/// surface as a typed error *reply* on the wire — for both the error and
+/// the panic action — and must never drop the connection. The very next
+/// request on the same connection succeeds.
+#[test]
+fn serve_accept_faults_answer_typed_errors_not_dropped_connections() {
+    let _g = exclusive();
+    let server = xsynth_serve::Server::bind(xsynth_serve::ServeOptions {
+        tcp: Some("127.0.0.1:0".into()),
+        workers: 1,
+        ..xsynth_serve::ServeOptions::default()
+    })
+    .expect("bind server");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    let mut client = xsynth_serve::Client::connect_tcp(&addr).expect("connect");
+    let blif = ".model m\n.inputs a b\n.outputs y\n.names a b y\n10 1\n01 1\n.end\n";
+
+    for (plan, expect_kind) in [
+        ("serve.accept=error@1x1", "output_failed"),
+        ("serve.accept=panic@1x1", "output_failed"),
+    ] {
+        failpoint::arm(&FailPlan::parse(plan).expect("valid plan"));
+        let reply = client
+            .synth_blif(blif, Some("faulted"))
+            .expect("a reply arrives even when admission faults");
+        failpoint::disarm();
+        let status = reply.get("status").and_then(|v| v.as_str());
+        assert_eq!(status, Some("error"), "{plan}: {reply:?}");
+        let error = reply.get("error").expect("error object");
+        assert_eq!(
+            error.get("kind").and_then(|v| v.as_str()),
+            Some(expect_kind),
+            "{plan}"
+        );
+        let code = error.get("exit_code").and_then(|v| v.as_u64()).unwrap();
+        assert!((2..=10).contains(&code), "{plan}: exit code {code}");
+        // the connection survived the fault
+        let ok = client.synth_blif(blif, Some("clean")).expect("clean job");
+        assert_eq!(ok.get("status").and_then(|v| v.as_str()), Some("ok"));
+    }
+
+    server.shutdown();
+    server.wait();
+}

@@ -1,0 +1,253 @@
+//! End-to-end tests of the `xsynth serve` daemon over real sockets:
+//! warm-cache resubmission, concurrent clients under tight budgets,
+//! protocol-version enforcement, and graceful shutdown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use xsynth::core::Budget;
+use xsynth::serve::{Client, JobFormat, ServeOptions, Server, PROTOCOL_VERSION};
+use xsynth::trace::json::Value;
+
+/// A 2-output full adder in BLIF: enough structure for the polarity
+/// descent and factoring to do real work.
+const ADDER_BLIF: &str = "\
+.model adder
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+";
+
+/// A structurally identical circuit under different net names — must hit
+/// the content-addressed cache.
+const ADDER_BLIF_RENAMED: &str = "\
+.model adder2
+.inputs x y z
+.outputs s c
+.names x y z s
+100 1
+010 1
+001 1
+111 1
+.names x y z c
+11- 1
+1-1 1
+-11 1
+.end
+";
+
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn unix_path(tag: &str) -> std::path::PathBuf {
+    let n = SOCKET_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "xsynth-serve-test-{}-{tag}-{n}.sock",
+        std::process::id()
+    ))
+}
+
+fn spawn(workers: usize) -> Server {
+    Server::bind(ServeOptions {
+        tcp: Some("127.0.0.1:0".into()),
+        unix: Some(unix_path("srv")),
+        workers,
+        ..ServeOptions::default()
+    })
+    .expect("bind server")
+}
+
+fn field_u64(v: &Value, path: &[&str]) -> u64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing {key} in {v:?}"));
+    }
+    cur.as_u64().unwrap_or_else(|| panic!("{path:?} not a u64"))
+}
+
+fn field_str<'a>(v: &'a Value, key: &str) -> &'a str {
+    v.get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("missing string {key} in {v:?}"))
+}
+
+#[test]
+fn duplicate_jobs_hit_the_cache_and_return_bit_identical_networks() {
+    let server = spawn(2);
+    let path = server.unix_path().expect("unix bound").to_path_buf();
+    let mut client = Client::connect_unix(&path).expect("connect");
+
+    let cold = client
+        .synth(ADDER_BLIF, JobFormat::Blif, Some("cold"), None, false)
+        .expect("cold job");
+    assert_eq!(field_str(&cold, "status"), "ok", "{cold:?}");
+    assert_eq!(field_u64(&cold, &["cache", "polarity_hits"]), 0);
+    let cold_blif = field_str(&cold, "network_blif").to_string();
+    assert!(cold_blif.contains(".model"), "{cold_blif}");
+
+    // Same circuit again, with telemetry: the polarity descent is skipped
+    // (no candidates evaluated), the cache-hit gauge is nonzero, and the
+    // network is byte-for-byte the cold result.
+    let warm = client
+        .synth(ADDER_BLIF, JobFormat::Blif, Some("warm"), None, true)
+        .expect("warm job");
+    assert_eq!(field_str(&warm, "status"), "ok", "{warm:?}");
+    assert_eq!(field_u64(&warm, &["cache", "polarity_hits"]), 2);
+    assert_eq!(field_str(&warm, "network_blif"), cold_blif);
+    let telemetry = warm.get("telemetry").expect("telemetry attached");
+    let record = &telemetry
+        .get("records")
+        .and_then(Value::as_arr)
+        .expect("records")[0];
+    assert_eq!(field_str(record, "verified"), "verified");
+    let gauges = record.get("gauges").expect("gauges");
+    assert!(
+        field_u64(gauges, &["cache.hits"]) >= 2,
+        "warm run must report cache hits: {gauges:?}"
+    );
+    let counters = record.get("counters").expect("counters");
+    assert!(
+        counters.get("polarity.evaluated").is_none(),
+        "warm run must not run the polarity descent: {counters:?}"
+    );
+
+    // A structurally identical circuit under fresh names also hits.
+    let renamed = client
+        .synth(
+            ADDER_BLIF_RENAMED,
+            JobFormat::Blif,
+            Some("renamed"),
+            None,
+            false,
+        )
+        .expect("renamed job");
+    assert_eq!(field_u64(&renamed, &["cache", "polarity_hits"]), 2);
+
+    // The stats op sees the shared engine's cache accounting.
+    let stats = client.stats().expect("stats");
+    assert!(field_u64(&stats, &["cache", "hits"]) >= 4, "{stats:?}");
+    assert!(field_u64(&stats, &["cache", "entries"]) >= 1);
+    assert!(field_u64(&stats, &["jobs_done"]) >= 3);
+
+    server.shutdown();
+    server.wait();
+    assert!(!path.exists(), "unix socket must be unlinked on shutdown");
+}
+
+#[test]
+fn concurrent_clients_under_tight_budgets_get_typed_errors_not_hangs() {
+    let server = spawn(2);
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    let starved = Budget::default().bdd_node_cap(Some(8));
+
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            let starved = starved.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_tcp(&addr).expect("connect");
+                for j in 0..3 {
+                    let id = format!("c{i}-j{j}");
+                    let reply = client
+                        .synth(
+                            ADDER_BLIF,
+                            JobFormat::Blif,
+                            Some(&id),
+                            Some(&starved),
+                            false,
+                        )
+                        .expect("a reply always arrives");
+                    assert_eq!(field_str(&reply, "status"), "error", "{reply:?}");
+                    assert_eq!(field_str(&reply, "id"), id);
+                    let error = reply.get("error").expect("error object");
+                    assert_eq!(field_str(error, "kind"), "budget");
+                    assert_eq!(field_u64(error, &["exit_code"]), 8);
+                }
+                // the connection survives all those failures
+                let ok = client
+                    .synth(ADDER_BLIF, JobFormat::Blif, Some("fine"), None, false)
+                    .expect("unbudgeted job");
+                assert_eq!(field_str(&ok, "status"), "ok");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn protocol_violations_answer_exit_code_10_and_keep_the_connection() {
+    let server = spawn(1);
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    for bad in [
+        format!(
+            r#"{{"protocol_version":{},"op":"ping"}}"#,
+            PROTOCOL_VERSION + 1
+        ),
+        r#"{"op":"ping"}"#.to_string(),
+        r#"{"protocol_version":1,"op":"transmogrify"}"#.to_string(),
+        r#"{"protocol_version":1,"op":"synth","source":"x","extra":1}"#.to_string(),
+        "this is not json".to_string(),
+    ] {
+        let reply = client.request_line(&bad).expect("error reply, not a drop");
+        assert_eq!(field_str(&reply, "status"), "error", "{bad}");
+        let error = reply.get("error").expect("error object");
+        assert_eq!(field_str(error, "kind"), "protocol", "{bad}");
+        assert_eq!(field_u64(error, &["exit_code"]), 10, "{bad}");
+    }
+    // the session is still healthy
+    let pong = client.ping().expect("ping");
+    assert_eq!(field_str(&pong, "status"), "ok");
+
+    // a malformed *circuit* (valid protocol message) is a parse error
+    let reply = client
+        .synth("not blif at all", JobFormat::Blif, None, None, false)
+        .expect("reply");
+    assert_eq!(field_str(&reply, "status"), "error");
+    assert_eq!(
+        field_str(reply.get("error").expect("error"), "kind"),
+        "parse"
+    );
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn pla_jobs_and_wire_shutdown_work_end_to_end() {
+    let server = spawn(1);
+    let path = server.unix_path().expect("unix bound").to_path_buf();
+    let mut client = Client::connect_unix(&path).expect("connect");
+
+    let reply = client
+        .synth(
+            ".i 2\n.o 1\n11 1\n.e\n",
+            JobFormat::Pla,
+            Some("and2"),
+            None,
+            false,
+        )
+        .expect("pla job");
+    assert_eq!(field_str(&reply, "status"), "ok", "{reply:?}");
+    assert!(field_str(&reply, "network_blif").contains(".model"));
+
+    // shutdown over the wire: acknowledged, then the daemon drains and exits
+    let ack = client.shutdown().expect("shutdown ack");
+    assert_eq!(field_str(&ack, "status"), "ok");
+    assert_eq!(field_str(&ack, "op"), "shutdown");
+    server.wait();
+}
