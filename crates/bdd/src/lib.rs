@@ -1,5 +1,5 @@
 //! A reduced ordered binary decision diagram (ROBDD) package with a
-//! shared concurrent node store.
+//! shared concurrent node store and complement edges.
 //!
 //! This is the workspace's stand-in for the "SIS 1.2 ROBDD package" the
 //! paper builds on (Bryant, 1986). It provides a [`BddManager`] arena with a
@@ -7,6 +7,21 @@
 //! equivalence checking is pointer comparison), the usual apply operations,
 //! cofactors, satisfy counting and conversion to and from the
 //! representations in [`xsynth_boolean`].
+//!
+//! # Complement edges
+//!
+//! A [`Bdd`] handle carries a *complement bit*: `f` and `¬f` share one
+//! stored node and differ only in that bit, so negation is a bit flip —
+//! O(1), allocation-free — and the DAG holds roughly half the nodes a
+//! complement-free package would for negation-heavy workloads (the
+//! paper's FPRM descent negates on every polarity flip and Davio
+//! expansion). Canonicity is preserved by the standard normalization:
+//! a complement may only be stored on the *low* (else) edge — the stored
+//! high (then) edge is always regular — and there is a single regular
+//! `one` terminal (`ZERO` is its complement). `mk` re-normalizes a
+//! complemented then-edge by complementing both children and returning a
+//! complemented handle, so two handles are equal if and only if they
+//! denote the same function, exactly as before.
 //!
 //! # Concurrency
 //!
@@ -37,6 +52,9 @@
 //! let g = m.ite(a, b, c); // a·b + ¬a·c
 //! assert_ne!(f, g);
 //! assert_eq!(m.eval(f, 0b011), true);
+//! // negation is a complement-bit flip: free, and an involution
+//! let nf = m.not(f);
+//! assert_eq!(m.not(nf), f);
 //! ```
 
 #![warn(missing_docs)]
@@ -78,26 +96,29 @@ const SHARD_BITS: u32 = 6;
 const SHARD_MASK: u32 = (NUM_SHARDS as u32) - 1;
 /// First arena chunk holds 2^10 slots; each subsequent chunk doubles.
 const CHUNK_BASE_BITS: u32 = 10;
-/// 17 doubling chunks cover the full 26-bit per-shard slot space.
-const MAX_CHUNKS: usize = 17;
-const MAX_SLOT: u32 = (1 << (32 - SHARD_BITS)) - 1;
+/// 16 doubling chunks cover the full 25-bit per-shard slot space (one
+/// handle bit goes to the complement edge).
+const MAX_CHUNKS: usize = 16;
+const MAX_SLOT: u32 = (1 << (32 - SHARD_BITS - 1)) - 1;
 
 /// A handle to a BDD node inside a [`BddManager`].
 ///
 /// Handles are canonical: two handles from the same substrate (the manager
 /// or any clone of it) are equal if and only if they denote the same
-/// Boolean function. The numeric value of a handle encodes its shard and
-/// arena slot; under parallel construction the value a given function gets
-/// depends on allocation interleaving, so nothing semantic may depend on
-/// handle numbering — only on handle *equality*.
+/// Boolean function. The numeric value of a handle encodes a complement
+/// bit (bit 0 — `f` and `¬f` address the same stored node) plus the
+/// node's shard and arena slot; under parallel construction the value a
+/// given function gets depends on allocation interleaving, so nothing
+/// semantic may depend on handle numbering — only on handle *equality*.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Bdd(u32);
 
 impl Bdd {
-    /// The constant-zero function.
-    pub const ZERO: Bdd = Bdd(0);
-    /// The constant-one function.
-    pub const ONE: Bdd = Bdd(1);
+    /// The constant-one function: the package's single regular terminal.
+    pub const ONE: Bdd = Bdd(0);
+    /// The constant-zero function — the complement edge onto the `one`
+    /// terminal.
+    pub const ZERO: Bdd = Bdd(1);
 
     /// Whether this is a terminal (constant) node.
     pub fn is_const(self) -> bool {
@@ -109,19 +130,41 @@ impl Bdd {
         self.0 as usize
     }
 
+    /// The complement bit (0 or 1) as a handle-XOR mask.
+    fn cbit(self) -> u32 {
+        self.0 & 1
+    }
+
+    /// This function negated: the same stored node, complement flipped.
+    fn complement(self) -> Bdd {
+        Bdd(self.0 ^ 1)
+    }
+
+    /// The regular (complement-stripped) handle of the stored node.
+    fn regular(self) -> Bdd {
+        Bdd(self.0 & !1)
+    }
+
+    /// XORs a complement mask (0 or 1) into the handle.
+    fn xor_c(self, c: u32) -> Bdd {
+        Bdd(self.0 ^ c)
+    }
+
     fn shard(self) -> usize {
-        (self.0 & SHARD_MASK) as usize
+        ((self.0 >> 1) & SHARD_MASK) as usize
     }
 
     fn slot(self) -> u32 {
-        self.0 >> SHARD_BITS
+        self.0 >> (1 + SHARD_BITS)
     }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Node {
     var: u32,
+    /// Low (else) edge — the one edge a complement may be stored on.
     lo: Bdd,
+    /// High (then) edge — always regular in canonical form.
     hi: Bdd,
 }
 
@@ -130,7 +173,6 @@ const TERMINAL_VAR: u32 = u32::MAX;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Op {
     And,
-    Or,
     Xor,
 }
 
@@ -193,7 +235,6 @@ struct Shard {
     nodes: Arena,
     unique: Mutex<UniqueTable>,
     apply: Mutex<HashMap<(Op, Bdd, Bdd), Bdd>>,
-    not: Mutex<HashMap<Bdd, Bdd>>,
 }
 
 impl Shard {
@@ -202,7 +243,6 @@ impl Shard {
             nodes: Arena::new(),
             unique: Mutex::new(UniqueTable::default()),
             apply: Mutex::new(HashMap::new()),
-            not: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -212,7 +252,7 @@ impl Shard {
 struct Shared {
     n: usize,
     shards: Vec<Shard>,
-    /// Total nodes allocated, terminals included — the single global
+    /// Total nodes allocated, the terminal included — the single global
     /// counter the node cap is enforced against.
     node_count: AtomicUsize,
     /// The node cap; `usize::MAX` means uncapped.
@@ -281,18 +321,9 @@ impl BddManager {
     /// Creates a manager for functions of `n` variables.
     pub fn new(n: usize) -> Self {
         let shards: Vec<Shard> = (0..NUM_SHARDS).map(|_| Shard::new()).collect();
-        // terminals live at slot 0 of shards 0 and 1, so their handle
-        // values are the fixed 0 and 1 `is_const` relies on
+        // the single terminal lives at slot 0 of shard 0, so its regular
+        // handle is the fixed 0 (`ONE`) and its complement 1 (`ZERO`)
         shards[0].nodes.set(
-            0,
-            Node {
-                var: TERMINAL_VAR,
-                lo: Bdd::ZERO,
-                hi: Bdd::ZERO,
-            },
-        );
-        lock(&shards[0].unique).len = 1;
-        shards[1].nodes.set(
             0,
             Node {
                 var: TERMINAL_VAR,
@@ -300,12 +331,12 @@ impl BddManager {
                 hi: Bdd::ONE,
             },
         );
-        lock(&shards[1].unique).len = 1;
+        lock(&shards[0].unique).len = 1;
         BddManager {
             shared: Arc::new(Shared {
                 n,
                 shards,
-                node_count: AtomicUsize::new(2),
+                node_count: AtomicUsize::new(1),
                 limit: AtomicUsize::new(usize::MAX),
                 apply_hits: AtomicU64::new(0),
                 apply_misses: AtomicU64::new(0),
@@ -315,8 +346,8 @@ impl BddManager {
     }
 
     /// Creates a manager for `n` variables that refuses to grow past
-    /// `limit` nodes (terminals included). Operations must use the `try_`
-    /// forms to observe the cap as an error rather than a panic.
+    /// `limit` nodes (the terminal included). Operations must use the
+    /// `try_` forms to observe the cap as an error rather than a panic.
     pub fn with_node_limit(n: usize, limit: usize) -> Self {
         let m = Self::new(n);
         m.shared.limit.store(limit, Ordering::Relaxed);
@@ -380,7 +411,8 @@ impl BddManager {
     }
 
     /// Total number of nodes allocated across all clones of this manager
-    /// (including both terminals).
+    /// (including the terminal). `f` and `¬f` share one node, so building
+    /// the negation of an existing function allocates nothing.
     pub fn num_nodes(&self) -> usize {
         self.shared.node_count.load(Ordering::Relaxed)
     }
@@ -388,8 +420,10 @@ impl BddManager {
     /// Apply-cache hits and misses accumulated over the life of the
     /// substrate (all clones, all threads). The *ratio* proves cache
     /// effectiveness — e.g. that commutative operand normalization turns
-    /// `apply(And, g, f)` into a hit after `apply(And, f, g)` — but the
-    /// split between hits and misses is schedule-dependent under
+    /// `and(g, f)` into a hit after `and(f, g)`, that `or` shares the
+    /// `and` cache through De Morgan, and that `xor` keys are
+    /// complement-stripped so `xor(¬f, g)` hits the `xor(f, g)` entry —
+    /// but the split between hits and misses is schedule-dependent under
     /// parallelism, so callers must report these as gauges, never as
     /// determinism-checked counters.
     pub fn apply_cache_stats(&self) -> (u64, u64) {
@@ -397,6 +431,29 @@ impl BddManager {
             self.shared.apply_hits.load(Ordering::Relaxed),
             self.shared.apply_misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Canonical-form violations in the stored node set: entries whose
+    /// then-edge carries a complement, whose children are equal (the
+    /// reduction rule should have elided the node), or whose unique-table
+    /// key disagrees with the stored node. Always 0 — exposed so the
+    /// concurrency suites can assert the invariant after racing threads
+    /// hammer the substrate.
+    #[doc(hidden)]
+    pub fn canonical_violations(&self) -> usize {
+        let mut violations = 0;
+        for (sh, shard) in self.shared.shards.iter().enumerate() {
+            let tab = lock(&shard.unique);
+            for (&(var, lo, hi), &id) in tab.map.iter() {
+                let n = shard.nodes.get(id.slot());
+                let stored_matches = n.var == var && n.lo == lo && n.hi == hi;
+                let id_in_shard = id.shard() == sh && id.cbit() == 0;
+                if hi.cbit() != 0 || lo == hi || !stored_matches || !id_in_shard {
+                    violations += 1;
+                }
+            }
+        }
+        violations
     }
 
     /// The constant function `value`.
@@ -440,28 +497,36 @@ impl BddManager {
         Self::expect_ok(self.try_nvar(var))
     }
 
-    /// Fallible form of [`BddManager::nvar`].
+    /// Fallible form of [`BddManager::nvar`]. Shares the projection's
+    /// node: after `var(v)` this allocates nothing.
     pub fn try_nvar(&mut self, var: usize) -> Result<Bdd, NodeLimitExceeded> {
         assert!(var < self.shared.n, "variable {var} out of range");
         self.mk(var as u32, Bdd::ONE, Bdd::ZERO)
     }
 
-    /// Hash-conses `(var, lo, hi)`: one shard (selected by node hash) owns
-    /// both the unique-table entry and the arena slot, and its mutex is
-    /// held across lookup + cap check + allocate + insert, so two threads
-    /// racing on the same node serialize and double-insertion is
-    /// impossible. Lock order is strictly unique(shard) → nothing: the
-    /// arena write needs no lock and no other mutex is taken while the
-    /// unique lock is held, so interleaved operations cannot deadlock.
+    /// Hash-conses `(var, lo, hi)` after complement normalization: a
+    /// complemented then-edge is rewritten by complementing both children
+    /// and returning a complemented handle, so the *stored* then-edge is
+    /// always regular and `f`/`¬f` resolve to one node. One shard
+    /// (selected by node hash) owns both the unique-table entry and the
+    /// arena slot, and its mutex is held across lookup + cap check +
+    /// allocate + insert, so two threads racing on the same node serialize
+    /// and double-insertion is impossible. Lock order is strictly
+    /// unique(shard) → nothing: the arena write needs no lock and no other
+    /// mutex is taken while the unique lock is held, so interleaved
+    /// operations cannot deadlock.
     fn mk(&self, var: u32, lo: Bdd, hi: Bdd) -> Result<Bdd, NodeLimitExceeded> {
         if lo == hi {
             return Ok(lo);
         }
+        // canonical form: complements live on the else-edge only
+        let c = hi.cbit();
+        let (lo, hi) = (lo.xor_c(c), hi.xor_c(c));
         let sh = shard_of(&(var, lo, hi));
         let shard = &self.shared.shards[sh];
         let mut tab = lock(&shard.unique);
         if let Some(&b) = tab.map.get(&(var, lo, hi)) {
-            return Ok(b);
+            return Ok(b.xor_c(c));
         }
         let limit = self.shared.limit.load(Ordering::Relaxed);
         xsynth_trace::fail_point!("bdd.alloc", Err(NodeLimitExceeded { limit }));
@@ -482,15 +547,34 @@ impl BddManager {
             self.shared.node_count.fetch_sub(1, Ordering::Relaxed);
             return Err(NodeLimitExceeded { limit });
         }
-        let id = Bdd((slot << SHARD_BITS) | sh as u32);
+        let id = Bdd(((slot << SHARD_BITS) | sh as u32) << 1);
         shard.nodes.set(slot, Node { var, lo, hi });
         tab.len += 1;
         tab.map.insert((var, lo, hi), id);
-        Ok(id)
+        Ok(id.xor_c(c))
     }
 
+    /// The stored node a handle (of either polarity) addresses.
     fn node(&self, b: Bdd) -> Node {
         self.shared.shards[b.shard()].nodes.get(b.slot())
+    }
+
+    /// Top variable of a non-constant handle.
+    fn var_of(&self, b: Bdd) -> u32 {
+        self.node(b).var
+    }
+
+    /// Cofactors of `b` (non-constant) at `var`, which must be at or above
+    /// `b`'s top variable. The stored children inherit the handle's
+    /// complement bit — the identity `(¬f)|ₓ = ¬(f|ₓ)` as a handle XOR.
+    fn cofactors_at(&self, b: Bdd, var: u32) -> (Bdd, Bdd) {
+        let n = self.node(b);
+        if n.var == var {
+            let c = b.cbit();
+            (n.lo.xor_c(c), n.hi.xor_c(c))
+        } else {
+            (b, b)
+        }
     }
 
     /// The top variable of `b`, or `None` for constants.
@@ -502,92 +586,102 @@ impl BddManager {
         }
     }
 
-    /// The low (var = 0) child; `b` itself for constants.
+    /// The low (var = 0) child, with the handle's complement resolved;
+    /// `b` itself for constants.
     pub fn low(&self, b: Bdd) -> Bdd {
         if b.is_const() {
             b
         } else {
-            self.node(b).lo
+            self.node(b).lo.xor_c(b.cbit())
         }
     }
 
-    /// The high (var = 1) child; `b` itself for constants.
+    /// The high (var = 1) child, with the handle's complement resolved;
+    /// `b` itself for constants.
     pub fn high(&self, b: Bdd) -> Bdd {
         if b.is_const() {
             b
         } else {
-            self.node(b).hi
+            self.node(b).hi.xor_c(b.cbit())
         }
     }
 
-    fn apply(&self, op: Op, f: Bdd, g: Bdd) -> Result<Bdd, NodeLimitExceeded> {
-        match op {
-            Op::And => {
-                if f == Bdd::ZERO || g == Bdd::ZERO {
-                    return Ok(Bdd::ZERO);
-                }
-                if f == Bdd::ONE {
-                    return Ok(g);
-                }
-                if g == Bdd::ONE || f == g {
-                    return Ok(f);
-                }
-            }
-            Op::Or => {
-                if f == Bdd::ONE || g == Bdd::ONE {
-                    return Ok(Bdd::ONE);
-                }
-                if f == Bdd::ZERO {
-                    return Ok(g);
-                }
-                if g == Bdd::ZERO || f == g {
-                    return Ok(f);
-                }
-            }
-            Op::Xor => {
-                if f == Bdd::ZERO {
-                    return Ok(g);
-                }
-                if g == Bdd::ZERO {
-                    return Ok(f);
-                }
-                if f == g {
-                    return Ok(Bdd::ZERO);
-                }
-                if f == Bdd::ONE {
-                    return self.not_rec(g);
-                }
-                if g == Bdd::ONE {
-                    return self.not_rec(f);
-                }
-            }
+    fn and_rec(&self, f: Bdd, g: Bdd) -> Result<Bdd, NodeLimitExceeded> {
+        if f == Bdd::ZERO || g == Bdd::ZERO || f == g.complement() {
+            return Ok(Bdd::ZERO);
         }
-        // commutative ops: normalize operand order for the cache, so
-        // apply(op, g, f) hits the entry apply(op, f, g) populated
-        let key = if f <= g { (op, f, g) } else { (op, g, f) };
+        if f == Bdd::ONE || f == g {
+            return Ok(g);
+        }
+        if g == Bdd::ONE {
+            return Ok(f);
+        }
+        // commutative: normalize operand order for the cache, so
+        // and(g, f) hits the entry and(f, g) populated
+        let key = if f <= g {
+            (Op::And, f, g)
+        } else {
+            (Op::And, g, f)
+        };
         let cache = &self.shared.shards[shard_of(&key)].apply;
         if let Some(&r) = lock(cache).get(&key) {
             self.shared.apply_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(r);
         }
         self.shared.apply_misses.fetch_add(1, Ordering::Relaxed);
-        let (nf, ng) = (self.node(f), self.node(g));
-        let var = nf.var.min(ng.var);
-        let (f0, f1) = if nf.var == var {
-            (nf.lo, nf.hi)
-        } else {
-            (f, f)
-        };
-        let (g0, g1) = if ng.var == var {
-            (ng.lo, ng.hi)
-        } else {
-            (g, g)
-        };
-        let lo = self.apply(op, f0, g0)?;
-        let hi = self.apply(op, f1, g1)?;
+        let var = self.var_of(f).min(self.var_of(g));
+        let (f0, f1) = self.cofactors_at(f, var);
+        let (g0, g1) = self.cofactors_at(g, var);
+        let lo = self.and_rec(f0, g0)?;
+        let hi = self.and_rec(f1, g1)?;
         let r = self.mk(var, lo, hi)?;
         lock(cache).insert(key, r);
         Ok(r)
+    }
+
+    fn xor_rec(&self, f: Bdd, g: Bdd) -> Result<Bdd, NodeLimitExceeded> {
+        if f == Bdd::ZERO {
+            return Ok(g);
+        }
+        if g == Bdd::ZERO {
+            return Ok(f);
+        }
+        if f == Bdd::ONE {
+            return Ok(g.complement());
+        }
+        if g == Bdd::ONE {
+            return Ok(f.complement());
+        }
+        if f == g {
+            return Ok(Bdd::ZERO);
+        }
+        if f == g.complement() {
+            return Ok(Bdd::ONE);
+        }
+        // xor is complement-invariant: strip both complement bits from
+        // the key and re-apply their parity to the result, so xor(¬f, g)
+        // hits the entry xor(f, g) populated (and costs no new nodes)
+        let c = f.cbit() ^ g.cbit();
+        let (f, g) = (f.regular(), g.regular());
+        let key = if f <= g {
+            (Op::Xor, f, g)
+        } else {
+            (Op::Xor, g, f)
+        };
+        let cache = &self.shared.shards[shard_of(&key)].apply;
+        if let Some(&r) = lock(cache).get(&key) {
+            self.shared.apply_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(r.xor_c(c));
+        }
+        self.shared.apply_misses.fetch_add(1, Ordering::Relaxed);
+        let var = self.var_of(f).min(self.var_of(g));
+        let (f0, f1) = self.cofactors_at(f, var);
+        let (g0, g1) = self.cofactors_at(g, var);
+        let lo = self.xor_rec(f0, g0)?;
+        let hi = self.xor_rec(f1, g1)?;
+        let r = self.mk(var, lo, hi)?;
+        lock(cache).insert(key, r);
+        Ok(r.xor_c(c))
     }
 
     /// Conjunction.
@@ -597,27 +691,29 @@ impl BddManager {
     /// Panics only if a node cap is set and tripped (use
     /// [`BddManager::try_and`] under a budget).
     pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        Self::expect_ok(self.apply(Op::And, f, g))
+        Self::expect_ok(self.and_rec(f, g))
     }
 
     /// Fallible form of [`BddManager::and`].
     pub fn try_and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, NodeLimitExceeded> {
-        self.apply(Op::And, f, g)
+        self.and_rec(f, g)
     }
 
-    /// Disjunction.
+    /// Disjunction, computed by De Morgan over the conjunction — with
+    /// complement edges the negations are free, and `or(f, g)` shares the
+    /// apply-cache entries of `and(¬f, ¬g)`.
     ///
     /// # Panics
     ///
     /// Panics only if a node cap is set and tripped (use
     /// [`BddManager::try_or`] under a budget).
     pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        Self::expect_ok(self.apply(Op::Or, f, g))
+        Self::expect_ok(self.try_or(f, g))
     }
 
     /// Fallible form of [`BddManager::or`].
     pub fn try_or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, NodeLimitExceeded> {
-        self.apply(Op::Or, f, g)
+        Ok(self.and_rec(f.complement(), g.complement())?.complement())
     }
 
     /// Exclusive or.
@@ -627,47 +723,24 @@ impl BddManager {
     /// Panics only if a node cap is set and tripped (use
     /// [`BddManager::try_xor`] under a budget).
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        Self::expect_ok(self.apply(Op::Xor, f, g))
+        Self::expect_ok(self.xor_rec(f, g))
     }
 
     /// Fallible form of [`BddManager::xor`].
     pub fn try_xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, NodeLimitExceeded> {
-        self.apply(Op::Xor, f, g)
+        self.xor_rec(f, g)
     }
 
-    /// Negation.
-    ///
-    /// # Panics
-    ///
-    /// Panics only if a node cap is set and tripped (use
-    /// [`BddManager::try_not`] under a budget).
+    /// Negation: a complement-bit flip. O(1), allocation-free, and never
+    /// fails — it cannot trip a node cap because it creates no node.
     pub fn not(&mut self, f: Bdd) -> Bdd {
-        Self::expect_ok(self.not_rec(f))
+        f.complement()
     }
 
-    /// Fallible form of [`BddManager::not`].
+    /// Fallible form of [`BddManager::not`], kept for API symmetry with
+    /// the other operations; with complement edges it is infallible.
     pub fn try_not(&mut self, f: Bdd) -> Result<Bdd, NodeLimitExceeded> {
-        self.not_rec(f)
-    }
-
-    fn not_rec(&self, f: Bdd) -> Result<Bdd, NodeLimitExceeded> {
-        if f == Bdd::ZERO {
-            return Ok(Bdd::ONE);
-        }
-        if f == Bdd::ONE {
-            return Ok(Bdd::ZERO);
-        }
-        let cache = |b: Bdd| &self.shared.shards[shard_of(&b)].not;
-        if let Some(&r) = lock(cache(f)).get(&f) {
-            return Ok(r);
-        }
-        let n = self.node(f);
-        let lo = self.not_rec(n.lo)?;
-        let hi = self.not_rec(n.hi)?;
-        let r = self.mk(n.var, lo, hi)?;
-        lock(cache(f)).insert(f, r);
-        lock(cache(r)).insert(r, f);
-        Ok(r)
+        Ok(f.complement())
     }
 
     /// If-then-else: `c·t + ¬c·e`.
@@ -683,8 +756,7 @@ impl BddManager {
     /// Fallible form of [`BddManager::ite`].
     pub fn try_ite(&mut self, c: Bdd, t: Bdd, e: Bdd) -> Result<Bdd, NodeLimitExceeded> {
         let ct = self.try_and(c, t)?;
-        let nc = self.try_not(c)?;
-        let nce = self.try_and(nc, e)?;
+        let nce = self.try_and(c.complement(), e)?;
         self.try_or(ct, nce)
     }
 
@@ -727,15 +799,16 @@ impl BddManager {
         if let Some(&r) = memo.get(&f) {
             return Ok(r);
         }
+        let c = f.cbit();
         let r = if n.var == var {
             if phase {
-                n.hi
+                n.hi.xor_c(c)
             } else {
-                n.lo
+                n.lo.xor_c(c)
             }
         } else {
-            let lo = self.cofactor_rec(n.lo, var, phase, memo)?;
-            let hi = self.cofactor_rec(n.hi, var, phase, memo)?;
+            let lo = self.cofactor_rec(n.lo.xor_c(c), var, phase, memo)?;
+            let hi = self.cofactor_rec(n.hi.xor_c(c), var, phase, memo)?;
             self.mk(n.var, lo, hi)?
         };
         memo.insert(f, r);
@@ -748,11 +821,13 @@ impl BddManager {
         let mut cur = f;
         while !cur.is_const() {
             let n = self.node(cur);
-            cur = if minterm & (1u64 << n.var) != 0 {
+            let next = if minterm & (1u64 << n.var) != 0 {
                 n.hi
             } else {
                 n.lo
             };
+            // complement parity accumulates down the path
+            cur = next.xor_c(cur.cbit());
         }
         cur == Bdd::ONE
     }
@@ -799,11 +874,14 @@ impl BddManager {
         if let Some(&r) = memo.get(&f) {
             return r;
         }
-        let n = self.node(f);
-        let lo = self.sat_weight(n.lo, memo);
-        let hi = self.sat_weight(n.hi, memo);
-        let lo = Self::shl_sat(lo, self.level(n.lo) - n.var - 1);
-        let hi = Self::shl_sat(hi, self.level(n.hi) - n.var - 1);
+        // memoized on the full handle: f and ¬f have different weights,
+        // so the complement bit is part of the key
+        let (lo_h, hi_h) = (self.low(f), self.high(f));
+        let var = self.node(f).var;
+        let lo = self.sat_weight(lo_h, memo);
+        let hi = self.sat_weight(hi_h, memo);
+        let lo = Self::shl_sat(lo, self.level(lo_h) - var - 1);
+        let hi = Self::shl_sat(hi, self.level(hi_h) - var - 1);
         let r = lo.saturating_add(hi);
         memo.insert(f, r);
         r
@@ -826,8 +904,7 @@ impl BddManager {
         if let Some(&r) = memo.get(&f) {
             return r;
         }
-        let n = self.node(f);
-        let r = 0.5 * self.sat_frac(n.lo, memo) + 0.5 * self.sat_frac(n.hi, memo);
+        let r = 0.5 * self.sat_frac(self.low(f), memo) + 0.5 * self.sat_frac(self.high(f), memo);
         memo.insert(f, r);
         r
     }
@@ -836,23 +913,27 @@ impl BddManager {
     pub fn support(&self, f: Bdd) -> VarSet {
         let mut seen = std::collections::HashSet::new();
         let mut sup = VarSet::new();
-        let mut stack = vec![f];
+        // complement bits never change the support; traverse the stored
+        // (regular) node graph so f and ¬f walk identical sets
+        let mut stack = vec![f.regular()];
         while let Some(b) = stack.pop() {
             if b.is_const() || !seen.insert(b) {
                 continue;
             }
             let n = self.node(b);
             sup.insert(n.var as usize);
-            stack.push(n.lo);
-            stack.push(n.hi);
+            stack.push(n.lo.regular());
+            stack.push(n.hi.regular());
         }
         sup
     }
 
     /// Number of distinct internal nodes in the DAG rooted at `f`.
+    /// Complement edges are transparent: `f` and `¬f` share every node,
+    /// so their sizes are equal.
     pub fn size(&self, f: Bdd) -> usize {
         let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f];
+        let mut stack = vec![f.regular()];
         let mut count = 0;
         while let Some(b) = stack.pop() {
             if b.is_const() || !seen.insert(b) {
@@ -860,8 +941,8 @@ impl BddManager {
             }
             count += 1;
             let n = self.node(b);
-            stack.push(n.lo);
-            stack.push(n.hi);
+            stack.push(n.lo.regular());
+            stack.push(n.hi.regular());
         }
         count
     }
@@ -938,6 +1019,62 @@ impl BddManager {
         Ok(acc)
     }
 
+    /// Copies the DAGs rooted at `roots` into `dst` (same arity),
+    /// returning the corresponding handles in `dst`, in order.
+    ///
+    /// Only nodes *reachable* from `roots` are allocated in `dst` — this
+    /// is garbage collection by copy: a construction's dead intermediate
+    /// nodes (hash-consed but no longer referenced) stay behind in
+    /// `self`, so building in a scratch manager and copying the live
+    /// roots out leaves the destination substrate holding exactly the
+    /// live structure. Complement bits are preserved; shared nodes are
+    /// copied once.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an arity mismatch, or if `dst` has a node cap and it
+    /// trips (use [`BddManager::try_copy_roots`] under a budget).
+    pub fn copy_roots(&self, roots: &[Bdd], dst: &mut BddManager) -> Vec<Bdd> {
+        Self::expect_ok(self.try_copy_roots(roots, dst))
+    }
+
+    /// Fallible form of [`BddManager::copy_roots`]. Still panics on an
+    /// arity mismatch, which is a programming error.
+    pub fn try_copy_roots(
+        &self,
+        roots: &[Bdd],
+        dst: &mut BddManager,
+    ) -> Result<Vec<Bdd>, NodeLimitExceeded> {
+        assert_eq!(self.shared.n, dst.shared.n, "arity mismatch");
+        let mut memo: HashMap<Bdd, Bdd> = HashMap::new();
+        roots
+            .iter()
+            .map(|&r| self.copy_rec(r, dst, &mut memo))
+            .collect()
+    }
+
+    fn copy_rec(
+        &self,
+        f: Bdd,
+        dst: &BddManager,
+        memo: &mut HashMap<Bdd, Bdd>,
+    ) -> Result<Bdd, NodeLimitExceeded> {
+        if f.is_const() {
+            return Ok(f);
+        }
+        // memoize on the regular handle so f and ¬f share one copy
+        let reg = f.regular();
+        if let Some(&r) = memo.get(&reg) {
+            return Ok(r.xor_c(f.cbit()));
+        }
+        let n = self.node(reg);
+        let lo = self.copy_rec(n.lo, dst, memo)?;
+        let hi = self.copy_rec(n.hi, dst, memo)?;
+        let r = dst.mk(n.var, lo, hi)?;
+        memo.insert(reg, r);
+        Ok(r.xor_c(f.cbit()))
+    }
+
     /// Converts `f` to a truth table (requires `n ≤ MAX_TT_VARS`).
     pub fn to_table(&self, f: Bdd) -> TruthTable {
         TruthTable::from_fn(self.shared.n, |m| self.eval(f, m))
@@ -952,12 +1089,13 @@ impl BddManager {
         let mut assignment = vec![false; self.shared.n];
         let mut cur = f;
         while !cur.is_const() {
-            let node = self.node(cur);
-            if node.lo != Bdd::ZERO {
-                cur = node.lo;
+            let var = self.node(cur).var as usize;
+            let lo = self.low(cur);
+            if lo != Bdd::ZERO {
+                cur = lo;
             } else {
-                assignment[node.var as usize] = true;
-                cur = node.hi;
+                assignment[var] = true;
+                cur = self.high(cur);
             }
         }
         debug_assert_eq!(cur, Bdd::ONE, "reduced BDDs reach 1 by avoiding 0");
@@ -980,6 +1118,38 @@ mod tests {
         let na = m.not(a);
         let nna = m.not(na);
         assert_eq!(a, nna);
+    }
+
+    #[test]
+    fn complement_edges_share_nodes_and_negation_is_free() {
+        let mut m = BddManager::new(4);
+        assert_eq!(Bdd::ZERO, Bdd::ONE.complement());
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let ab = m.and(a, b);
+        let f = m.xor(ab, c);
+        let before = m.num_nodes();
+        // negation allocates nothing: f and ¬f share one stored node
+        let nf = m.not(f);
+        assert_eq!(m.num_nodes(), before, "not must be allocation-free");
+        assert_ne!(nf, f);
+        assert_eq!(m.not(nf), f);
+        assert_eq!(m.size(nf), m.size(f), "f and ¬f share the whole DAG");
+        // the complemented projection rides the projection's node
+        let na = m.nvar(0);
+        assert_eq!(m.num_nodes(), before, "nvar reuses var's node");
+        assert_eq!(na, m.not(a));
+        assert_eq!(m.canonical_violations(), 0);
+    }
+
+    #[test]
+    fn stored_then_edges_are_always_regular() {
+        let mut m = BddManager::new(5);
+        let t = TruthTable::from_fn(5, |v| (v * 31 + 7) % 3 == 0);
+        let f = m.from_table(&t);
+        let g = m.not(f);
+        let x = m.xor(f, g);
+        assert_eq!(x, Bdd::ONE, "f xor ¬f is a tautology");
+        assert_eq!(m.canonical_violations(), 0);
     }
 
     #[test]
@@ -1018,6 +1188,11 @@ mod tests {
             let expect = (mt & 1 != 0 && mt & 2 != 0) || mt & 4 != 0;
             assert_eq!(m.eval(f, mt), expect);
         }
+        // the complement evaluates complemented everywhere
+        let nf = m.not(f);
+        for mt in 0..8u64 {
+            assert_eq!(m.eval(nf, mt), !m.eval(f, mt));
+        }
     }
 
     #[test]
@@ -1027,6 +1202,9 @@ mod tests {
         let f = m.from_table(&t);
         assert_eq!(m.to_table(f), t);
         assert_eq!(m.count_sat(f), t.count_ones() as u128);
+        // negation inverts the count over the full space
+        let nf = m.not(f);
+        assert_eq!(m.count_sat(nf), (1u128 << 6) - t.count_ones() as u128);
     }
 
     #[test]
@@ -1057,6 +1235,11 @@ mod tests {
         assert_eq!(sup, VarSet::from_vars([0, 1, 2]));
         assert!(m.support(c).contains(2));
         assert_eq!(m.support(Bdd::ONE), VarSet::new());
+        // cofactoring commutes with complement
+        let nf = m.not(f);
+        let nf1 = m.cofactor(nf, 0, true);
+        assert_eq!(nf1, m.not(bc));
+        assert_eq!(m.support(nf), sup);
     }
 
     #[test]
@@ -1068,6 +1251,9 @@ mod tests {
         let ab = m.and(a, b);
         assert_eq!(m.sat_fraction(ab), 0.25);
         assert_eq!(m.count_sat(ab), 8);
+        let nab = m.not(ab);
+        assert_eq!(m.sat_fraction(nab), 0.75);
+        assert_eq!(m.count_sat(nab), 24);
     }
 
     #[test]
@@ -1095,7 +1281,7 @@ mod tests {
         assert_eq!(m.size(a), 1);
         let b = m.var(1);
         let x = m.xor(a, b);
-        assert_eq!(m.size(x), 3);
+        assert_eq!(m.size(x), 2, "xor shares b's node via a complement edge");
     }
 
     #[test]
@@ -1108,6 +1294,15 @@ mod tests {
         assert!(w[0] && !w[3]);
         assert!(m.any_sat(Bdd::ZERO).is_none());
         assert_eq!(m.any_sat(Bdd::ONE), Some(vec![false; 4]));
+        // a complemented root still yields a valid witness
+        let nf = m.not(f);
+        let w = m.any_sat(nf).expect("satisfiable");
+        assert!(m.eval(
+            nf,
+            w.iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &bit)| { acc | (u64::from(bit) << i) })
+        ));
     }
 
     #[test]
@@ -1155,17 +1350,20 @@ mod tests {
 
     #[test]
     fn node_limit_trips_as_error_and_keeps_manager_usable() {
-        let mut m = BddManager::with_node_limit(8, 4);
-        assert_eq!(m.node_limit(), Some(4));
+        let mut m = BddManager::with_node_limit(8, 3);
+        assert_eq!(m.node_limit(), Some(3));
         let a = m.try_var(0).unwrap();
         let b = m.try_var(1).unwrap();
-        // The manager is at its cap now (2 terminals + 2 vars); any new
+        // The manager is at its cap now (the terminal + 2 vars); any new
         // node must fail with the typed error.
         let err = m.try_and(a, b).unwrap_err();
-        assert_eq!(err, NodeLimitExceeded { limit: 4 });
-        // Cache-hit and reduction paths still work without allocating.
+        assert_eq!(err, NodeLimitExceeded { limit: 3 });
+        // Cache-hit and reduction paths still work without allocating —
+        // and so does negation, which never allocates at all.
         assert_eq!(m.try_and(a, a).unwrap(), a);
         assert_eq!(m.try_or(a, Bdd::ONE).unwrap(), Bdd::ONE);
+        let na = m.try_not(a).unwrap();
+        assert_eq!(m.try_not(na).unwrap(), a);
         // Raising the cap lets the failed operation through.
         m.set_node_limit(Some(64));
         let ab = m.try_and(a, b).unwrap();
@@ -1182,10 +1380,10 @@ mod tests {
         let b = m.var(1);
         m.and(a, b);
         let grown = m.num_nodes();
-        assert!(grown > 2);
+        assert!(grown > 1);
         assert!(m.try_reclaim());
         assert_eq!(m.generation(), 1);
-        assert_eq!(m.num_nodes(), 2, "only terminals survive reclamation");
+        assert_eq!(m.num_nodes(), 1, "only the terminal survives reclamation");
         assert_eq!(m.node_limit(), Some(1 << 20), "cap carries over");
         // the fresh generation is fully usable
         let a2 = m.var(0);
@@ -1236,12 +1434,12 @@ mod tests {
 
     #[test]
     fn node_limit_is_global_across_clones() {
-        let mut m = BddManager::with_node_limit(8, 5);
+        let mut m = BddManager::with_node_limit(8, 4);
         let mut c = m.clone();
         let a = m.try_var(0).unwrap();
         let b = c.try_var(1).unwrap();
-        // 2 terminals + 2 vars allocated; the next node (through either
-        // handle) reaches the cap of 5, the one after must trip
+        // the terminal + 2 vars allocated; the next node (through either
+        // handle) reaches the cap of 4, the one after must trip
         let ab = c.try_and(a, b).unwrap();
         assert!(!ab.is_const());
         assert!(m.try_or(a, b).is_err());
@@ -1259,15 +1457,90 @@ mod tests {
         let ab = m.and(a, b);
         let f = m.or(ab, c);
         let g = m.xor(b, c);
-        for op in [Op::And, Op::Or, Op::Xor] {
-            let first = m.apply(op, f, g).unwrap();
-            let (hits0, misses0) = m.apply_cache_stats();
-            let second = m.apply(op, g, f).unwrap();
-            let (hits1, misses1) = m.apply_cache_stats();
-            assert_eq!(first, second);
-            assert_eq!(hits1, hits0 + 1, "swapped operands must hit ({op:?})");
-            assert_eq!(misses1, misses0, "swapped operands must not miss ({op:?})");
+        // swapped operands must hit the entry the first call populated
+        let and_fg = m.and(f, g);
+        let (hits0, misses0) = m.apply_cache_stats();
+        assert_eq!(m.and(g, f), and_fg);
+        let (hits1, misses1) = m.apply_cache_stats();
+        assert_eq!(hits1, hits0 + 1, "swapped and must hit");
+        assert_eq!(misses1, misses0, "swapped and must not miss");
+        let xor_fg = m.xor(f, g);
+        let (hits0, misses0) = m.apply_cache_stats();
+        assert_eq!(m.xor(g, f), xor_fg);
+        let (hits1, misses1) = m.apply_cache_stats();
+        assert_eq!(hits1, hits0 + 1, "swapped xor must hit");
+        assert_eq!(misses1, misses0, "swapped xor must not miss");
+    }
+
+    #[test]
+    fn complement_normalized_keys_survive_negation() {
+        let mut m = BddManager::new(6);
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let g = m.xor(b, c);
+        // xor keys are complement-stripped: negating either operand (or
+        // both) reuses the same cache entry and allocates nothing
+        let x = m.xor(f, g);
+        let nodes0 = m.num_nodes();
+        let (hits0, misses0) = m.apply_cache_stats();
+        let nf = m.not(f);
+        let ng = m.not(g);
+        assert_eq!(m.xor(nf, g), m.not(x));
+        assert_eq!(m.xor(f, ng), m.not(x));
+        assert_eq!(m.xor(nf, ng), x);
+        let (hits1, misses1) = m.apply_cache_stats();
+        assert_eq!(hits1, hits0 + 3, "complemented xor operands must hit");
+        assert_eq!(misses1, misses0);
+        assert_eq!(m.num_nodes(), nodes0, "no new nodes for negated xors");
+        // or(f, g) = ¬and(¬f, ¬g): the De Morgan pair shares one entry
+        let o = m.or(f, g);
+        let (hits0, _) = m.apply_cache_stats();
+        assert_eq!(m.and(nf, ng), m.not(o));
+        let (hits1, _) = m.apply_cache_stats();
+        assert_eq!(hits1, hits0 + 1, "or and its De Morgan and share the cache");
+    }
+
+    #[test]
+    fn copy_roots_is_garbage_collection_by_copy() {
+        let mut scratch = BddManager::new(6);
+        // build a function with throwaway intermediates
+        let (a, b, c) = (scratch.var(0), scratch.var(1), scratch.var(2));
+        let ab = scratch.and(a, b);
+        let dead = scratch.xor(ab, c); // never a root
+        let f = scratch.or(ab, c);
+        let nf = scratch.not(f);
+        let _ = dead;
+        let built = scratch.num_nodes();
+
+        let mut dst = BddManager::new(6);
+        let copied = scratch.copy_roots(&[f, nf], &mut dst);
+        // dst holds only the live DAG: terminal + reachable nodes of f
+        // (¬f shares all of them via its complement bit)
+        assert_eq!(dst.num_nodes(), 1 + scratch.size(f), "{built} built");
+        assert!(dst.num_nodes() < built, "dead intermediates left behind");
+        // semantics survive the copy, complements included
+        for m in 0..64u64 {
+            assert_eq!(dst.eval(copied[0], m), scratch.eval(f, m));
+            assert_eq!(dst.eval(copied[1], m), !scratch.eval(f, m));
         }
+        // f and ¬f still share one node on the other side
+        assert_eq!(copied[1], dst.not(copied[0]));
+        assert_eq!(dst.canonical_violations(), 0);
+        // copying into the same substrate is the identity
+        let mut back = scratch.clone();
+        let same = scratch.copy_roots(&[f, nf], &mut back);
+        assert_eq!(same, vec![f, nf]);
+    }
+
+    #[test]
+    fn copy_roots_observes_the_destination_cap() {
+        let mut scratch = BddManager::new(6);
+        let (a, b, c) = (scratch.var(0), scratch.var(1), scratch.var(2));
+        let ab = scratch.and(a, b);
+        let f = scratch.or(ab, c);
+        let mut tiny = BddManager::with_node_limit(6, 2);
+        assert!(scratch.try_copy_roots(&[f], &mut tiny).is_err());
     }
 
     #[test]

@@ -139,6 +139,50 @@ fn node_cap_is_enforced_at_the_true_global_count() {
     assert!(probe.eval(a, 0b1));
 }
 
+/// Complement-edge canonicity under contention: after 8 threads race the
+/// same formula family *and* its negations into one substrate, the stored
+/// node set must be in canonical form — no then-edge carries a complement,
+/// no node has equal children, every unique-table key round-trips — and
+/// `f`/`¬f` must address the same stored node (handles differing only in
+/// the complement bit, identical DAG sizes, zero allocation to negate).
+#[test]
+fn racing_negations_keep_the_stored_node_set_canonical() {
+    const THREADS: usize = 8;
+    const SEEDS: u64 = 24;
+    let n = 12;
+    let m = BddManager::new(n);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let mut local = m.clone();
+            s.spawn(move || {
+                for k in 0..SEEDS {
+                    let seed = (k + t as u64) % SEEDS;
+                    let f = build_formula(&mut local, n, seed).expect("uncapped");
+                    // negate-heavy traffic: half the threads work on ¬f
+                    let g = if t % 2 == 0 { f } else { local.not(f) };
+                    let h = local.xor(g, local.constant(true));
+                    assert_eq!(h, local.not(g), "xor-with-one is negation");
+                }
+            });
+        }
+    });
+    assert_eq!(
+        m.canonical_violations(),
+        0,
+        "a stored then-edge complement or a redundant node survived the race"
+    );
+    let mut probe = m.clone();
+    let before = m.num_nodes();
+    for seed in 0..SEEDS {
+        let f = build_formula(&mut probe, n, seed).expect("replay allocates nothing");
+        let nf = probe.not(f);
+        assert_eq!(nf.index(), f.index() ^ 1, "f and ¬f share one stored node");
+        assert_eq!(probe.size(f), probe.size(nf), "shared DAG, equal size");
+        assert_eq!(probe.not(nf), f, "double negation is the identity");
+    }
+    assert_eq!(m.num_nodes(), before, "negation sweeps must not allocate");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -201,5 +245,44 @@ proptest! {
             let again = build_formula(&mut replay, n, seed).expect("uncapped replay");
             prop_assert_eq!(again, b);
         }
+        prop_assert_eq!(m.canonical_violations(), 0);
+    }
+
+    /// Boolean identities that exercise every complement-normalization
+    /// path — De Morgan, ITE expansion, XOR-as-negation, absorption of
+    /// `f · ¬f` — hold as *handle equalities* on randomly built pairs, and
+    /// none of them leave a non-canonical node behind.
+    #[test]
+    fn complement_identities_hold_as_handle_equalities(
+        sa in 0u64..1 << 40,
+        sb in 0u64..1 << 40,
+    ) {
+        let n = 10;
+        let mut m = BddManager::new(n);
+        let f = build_formula(&mut m, n, sa).expect("uncapped");
+        let g = build_formula(&mut m, n, sb).expect("uncapped");
+        let (nf, ng) = (m.not(f), m.not(g));
+        // De Morgan, both directions
+        let and_fg = m.and(f, g);
+        let or_nf_ng = m.or(nf, ng);
+        prop_assert_eq!(m.not(and_fg), or_nf_ng);
+        let or_fg = m.or(f, g);
+        let and_nf_ng = m.and(nf, ng);
+        prop_assert_eq!(m.not(or_fg), and_nf_ng);
+        // ITE via its and/or expansion
+        let ite = m.ite(f, g, ng);
+        let t = m.and(f, g);
+        let e = m.and(nf, ng);
+        prop_assert_eq!(ite, m.or(t, e));
+        // XOR with ONE is negation; XOR with itself annihilates
+        prop_assert_eq!(m.xor(f, Bdd::ONE), nf);
+        prop_assert_eq!(m.xor(f, f), Bdd::ZERO);
+        prop_assert_eq!(m.xor(f, nf), Bdd::ONE);
+        // f · ¬f = 0 and f + ¬f = 1 without allocating
+        let before = m.num_nodes();
+        prop_assert_eq!(m.and(f, nf), Bdd::ZERO);
+        prop_assert_eq!(m.or(f, nf), Bdd::ONE);
+        prop_assert_eq!(m.num_nodes(), before);
+        prop_assert_eq!(m.canonical_violations(), 0);
     }
 }

@@ -210,6 +210,10 @@ fn compare_records(
     for (gauge, floor) in [
         ("mem.peak_rss_kb", opts.mem_floor_kb),
         ("bdd.peak_nodes", opts.node_floor),
+        // the end-of-run resident node count: with garbage-collected spec
+        // builds this is live cones only, so growth here means the
+        // substrate is accumulating dead intermediates again
+        ("bdd.nodes", opts.node_floor),
     ] {
         if let (Some(&ov), Some(&nv)) = (o.gauges.get(gauge), n.gauges.get(gauge)) {
             push(gauge, MetricKind::Noisy, ov, nv, floor);

@@ -32,6 +32,7 @@ use crate::expr::Gexpr;
 use crate::factor::factor_cubes_traced;
 use crate::synth::{SynthOptions, SynthOutcome};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use xsynth_bdd::BddManager;
 use xsynth_boolean::{Polarity, VarSet};
@@ -82,6 +83,7 @@ pub struct Engine {
     cache: ResultCache,
     pool: Mutex<HashMap<usize, BddManager>>,
     reclaim_watermark: usize,
+    reclaim_refused: AtomicU64,
 }
 
 impl Default for Engine {
@@ -103,6 +105,7 @@ impl Engine {
             cache: ResultCache::default(),
             pool: Mutex::new(HashMap::new()),
             reclaim_watermark: DEFAULT_RECLAIM_NODE_WATERMARK,
+            reclaim_refused: AtomicU64::new(0),
         }
     }
 
@@ -172,16 +175,32 @@ impl Engine {
     /// Returns a manager to the pool. Capped managers are dropped (their
     /// cap was per-job). A substrate grown past the reclaim watermark is
     /// generationally reclaimed first; if reclamation is refused (a clone
-    /// is still alive somewhere) the bloated substrate is dropped rather
-    /// than pooled, so the pool never accumulates dead nodes.
+    /// is still alive somewhere) the bloated substrate is dropped, a
+    /// *fresh* substrate of the same arity is pooled in its place so the
+    /// next job does not pay an unannounced cold start, and the
+    /// `engine.reclaim_refused` counter records the refusal.
     pub(crate) fn checkin(&self, mut bm: BddManager) {
         if bm.node_limit().is_some() {
             return;
         }
         if bm.num_nodes() > self.reclaim_watermark && !bm.try_reclaim() {
+            self.reclaim_refused.fetch_add(1, Ordering::Relaxed);
+            let fresh = BddManager::new(bm.num_vars());
+            self.lock_pool().insert(fresh.num_vars(), fresh);
             return;
         }
         self.lock_pool().insert(bm.num_vars(), bm);
+    }
+
+    /// Lifetime count of check-ins where generational reclamation was
+    /// refused by a live substrate clone (`engine.reclaim_refused`). A
+    /// steadily rising value means some component is pinning manager
+    /// clones across jobs, forcing fresh substrates into the pool instead
+    /// of reclaimed warm ones. Kept off the per-job trace on purpose: the
+    /// refusal depends on drop timing, which would break the
+    /// parallel ≡ sequential counter-equality contract.
+    pub fn reclaim_refused(&self) -> u64 {
+        self.reclaim_refused.load(Ordering::Relaxed)
     }
 
     /// Looks up the polarity + cube seed for one output cone. `mode_salt`
@@ -424,7 +443,7 @@ mod tests {
         // capped managers are never pooled
         let again = engine.checkout(4, &Budget::default());
         assert_eq!(again.node_limit(), None);
-        assert_eq!(again.num_nodes(), 2, "fresh substrate, not the capped one");
+        assert_eq!(again.num_nodes(), 1, "fresh substrate, not the capped one");
     }
 
     #[test]
@@ -435,7 +454,7 @@ mod tests {
         let b = bm.var(1);
         bm.and(a, b);
         let grown = bm.num_nodes();
-        assert!(grown > 2 && grown <= 8);
+        assert!(grown > 1 && grown <= 8);
         engine.checkin(bm);
         // under the watermark: the same warm substrate comes back
         let bm = engine.checkout(4, &Budget::default());
@@ -448,10 +467,33 @@ mod tests {
         let d = bm.var(3);
         let cd = bm.and(c, d);
         bm.xor(cd, a);
+        bm.or(cd, a);
         assert!(bm.num_nodes() > 8);
         engine.checkin(bm);
         let bm = engine.checkout(4, &Budget::default());
-        assert_eq!(bm.num_nodes(), 2, "reclaimed past the watermark");
+        assert_eq!(bm.num_nodes(), 1, "reclaimed past the watermark");
         assert_eq!(bm.generation(), 1);
+        assert_eq!(engine.reclaim_refused(), 0, "nothing pinned the substrate");
+    }
+
+    #[test]
+    fn refused_reclaim_pools_a_fresh_substrate_and_counts() {
+        let engine = Engine::new().reclaim_watermark(4);
+        let mut bm = engine.checkout(4, &Budget::default());
+        let pin = bm.clone(); // a live clone makes try_reclaim refuse
+        let a = bm.var(0);
+        let b = bm.var(1);
+        let ab = bm.and(a, b);
+        bm.xor(ab, a);
+        assert!(bm.num_nodes() > 4, "must be past the watermark");
+        assert_eq!(engine.reclaim_refused(), 0);
+        engine.checkin(bm);
+        assert_eq!(engine.reclaim_refused(), 1, "the refusal is counted");
+        // the old behavior dropped the substrate silently; now a fresh one
+        // is pooled so the next checkout is not an unannounced cold start
+        let next = engine.checkout(4, &Budget::default());
+        assert_eq!(next.num_nodes(), 1, "fresh substrate pooled on refusal");
+        assert_eq!(next.generation(), 0);
+        drop(pin);
     }
 }

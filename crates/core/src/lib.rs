@@ -78,7 +78,7 @@ pub use synth::{
     PhaseStat, PolarityMode, SalvageRecord, SalvageRung, SynthOptions, SynthOptionsBuilder,
     SynthOutcome, SynthReport,
 };
-pub use verify::{network_bdds, try_network_bdds, EquivChecker};
+pub use verify::{network_bdds, try_network_bdds, try_network_bdds_compact, EquivChecker};
 pub use xsynth_ofdd::PolaritySearchStats;
 
 /// The one-line import for typical users of the synthesis stack.

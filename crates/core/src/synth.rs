@@ -27,7 +27,7 @@ use crate::factor::{factor_cubes, factor_cubes_traced, ofdd_to_network};
 use crate::gfx;
 use crate::patterns::{merge_patterns, paper_patterns, Pattern, PatternOptions};
 use crate::redundancy::{remove_redundancy_governed, RedundancyStats};
-use crate::verify::{try_network_bdds, EquivChecker};
+use crate::verify::{try_network_bdds_compact, EquivChecker};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -540,7 +540,10 @@ fn run_pipeline(
     let fprm_deadline = opts.budget.phase_deadline();
     main.begin("bdd");
     let mut bm = engine.checkout(n, &opts.budget);
-    let out_bdds = try_network_bdds(&spec, &mut bm);
+    // Compact build: gate-level intermediates live and die in a scratch
+    // manager, so the (possibly pooled, possibly shared) job substrate
+    // only ever holds the live output cones.
+    let out_bdds = try_network_bdds_compact(&spec, &mut bm);
     main.end();
     main.gauge("bdd.nodes", bm.num_nodes() as f64);
     main.gauge("bdd.peak_nodes", bm.num_nodes() as f64);

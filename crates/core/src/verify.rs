@@ -90,7 +90,7 @@ impl EquivChecker {
                 Some(cap) => BddManager::with_node_limit(n, cap),
                 None => BddManager::new(n),
             };
-            match try_network_bdds(reference, &mut bm) {
+            match try_network_bdds_compact(reference, &mut bm) {
                 Ok(outs) => {
                     checker.reference_outputs = outs;
                     checker.manager = Some(bm);
@@ -156,7 +156,11 @@ impl EquivChecker {
         if self.manager.is_some() {
             let result = {
                 let bm = self.manager.as_mut().expect("checked above");
-                try_network_bdds(candidate, bm)
+                // Compact build: an equivalent candidate hash-conses onto
+                // the reference cones and interns zero new nodes, so the
+                // checker's manager stays near live-reference size across
+                // arbitrarily many redundancy-removal checks.
+                try_network_bdds_compact(candidate, bm)
             };
             match result {
                 Ok(outs) => return Ok(outs == self.reference_outputs),
@@ -226,6 +230,41 @@ impl EquivChecker {
 /// of its node cap; use [`try_network_bdds`] for the fallible form.
 pub fn network_bdds(net: &Network, bm: &mut BddManager) -> Vec<Bdd> {
     try_network_bdds(net, bm).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Garbage-collected form of [`try_network_bdds`]: builds every gate's
+/// BDD in a throwaway scratch manager (inheriting `bm`'s node cap), then
+/// copies only the DAGs reachable from the output roots into `bm`.
+///
+/// A structural traversal allocates a node for every internal gate, most
+/// of which are dead the moment their fanouts are folded — but a plain
+/// build leaves them in `bm`'s unique tables forever (the substrate has
+/// no reference counts). Routing the build through a scratch manager
+/// means `bm` — which may be a long-lived pooled or shared substrate —
+/// only ever holds live cones. The copy is a sequential DFS in output
+/// order, so the set of nodes it interns is schedule-independent and the
+/// parallel≡sequential `bdd.nodes` contract is preserved.
+pub fn try_network_bdds_compact(net: &Network, bm: &mut BddManager) -> Result<Vec<Bdd>, Error> {
+    let n = net.inputs().len();
+    if bm.num_vars() != n {
+        return Err(Error::msg(format!(
+            "BDD arity mismatch: manager has {} vars, network has {} inputs",
+            bm.num_vars(),
+            n
+        )));
+    }
+    let mut scratch = match bm.node_limit() {
+        Some(cap) => BddManager::with_node_limit(n, cap),
+        None => BddManager::new(n),
+    };
+    let outs = try_network_bdds(net, &mut scratch)?;
+    scratch.try_copy_roots(&outs, bm).map_err(|_| {
+        Error::Budget(BudgetExceeded::new(
+            "bdd",
+            Resource::BddNodes,
+            bm.node_limit().unwrap_or(0) as u64,
+        ))
+    })
 }
 
 /// Fallible form of [`network_bdds`]: reports arity mismatches and

@@ -27,7 +27,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -86,6 +86,19 @@ struct Job {
 
 type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
+/// Locks a daemon mutex, ignoring poisoning — same rationale as
+/// `xsynth_bdd::lock`. A panic can escape the worker's `catch_unwind`
+/// boundary only from code that mutates nothing behind these locks (the
+/// scheduler mutates its queues after the failpoint and the stop check;
+/// the writer lock guards an `io::Write` whose partial line at worst
+/// garbles one reply), so the guarded state is still consistent and one
+/// crashed thread must not take the whole daemon down with it: the old
+/// `.expect("scheduler lock")` calls turned one poisoned mutex into a
+/// cascade that killed every worker and reader.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Round-robin fair scheduler: one FIFO per connection, connections
 /// rotate. Submitting N jobs at once costs a connection its place in
 /// line once per job, not zero times.
@@ -118,10 +131,15 @@ impl Scheduler {
     /// Enqueues a job; returns `false` if the scheduler has stopped (the
     /// caller should answer the connection itself).
     fn submit(&self, job: Job) -> bool {
-        let mut s = self.state.lock().expect("scheduler lock");
+        let mut s = lock(&self.state);
         if s.stop {
             return false;
         }
+        // Fault-injection site for the poison-safety chaos suite: a panic
+        // here unwinds through the reader thread with the state lock held
+        // (and not yet mutated), poisoning the mutex exactly the way the
+        // pre-fix `.expect` calls could not survive.
+        xsynth_trace::fail_point!("serve.submit");
         let conn = job.conn;
         let queue = s.queues.entry(conn).or_default();
         queue.push_back(job);
@@ -136,7 +154,7 @@ impl Scheduler {
     /// Blocks for the next job in round-robin order; `None` once stopped
     /// *and* drained.
     fn next(&self) -> Option<Job> {
-        let mut s = self.state.lock().expect("scheduler lock");
+        let mut s = lock(&self.state);
         loop {
             if let Some(conn) = s.order.pop_front() {
                 let queue = s.queues.get_mut(&conn).expect("queued conn has a queue");
@@ -151,12 +169,12 @@ impl Scheduler {
             if s.stop {
                 return None;
             }
-            s = self.ready.wait(s).expect("scheduler lock");
+            s = self.ready.wait(s).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     fn stop(&self) {
-        self.state.lock().expect("scheduler lock").stop = true;
+        lock(&self.state).stop = true;
         self.ready.notify_all();
     }
 }
@@ -426,7 +444,7 @@ fn spawn_conn(stream: impl Conn, ctx: &Arc<Ctx>, ids: &AtomicU64) {
 }
 
 fn write_reply(writer: &SharedWriter, line: &str) {
-    let mut w = writer.lock().expect("connection write lock");
+    let mut w = lock(writer);
     // A dead peer is not a daemon error; the reader side notices EOF.
     let _ = w.write_all(line.as_bytes());
     let _ = w.write_all(b"\n");
@@ -517,6 +535,9 @@ fn stats_response(ctx: &Ctx) -> String {
     o.str("status", "ok");
     o.str("op", "stats");
     o.raw("cache", &cache.finish());
+    let mut engine = proto::Obj::new();
+    engine.num("reclaim_refused", ctx.engine.reclaim_refused() as f64);
+    o.raw("engine", &engine.finish());
     o.num("jobs_done", ctx.jobs_done.load(Ordering::Relaxed) as f64);
     o.finish()
 }
@@ -630,7 +651,7 @@ mod tests {
     impl Scheduler {
         /// Test helper: stop once drained so `next` terminates.
         fn stop_if_empty(&self) {
-            let mut s = self.state.lock().expect("scheduler lock");
+            let mut s = lock(&self.state);
             if s.order.is_empty() {
                 s.stop = true;
                 drop(s);
@@ -646,5 +667,40 @@ mod tests {
         let w: SharedWriter = Arc::new(Mutex::new(Box::new(Vec::<u8>::new())));
         assert!(!sched.submit(dummy_job(0, "late", &w)));
         assert!(sched.next().is_none());
+    }
+
+    #[test]
+    fn scheduler_survives_a_poisoned_state_mutex() {
+        let sched = Arc::new(Scheduler::new());
+        // poison the state mutex the way a panicking reader thread would:
+        // die while holding the lock, before mutating anything
+        let poisoner = sched.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.state.lock().expect("first lock is clean");
+            panic!("injected: die holding the scheduler lock");
+        })
+        .join();
+        assert!(sched.state.is_poisoned(), "the panic must have poisoned it");
+        // submit, next, and stop all keep working on the poisoned mutex
+        let w: SharedWriter = Arc::new(Mutex::new(Box::new(Vec::<u8>::new())));
+        assert!(sched.submit(dummy_job(0, "after-poison", &w)));
+        assert_eq!(sched.next().expect("job comes back").line, "after-poison");
+        sched.stop();
+        assert!(!sched.submit(dummy_job(0, "late", &w)));
+        assert!(sched.next().is_none());
+    }
+
+    #[test]
+    fn write_reply_survives_a_poisoned_writer_mutex() {
+        let w: SharedWriter = Arc::new(Mutex::new(Box::new(Vec::<u8>::new())));
+        let poisoner = w.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().expect("first lock is clean");
+            panic!("injected: die holding the write lock");
+        })
+        .join();
+        assert!(w.is_poisoned());
+        // the reply still goes out instead of a cascading panic
+        write_reply(&w, r#"{"status":"ok"}"#);
     }
 }

@@ -158,6 +158,74 @@ fn parallel_node_cap_is_one_global_budget() {
     );
 }
 
+/// Negation is allocation-free with complement edges: `not` is a
+/// complement-bit flip on the handle, so `not(not(f))` must return `f`
+/// itself and leave the substrate's node count untouched. The pre-change
+/// package walked and re-hash-consed the whole graph per negation.
+#[test]
+fn double_negation_allocates_zero_nodes() {
+    use xsynth::bdd::BddManager;
+    let mut m = BddManager::new(8);
+    let mut f = m.constant(false);
+    for v in 0..8 {
+        let x = m.var(v);
+        let fx = m.and(f, x);
+        f = m.xor(f, fx);
+        f = m.or(f, x);
+    }
+    let before = m.num_nodes();
+    let nf = m.not(f);
+    assert_ne!(nf, f);
+    assert_eq!(m.num_nodes(), before, "not must not allocate");
+    let nnf = m.not(nf);
+    assert_eq!(nnf, f, "double negation is the identity handle");
+    assert_eq!(
+        m.num_nodes(),
+        before,
+        "bdd.nodes unchanged across not(not(f))"
+    );
+}
+
+/// The negate-heavy FPRM polarity descent over adr4 under a cap the old
+/// package could not fit: pre-change, every polarity flip re-hash-consed
+/// the negated graph and the run peaked at 796 nodes (the shipped
+/// BENCH_baseline.json gauge), so a 700-node cap tripped. With
+/// allocation-free negation and the compact spec build the same descent
+/// must complete cleanly — no salvage, no curtailment — inside that cap,
+/// and the job substrate must stay far below it (only live cones
+/// survive the scratch build).
+#[test]
+fn negate_heavy_fprm_descent_completes_under_a_tight_cap() {
+    let spec = xsynth::circuits::build("adr4").expect("adr4 is in the registry");
+    const CAP: usize = 700;
+    let sink = TraceSink::new();
+    let opts = SynthOptions::builder()
+        .parallel(false)
+        .budget(Budget::default().bdd_node_cap(Some(CAP)))
+        .trace(sink.clone())
+        .build();
+    let outcome =
+        try_synthesize(&spec, &opts).expect("complement edges fit the descent under the cap");
+    for m in 0..256u64 {
+        assert_eq!(outcome.network.eval_u64(m), spec.eval_u64(m));
+    }
+    assert!(
+        outcome.report.salvaged.is_empty(),
+        "{:?}",
+        outcome.report.salvaged
+    );
+    assert!(
+        outcome.report.curtailed.is_empty(),
+        "{:?}",
+        outcome.report.curtailed
+    );
+    let trace = sink.take();
+    let peak = trace
+        .gauge_max("bdd.peak_nodes")
+        .expect("the pipeline gauges its substrate");
+    assert!(peak <= CAP as f64, "peak {peak} exceeds cap {CAP}");
+}
+
 /// A starved-but-survivable budget still yields a verified network and
 /// reports what was curtailed.
 #[test]

@@ -368,3 +368,56 @@ fn serve_accept_faults_answer_typed_errors_not_dropped_connections() {
     server.shutdown();
     server.wait();
 }
+
+/// Daemon poison-safety: a panic that unwinds through a reader thread
+/// *inside* `Scheduler::submit` — past any worker `catch_unwind` boundary,
+/// with the scheduler's state mutex held — poisons that mutex. The old
+/// `.expect("scheduler lock")` calls then killed every worker and reader
+/// that touched the scheduler next, taking the whole daemon down. With the
+/// poison-tolerant lock the daemon must keep serving fresh connections.
+#[test]
+fn scheduler_poison_from_a_panicking_submit_does_not_kill_the_daemon() {
+    let _g = exclusive();
+    let server = xsynth_serve::Server::bind(xsynth_serve::ServeOptions {
+        tcp: Some("127.0.0.1:0".into()),
+        workers: 2,
+        ..xsynth_serve::ServeOptions::default()
+    })
+    .expect("bind server");
+    let addr = server.tcp_addr().expect("tcp bound");
+    let blif = ".model m\n.inputs a b\n.outputs y\n.names a b y\n10 1\n01 1\n.end\n";
+
+    // victim connection: submitting its first request trips the armed
+    // panic inside the scheduler, with the state lock held
+    failpoint::arm(&FailPlan::parse("serve.submit=panic@1x1").expect("valid plan"));
+    {
+        use std::io::{Read, Write};
+        let mut victim = std::net::TcpStream::connect(addr).expect("connect victim");
+        victim
+            .write_all(b"{\"protocol_version\":1,\"op\":\"ping\"}\n")
+            .expect("send the poisoning request");
+        // the panicking reader thread drops both stream halves as it
+        // unwinds; EOF here proves the fault fired before we move on
+        let mut sink = Vec::new();
+        let _ = victim.read_to_end(&mut sink);
+        assert!(sink.is_empty(), "no reply can precede the injected panic");
+    }
+    failpoint::disarm();
+
+    // the daemon keeps serving on the now-poisoned scheduler mutex
+    let mut client =
+        xsynth_serve::Client::connect_tcp(&addr.to_string()).expect("reconnect after poison");
+    let pong = client.ping().expect("ping after poison");
+    assert_eq!(pong.get("status").and_then(|v| v.as_str()), Some("ok"));
+    let ok = client
+        .synth_blif(blif, Some("after-poison"))
+        .expect("synthesis after poison");
+    assert_eq!(
+        ok.get("status").and_then(|v| v.as_str()),
+        Some("ok"),
+        "{ok:?}"
+    );
+
+    server.shutdown();
+    server.wait();
+}
