@@ -433,6 +433,20 @@ impl BddManager {
         )
     }
 
+    /// Per-shard node occupancy: how many nodes each of the [`NUM_SHARDS`]
+    /// unique-table shards holds. Because the shard selector is a fixed
+    /// deterministic hash, the distribution is a property of the node set,
+    /// not of scheduling — a skewed profile here means one shard's mutex
+    /// carries most of the construction traffic. Surfaced through the
+    /// daemon's `metrics` exposition.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| lock(&s.unique).len as usize)
+            .collect()
+    }
+
     /// Canonical-form violations in the stored node set: entries whose
     /// then-edge carries a complement, whose children are equal (the
     /// reduction rule should have elided the node), or whose unique-table
@@ -1139,6 +1153,17 @@ mod tests {
         assert_eq!(m.num_nodes(), before, "nvar reuses var's node");
         assert_eq!(na, m.not(a));
         assert_eq!(m.canonical_violations(), 0);
+    }
+
+    #[test]
+    fn shard_occupancy_sums_to_num_nodes() {
+        let mut m = BddManager::new(6);
+        let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+        let ab = m.and(a, b);
+        let _ = m.xor(ab, c);
+        let occ = m.shard_occupancy();
+        assert_eq!(occ.len(), NUM_SHARDS);
+        assert_eq!(occ.iter().sum::<usize>(), m.num_nodes());
     }
 
     #[test]

@@ -207,6 +207,24 @@ fn compare_records(
         n.median_seconds,
         opts.time_floor_seconds,
     );
+    // latency percentiles (schema v3) are histogram-bucket estimates of
+    // wall-clock time, so they gate like the other timings: relative
+    // threshold plus the absolute time floor. Old baselines carry 0 and
+    // compare as "new" without regressing (the Noisy rule needs old > 0).
+    push(
+        "latency_p50_seconds",
+        MetricKind::Noisy,
+        o.latency_p50_seconds,
+        n.latency_p50_seconds,
+        opts.time_floor_seconds,
+    );
+    push(
+        "latency_p99_seconds",
+        MetricKind::Noisy,
+        o.latency_p99_seconds,
+        n.latency_p99_seconds,
+        opts.time_floor_seconds,
+    );
     for (gauge, floor) in [
         ("mem.peak_rss_kb", opts.mem_floor_kb),
         ("bdd.peak_nodes", opts.node_floor),
@@ -422,6 +440,34 @@ mod tests {
         // +300% on a millisecond benchmark: under the absolute floor
         let tiny_old = suite(vec![rec("a", 10, 0.004)]);
         let r = compare_suites(&tiny_old, &suite(vec![rec("a", 10, 0.016)]), &opts);
+        assert!(!r.has_regressions());
+    }
+
+    #[test]
+    fn latency_percentiles_gate_like_time() {
+        let opts = CompareOptions::default(); // 10%, 250ms floor
+        let mut base = rec("a", 10, 1.0);
+        base.latency_p50_seconds = 1.0;
+        base.latency_p99_seconds = 1.0;
+        let old = suite(vec![base.clone()]);
+        // p99 doubling over a 1s baseline: regression
+        let mut worse = base.clone();
+        worse.latency_p99_seconds = 2.0;
+        let r = compare_suites(&old, &suite(vec![worse]), &opts);
+        assert!(r.has_regressions());
+        assert_eq!(r.regressions()[0].metric, "latency_p99_seconds");
+        // one-bucket jitter on a millisecond benchmark: under the floor
+        let mut tiny_old = rec("a", 10, 0.004);
+        tiny_old.latency_p50_seconds = 0.004;
+        let mut tiny_new = rec("a", 10, 0.004);
+        tiny_new.latency_p50_seconds = 0.008;
+        let r = compare_suites(&suite(vec![tiny_old]), &suite(vec![tiny_new]), &opts);
+        assert!(!r.has_regressions());
+        // a v2-era baseline reads 0 and never trips the Noisy rule
+        let mut zeroed = base.clone();
+        zeroed.latency_p50_seconds = 0.0;
+        zeroed.latency_p99_seconds = 0.0;
+        let r = compare_suites(&suite(vec![zeroed]), &suite(vec![base]), &opts);
         assert!(!r.has_regressions());
     }
 

@@ -248,6 +248,8 @@ pub fn record_from_run(
         median_seconds: median(synth_times),
         min_seconds: synth_times.iter().copied().fold(f64::INFINITY, f64::min),
         synth_seconds,
+        latency_p50_seconds: latency_quantile(synth_times, 0.50),
+        latency_p99_seconds: latency_quantile(synth_times, 0.99),
         map_seconds: fr.map_seconds,
         verify_seconds: fr.verify_seconds,
         phases: Default::default(),
@@ -279,6 +281,18 @@ pub fn record_from_run(
         flow: fr,
         network,
     }
+}
+
+/// Latency percentile via the shared fixed-bucket log-scale histogram
+/// (`xsynth_trace::Histogram`), so the bench schema's percentile fields
+/// use the exact same estimator the serve daemon's `metrics` exposition
+/// derives p50/p99 from: the upper bound of the bucket holding the rank.
+fn latency_quantile(xs: &[f64], q: f64) -> f64 {
+    let mut hist = xsynth_trace::Histogram::new();
+    for &x in xs {
+        hist.observe(x);
+    }
+    hist.quantile(q)
 }
 
 fn median(xs: &[f64]) -> f64 {

@@ -14,7 +14,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 3,
 //!   "suite": "table2",
 //!   "records": [
 //!     {
@@ -23,7 +23,9 @@
 //!       "map_gates": 10, "map_lits": 31, "map_area": 23.0, "power": 6.1,
 //!       "verified": "verified", "salvaged": 0,
 //!       "runs": 3, "median_seconds": 0.011, "min_seconds": 0.010,
-//!       "synth_seconds": 0.011, "map_seconds": 0.001, "verify_seconds": 0.002,
+//!       "synth_seconds": 0.011, "latency_p50_seconds": 0.0156,
+//!       "latency_p99_seconds": 0.0156,
+//!       "map_seconds": 0.001, "verify_seconds": 0.002,
 //!       "phases":   { "fprm": 0.008, "factoring": 0.001 },
 //!       "counters": { "patterns.generated": 96 },
 //!       "gauges":   { "bdd.peak_nodes": 353.0, "mem.peak_rss_kb": 14200.0 }
@@ -47,7 +49,11 @@ use xsynth_trace::json::{self, Value};
 /// * **2** — adds the required `salvaged` field (outputs recovered by the
 ///   salvage ladder). The parser still accepts version-1 suites, reading
 ///   `salvaged` as 0, so existing baselines keep working.
-pub const SCHEMA_VERSION: u64 = 2;
+/// * **3** — adds the required `latency_p50_seconds` / `latency_p99_seconds`
+///   fields (per-run synthesis-latency percentiles, derived from the
+///   fixed-bucket log-scale histogram in `xsynth-trace`). Older suites
+///   read both as 0.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version [`BenchSuite::from_json`] still accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -135,6 +141,12 @@ pub struct BenchRecord {
     pub min_seconds: f64,
     /// Synthesis wall-clock of the recorded (last) run.
     pub synth_seconds: f64,
+    /// p50 of the per-run synthesis latencies, estimated from the
+    /// fixed-bucket log-scale histogram (bucket upper bound, Prometheus
+    /// convention). Schema version 3; reads as 0 from older suites.
+    pub latency_p50_seconds: f64,
+    /// p99 of the per-run synthesis latencies (same estimator).
+    pub latency_p99_seconds: f64,
     /// Technology-mapping + power-model wall-clock.
     pub map_seconds: f64,
     /// Equivalence-check wall-clock.
@@ -243,6 +255,16 @@ fn record_json(s: &mut String, r: &BenchRecord) {
     );
     let _ = write!(s, ", \"min_seconds\": {}", json::number(r.min_seconds));
     let _ = write!(s, ", \"synth_seconds\": {}", json::number(r.synth_seconds));
+    let _ = write!(
+        s,
+        ", \"latency_p50_seconds\": {}",
+        json::number(r.latency_p50_seconds)
+    );
+    let _ = write!(
+        s,
+        ", \"latency_p99_seconds\": {}",
+        json::number(r.latency_p99_seconds)
+    );
     let _ = write!(s, ", \"map_seconds\": {}", json::number(r.map_seconds));
     let _ = write!(
         s,
@@ -293,6 +315,16 @@ fn record_from_value(v: &Value, version: u64) -> Result<BenchRecord, String> {
         median_seconds: f.f64("median_seconds")?,
         min_seconds: f.f64("min_seconds")?,
         synth_seconds: f.f64("synth_seconds")?,
+        latency_p50_seconds: if version >= 3 {
+            f.f64("latency_p50_seconds")?
+        } else {
+            0.0
+        },
+        latency_p99_seconds: if version >= 3 {
+            f.f64("latency_p99_seconds")?
+        } else {
+            0.0
+        },
         map_seconds: f.f64("map_seconds")?,
         verify_seconds: f.f64("verify_seconds")?,
         phases: f.f64_map("phases")?,
@@ -410,6 +442,8 @@ mod tests {
             median_seconds: 0.0115,
             min_seconds: 0.0101,
             synth_seconds: 0.012,
+            latency_p50_seconds: 0.015625,
+            latency_p99_seconds: 0.015625,
             map_seconds: 0.0009,
             verify_seconds: 0.0021,
             phases: [("fprm".into(), 0.008), ("factoring".into(), 0.001)].into(),
@@ -442,15 +476,20 @@ mod tests {
         .to_json();
         BenchSuite::from_json(&good).unwrap();
         // future version
-        let bad = good.replace("\"schema_version\": 2", "\"schema_version\": 3");
+        let bad = good.replace("\"schema_version\": 3", "\"schema_version\": 4");
         assert!(BenchSuite::from_json(&bad)
             .unwrap_err()
             .contains("schema_version"));
         // v1 suites must not carry v2 fields
-        let bad = good.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        let bad = good.replace("\"schema_version\": 3", "\"schema_version\": 1");
         assert!(BenchSuite::from_json(&bad)
             .unwrap_err()
             .contains("salvaged"));
+        // v2 suites must not carry v3 fields
+        let bad = good.replace("\"schema_version\": 3", "\"schema_version\": 2");
+        assert!(BenchSuite::from_json(&bad)
+            .unwrap_err()
+            .contains("latency_p50_seconds"));
         // unknown field
         let bad = good.replace("\"runs\": 3", "\"runs\": 3, \"bogus\": 1");
         assert!(BenchSuite::from_json(&bad).unwrap_err().contains("bogus"));
@@ -475,14 +514,17 @@ mod tests {
             records: vec![sample_record("a", "fprm")],
         }
         .to_json();
-        // a legacy suite: version 1, no salvaged field
+        // a legacy suite: version 1, no salvaged or latency fields
         let v1 = v2
-            .replace("\"schema_version\": 2", "\"schema_version\": 1")
-            .replace(", \"salvaged\": 0", "");
+            .replace("\"schema_version\": 3", "\"schema_version\": 1")
+            .replace(", \"salvaged\": 0", "")
+            .replace(", \"latency_p50_seconds\": 0.015625", "")
+            .replace(", \"latency_p99_seconds\": 0.015625", "");
         let back = BenchSuite::from_json(&v1).expect("v1 accepted");
         assert_eq!(back.records[0].salvaged, 0);
+        assert_eq!(back.records[0].latency_p50_seconds, 0.0);
         // re-serializing upgrades it to the current schema
-        assert!(back.to_json().contains("\"schema_version\": 2"));
+        assert!(back.to_json().contains("\"schema_version\": 3"));
     }
 
     #[test]

@@ -33,6 +33,8 @@ fn record(name: &str, flow: &str, map_lits: u64, median_seconds: f64) -> BenchRe
         median_seconds,
         min_seconds: median_seconds,
         synth_seconds: median_seconds,
+        latency_p50_seconds: median_seconds,
+        latency_p99_seconds: median_seconds,
         map_seconds: 0.001,
         verify_seconds: 0.001,
         phases: BTreeMap::new(),
@@ -206,6 +208,8 @@ proptest! {
             median_seconds: f(2),
             min_seconds: f(3),
             synth_seconds: f(4),
+            latency_p50_seconds: f(2).abs(),
+            latency_p99_seconds: f(3).abs(),
             map_seconds: f(5),
             verify_seconds: f(0).abs(),
             phases: BTreeMap::new(),

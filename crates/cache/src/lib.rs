@@ -35,7 +35,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 use xsynth_net::{GateKind, Network, NodeKind, SignalId};
+use xsynth_trace::Histogram;
 
 /// A 128-bit content address (FNV-1a over the canonical encoding).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -323,6 +325,7 @@ struct Inner {
     misses: u64,
     evictions: u64,
     insertions: u64,
+    lookup_seconds: Histogram,
 }
 
 /// A shared, byte-budgeted, content-addressed memo store.
@@ -348,6 +351,11 @@ impl Default for ResultCache {
 impl ResultCache {
     /// Creates a cache bounded to approximately `budget_bytes` resident
     /// bytes (entries are evicted least-recently-used past the budget).
+    ///
+    /// A budget of **zero disables the cache entirely**: every lookup and
+    /// store becomes a no-op that touches no statistics, rather than a
+    /// degenerate LRU that counts misses and evicts each entry on insert.
+    /// `serve --cache-mb 0` relies on this to run cacheless.
     pub fn new(budget_bytes: usize) -> ResultCache {
         ResultCache {
             inner: Arc::new(Mutex::new(Inner {
@@ -355,13 +363,20 @@ impl ResultCache {
                 lru: BTreeMap::new(),
                 next_stamp: 0,
                 bytes: 0,
-                budget: budget_bytes.max(1),
+                budget: budget_bytes,
                 hits: 0,
                 misses: 0,
                 evictions: 0,
                 insertions: 0,
+                lookup_seconds: Histogram::new(),
             })),
         }
+    }
+
+    /// False when the cache was built with a zero budget (lookups and
+    /// stores are bypassed entirely).
+    pub fn enabled(&self) -> bool {
+        self.lock().budget > 0
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -369,12 +384,19 @@ impl ResultCache {
     }
 
     /// Looks up `key` in `tier`, refreshing its LRU position. Returns a
-    /// clone of the entry (entries are small by construction).
+    /// clone of the entry (entries are small by construction). The time
+    /// spent under the store lock is recorded into the lookup-latency
+    /// histogram ([`ResultCache::lookup_hist`]). On a disabled cache this
+    /// is a statistics-free no-op.
     pub fn get(&self, tier: Tier, key: Key) -> Option<CacheEntry> {
+        let started = Instant::now();
         let mut inner = self.lock();
+        if inner.budget == 0 {
+            return None;
+        }
         let stamp = inner.next_stamp;
         inner.next_stamp += 1;
-        match inner.map.get_mut(&(tier.code(), key)) {
+        let found = match inner.map.get_mut(&(tier.code(), key)) {
             Some(slot) => {
                 let old = slot.stamp;
                 slot.stamp = stamp;
@@ -388,7 +410,10 @@ impl ResultCache {
                 inner.misses += 1;
                 None
             }
-        }
+        };
+        let elapsed = started.elapsed().as_secs_f64();
+        inner.lookup_seconds.observe(elapsed);
+        found
     }
 
     /// Inserts (or refreshes) `key` in `tier`, then evicts
@@ -397,7 +422,7 @@ impl ResultCache {
     pub fn put(&self, tier: Tier, key: Key, entry: CacheEntry) {
         let bytes = entry.bytes();
         let mut inner = self.lock();
-        if bytes > inner.budget {
+        if inner.budget == 0 || bytes > inner.budget {
             return;
         }
         let stamp = inner.next_stamp;
@@ -444,6 +469,14 @@ impl ResultCache {
             bytes: inner.bytes as u64,
             budget: inner.budget as u64,
         }
+    }
+
+    /// Lifetime histogram of per-lookup wall-clock latency in seconds
+    /// (one sample per [`ResultCache::get`] on an enabled cache). Timing
+    /// is schedule-dependent, so the daemon exposes this only as a
+    /// metrics-exposition histogram, never as determinism-checked data.
+    pub fn lookup_hist(&self) -> Histogram {
+        self.lock().lookup_seconds.clone()
     }
 
     /// Drops every entry (statistics are kept).
@@ -568,6 +601,45 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.evictions, 1);
         assert!(s.bytes <= s.budget);
+    }
+
+    #[test]
+    fn zero_budget_disables_the_cache_entirely() {
+        let cache = ResultCache::new(0);
+        assert!(!cache.enabled());
+        let key = cubes_key(&[vec![0]], 0);
+        cache.put(Tier::Polarity, key, CacheEntry::Polarity(vec![true]));
+        assert!(cache.get(Tier::Polarity, key).is_none());
+        let s = cache.stats();
+        // a disabled cache is a statistics-free bypass, not a zero-budget
+        // LRU that counts misses and evicts every insert
+        assert_eq!(
+            (
+                s.hits,
+                s.misses,
+                s.insertions,
+                s.evictions,
+                s.entries,
+                s.bytes
+            ),
+            (0, 0, 0, 0, 0, 0)
+        );
+        assert_eq!(s.budget, 0);
+        assert!(cache.lookup_hist().is_empty());
+        assert!(ResultCache::new(64).enabled());
+    }
+
+    #[test]
+    fn lookups_record_latency_samples() {
+        let cache = ResultCache::new(1024);
+        let key = cubes_key(&[vec![0]], 0);
+        cache.put(Tier::Polarity, key, CacheEntry::Polarity(vec![true]));
+        assert!(cache.get(Tier::Polarity, key).is_some());
+        assert!(cache
+            .get(Tier::Polarity, cubes_key(&[vec![9]], 0))
+            .is_none());
+        let h = cache.lookup_hist();
+        assert_eq!(h.count(), 2, "one sample per get, hit or miss");
     }
 
     #[test]

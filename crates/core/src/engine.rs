@@ -86,6 +86,23 @@ pub struct Engine {
     reclaim_refused: AtomicU64,
 }
 
+/// Point-in-time statistics of one pooled BDD substrate (see
+/// [`Engine::substrate_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstrateStats {
+    /// Variable count the substrate was built for (the pool key).
+    pub arity: usize,
+    /// Live node count, terminal included.
+    pub nodes: usize,
+    /// Apply-cache hits over the substrate's lifetime (schedule-dependent
+    /// under parallelism — report as a gauge, never a checked counter).
+    pub apply_hits: u64,
+    /// Apply-cache misses over the substrate's lifetime.
+    pub apply_misses: u64,
+    /// Node count per unique-table shard, indexed by shard.
+    pub shard_occupancy: Vec<usize>,
+}
+
 impl Default for Engine {
     fn default() -> Self {
         Engine::new()
@@ -131,6 +148,45 @@ impl Engine {
     /// Lifetime statistics of the shared result cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// False when the result cache was built with a zero byte budget
+    /// (`serve --cache-mb 0`): lookups and stores are bypassed entirely
+    /// and the pipeline skips its seed pre-pass accounting.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.enabled()
+    }
+
+    /// Lifetime histogram of result-cache lookup latency in seconds (one
+    /// sample per lookup, hit or miss). Feeds the serve daemon's
+    /// `metrics` exposition.
+    pub fn cache_lookup_hist(&self) -> xsynth_trace::Histogram {
+        self.cache.lookup_hist()
+    }
+
+    /// A snapshot of every *pooled* (currently idle) BDD substrate, in
+    /// ascending arity order. Substrates checked out by in-flight jobs are
+    /// not visible until they check back in; capped jobs use throwaway
+    /// private substrates that never pool. Feeds the daemon's `metrics`
+    /// exposition (`bdd.nodes`, apply-cache hit ratio, per-shard
+    /// occupancy).
+    pub fn substrate_stats(&self) -> Vec<SubstrateStats> {
+        let pool = self.lock_pool();
+        let mut stats: Vec<SubstrateStats> = pool
+            .values()
+            .map(|bm| {
+                let (apply_hits, apply_misses) = bm.apply_cache_stats();
+                SubstrateStats {
+                    arity: bm.num_vars(),
+                    nodes: bm.num_nodes(),
+                    apply_hits,
+                    apply_misses,
+                    shard_occupancy: bm.shard_occupancy(),
+                }
+            })
+            .collect();
+        stats.sort_by_key(|s| s.arity);
+        stats
     }
 
     /// Drops every cached entry (statistics are kept).

@@ -61,7 +61,7 @@ mod synth;
 mod verify;
 
 pub use budget::{Budget, BudgetExceeded, Resource};
-pub use engine::{Engine, DEFAULT_RECLAIM_NODE_WATERMARK};
+pub use engine::{Engine, SubstrateStats, DEFAULT_RECLAIM_NODE_WATERMARK};
 pub use error::Error;
 pub use expr::Gexpr;
 pub use factor::{

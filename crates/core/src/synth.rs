@@ -799,6 +799,12 @@ fn plan_output(
     buf.gauge("ofdd.nodes", om.num_nodes() as f64);
     buf.gauge("fprm.cubes", count as f64);
     buf.gauge("bdd.peak_nodes", bm.num_nodes() as f64);
+    // per-output distribution samples: both are pure functions of the
+    // spec (cube count under the winning polarity, structural support
+    // width), so the merged bucket totals stay schedule-independent and
+    // the parallel ≡ sequential suite checks them like counters
+    buf.observe("fprm.cubes", count as f64);
+    buf.observe("plan.support", support.len() as f64);
 
     let cubes: Vec<VarSet> = if count <= opts.pattern_opts.max_cubes as u64 {
         // a seeded cube list is exactly what enumeration would produce
@@ -1077,21 +1083,29 @@ fn synthesize_outputs(
         .iter()
         .map(|(_, sig)| xsynth_cache::cone_of(spec, *sig))
         .collect();
-    let seeds: Vec<Option<PlanSeed>> = cones
-        .iter()
-        .map(|cone| engine.lookup_seed(cone, n, mode_salt))
-        .collect();
-    for seed in &seeds {
-        match seed {
-            Some(s) => {
-                report.cache.polarity_hits += 1;
-                if s.cubes.is_some() {
-                    report.cache.cubes_hits += 1;
-                } else {
-                    report.cache.lookup_misses += 1;
+    // A disabled cache (zero byte budget) bypasses the lookup entirely:
+    // no seeds, and no per-job miss accounting for lookups never made.
+    let seeds: Vec<Option<PlanSeed>> = if engine.cache_enabled() {
+        cones
+            .iter()
+            .map(|cone| engine.lookup_seed(cone, n, mode_salt))
+            .collect()
+    } else {
+        cones.iter().map(|_| None).collect()
+    };
+    if engine.cache_enabled() {
+        for seed in &seeds {
+            match seed {
+                Some(s) => {
+                    report.cache.polarity_hits += 1;
+                    if s.cubes.is_some() {
+                        report.cache.cubes_hits += 1;
+                    } else {
+                        report.cache.lookup_misses += 1;
+                    }
                 }
+                None => report.cache.lookup_misses += 2, // polarity + cubes tiers
             }
-            None => report.cache.lookup_misses += 2, // polarity + cubes tiers
         }
     }
     let plan_buffer =

@@ -138,6 +138,33 @@ impl<S: Read + Write> Client<S> {
         self.request_line(&proto::simple_request("stats"))
     }
 
+    /// Fetches the Prometheus-style metrics exposition (the reply's
+    /// `text` field; parse it with [`xsynth_trace::metrics::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Transport or reply-framing failures (see [`Client::request_line`]).
+    pub fn metrics(&mut self) -> Result<Value, Error> {
+        self.request_line(&proto::simple_request("metrics"))
+    }
+
+    /// Fetches the flight recorder's most recent job summaries,
+    /// newest-first, truncated to `limit` when given.
+    ///
+    /// # Errors
+    ///
+    /// Transport or reply-framing failures (see [`Client::request_line`]).
+    pub fn recent(&mut self, limit: Option<usize>) -> Result<Value, Error> {
+        let mut o = proto::Obj::new();
+        o.num("protocol_version", PROTOCOL_VERSION as f64);
+        o.str("op", "recent");
+        if let Some(n) = limit {
+            o.num("limit", n as f64);
+        }
+        let line = o.finish();
+        self.request_line(&line)
+    }
+
     /// Requests graceful daemon shutdown and returns its acknowledgment.
     ///
     /// # Errors

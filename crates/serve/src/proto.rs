@@ -15,11 +15,18 @@
 //! ```text
 //! {"protocol_version":1,"op":"ping"}
 //! {"protocol_version":1,"op":"stats"}
+//! {"protocol_version":1,"op":"metrics"}
+//! {"protocol_version":1,"op":"recent","limit":10}
 //! {"protocol_version":1,"op":"shutdown"}
 //! {"protocol_version":1,"op":"synth","id":"j1","format":"blif",
 //!  "source":".model f\n...","budget":{"bdd_node_cap":100000,
 //!  "phase_timeout_ms":2000,"max_patterns":4096},"telemetry":true}
 //! ```
+//!
+//! Every `synth` reply carries an `id`: the caller's when supplied,
+//! otherwise a server-assigned `job-N`. The same ID is stamped on the
+//! job's trace spans and recorded in the daemon's flight recorder, so
+//! `recent` round-trips it end-to-end.
 //!
 //! Replies are `{"protocol_version":1,"status":"ok",...}` or
 //! `{"protocol_version":1,"status":"error","error":{"kind":...,
@@ -44,6 +51,16 @@ pub enum Request {
     Ping,
     /// Engine cache / job-counter statistics (`op: "stats"`).
     Stats,
+    /// Prometheus-style text exposition of the daemon's engine-lifetime
+    /// counters, gauges and latency histograms (`op: "metrics"`).
+    Metrics,
+    /// The flight recorder's ring of per-job summaries, newest first
+    /// (`op: "recent"`), optionally truncated to `limit` entries.
+    Recent {
+        /// Maximum number of summaries to return (`None` = the whole
+        /// ring).
+        limit: Option<usize>,
+    },
     /// Graceful daemon shutdown (`op: "shutdown"`): queued jobs drain,
     /// listeners close, the process exits 0.
     Shutdown,
@@ -128,10 +145,11 @@ pub fn parse_request(line: &str) -> Result<Request, Error> {
             "budget",
             "telemetry",
         ],
-        "ping" | "stats" | "shutdown" => &["protocol_version", "op", "id"],
+        "ping" | "stats" | "metrics" | "shutdown" => &["protocol_version", "op", "id"],
+        "recent" => &["protocol_version", "op", "id", "limit"],
         other => {
             return Err(Error::Protocol(format!(
-                "unknown op `{other}` (expected synth, ping, stats, or shutdown)"
+                "unknown op `{other}` (expected synth, ping, stats, metrics, recent, or shutdown)"
             )))
         }
     };
@@ -146,6 +164,17 @@ pub fn parse_request(line: &str) -> Result<Request, Error> {
     match op {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "recent" => {
+            let limit =
+                match v.get("limit") {
+                    None | Some(Value::Null) => None,
+                    Some(l) => Some(l.as_u64().ok_or_else(|| {
+                        Error::Protocol("limit must be an unsigned integer".into())
+                    })? as usize),
+                };
+            Ok(Request::Recent { limit })
+        }
         "shutdown" => Ok(Request::Shutdown),
         _ => Ok(Request::Synth(parse_job(&v)?)),
     }
@@ -427,6 +456,29 @@ mod tests {
         ] {
             let err = parse_request(line).expect_err(line);
             assert!(matches!(err, Error::Protocol(_)), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn metrics_and_recent_ops_parse() {
+        assert_eq!(
+            parse_request(r#"{"protocol_version":1,"op":"metrics"}"#).expect("metrics"),
+            Request::Metrics
+        );
+        assert_eq!(
+            parse_request(r#"{"protocol_version":1,"op":"recent"}"#).expect("recent"),
+            Request::Recent { limit: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"protocol_version":1,"op":"recent","limit":5}"#).expect("limited"),
+            Request::Recent { limit: Some(5) }
+        );
+        for bad in [
+            r#"{"protocol_version":1,"op":"recent","limit":"five"}"#,
+            r#"{"protocol_version":1,"op":"metrics","limit":5}"#,
+        ] {
+            let err = parse_request(bad).expect_err(bad);
+            assert!(matches!(err, Error::Protocol(_)), "{bad}: {err}");
         }
     }
 

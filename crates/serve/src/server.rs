@@ -19,7 +19,7 @@
 //! answers, then drains queued jobs, closes the listeners, and lets
 //! [`Server::wait`] return — the daemon's exit-0 path.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
@@ -35,7 +35,8 @@ use xsynth_bench::{record_from_run, BenchSuite};
 use xsynth_blif::{parse_blif, parse_pla, write_blif};
 use xsynth_core::{Budget, Engine, Error, SynthOptions};
 use xsynth_map::Library;
-use xsynth_trace::json;
+use xsynth_trace::metrics::Exposition;
+use xsynth_trace::{json, Histogram};
 
 use crate::proto::{self, JobFormat, JobRequest, Request};
 
@@ -77,11 +78,17 @@ impl Default for ServeOptions {
     }
 }
 
+/// Flight-recorder capacity: per-job summaries kept for `recent`.
+const FLIGHT_RECORDER_CAP: usize = 128;
+
 /// One queued unit of work: a request line plus where to write the reply.
 struct Job {
     conn: u64,
     line: String,
     writer: SharedWriter,
+    /// When the reader enqueued the line — the queue-wait histogram
+    /// measures from here to worker pickup.
+    enqueued: Instant,
 }
 
 type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
@@ -187,6 +194,117 @@ struct Ctx {
     jobs_done: AtomicU64,
     stop: AtomicBool,
     sched: Scheduler,
+    telemetry: Telemetry,
+}
+
+/// Engine-lifetime observability state behind the `metrics` and `recent`
+/// wire ops. Everything here is *daemon-side* aggregation: the wall-clock
+/// histograms (latency, queue wait, phase durations) are
+/// schedule-dependent by nature, so they live outside the per-job trace
+/// that the parallel ≡ sequential determinism suite compares.
+struct Telemetry {
+    /// Daemon start, for the uptime gauge.
+    start: Instant,
+    /// Worker pool size (utilization denominator).
+    workers: usize,
+    /// Workers currently executing a request line.
+    busy: AtomicU64,
+    /// Synthesis jobs answered `status: "ok"`.
+    jobs_ok: AtomicU64,
+    /// Synthesis jobs answered with a typed error (panics included).
+    jobs_error: AtomicU64,
+    /// Server-assigned request-ID sequence (`job-N`) for synth requests
+    /// that arrive without a client-supplied `id`.
+    req_seq: AtomicU64,
+    /// Engine-lifetime maximum of the per-job `bdd.peak_nodes` gauge.
+    peak_nodes: AtomicU64,
+    /// The wall-clock histograms (see [`DaemonHists`]).
+    hists: Mutex<DaemonHists>,
+    /// Bounded ring of per-job summaries, newest at the back.
+    recorder: Mutex<VecDeque<JobSummary>>,
+}
+
+impl Telemetry {
+    fn new(workers: usize) -> Telemetry {
+        Telemetry {
+            start: Instant::now(),
+            workers,
+            busy: AtomicU64::new(0),
+            jobs_ok: AtomicU64::new(0),
+            jobs_error: AtomicU64::new(0),
+            req_seq: AtomicU64::new(0),
+            peak_nodes: AtomicU64::new(0),
+            hists: Mutex::new(DaemonHists::default()),
+            recorder: Mutex::new(VecDeque::with_capacity(FLIGHT_RECORDER_CAP)),
+        }
+    }
+
+    /// Assigns the next server-side request ID.
+    fn next_request_id(&self) -> String {
+        format!("job-{}", self.req_seq.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Raises the engine-lifetime peak-node gauge to at least `nodes`.
+    fn observe_peak_nodes(&self, nodes: u64) {
+        self.peak_nodes.fetch_max(nodes, Ordering::Relaxed);
+    }
+
+    /// Pushes one summary into the flight recorder, evicting the oldest
+    /// entry past capacity.
+    fn record(&self, summary: JobSummary) {
+        let mut ring = lock(&self.recorder);
+        if ring.len() == FLIGHT_RECORDER_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(summary);
+    }
+}
+
+/// The daemon's engine-lifetime latency/size distributions.
+#[derive(Default)]
+struct DaemonHists {
+    /// End-to-end synthesis seconds per job (parse → reply body built).
+    job_seconds: Histogram,
+    /// Seconds a request line waited in the scheduler before a worker
+    /// picked it up.
+    queue_seconds: Histogram,
+    /// Final `bdd.nodes` gauge per successful job.
+    job_bdd_nodes: Histogram,
+    /// Wall-clock seconds per pipeline phase, keyed by phase name.
+    phase_seconds: BTreeMap<String, Histogram>,
+}
+
+/// One flight-recorder entry: everything needed to reconstruct what a job
+/// did after the fact.
+#[derive(Debug, Clone)]
+struct JobSummary {
+    /// Request ID (client-supplied or server-assigned) — round-trips
+    /// through `recent`.
+    id: String,
+    /// Circuit/model name (empty when parsing failed).
+    name: String,
+    /// `"ok"` or `"error"`.
+    outcome: &'static str,
+    /// Error kind (wire taxonomy) for failed jobs.
+    error_kind: Option<String>,
+    /// XOR of the canonical cone hashes of every output, hex.
+    cone_hash: String,
+    /// Salvage-ladder rungs that fired, comma-joined (empty = clean).
+    salvage_rungs: String,
+    /// Phases a budget cut short.
+    budget_trips: u64,
+    /// Result-cache hits (polarity + cubes + factored tiers).
+    cache_hits: u64,
+    /// Result-cache lookup misses.
+    cache_misses: u64,
+    /// Peak `bdd.peak_nodes` gauge of the job.
+    peak_nodes: u64,
+    /// Peak RSS in KiB, when the platform exposes it.
+    peak_rss_kb: Option<u64>,
+    /// End-to-end synthesis seconds.
+    seconds: f64,
+    /// Scheduler queue wait in seconds.
+    queue_seconds: f64,
 }
 
 /// A running daemon. Bind with [`Server::bind`], then either
@@ -214,16 +332,6 @@ impl Server {
             return Err(Error::msg("serve needs at least one of --tcp / --socket"));
         }
         let engine = Engine::with_options(opts.options.clone()).cache_budget(opts.cache_bytes);
-        let ctx = Arc::new(Ctx {
-            engine,
-            lib: Library::mcnc(),
-            verify_budget: Budget::default().bdd_node_cap(Some(VERIFY_NODE_CAP)),
-            jobs_done: AtomicU64::new(0),
-            stop: AtomicBool::new(false),
-            sched: Scheduler::new(),
-        });
-
-        let mut handles = Vec::new();
         let workers = if opts.workers > 0 {
             opts.workers
         } else {
@@ -232,6 +340,17 @@ impl Server {
                 .unwrap_or(2)
                 .min(4)
         };
+        let ctx = Arc::new(Ctx {
+            engine,
+            lib: Library::mcnc(),
+            verify_budget: Budget::default().bdd_node_cap(Some(VERIFY_NODE_CAP)),
+            jobs_done: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            sched: Scheduler::new(),
+            telemetry: Telemetry::new(workers),
+        });
+
+        let mut handles = Vec::new();
         for w in 0..workers {
             let ctx = ctx.clone();
             handles.push(
@@ -433,6 +552,7 @@ fn spawn_conn(stream: impl Conn, ctx: &Arc<Ctx>, ids: &AtomicU64) {
                     conn,
                     line: line.clone(),
                     writer: writer.clone(),
+                    enqueued: Instant::now(),
                 };
                 if !ctx.sched.submit(job) {
                     let resp = proto::error_response(None, &Error::msg("daemon is shutting down"));
@@ -453,18 +573,27 @@ fn write_reply(writer: &SharedWriter, line: &str) {
 
 fn worker_loop(ctx: &Arc<Ctx>) {
     while let Some(job) = ctx.sched.next() {
-        let (reply, shutdown) = match catch_unwind(AssertUnwindSafe(|| handle_line(ctx, &job.line)))
-        {
-            Ok(r) => r,
-            Err(panic) => {
-                let cause = panic_message(&panic);
-                let err = Error::OutputFailed {
-                    output: "serve.worker".into(),
-                    cause,
-                };
-                (proto::error_response(None, &err), false)
-            }
-        };
+        let queued_for = job.enqueued.elapsed();
+        lock(&ctx.telemetry.hists)
+            .queue_seconds
+            .observe(queued_for.as_secs_f64());
+        ctx.telemetry.busy.fetch_add(1, Ordering::Relaxed);
+        let (reply, shutdown) =
+            match catch_unwind(AssertUnwindSafe(|| handle_line(ctx, &job.line, queued_for))) {
+                Ok(r) => r,
+                Err(panic) => {
+                    let cause = panic_message(&panic);
+                    let err = Error::OutputFailed {
+                        output: "serve.worker".into(),
+                        cause,
+                    };
+                    // the job died outside the typed-error paths, so the
+                    // outcome counter is bumped here instead
+                    ctx.telemetry.jobs_error.fetch_add(1, Ordering::Relaxed);
+                    (proto::error_response(None, &err), false)
+                }
+            };
+        ctx.telemetry.busy.fetch_sub(1, Ordering::Relaxed);
         // Count the job before the reply goes out: a client that has
         // received N replies must never observe `jobs_done` < N via a
         // subsequent `stats` request handled by a sibling worker.
@@ -489,7 +618,7 @@ fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
 
 /// Dispatches one request line to its handler; the second element
 /// reports whether a graceful shutdown was requested.
-fn handle_line(ctx: &Ctx, line: &str) -> (String, bool) {
+fn handle_line(ctx: &Ctx, line: &str, queued_for: Duration) -> (String, bool) {
     let req = match proto::parse_request(line) {
         Ok(r) => r,
         Err(e) => return (proto::error_response(None, &e), false),
@@ -503,6 +632,11 @@ fn handle_line(ctx: &Ctx, line: &str) -> (String, bool) {
             (o.finish(), false)
         }
         Request::Stats => (stats_response(ctx), false),
+        Request::Metrics => match metrics_response(ctx) {
+            Ok(resp) => (resp, false),
+            Err(e) => (proto::error_response(None, &e), false),
+        },
+        Request::Recent { limit } => (recent_response(ctx, limit), false),
         Request::Shutdown => {
             let mut o = proto::Obj::new();
             o.num("protocol_version", proto::PROTOCOL_VERSION as f64);
@@ -510,11 +644,37 @@ fn handle_line(ctx: &Ctx, line: &str) -> (String, bool) {
             o.str("op", "shutdown");
             (o.finish(), true)
         }
-        Request::Synth(job) => {
-            let id = job.id.clone();
-            match run_job(ctx, job) {
+        Request::Synth(mut job) => {
+            // Every synth job carries a request ID from here on: the
+            // client's when supplied, otherwise server-assigned. It is
+            // echoed in the reply (ok or error), stamped on the trace
+            // spans, and recorded in the flight recorder.
+            let id = job
+                .id
+                .get_or_insert_with(|| ctx.telemetry.next_request_id())
+                .clone();
+            let started = Instant::now();
+            match run_job(ctx, job, queued_for) {
                 Ok(resp) => (resp, false),
-                Err(e) => (proto::error_response(id.as_deref(), &e), false),
+                Err(e) => {
+                    ctx.telemetry.jobs_error.fetch_add(1, Ordering::Relaxed);
+                    ctx.telemetry.record(JobSummary {
+                        id: id.clone(),
+                        name: String::new(),
+                        outcome: "error",
+                        error_kind: Some(proto::error_kind(&e).to_string()),
+                        cone_hash: String::new(),
+                        salvage_rungs: String::new(),
+                        budget_trips: 0,
+                        cache_hits: 0,
+                        cache_misses: 0,
+                        peak_nodes: 0,
+                        peak_rss_kb: None,
+                        seconds: started.elapsed().as_secs_f64(),
+                        queue_seconds: queued_for.as_secs_f64(),
+                    });
+                    (proto::error_response(Some(&id), &e), false)
+                }
             }
         }
     }
@@ -542,10 +702,170 @@ fn stats_response(ctx: &Ctx) -> String {
     o.finish()
 }
 
+/// Renders the engine-lifetime Prometheus-style text exposition behind
+/// the `metrics` wire op. The `serve.metrics` failpoint injects a typed
+/// failure here for the chaos suite: a broken exposition must answer
+/// `status: "error"`, never wedge the scheduler or drop the connection.
+fn metrics_response(ctx: &Ctx) -> Result<String, Error> {
+    xsynth_trace::fail_point!(
+        "serve.metrics",
+        Err(Error::OutputFailed {
+            output: "serve.metrics".into(),
+            cause: "injected fault: metrics exposition refused".into(),
+        })
+    );
+    let tel = &ctx.telemetry;
+    let mut exp = Exposition::new();
+    exp.counter(
+        "xsynth_jobs_total",
+        &[("outcome", "ok")],
+        tel.jobs_ok.load(Ordering::Relaxed),
+    );
+    exp.counter(
+        "xsynth_jobs_total",
+        &[("outcome", "error")],
+        tel.jobs_error.load(Ordering::Relaxed),
+    );
+    exp.counter(
+        "xsynth_requests_total",
+        &[],
+        ctx.jobs_done.load(Ordering::Relaxed),
+    );
+    exp.gauge(
+        "xsynth_uptime_seconds",
+        &[],
+        tel.start.elapsed().as_secs_f64(),
+    );
+    exp.gauge("xsynth_workers", &[], tel.workers as f64);
+    // includes the worker currently answering this metrics request
+    let busy = tel.busy.load(Ordering::Relaxed) as f64;
+    exp.gauge("xsynth_workers_busy", &[], busy);
+    exp.gauge(
+        "xsynth_worker_utilization",
+        &[],
+        busy / tel.workers.max(1) as f64,
+    );
+
+    let cs = ctx.engine.cache_stats();
+    exp.counter("xsynth_cache_hits_total", &[], cs.hits);
+    exp.counter("xsynth_cache_misses_total", &[], cs.misses);
+    exp.counter("xsynth_cache_evictions_total", &[], cs.evictions);
+    exp.counter("xsynth_cache_insertions_total", &[], cs.insertions);
+    exp.gauge("xsynth_cache_entries", &[], cs.entries as f64);
+    exp.gauge("xsynth_cache_bytes", &[], cs.bytes as f64);
+    exp.gauge("xsynth_cache_budget_bytes", &[], cs.budget as f64);
+    exp.histogram(
+        "xsynth_cache_lookup_seconds",
+        &[],
+        &ctx.engine.cache_lookup_hist(),
+    );
+    exp.counter(
+        "xsynth_engine_reclaim_refused_total",
+        &[],
+        ctx.engine.reclaim_refused(),
+    );
+
+    for s in ctx.engine.substrate_stats() {
+        let arity = s.arity.to_string();
+        let l = [("arity", arity.as_str())];
+        exp.gauge("xsynth_bdd_nodes", &l, s.nodes as f64);
+        exp.counter("xsynth_bdd_apply_hits_total", &l, s.apply_hits);
+        exp.counter("xsynth_bdd_apply_misses_total", &l, s.apply_misses);
+        let lookups = s.apply_hits + s.apply_misses;
+        if lookups > 0 {
+            exp.gauge(
+                "xsynth_bdd_apply_hit_ratio",
+                &l,
+                s.apply_hits as f64 / lookups as f64,
+            );
+        }
+        for (shard, occ) in s.shard_occupancy.iter().enumerate() {
+            if *occ == 0 {
+                continue;
+            }
+            let shard = shard.to_string();
+            exp.gauge(
+                "xsynth_bdd_shard_nodes",
+                &[("arity", arity.as_str()), ("shard", shard.as_str())],
+                *occ as f64,
+            );
+        }
+    }
+    exp.gauge(
+        "xsynth_bdd_peak_nodes",
+        &[],
+        tel.peak_nodes.load(Ordering::Relaxed) as f64,
+    );
+
+    {
+        let h = lock(&tel.hists);
+        exp.histogram("xsynth_job_seconds", &[], &h.job_seconds);
+        exp.gauge("xsynth_job_seconds_p50", &[], h.job_seconds.quantile(0.50));
+        exp.gauge("xsynth_job_seconds_p90", &[], h.job_seconds.quantile(0.90));
+        exp.gauge("xsynth_job_seconds_p99", &[], h.job_seconds.quantile(0.99));
+        exp.histogram("xsynth_queue_seconds", &[], &h.queue_seconds);
+        exp.histogram("xsynth_job_bdd_nodes", &[], &h.job_bdd_nodes);
+        for (phase, hist) in &h.phase_seconds {
+            exp.histogram("xsynth_phase_seconds", &[("phase", phase)], hist);
+        }
+    }
+
+    let mut o = proto::Obj::new();
+    o.num("protocol_version", proto::PROTOCOL_VERSION as f64);
+    o.str("status", "ok");
+    o.str("op", "metrics");
+    o.str("text", &exp.render());
+    Ok(o.finish())
+}
+
+/// Answers the `recent` wire op: flight-recorder entries newest-first,
+/// truncated to `limit` when given.
+fn recent_response(ctx: &Ctx, limit: Option<usize>) -> String {
+    let ring = lock(&ctx.telemetry.recorder);
+    let take = limit.unwrap_or(ring.len()).min(ring.len());
+    let mut jobs = String::from("[");
+    for (i, s) in ring.iter().rev().take(take).enumerate() {
+        if i > 0 {
+            jobs.push(',');
+        }
+        let mut jo = proto::Obj::new();
+        jo.str("id", &s.id);
+        jo.str("name", &s.name);
+        jo.str("outcome", s.outcome);
+        match &s.error_kind {
+            Some(kind) => jo.str("error_kind", kind),
+            None => jo.null("error_kind"),
+        }
+        jo.str("cone_hash", &s.cone_hash);
+        jo.str("salvage_rungs", &s.salvage_rungs);
+        jo.num("budget_trips", s.budget_trips as f64);
+        jo.num("cache_hits", s.cache_hits as f64);
+        jo.num("cache_misses", s.cache_misses as f64);
+        jo.num("peak_nodes", s.peak_nodes as f64);
+        match s.peak_rss_kb {
+            Some(kb) => jo.num("peak_rss_kb", kb as f64),
+            None => jo.null("peak_rss_kb"),
+        }
+        jo.num("seconds", s.seconds);
+        jo.num("queue_seconds", s.queue_seconds);
+        jobs.push_str(&jo.finish());
+    }
+    drop(ring);
+    jobs.push(']');
+    let mut o = proto::Obj::new();
+    o.num("protocol_version", proto::PROTOCOL_VERSION as f64);
+    o.str("status", "ok");
+    o.str("op", "recent");
+    o.num("count", take as f64);
+    o.raw("jobs", &jobs);
+    o.finish()
+}
+
 /// Executes one synthesis job end to end: admission failpoint, parse,
-/// synthesize on the shared engine, reply with the network and cache
-/// accounting (plus telemetry on request).
-fn run_job(ctx: &Ctx, job: JobRequest) -> Result<String, Error> {
+/// synthesize on the shared engine, record flight-recorder and histogram
+/// telemetry, reply with the network and cache accounting (plus bench
+/// telemetry on request). `job.id` is always set by `handle_line`.
+fn run_job(ctx: &Ctx, job: JobRequest, queued_for: Duration) -> Result<String, Error> {
     xsynth_trace::fail_point!(
         "serve.accept",
         Err(Error::OutputFailed {
@@ -567,8 +887,71 @@ fn run_job(ctx: &Ctx, job: JobRequest) -> Result<String, Error> {
         opts.budget = budget;
     }
     let t0 = Instant::now();
-    let outcome = ctx.engine.try_synthesize_with(&spec, &opts)?;
+    let mut outcome = ctx.engine.try_synthesize_with(&spec, &opts)?;
     let seconds = t0.elapsed().as_secs_f64();
+
+    // Stamp the request ID onto the job's trace spans so an exported
+    // trace from this multi-tenant daemon stays attributable.
+    let id = job.id.clone().unwrap_or_default();
+    outcome.report.trace.prefix_labels(&id);
+
+    // Daemon-side observability. The wall-clock histograms are
+    // schedule-dependent and therefore live here, never in the per-job
+    // trace the determinism suite compares.
+    let peak_nodes = outcome
+        .report
+        .trace
+        .gauge_max("bdd.peak_nodes")
+        .unwrap_or(0.0) as u64;
+    let bdd_nodes = outcome
+        .report
+        .trace
+        .gauge_finals()
+        .get("bdd.nodes")
+        .copied()
+        .unwrap_or(0.0);
+    {
+        let mut h = lock(&ctx.telemetry.hists);
+        h.job_seconds.observe(seconds);
+        h.job_bdd_nodes.observe(bdd_nodes);
+        for stat in &outcome.report.profile.phases {
+            h.phase_seconds
+                .entry(stat.name.clone())
+                .or_default()
+                .observe(stat.duration.as_secs_f64());
+        }
+    }
+    ctx.telemetry.observe_peak_nodes(peak_nodes);
+    let cone_hash = {
+        let mut h: u128 = 0;
+        for (_, sig) in spec.outputs() {
+            h ^= xsynth_cache::cone_of(&spec, *sig).key.raw();
+        }
+        format!("{h:032x}")
+    };
+    let rungs: Vec<&str> = outcome
+        .report
+        .salvaged
+        .iter()
+        .map(|s| s.rung.as_str())
+        .collect();
+    let use_ = outcome.report.cache;
+    ctx.telemetry.jobs_ok.fetch_add(1, Ordering::Relaxed);
+    ctx.telemetry.record(JobSummary {
+        id: id.clone(),
+        name: spec.name().to_string(),
+        outcome: "ok",
+        error_kind: None,
+        cone_hash,
+        salvage_rungs: rungs.join(","),
+        budget_trips: outcome.report.curtailed.len() as u64,
+        cache_hits: use_.polarity_hits + use_.cubes_hits + use_.factored_hits,
+        cache_misses: use_.lookup_misses,
+        peak_nodes,
+        peak_rss_kb: mem.peak_kb(),
+        seconds,
+        queue_seconds: queued_for.as_secs_f64(),
+    });
 
     let mut cache = proto::Obj::new();
     cache.num("polarity_hits", outcome.report.cache.polarity_hits as f64);
@@ -628,6 +1011,7 @@ mod tests {
             conn,
             line: tag.to_string(),
             writer: writer.clone(),
+            enqueued: Instant::now(),
         }
     }
 

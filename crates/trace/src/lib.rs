@@ -49,6 +49,7 @@ mod chrome;
 pub mod failpoint;
 pub mod json;
 pub mod mem;
+pub mod metrics;
 
 /// Marks a named fault-injection site (see [`failpoint`]).
 ///
@@ -120,6 +121,133 @@ pub enum Event {
         /// Sampled value.
         value: f64,
     },
+    /// One histogram observation. Samples carry the raw value; bucketing
+    /// happens at aggregation time ([`Trace::hist_totals`]) with the fixed
+    /// log-scale layout of [`bucket_of`], so merged bucket counts are pure
+    /// sums — independent of submission order and thread scheduling, like
+    /// counters.
+    Hist {
+        /// Histogram name.
+        name: String,
+        /// Observed sample value.
+        value: f64,
+    },
+}
+
+/// Number of fixed log-scale buckets every [`Histogram`] uses.
+pub const NUM_BUCKETS: usize = 64;
+
+/// Power-of-two offset: bucket `b` covers `[2^(b-32), 2^(b-31))`.
+const BUCKET_BIAS: i64 = 32;
+
+/// The fixed log-scale bucket index for a sample.
+///
+/// Bucket `b` covers `[2^(b-32), 2^(b-31))`; values at or below zero (and
+/// non-finite samples) land in bucket 0, values ≥ `2^31` in bucket 63.
+/// The index is derived from the sample's IEEE-754 exponent bits rather
+/// than a floating `log2`, so bucketing is exact and bit-for-bit
+/// deterministic across platforms.
+pub fn bucket_of(value: f64) -> usize {
+    if !value.is_finite() || value <= 0.0 {
+        return 0;
+    }
+    // biased exponent → floor(log2(v)) for normal numbers; subnormals
+    // decode as -1023 and clamp into bucket 0.
+    let exp = ((value.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+    (exp + BUCKET_BIAS).clamp(0, NUM_BUCKETS as i64 - 1) as usize
+}
+
+/// The exclusive upper bound of a bucket: `2^(b-31)`. The last bucket is
+/// open-ended; its nominal bound is returned for labelling.
+pub fn bucket_upper_bound(bucket: usize) -> f64 {
+    let b = bucket.min(NUM_BUCKETS - 1) as i32;
+    2f64.powi(b - (BUCKET_BIAS as i32) + 1)
+}
+
+/// A fixed-bucket log-scale histogram: 64 power-of-two buckets spanning
+/// `2^-32 .. 2^31` (seconds, node counts and cube counts all fit), plus a
+/// running sample count and sum. Merging is a per-bucket sum, so merged
+/// totals are independent of observation interleaving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: f64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        if value.is_finite() && value > 0.0 {
+            self.sum += value;
+        }
+    }
+
+    /// Adds every bucket of `other` into `self` (bucket-wise sum).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all (finite, positive) sample values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The raw per-bucket counts (see [`bucket_upper_bound`] for bounds).
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The value below which a fraction `q` of samples fall, resolved to
+    /// the upper bound of the bucket containing that rank (the
+    /// conventional Prometheus-style histogram estimate). `q` is clamped
+    /// to `[0, 1]`; an empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(b);
+            }
+        }
+        bucket_upper_bound(NUM_BUCKETS - 1)
+    }
 }
 
 /// One buffer's worth of events after submission: an ordered event list
@@ -342,6 +470,19 @@ impl TraceBuffer {
         });
     }
 
+    /// Records one observation into the named histogram. Observations are
+    /// bucketed at aggregation time with the fixed log-scale layout of
+    /// [`bucket_of`]; like counters, merged bucket totals are independent
+    /// of scheduling, so only schedule-independent values (cube counts,
+    /// support sizes — not wall-clock durations) belong in a trace that is
+    /// checked by the parallel≡sequential determinism suite.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.track.events.push(Event::Hist {
+            name: name.to_string(),
+            value,
+        });
+    }
+
     /// The sink this buffer submits to.
     pub fn sink(&self) -> &TraceSink {
         &self.sink
@@ -428,6 +569,36 @@ impl Trace {
             }
         }
         max
+    }
+
+    /// Merged histogram per name: every [`Event::Hist`] observation on
+    /// every track, bucketed with the fixed log-scale layout and summed
+    /// per bucket. Tracks are already in deterministic `(key, label)`
+    /// order and bucket counts are commutative sums, so the totals are
+    /// schedule-independent.
+    pub fn hist_totals(&self) -> BTreeMap<String, Histogram> {
+        let mut totals: BTreeMap<String, Histogram> = BTreeMap::new();
+        for t in &self.tracks {
+            for e in &t.events {
+                if let Event::Hist { name, value } = e {
+                    totals.entry(name.clone()).or_default().observe(*value);
+                }
+            }
+        }
+        totals
+    }
+
+    /// Prefixes every track label with `prefix/`, in place. The serve
+    /// daemon stamps each job's request ID onto its spans this way, so a
+    /// trace exported from a multi-tenant run stays attributable
+    /// end-to-end.
+    pub fn prefix_labels(&mut self, prefix: &str) {
+        if prefix.is_empty() {
+            return;
+        }
+        for t in &mut self.tracks {
+            t.label = format!("{prefix}/{}", t.label);
+        }
     }
 
     /// The set of span names appearing anywhere in the trace.
@@ -565,6 +736,9 @@ fn build_track(t: &Track) -> Vec<SpanNode> {
                     last.gauges.insert(name.clone(), *value);
                 }
             }
+            // histogram observations are aggregate-level data; they are
+            // surfaced via `hist_totals`, not the span tree
+            Event::Hist { .. } => {}
         }
     }
     // close anything the recorder left open at the last seen timestamp
@@ -764,6 +938,96 @@ mod tests {
         let sink = TraceSink::new();
         drop(sink.buffer(0, "empty"));
         assert!(sink.take().tracks.is_empty());
+    }
+
+    #[test]
+    fn buckets_follow_the_powers_of_two() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(-3.0), 0);
+        assert_eq!(bucket_of(f64::NAN), 0);
+        assert_eq!(bucket_of(f64::INFINITY), 0);
+        assert_eq!(bucket_of(1.0), 32);
+        assert_eq!(bucket_of(1.5), 32);
+        assert_eq!(bucket_of(2.0), 33);
+        assert_eq!(bucket_of(0.5), 31);
+        // exact powers of two open a new bucket; just-below stays behind
+        assert_eq!(bucket_of(8.0), 35);
+        assert_eq!(bucket_of(7.999_999), 34);
+        // extremes clamp into the end buckets
+        assert_eq!(bucket_of(1e-300), 0);
+        assert_eq!(bucket_of(1e300), NUM_BUCKETS - 1);
+        // the bound of bucket b is the lower edge of bucket b+1
+        assert_eq!(bucket_upper_bound(32), 2.0);
+        assert_eq!(bucket_of(bucket_upper_bound(32)), 33);
+    }
+
+    #[test]
+    fn histogram_quantiles_resolve_to_bucket_bounds() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        for _ in 0..90 {
+            h.observe(1.0); // bucket 32, bound 2.0
+        }
+        for _ in 0..10 {
+            h.observe(100.0); // bucket 38, bound 128.0
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), 2.0);
+        assert_eq!(h.quantile(0.9), 2.0);
+        assert_eq!(h.quantile(0.99), 128.0);
+        assert_eq!(h.quantile(1.0), 128.0);
+        assert!((h.sum() - 1090.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_is_a_bucketwise_sum() {
+        let mut a = Histogram::new();
+        a.observe(1.0);
+        a.observe(3.0);
+        let mut b = Histogram::new();
+        b.observe(3.5);
+        b.observe(0.25);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut flat = Histogram::new();
+        for v in [1.0, 3.0, 3.5, 0.25] {
+            flat.observe(v);
+        }
+        assert_eq!(merged, flat);
+    }
+
+    #[test]
+    fn hist_totals_merge_across_tracks() {
+        let sink = TraceSink::new();
+        {
+            let mut b = sink.buffer(1, "w1");
+            b.observe("cubes", 4.0);
+            b.observe("cubes", 9.0);
+        }
+        {
+            let mut b = sink.buffer(2, "w2");
+            b.observe("cubes", 5.0);
+            b.observe("support", 3.0);
+        }
+        let t = sink.take();
+        let totals = t.hist_totals();
+        assert_eq!(totals["cubes"].count(), 3);
+        assert_eq!(totals["support"].count(), 1);
+        let expected: u64 = totals["cubes"].buckets().iter().sum();
+        assert_eq!(expected, 3);
+    }
+
+    #[test]
+    fn prefix_labels_stamps_every_track() {
+        let sink = TraceSink::new();
+        sink.buffer(0, "main").count("x", 1);
+        sink.buffer(1, "plan:0").count("x", 1);
+        let mut t = sink.take();
+        t.prefix_labels("job-7");
+        let labels: Vec<_> = t.tracks.iter().map(|t| t.label.as_str()).collect();
+        assert_eq!(labels, ["job-7/main", "job-7/plan:0"]);
+        t.prefix_labels("");
+        assert_eq!(t.tracks[0].label, "job-7/main");
     }
 
     #[test]

@@ -28,6 +28,7 @@ use xsynth_core::{
 use xsynth_map::{map_network, Library};
 use xsynth_net::Network;
 use xsynth_sop::{script_algebraic, ScriptOptions};
+use xsynth_trace::json::Value;
 use xsynth_trace::Trace;
 
 /// A parsed command line.
@@ -67,6 +68,10 @@ pub struct Command {
     pub workers: usize,
     /// `serve`: result-cache byte budget in MiB (`--cache-mb`).
     pub cache_mb: Option<usize>,
+    /// `top`: refresh interval in milliseconds (`--interval-ms`).
+    pub interval_ms: u64,
+    /// `top`: render one frame and exit (`--once`) — for scripts and CI.
+    pub once: bool,
 }
 
 /// What to do.
@@ -84,6 +89,9 @@ pub enum Action {
     Verify,
     /// Run the long-lived synthesis daemon.
     Serve,
+    /// Poll a running daemon's `metrics`/`recent` ops and render a
+    /// refreshing status table.
+    Top,
 }
 
 /// Which synthesis engine to run.
@@ -105,7 +113,7 @@ pub enum Engine {
 
 /// Usage text.
 pub const USAGE: &str = "\
-usage: xsynth <synth|stats|map|bench|verify|serve> [input] [options]
+usage: xsynth <synth|stats|map|bench|verify|serve|top> [input] [options]
 
   synth <in.blif|in.pla>   synthesize, write BLIF (stdout or -o FILE)
   stats <in.blif|in.pla>   print cost metrics for the input network
@@ -116,12 +124,20 @@ usage: xsynth <synth|stats|map|bench|verify|serve> [input] [options]
   serve                    run the synthesis daemon (newline-delimited JSON
                            over --tcp and/or --socket; one shared engine,
                            substrate pool and result cache for all jobs)
+  top <addr>               live daemon dashboard: poll `metrics`/`recent`
+                           and redraw (host:port = TCP, else a unix socket
+                           path)
 
 serve options:
   --tcp ADDR            listen on a TCP address (e.g. 127.0.0.1:7171)
   --socket PATH         listen on a unix-domain socket at PATH
   --workers N           worker pool size (default: sized from CPU count)
-  --cache-mb N          result-cache byte budget in MiB (default 64)
+  --cache-mb N          result-cache byte budget in MiB (default 64;
+                        0 disables the result cache entirely)
+
+top options:
+  --interval-ms N       refresh interval (default 2000)
+  --once                render one frame to stdout and exit
 
 options:
   -o FILE               write output to FILE
@@ -161,10 +177,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         Some("bench") => Action::Bench,
         Some("verify") => Action::Verify,
         Some("serve") => Action::Serve,
+        Some("top") => Action::Top,
         Some(other) => return Err(format!("unknown subcommand '{other}'\n{USAGE}")),
         None => return Err(USAGE.to_string()),
     };
     // `serve` takes no positional input; the circuits arrive on the wire.
+    // `top` reuses the slot for the daemon address.
     let input = if action == Action::Serve {
         String::new()
     } else {
@@ -201,6 +219,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut socket = None;
     let mut workers = 0usize;
     let mut cache_mb = None;
+    let mut interval_ms = 2000u64;
+    let mut once = false;
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" => {
@@ -267,6 +287,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--cache-mb" if action == Action::Serve => {
                 cache_mb = Some(number(a, it.next())? as usize);
             }
+            "--interval-ms" if action == Action::Top => {
+                interval_ms = number(a, it.next())?;
+            }
+            "--once" if action == Action::Top => once = true,
             other => return Err(format!("unknown option '{other}'\n{USAGE}")),
         }
     }
@@ -286,6 +310,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         socket,
         workers,
         cache_mb,
+        interval_ms,
+        once,
     })
 }
 
@@ -464,6 +490,36 @@ pub fn render_report(report: &SynthReport) -> String {
         "# polarity search: {} candidates evaluated, {} memo hits",
         report.polarity_search.candidates_evaluated, report.polarity_search.memo_hits
     );
+    let pct = |hits: f64, lookups: f64| {
+        if lookups > 0.0 {
+            100.0 * hits / lookups
+        } else {
+            0.0
+        }
+    };
+    let gauges = report.trace.gauge_finals();
+    let apply_hits = gauges.get("bdd.apply_hits").copied().unwrap_or(0.0);
+    let apply_misses = gauges.get("bdd.apply_misses").copied().unwrap_or(0.0);
+    let _ = writeln!(
+        s,
+        "# apply cache: {:.1}% hit ({:.0} of {:.0} lookups)",
+        pct(apply_hits, apply_hits + apply_misses),
+        apply_hits,
+        apply_hits + apply_misses
+    );
+    let c = &report.cache;
+    let result_hits = (c.polarity_hits + c.cubes_hits + c.factored_hits) as f64;
+    let result_lookups = result_hits + c.lookup_misses as f64;
+    let _ = writeln!(
+        s,
+        "# result cache: {:.1}% hit ({:.0} of {:.0} lookups; polarity {}, cubes {}, factored {})",
+        pct(result_hits, result_lookups),
+        result_hits,
+        result_lookups,
+        c.polarity_hits,
+        c.cubes_hits,
+        c.factored_hits
+    );
     let _ = writeln!(s, "# trace:");
     for line in report.trace.render_tree().lines() {
         let _ = writeln!(s, "#   {line}");
@@ -562,9 +618,12 @@ pub fn execute(cmd: &Command) -> Result<String, Error> {
     if cmd.action == Action::Serve {
         return run_serve(cmd);
     }
+    if cmd.action == Action::Top {
+        return run_top(cmd);
+    }
     let spec = load(cmd)?;
     match cmd.action {
-        Action::Serve => unreachable!("handled above"),
+        Action::Serve | Action::Top => unreachable!("handled above"),
         Action::Stats => Ok(render_stats(&spec)),
         Action::Verify => {
             let candidate = load_source(cmd.input2.as_deref().unwrap_or_default(), false)?;
@@ -720,6 +779,156 @@ fn run_serve(cmd: &Command) -> Result<String, Error> {
     }
     server.wait();
     Ok("# serve: shutdown complete\n".to_string())
+}
+
+/// Runs `xsynth top <addr>`: polls the daemon's `metrics` and `recent`
+/// wire ops and renders a status table. `--once` returns a single frame
+/// (for scripts and CI); otherwise the loop clears the screen and
+/// redraws every `--interval-ms` until the daemon goes away.
+fn run_top(cmd: &Command) -> Result<String, Error> {
+    let addr = cmd.input.as_str();
+    if cmd.once {
+        return top_frame(addr);
+    }
+    loop {
+        let frame = top_frame(addr)?;
+        // plain full redraw — clear screen, cursor home, draw
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_millis(cmd.interval_ms));
+    }
+}
+
+/// Fetches and renders one `top` frame. `host:port` addresses poll over
+/// TCP, anything else is treated as a unix socket path. Reconnecting per
+/// frame keeps the daemon's reader-thread count bounded and survives
+/// daemon restarts between polls.
+fn top_frame(addr: &str) -> Result<String, Error> {
+    if addr.contains(':') {
+        let mut client = xsynth_serve::Client::connect_tcp(addr)?;
+        render_top(&mut client, addr)
+    } else {
+        #[cfg(unix)]
+        {
+            let mut client = xsynth_serve::Client::connect_unix(addr)?;
+            render_top(&mut client, addr)
+        }
+        #[cfg(not(unix))]
+        Err(Error::msg(
+            "unix sockets are not available on this platform",
+        ))
+    }
+}
+
+/// Renders the `top` table from one `metrics` + one `recent` exchange.
+fn render_top<S: std::io::Read + std::io::Write>(
+    client: &mut xsynth_serve::Client<S>,
+    addr: &str,
+) -> Result<String, Error> {
+    let m = client.metrics()?;
+    if m.get("status").and_then(Value::as_str) != Some("ok") {
+        return Err(Error::msg(format!(
+            "daemon answered `metrics` with an error: {}",
+            m.get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+        )));
+    }
+    let text = m
+        .get("text")
+        .and_then(Value::as_str)
+        .ok_or_else(|| Error::Protocol("metrics reply missing `text`".into()))?;
+    let fams = xsynth_trace::metrics::parse(text).map_err(Error::Protocol)?;
+    let value = |name: &str, label: Option<(&str, &str)>| -> f64 {
+        fams.get(name)
+            .and_then(|f| {
+                f.samples.iter().find(|s| match label {
+                    Some((k, v)) => s.label(k) == Some(v),
+                    None => true,
+                })
+            })
+            .map(|s| s.value)
+            .unwrap_or(0.0)
+    };
+    let sample = |name: &str, suffix: &str| -> f64 {
+        fams.get(name)
+            .and_then(|f| {
+                f.samples
+                    .iter()
+                    .find(|s| s.name == format!("{name}{suffix}"))
+            })
+            .map(|s| s.value)
+            .unwrap_or(0.0)
+    };
+    let pct = |hits: f64, lookups: f64| {
+        if lookups > 0.0 {
+            100.0 * hits / lookups
+        } else {
+            0.0
+        }
+    };
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "xsynth serve @ {addr} — up {:.0}s, workers {:.0} ({:.0} busy)",
+        value("xsynth_uptime_seconds", None),
+        value("xsynth_workers", None),
+        value("xsynth_workers_busy", None),
+    );
+    let hits = value("xsynth_cache_hits_total", None);
+    let lookups = hits + value("xsynth_cache_misses_total", None);
+    let _ = writeln!(
+        s,
+        "jobs: {:.0} ok / {:.0} error   result cache: {:.1}% hit ({:.0}/{:.0}), {:.0} entries, {:.1} MiB",
+        value("xsynth_jobs_total", Some(("outcome", "ok"))),
+        value("xsynth_jobs_total", Some(("outcome", "error"))),
+        pct(hits, lookups),
+        hits,
+        lookups,
+        value("xsynth_cache_entries", None),
+        value("xsynth_cache_bytes", None) / (1024.0 * 1024.0),
+    );
+    let _ = writeln!(
+        s,
+        "bdd: peak {:.0} nodes   job seconds: p50 {:.4} p90 {:.4} p99 {:.4} (n={:.0})",
+        value("xsynth_bdd_peak_nodes", None),
+        value("xsynth_job_seconds_p50", None),
+        value("xsynth_job_seconds_p90", None),
+        value("xsynth_job_seconds_p99", None),
+        sample("xsynth_job_seconds", "_count"),
+    );
+
+    let r = client.recent(Some(10))?;
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "{:<12} {:<14} {:<8} {:>9} {:>6} {:>6} {:>10}",
+        "ID", "NAME", "OUTCOME", "SECONDS", "HITS", "MISS", "PEAK-NODES"
+    );
+    for job in r.get("jobs").and_then(Value::as_arr).unwrap_or(&[]) {
+        let g = |k: &str| {
+            job.get(k)
+                .and_then(Value::as_str)
+                .unwrap_or("-")
+                .to_string()
+        };
+        let n = |k: &str| job.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        let _ = writeln!(
+            s,
+            "{:<12} {:<14} {:<8} {:>9.4} {:>6.0} {:>6.0} {:>10.0}",
+            g("id"),
+            g("name"),
+            g("outcome"),
+            n("seconds"),
+            n("cache_hits"),
+            n("cache_misses"),
+            n("peak_nodes"),
+        );
+    }
+    Ok(s)
 }
 
 #[cfg(test)]
@@ -896,6 +1105,8 @@ mod tests {
             socket: None,
             workers: 0,
             cache_mb: None,
+            interval_ms: 2000,
+            once: false,
         };
         let text = execute(&cmd).unwrap();
         assert!(text.contains("wrote Verilog"), "{text}");
@@ -946,6 +1157,57 @@ mod tests {
         assert_eq!(c.cache_mb, Some(16));
         // serve-only flags stay serve-only
         assert!(parse_args(&argv("bench rd53 --tcp 127.0.0.1:0")).is_err());
+    }
+
+    #[test]
+    fn parse_top_flags() {
+        let c = parse_args(&argv("top 127.0.0.1:7171 --interval-ms 500 --once")).unwrap();
+        assert_eq!(c.action, Action::Top);
+        assert_eq!(c.input, "127.0.0.1:7171");
+        assert_eq!(c.interval_ms, 500);
+        assert!(c.once);
+        // defaults
+        let c = parse_args(&argv("top /tmp/x.sock")).unwrap();
+        assert_eq!(c.interval_ms, 2000);
+        assert!(!c.once);
+        // top needs an address; top-only flags stay top-only
+        assert!(parse_args(&argv("top")).is_err());
+        assert!(parse_args(&argv("bench rd53 --once")).is_err());
+    }
+
+    #[test]
+    fn top_once_renders_a_live_daemon_frame() {
+        let server = xsynth_serve::Server::bind(xsynth_serve::ServeOptions {
+            tcp: Some("127.0.0.1:0".into()),
+            workers: 1,
+            ..Default::default()
+        })
+        .expect("bind");
+        let addr = server.tcp_addr().expect("tcp addr").to_string();
+        let mut client = xsynth_serve::Client::connect_tcp(&addr).expect("connect");
+        let blif = ".model cli_top\n.inputs a b\n.outputs y\n.names a b y\n10 1\n01 1\n.end\n";
+        let reply = client.synth_blif(blif, Some("top-job")).expect("synth");
+        assert_eq!(
+            reply.get("status").and_then(Value::as_str),
+            Some("ok"),
+            "{reply:?}"
+        );
+        let cmd = parse_args(&argv(&format!("top {addr} --once"))).unwrap();
+        let frame = execute(&cmd).expect("one frame");
+        assert!(frame.contains("xsynth serve @"), "{frame}");
+        assert!(frame.contains("jobs: 1 ok"), "{frame}");
+        assert!(frame.contains("top-job"), "{frame}");
+        assert!(frame.contains("cli_top"), "{frame}");
+        client.shutdown().expect("shutdown");
+        server.wait();
+    }
+
+    #[test]
+    fn stats_flag_prints_cache_hit_ratios() {
+        let out = run(&argv("bench rd53 --stats")).unwrap();
+        assert!(out.contains("# apply cache:"), "{out}");
+        assert!(out.contains("# result cache:"), "{out}");
+        assert!(out.contains("% hit ("), "{out}");
     }
 
     #[test]
@@ -1042,6 +1304,8 @@ mod tests {
                 socket: None,
                 workers: 0,
                 cache_mb: None,
+                interval_ms: 2000,
+                once: false,
             };
             let out = execute(&cmd).expect("engine runs");
             assert!(out.contains(".model"));

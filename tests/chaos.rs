@@ -369,6 +369,55 @@ fn serve_accept_faults_answer_typed_errors_not_dropped_connections() {
     server.wait();
 }
 
+/// The daemon's observability failpoint: a fault *inside* the metrics
+/// exposition rendering — typed error or panic — must answer a typed
+/// error reply, never wedge the scheduler or drop the connection. The
+/// same connection's next metrics scrape and next synthesis job succeed.
+#[test]
+fn serve_metrics_faults_answer_typed_errors_not_dropped_connections() {
+    let _g = exclusive();
+    let server = xsynth_serve::Server::bind(xsynth_serve::ServeOptions {
+        tcp: Some("127.0.0.1:0".into()),
+        workers: 1,
+        ..xsynth_serve::ServeOptions::default()
+    })
+    .expect("bind server");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    let mut client = xsynth_serve::Client::connect_tcp(&addr).expect("connect");
+    let blif = ".model m\n.inputs a b\n.outputs y\n.names a b y\n10 1\n01 1\n.end\n";
+
+    for plan in ["serve.metrics=error@1x1", "serve.metrics=panic@1x1"] {
+        failpoint::arm(&FailPlan::parse(plan).expect("valid plan"));
+        let reply = client
+            .metrics()
+            .expect("a reply arrives even when the exposition faults");
+        failpoint::disarm();
+        let status = reply.get("status").and_then(|v| v.as_str());
+        assert_eq!(status, Some("error"), "{plan}: {reply:?}");
+        let error = reply.get("error").expect("error object");
+        assert_eq!(
+            error.get("kind").and_then(|v| v.as_str()),
+            Some("output_failed"),
+            "{plan}"
+        );
+        let code = error.get("exit_code").and_then(|v| v.as_u64()).unwrap();
+        assert!((2..=10).contains(&code), "{plan}: exit code {code}");
+        // disarmed, the very same connection scrapes cleanly...
+        let ok = client.metrics().expect("clean scrape");
+        assert_eq!(ok.get("status").and_then(|v| v.as_str()), Some("ok"));
+        assert!(ok
+            .get("text")
+            .and_then(|v| v.as_str())
+            .is_some_and(|t| t.contains("xsynth_jobs_total")));
+        // ...and keeps doing real work
+        let job = client.synth_blif(blif, Some("after-fault")).expect("job");
+        assert_eq!(job.get("status").and_then(|v| v.as_str()), Some("ok"));
+    }
+
+    server.shutdown();
+    server.wait();
+}
+
 /// Daemon poison-safety: a panic that unwinds through a reader thread
 /// *inside* `Scheduler::submit` — past any worker `catch_unwind` boundary,
 /// with the scheduler's state mutex held — poisons that mutex. The old

@@ -25,6 +25,7 @@ fn counters(r: &SynthReport) -> impl PartialEq + std::fmt::Debug + '_ {
 
 #[test]
 fn parallel_equals_sequential_over_the_registry() {
+    let mut saw_histograms = false;
     for bench in xsynth_circuits::registry() {
         let spec = xsynth_circuits::build(bench.name).expect("registered circuit builds");
         let par_opts = SynthOptions::builder().parallel(true).build();
@@ -58,6 +59,18 @@ fn parallel_equals_sequential_over_the_registry() {
             "{}: parallel and sequential trace counter totals differ",
             bench.name
         );
+        // Histograms observed inside the synthesis phases (FPRM cube
+        // counts, plan support sizes) are value-based, never wall-clock,
+        // so their per-bucket totals must be schedule-independent too.
+        let par_hists = par.report.trace.hist_totals();
+        assert_eq!(
+            par_hists,
+            seq.report.trace.hist_totals(),
+            "{}: parallel and sequential histogram bucket totals differ",
+            bench.name
+        );
+        saw_histograms |=
+            par_hists.contains_key("fprm.cubes") || par_hists.contains_key("plan.support");
         // The shared substrate's final node count is the size of the
         // hash-consed node set, which is schedule-independent: the same
         // operations run either way, so the workers' interleaved
@@ -69,6 +82,10 @@ fn parallel_equals_sequential_over_the_registry() {
             bench.name
         );
     }
+    assert!(
+        saw_histograms,
+        "at least one registry circuit must observe value-based histograms"
+    );
 }
 
 /// The reference loop the memoized search must agree with: round-based

@@ -228,6 +228,142 @@ fn protocol_violations_answer_exit_code_10_and_keep_the_connection() {
 }
 
 #[test]
+fn request_ids_round_trip_and_the_flight_recorder_replays_them() {
+    let server = spawn(1);
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    // a client-supplied id is echoed verbatim
+    let reply = client
+        .synth(ADDER_BLIF, JobFormat::Blif, Some("my-req-1"), None, false)
+        .expect("job");
+    assert_eq!(field_str(&reply, "status"), "ok", "{reply:?}");
+    assert_eq!(field_str(&reply, "id"), "my-req-1");
+
+    // with no id the server assigns one and still echoes it
+    let reply = client
+        .synth(ADDER_BLIF, JobFormat::Blif, None, None, false)
+        .expect("job");
+    let assigned = field_str(&reply, "id").to_string();
+    assert!(assigned.starts_with("job-"), "{assigned}");
+
+    // the flight recorder replays both, newest first, ids intact
+    let recent = client.recent(None).expect("recent");
+    assert_eq!(field_str(&recent, "status"), "ok", "{recent:?}");
+    assert_eq!(field_u64(&recent, &["count"]), 2);
+    let jobs = recent
+        .get("jobs")
+        .and_then(Value::as_arr)
+        .expect("jobs array");
+    assert_eq!(field_str(&jobs[0], "id"), assigned);
+    assert_eq!(field_str(&jobs[1], "id"), "my-req-1");
+    assert_eq!(field_str(&jobs[1], "outcome"), "ok");
+    assert!(field_u64(&jobs[1], &["peak_nodes"]) > 0, "{:?}", jobs[1]);
+    assert_eq!(field_str(&jobs[1], "cone_hash").len(), 32);
+
+    // limit trims to the most recent entries
+    let one = client.recent(Some(1)).expect("recent limit");
+    assert_eq!(field_u64(&one, &["count"]), 1);
+    let jobs = one.get("jobs").and_then(Value::as_arr).expect("jobs array");
+    assert_eq!(field_str(&jobs[0], "id"), assigned);
+
+    // failed jobs are recorded too, with the wire error taxonomy
+    let starved = Budget::default().bdd_node_cap(Some(8));
+    let bad = client
+        .synth(
+            ADDER_BLIF,
+            JobFormat::Blif,
+            Some("starved"),
+            Some(&starved),
+            false,
+        )
+        .expect("reply");
+    assert_eq!(field_str(&bad, "status"), "error");
+    assert_eq!(field_str(&bad, "id"), "starved");
+    let recent = client.recent(Some(1)).expect("recent");
+    let jobs = recent
+        .get("jobs")
+        .and_then(Value::as_arr)
+        .expect("jobs array");
+    assert_eq!(field_str(&jobs[0], "id"), "starved");
+    assert_eq!(field_str(&jobs[0], "outcome"), "error");
+    assert_eq!(field_str(&jobs[0], "error_kind"), "budget");
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn metrics_exposition_parses_strictly_and_counts_jobs() {
+    let server = spawn(2);
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    for i in 0..3 {
+        let id = format!("m{i}");
+        let reply = client
+            .synth(ADDER_BLIF, JobFormat::Blif, Some(&id), None, false)
+            .expect("job");
+        assert_eq!(field_str(&reply, "status"), "ok", "{reply:?}");
+    }
+
+    let reply = client.metrics().expect("metrics");
+    assert_eq!(field_str(&reply, "status"), "ok", "{reply:?}");
+    assert_eq!(field_str(&reply, "op"), "metrics");
+    let text = field_str(&reply, "text");
+    let families = xsynth::trace::metrics::parse(text).expect("strict parse");
+
+    // engine-lifetime totals
+    let jobs = &families["xsynth_jobs_total"];
+    let ok = jobs
+        .samples
+        .iter()
+        .find(|s| s.label("outcome") == Some("ok"))
+        .expect("ok sample");
+    assert_eq!(ok.value, 3.0, "{text}");
+
+    // the job-latency histogram: cumulative buckets ending in +Inf ==
+    // count == 3, plus the derived percentile gauges
+    let hist = &families["xsynth_job_seconds"];
+    let inf = hist
+        .samples
+        .iter()
+        .find(|s| s.name == "xsynth_job_seconds_bucket" && s.label("le") == Some("+Inf"))
+        .expect("+Inf bucket");
+    assert_eq!(inf.value, 3.0, "{text}");
+    let count = hist
+        .samples
+        .iter()
+        .find(|s| s.name == "xsynth_job_seconds_count")
+        .expect("count sample");
+    assert_eq!(count.value, 3.0);
+    for gauge in ["xsynth_job_seconds_p50", "xsynth_job_seconds_p99"] {
+        let p = &families[gauge].samples[0];
+        assert!(p.value > 0.0, "{gauge} must be derived from real samples");
+    }
+
+    // the rest of the surface is present even where still empty
+    for name in [
+        "xsynth_requests_total",
+        "xsynth_uptime_seconds",
+        "xsynth_workers",
+        "xsynth_workers_busy",
+        "xsynth_cache_hits_total",
+        "xsynth_cache_misses_total",
+        "xsynth_cache_entries",
+        "xsynth_cache_lookup_seconds",
+        "xsynth_bdd_peak_nodes",
+        "xsynth_queue_seconds",
+        "xsynth_job_bdd_nodes",
+    ] {
+        assert!(families.contains_key(name), "missing family {name}");
+    }
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
 fn pla_jobs_and_wire_shutdown_work_end_to_end() {
     let server = spawn(1);
     let path = server.unix_path().expect("unix bound").to_path_buf();

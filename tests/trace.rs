@@ -3,9 +3,10 @@
 //! trace_event export validity and order-independent counter merging.
 
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 use xsynth::circuits;
 use xsynth::core::{phase, synthesize, SynthOptions};
-use xsynth::trace::{json, SpanNode, TraceSink};
+use xsynth::trace::{bucket_of, json, Histogram, SpanNode, TraceSink};
 
 /// Finds the first span named `name` anywhere in the forest.
 fn find<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
@@ -109,6 +110,56 @@ fn chrome_export_of_a_real_run_is_valid_json() {
 }
 
 #[test]
+fn chrome_export_round_trips_histogram_samples() {
+    let spec = circuits::build("rd53").expect("registered");
+    let outcome = synthesize(&spec, &SynthOptions::default());
+    let trace = &outcome.report.trace;
+    let text = trace.to_chrome_json();
+    let doc = json::parse(&text).expect("chrome trace parses");
+    // Re-derive per-histogram bucket totals from the exported instant
+    // events; they must rebuild exactly the trace's own merged totals.
+    let mut rebuilt: BTreeMap<String, Histogram> = BTreeMap::new();
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    for ev in events {
+        let Some(name) = ev.get("name").and_then(|v| v.as_str()) else {
+            continue;
+        };
+        let Some(hist_name) = name.strip_prefix("hist:") else {
+            continue;
+        };
+        let args = ev.get("args").expect("hist event args");
+        let value = args.get("value").and_then(|v| v.as_f64()).expect("value");
+        let bucket = args.get("bucket").and_then(|v| v.as_u64()).expect("bucket");
+        assert_eq!(
+            bucket as usize,
+            bucket_of(value),
+            "{hist_name}: exported bucket index matches the bucketing fn"
+        );
+        rebuilt
+            .entry(hist_name.to_string())
+            .or_default()
+            .observe(value);
+    }
+    let want = trace.hist_totals();
+    assert!(
+        want.contains_key("fprm.cubes"),
+        "synthesis observes per-output cube counts"
+    );
+    assert_eq!(
+        rebuilt.keys().collect::<Vec<_>>(),
+        want.keys().collect::<Vec<_>>(),
+        "exported histogram set"
+    );
+    for (name, hist) in &want {
+        assert_eq!(rebuilt[name].buckets(), hist.buckets(), "{name}: buckets");
+        assert_eq!(rebuilt[name].count(), hist.count(), "{name}: counts");
+    }
+}
+
+#[test]
 fn external_sink_collects_across_circuits() {
     let sink = TraceSink::new();
     for name in ["rd53", "z4ml"] {
@@ -175,5 +226,55 @@ proptest! {
             t.tracks.iter().map(|tr| (tr.key, tr.label.clone())).collect()
         };
         prop_assert_eq!(labels(&got), labels(&want));
+    }
+
+    /// Histogram merging is a per-bucket sum: however the samples are
+    /// partitioned across per-thread buffers and whatever order those
+    /// buffers retire in, the merged bucket totals — and therefore every
+    /// derived quantile — equal a single sequential observer's.
+    #[test]
+    fn histogram_merge_is_order_and_partition_independent(
+        samples in prop::collection::vec((0u64..4, 0u32..80), 1..48),
+        order in prop::collection::vec(any::<u16>(), 1..48),
+    ) {
+        let vals: Vec<(u64, f64)> = samples
+            .iter()
+            .map(|&(k, e)| (k, 2f64.powi(e as i32 - 40) * 1.25))
+            .collect();
+        // reference: one histogram observing everything in sequence
+        let mut want = Histogram::new();
+        for &(_, v) in &vals {
+            want.observe(v);
+        }
+
+        // sharded: the same samples spread across buffers keyed by `k`,
+        // retired in a permuted order as parallel workers would
+        let sink = TraceSink::new();
+        let mut idx: Vec<usize> = (0..vals.len()).collect();
+        for (i, o) in order.iter().enumerate() {
+            let j = (*o as usize) % vals.len();
+            idx.swap(i % vals.len(), j);
+        }
+        let mut open: Vec<_> = idx
+            .iter()
+            .map(|&i| {
+                let (k, v) = vals[i];
+                let mut b = sink.buffer(k, format!("t{k}"));
+                b.begin("work");
+                b.observe("latency", v);
+                b.end();
+                b
+            })
+            .collect();
+        while let Some(b) = open.pop() {
+            drop(b);
+        }
+        let totals = sink.take().hist_totals();
+        let got = totals.get("latency").expect("merged histogram present");
+        prop_assert_eq!(got.buckets(), want.buckets());
+        prop_assert_eq!(got.count(), want.count());
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(got.quantile(q), want.quantile(q));
+        }
     }
 }
