@@ -56,6 +56,17 @@ pub enum Error {
     /// Distinct from [`Error::Parse`] (malformed input text) — the message
     /// parsed fine, its *meaning* is outside the contract.
     Protocol(String),
+    /// The daemon shed this request under load (queue full, drain in
+    /// progress, or a missed deadline). The work was never started, so
+    /// retrying is always safe; `retry_after_ms` is the server's backoff
+    /// hint for when capacity is expected again.
+    Overloaded {
+        /// Why admission was refused (`"per-connection queue full"`,
+        /// `"draining"`, ...).
+        reason: String,
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// A free-form usage or validation error.
     Msg(String),
 }
@@ -78,7 +89,7 @@ impl Error {
     /// are part of the CLI contract (documented in its usage text): 2 =
     /// usage, 3 = parse, 4 = I/O, 5 = netlist, 6 = input mismatch, 7 =
     /// verification failure, 8 = budget exceeded, 9 = output failed,
-    /// 10 = protocol violation.
+    /// 10 = protocol violation, 11 = overloaded (shed, safe to retry).
     pub fn exit_code(&self) -> i32 {
         match self {
             Error::Msg(_) => 2,
@@ -90,6 +101,15 @@ impl Error {
             Error::Budget(_) => 8,
             Error::OutputFailed { .. } => 9,
             Error::Protocol(_) => 10,
+            Error::Overloaded { .. } => 11,
+        }
+    }
+
+    /// An overload shed with a retry hint.
+    pub fn overloaded(reason: impl Into<String>, retry_after_ms: u64) -> Error {
+        Error::Overloaded {
+            reason: reason.into(),
+            retry_after_ms,
         }
     }
 }
@@ -112,6 +132,10 @@ impl fmt::Display for Error {
                 write!(f, "output `{output}` failed: {cause}")
             }
             Error::Protocol(m) => write!(f, "protocol violation: {m}"),
+            Error::Overloaded {
+                reason,
+                retry_after_ms,
+            } => write!(f, "overloaded: {reason} (retry after {retry_after_ms} ms)"),
             Error::Msg(m) => write!(f, "{m}"),
         }
     }
@@ -128,6 +152,7 @@ impl std::error::Error for Error {
             | Error::Verify(_)
             | Error::OutputFailed { .. }
             | Error::Protocol(_)
+            | Error::Overloaded { .. }
             | Error::Msg(_) => None,
         }
     }
@@ -175,6 +200,16 @@ mod tests {
         let msg = Error::msg("usage");
         assert_eq!(msg.to_string(), "usage");
         assert!(std::error::Error::source(&msg).is_none());
+    }
+
+    #[test]
+    fn overloaded_carries_the_retry_hint_and_exit_code_11() {
+        let e = Error::overloaded("global queue full", 250);
+        assert_eq!(e.exit_code(), 11);
+        let text = e.to_string();
+        assert!(text.contains("global queue full"), "{text}");
+        assert!(text.contains("250"), "{text}");
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

@@ -16,6 +16,17 @@
 //! violations produce a typed error *reply* (CLI exit-code family 10,
 //! [`xsynth_core::Error::Protocol`]) and leave the connection open.
 //!
+//! The daemon is overload-protected: queues are bounded per connection
+//! and daemon-wide, request lines are byte-capped, slow-loris and idle
+//! connections are reaped, queued jobs for dropped connections are
+//! cancelled, and graceful drain answers or sheds everything queued
+//! within a drain timeout. Sheds are typed
+//! [`xsynth_core::Error::Overloaded`] replies (CLI exit-code family 11)
+//! carrying a `retry_after_ms` hint, which [`RetryPolicy`] and
+//! [`Client::synth_with_retry`] honor with decorrelated-jitter backoff.
+//! The `health` wire op reports `ready` / `shedding` / `draining` for
+//! probes.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,6 +53,6 @@ mod client;
 pub mod proto;
 mod server;
 
-pub use client::Client;
+pub use client::{is_overloaded, retry_after_hint, Client, RetryPolicy};
 pub use proto::{JobFormat, JobRequest, Request, PROTOCOL_VERSION};
-pub use server::{ServeOptions, Server};
+pub use server::{DrainHandle, ServeOptions, Server};

@@ -16,11 +16,13 @@
 //! {"protocol_version":1,"op":"ping"}
 //! {"protocol_version":1,"op":"stats"}
 //! {"protocol_version":1,"op":"metrics"}
+//! {"protocol_version":1,"op":"health"}
 //! {"protocol_version":1,"op":"recent","limit":10}
 //! {"protocol_version":1,"op":"shutdown"}
 //! {"protocol_version":1,"op":"synth","id":"j1","format":"blif",
 //!  "source":".model f\n...","budget":{"bdd_node_cap":100000,
-//!  "phase_timeout_ms":2000,"max_patterns":4096},"telemetry":true}
+//!  "phase_timeout_ms":2000,"max_patterns":4096},"deadline_ms":5000,
+//!  "telemetry":true}
 //! ```
 //!
 //! Every `synth` reply carries an `id`: the caller's when supplied,
@@ -31,7 +33,9 @@
 //! Replies are `{"protocol_version":1,"status":"ok",...}` or
 //! `{"protocol_version":1,"status":"error","error":{"kind":...,
 //! "exit_code":...,"message":...}}` where `exit_code` is the same
-//! taxonomy the CLI documents (10 = protocol violation).
+//! taxonomy the CLI documents (10 = protocol violation, 11 =
+//! overloaded). Overload sheds additionally carry
+//! `error.retry_after_ms`, the server's backoff hint in milliseconds.
 
 use std::time::Duration;
 use xsynth_core::{Budget, Error};
@@ -41,6 +45,16 @@ use xsynth_trace::json::{self, Value};
 /// breaking change to request or response shapes; both the daemon and
 /// [`crate::Client`] reject other versions with [`Error::Protocol`].
 pub const PROTOCOL_VERSION: u64 = 1;
+
+/// The largest `limit` the `recent` op accepts. The flight recorder
+/// ring is far smaller, so any larger request is a client bug — it is
+/// rejected as a protocol violation rather than silently clamped.
+pub const MAX_RECENT_LIMIT: usize = 1024;
+
+/// The longest job `id` (in bytes) accepted on the wire. IDs are echoed
+/// into replies, trace spans, and the flight recorder; an unbounded ID
+/// would let one client inflate every downstream buffer.
+pub const MAX_ID_BYTES: usize = 256;
 
 /// A parsed request message.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +68,11 @@ pub enum Request {
     /// Prometheus-style text exposition of the daemon's engine-lifetime
     /// counters, gauges and latency histograms (`op: "metrics"`).
     Metrics,
+    /// Lifecycle probe (`op: "health"`): reports `ready`, `shedding`
+    /// (queues at capacity), or `draining`, plus queue depth/capacity,
+    /// so load balancers and probes can steer traffic without paying
+    /// for a synthesis round-trip.
+    Health,
     /// The flight recorder's ring of per-job summaries, newest first
     /// (`op: "recent"`), optionally truncated to `limit` entries.
     Recent {
@@ -78,6 +97,12 @@ pub struct JobRequest {
     pub source: String,
     /// Per-job resource budget overriding the daemon default.
     pub budget: Option<Budget>,
+    /// End-to-end deadline in milliseconds, measured from the moment the
+    /// daemon enqueues the job. A job still queued when its deadline
+    /// expires is shed with [`Error::Overloaded`] instead of started;
+    /// one that starts in time has its phase timeout clamped to the
+    /// remaining allowance.
+    pub deadline_ms: Option<u64>,
     /// Attach a `BenchRecord`-style telemetry object (mapped size, power,
     /// verification status, counters, gauges) to the reply. Costs a
     /// verification and mapping pass per job; defaults to `false`.
@@ -143,13 +168,15 @@ pub fn parse_request(line: &str) -> Result<Request, Error> {
             "format",
             "source",
             "budget",
+            "deadline_ms",
             "telemetry",
         ],
-        "ping" | "stats" | "metrics" | "shutdown" => &["protocol_version", "op", "id"],
+        "ping" | "stats" | "metrics" | "health" | "shutdown" => &["protocol_version", "op", "id"],
         "recent" => &["protocol_version", "op", "id", "limit"],
         other => {
             return Err(Error::Protocol(format!(
-                "unknown op `{other}` (expected synth, ping, stats, metrics, recent, or shutdown)"
+                "unknown op `{other}` (expected synth, ping, stats, metrics, health, recent, \
+                 or shutdown)"
             )))
         }
     };
@@ -165,6 +192,7 @@ pub fn parse_request(line: &str) -> Result<Request, Error> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
+        "health" => Ok(Request::Health),
         "recent" => {
             let limit =
                 match v.get("limit") {
@@ -173,6 +201,13 @@ pub fn parse_request(line: &str) -> Result<Request, Error> {
                         Error::Protocol("limit must be an unsigned integer".into())
                     })? as usize),
                 };
+            if let Some(l) = limit {
+                if l > MAX_RECENT_LIMIT {
+                    return Err(Error::Protocol(format!(
+                        "limit {l} exceeds the maximum of {MAX_RECENT_LIMIT}"
+                    )));
+                }
+            }
             Ok(Request::Recent { limit })
         }
         "shutdown" => Ok(Request::Shutdown),
@@ -183,7 +218,15 @@ pub fn parse_request(line: &str) -> Result<Request, Error> {
 fn parse_job(v: &Value) -> Result<JobRequest, Error> {
     let id = match v.get("id") {
         None | Some(Value::Null) => None,
-        Some(Value::Str(s)) => Some(s.clone()),
+        Some(Value::Str(s)) => {
+            if s.len() > MAX_ID_BYTES {
+                return Err(Error::Protocol(format!(
+                    "id is {} bytes, longer than the maximum of {MAX_ID_BYTES}",
+                    s.len()
+                )));
+            }
+            Some(s.clone())
+        }
         Some(other) => return Err(Error::Protocol(format!("id must be a string, got {other}"))),
     };
     let format = match v.get("format") {
@@ -206,6 +249,18 @@ fn parse_job(v: &Value) -> Result<JobRequest, Error> {
         None | Some(Value::Null) => None,
         Some(b) => Some(parse_budget(b)?),
     };
+    let deadline_ms = match v.get("deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(d) => {
+            let ms = d
+                .as_u64()
+                .ok_or_else(|| Error::Protocol("deadline_ms must be an unsigned integer".into()))?;
+            if ms == 0 {
+                return Err(Error::Protocol("deadline_ms must be positive".into()));
+            }
+            Some(ms)
+        }
+    };
     let telemetry = match v.get("telemetry") {
         None => false,
         Some(b) => b
@@ -217,6 +272,7 @@ fn parse_job(v: &Value) -> Result<JobRequest, Error> {
         format,
         source,
         budget,
+        deadline_ms,
         telemetry,
     })
 }
@@ -249,6 +305,7 @@ pub fn synth_request(
     format: JobFormat,
     id: Option<&str>,
     budget: Option<&Budget>,
+    deadline_ms: Option<u64>,
     telemetry: bool,
 ) -> String {
     let mut o = Obj::new();
@@ -271,6 +328,9 @@ pub fn synth_request(
             bo.num("max_patterns", p as f64);
         }
         o.raw("budget", &bo.finish());
+    }
+    if let Some(ms) = deadline_ms {
+        o.num("deadline_ms", ms as f64);
     }
     if telemetry {
         o.bool("telemetry", true);
@@ -298,6 +358,7 @@ pub fn error_kind(e: &Error) -> &'static str {
         Error::Budget(_) => "budget",
         Error::OutputFailed { .. } => "output_failed",
         Error::Protocol(_) => "protocol",
+        Error::Overloaded { .. } => "overloaded",
         Error::Msg(_) => "usage",
         _ => "error",
     }
@@ -317,6 +378,9 @@ pub fn error_response(id: Option<&str>, e: &Error) -> String {
     eo.str("kind", error_kind(e));
     eo.num("exit_code", e.exit_code() as f64);
     eo.str("message", &e.to_string());
+    if let Error::Overloaded { retry_after_ms, .. } = e {
+        eo.num("retry_after_ms", *retry_after_ms as f64);
+    }
     o.raw("error", &eo.finish());
     o.finish()
 }
@@ -488,12 +552,13 @@ mod tests {
             .bdd_node_cap(Some(1234))
             .phase_timeout(Some(Duration::from_millis(500)))
             .max_patterns(Some(64));
-        let line = synth_request("src", JobFormat::Pla, Some("j7"), Some(&b), true);
+        let line = synth_request("src", JobFormat::Pla, Some("j7"), Some(&b), Some(750), true);
         match parse_request(&line).expect("round trip") {
             Request::Synth(job) => {
                 assert_eq!(job.id.as_deref(), Some("j7"));
                 assert_eq!(job.format, JobFormat::Pla);
                 assert!(job.telemetry);
+                assert_eq!(job.deadline_ms, Some(750));
                 let got = job.budget.expect("budget present");
                 assert_eq!(got.bdd_node_cap, Some(1234));
                 assert_eq!(got.phase_timeout, Some(Duration::from_millis(500)));
@@ -501,6 +566,75 @@ mod tests {
             }
             other => panic!("expected synth, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn health_op_parses_and_rejects_extra_keys() {
+        assert_eq!(
+            parse_request(r#"{"protocol_version":1,"op":"health"}"#).expect("health"),
+            Request::Health
+        );
+        let err = parse_request(r#"{"protocol_version":1,"op":"health","limit":3}"#)
+            .expect_err("extra key");
+        assert!(matches!(err, Error::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_limit_and_id_are_protocol_errors() {
+        let over = format!(
+            r#"{{"protocol_version":1,"op":"recent","limit":{}}}"#,
+            MAX_RECENT_LIMIT + 1
+        );
+        let err = parse_request(&over).expect_err("limit over cap");
+        assert!(matches!(err, Error::Protocol(_)), "{err}");
+        assert!(err.to_string().contains("maximum"), "{err}");
+        // The cap itself is accepted.
+        let at = format!(r#"{{"protocol_version":1,"op":"recent","limit":{MAX_RECENT_LIMIT}}}"#);
+        assert!(parse_request(&at).is_ok());
+
+        let long_id = "x".repeat(MAX_ID_BYTES + 1);
+        let line =
+            format!(r#"{{"protocol_version":1,"op":"synth","id":"{long_id}","source":"s"}}"#);
+        let err = parse_request(&line).expect_err("id over cap");
+        assert!(matches!(err, Error::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn non_object_payloads_are_typed_protocol_errors() {
+        for line in ["[1,2,3]", "\"synth\"", "42", "true", "null"] {
+            let err = parse_request(line).expect_err(line);
+            assert!(matches!(err, Error::Protocol(_)), "{line}: {err}");
+            assert_eq!(err.exit_code(), 10, "{line}");
+            assert!(err.to_string().contains("object"), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_deadlines_are_rejected_and_good_ones_parse() {
+        for bad in [
+            r#"{"protocol_version":1,"op":"synth","source":"s","deadline_ms":0}"#,
+            r#"{"protocol_version":1,"op":"synth","source":"s","deadline_ms":-5}"#,
+            r#"{"protocol_version":1,"op":"synth","source":"s","deadline_ms":"soon"}"#,
+            r#"{"protocol_version":1,"op":"synth","source":"s","deadline_ms":1.5}"#,
+        ] {
+            let err = parse_request(bad).expect_err(bad);
+            assert!(matches!(err, Error::Protocol(_)), "{bad}: {err}");
+        }
+        let ok = r#"{"protocol_version":1,"op":"synth","source":"s","deadline_ms":1500}"#;
+        match parse_request(ok).expect("valid deadline") {
+            Request::Synth(job) => assert_eq!(job.deadline_ms, Some(1500)),
+            other => panic!("expected synth, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overloaded_replies_carry_retry_after_ms() {
+        let resp = error_response(None, &Error::overloaded("global queue full", 125));
+        let v = json::parse(&resp).expect("valid JSON");
+        let e = v.get("error").expect("error object");
+        assert_eq!(e.get("kind").and_then(Value::as_str), Some("overloaded"));
+        assert_eq!(e.get("exit_code").and_then(Value::as_u64), Some(11));
+        assert_eq!(e.get("retry_after_ms").and_then(Value::as_u64), Some(125));
     }
 
     #[test]

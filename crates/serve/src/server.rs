@@ -15,9 +15,27 @@
 //!   each reply under the connection's write lock.
 //!
 //! Worker panics are contained per job: the connection receives a typed
-//! `status: "error"` reply instead of being dropped. A `shutdown` request
-//! answers, then drains queued jobs, closes the listeners, and lets
-//! [`Server::wait`] return — the daemon's exit-0 path.
+//! `status: "error"` reply instead of being dropped.
+//!
+//! **Admission control.** Queues are bounded per connection and
+//! daemon-wide; a job that would exceed either bound is *shed* — the
+//! reader thread itself answers a typed `overloaded` error (exit code
+//! 11) carrying a `retry_after_ms` backoff hint, so a flooded daemon
+//! stays responsive instead of buffering without limit. Request lines
+//! are capped in bytes (oversized lines are discarded to the next
+//! newline and answered with a protocol error), a half-received line
+//! must complete within the read timeout (slow-loris protection), and a
+//! silent connection is reaped after the idle timeout. When a
+//! connection drops, its queued jobs are cancelled before a worker
+//! starts them.
+//!
+//! **Lifecycle.** The daemon runs a three-state machine: *running* →
+//! *draining* → *stopped*. A `shutdown` request (or
+//! [`Server::shutdown`]) moves to draining: listeners stop accepting,
+//! new submissions are shed as `overloaded`, and queued jobs keep
+//! answering until the drain timeout, after which the remainder is shed
+//! with typed errors and the daemon stops — the exit-0 path never hangs
+//! on queued work.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -26,7 +44,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -42,6 +60,31 @@ use crate::proto::{self, JobFormat, JobRequest, Request};
 
 /// How often the accept loops check the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Socket read-timeout tick: the longest a reader thread blocks in
+/// `read` before re-checking lifecycle state (stop flag, line stall,
+/// idle deadline). Shed replies also go out within one tick, because
+/// the reader answers them itself.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// How often the drain watchdog re-checks whether the queues emptied.
+const DRAIN_POLL: Duration = Duration::from_millis(5);
+
+/// `retry_after_ms` fallback before any job has completed (no latency
+/// distribution to base the hint on yet).
+const DEFAULT_RETRY_HINT_MS: u64 = 100;
+
+/// Bounds on the `retry_after_ms` hint: never so small that clients
+/// hammer a saturated daemon, never so large that they strand capacity.
+const MIN_RETRY_HINT_MS: u64 = 25;
+const MAX_RETRY_HINT_MS: u64 = 10_000;
+
+/// Lifecycle states (see the module docs): accepting and admitting.
+const STATE_RUNNING: u8 = 0;
+/// Listeners closed, admissions shed, queued work still answering.
+const STATE_DRAINING: u8 = 1;
+/// Drain complete (or timed out); every thread family is exiting.
+const STATE_STOPPED: u8 = 2;
 
 /// BDD node cap for per-job telemetry verification, matching the
 /// benchmark harness's bounded-verify discipline.
@@ -64,6 +107,26 @@ pub struct ServeOptions {
     pub cache_bytes: usize,
     /// Default synthesis options for jobs that don't override them.
     pub options: SynthOptions,
+    /// Per-connection queue bound: a connection pipelining more
+    /// unanswered jobs than this has the excess shed as `overloaded`.
+    pub per_conn_queue: usize,
+    /// Daemon-wide queued-job bound across all connections.
+    pub global_queue: usize,
+    /// Longest request line accepted, in bytes. Oversized lines are
+    /// discarded to the next newline and answered with a typed protocol
+    /// error, so one client cannot balloon the daemon's memory.
+    pub max_line_bytes: usize,
+    /// A partially received request line must complete within this
+    /// window or the connection is reaped (slow-loris protection).
+    pub read_timeout: Duration,
+    /// A connection with no bytes in flight for this long is reaped.
+    pub idle_timeout: Duration,
+    /// Socket write timeout for replies; a peer that stops reading
+    /// cannot pin a worker forever.
+    pub write_timeout: Duration,
+    /// Grace window for queued jobs after drain begins; whatever is
+    /// still queued when it expires is shed with typed errors.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServeOptions {
@@ -74,6 +137,42 @@ impl Default for ServeOptions {
             workers: 0,
             cache_bytes: xsynth_cache::DEFAULT_CACHE_BYTES,
             options: SynthOptions::default(),
+            per_conn_queue: 64,
+            global_queue: 1024,
+            max_line_bytes: 8 << 20,
+            read_timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(300),
+            write_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The sanitized admission/lifecycle bounds every thread family reads
+/// (from [`ServeOptions`], with zero/degenerate values floored).
+#[derive(Debug, Clone)]
+struct Limits {
+    per_conn_queue: usize,
+    global_queue: usize,
+    max_line_bytes: usize,
+    read_timeout: Duration,
+    idle_timeout: Duration,
+    write_timeout: Duration,
+    drain_timeout: Duration,
+}
+
+impl Limits {
+    fn from_options(opts: &ServeOptions) -> Limits {
+        let floor = Duration::from_millis(10);
+        Limits {
+            per_conn_queue: opts.per_conn_queue.max(1),
+            global_queue: opts.global_queue.max(1),
+            max_line_bytes: opts.max_line_bytes.max(64),
+            read_timeout: opts.read_timeout.max(floor),
+            idle_timeout: opts.idle_timeout.max(floor),
+            write_timeout: opts.write_timeout.max(floor),
+            // zero is meaningful here: shed everything immediately
+            drain_timeout: opts.drain_timeout,
         }
     }
 }
@@ -86,9 +185,36 @@ struct Job {
     conn: u64,
     line: String,
     writer: SharedWriter,
+    /// Liveness of the submitting connection: a worker skips (cancels)
+    /// a job whose peer already hung up.
+    conn_state: Arc<ConnState>,
     /// When the reader enqueued the line — the queue-wait histogram
-    /// measures from here to worker pickup.
+    /// measures from here to worker pickup, and `deadline_ms` is
+    /// measured from here.
     enqueued: Instant,
+}
+
+/// Per-connection liveness shared between the reader (which clears it on
+/// disconnect), the workers (which check it before starting a queued
+/// job), and reply writers (which clear it when the peer stops reading).
+struct ConnState {
+    alive: AtomicBool,
+}
+
+impl ConnState {
+    fn new() -> ConnState {
+        ConnState {
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    fn kill(&self) {
+        self.alive.store(false, Ordering::SeqCst);
+    }
 }
 
 type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
@@ -120,7 +246,48 @@ struct SchedState {
     /// Rotation of connection ids that currently have pending jobs; each
     /// id appears at most once.
     order: VecDeque<u64>,
+    /// Total queued jobs across all connections (the global bound's
+    /// denominator and the `xsynth_queue_depth` gauge).
+    total: usize,
+    /// Draining: admissions shed, queued work still handed out.
+    draining: bool,
     stop: bool,
+}
+
+/// Why the scheduler refused a job. Every variant is answered on the
+/// wire as a typed `overloaded` error with a `retry_after_ms` hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shed {
+    /// The submitting connection's FIFO is at its bound.
+    PerConnFull(usize),
+    /// The daemon-wide queue bound is reached.
+    GlobalFull(usize),
+    /// The daemon is draining (or stopped) and admits nothing new.
+    Draining,
+    /// The `serve.admit` failpoint tripped (chaos suite).
+    Injected,
+}
+
+impl Shed {
+    fn into_error(self, retry_after_ms: u64) -> Error {
+        let reason = match self {
+            Shed::PerConnFull(cap) => {
+                format!("per-connection queue full ({cap} jobs already pipelined)")
+            }
+            Shed::GlobalFull(cap) => format!("global queue full ({cap} jobs pending)"),
+            Shed::Draining => "daemon is draining".to_string(),
+            Shed::Injected => "injected fault: admission refused".to_string(),
+        };
+        Error::overloaded(reason, retry_after_ms)
+    }
+}
+
+/// The `serve.admit` fault-injection site: an `error` action sheds the
+/// job as if a queue bound had been hit, a `panic` action dies inside
+/// the submitting reader thread.
+fn admit_failpoint_tripped() -> bool {
+    xsynth_trace::fail_point!("serve.admit", true);
+    false
 }
 
 impl Scheduler {
@@ -129,33 +296,45 @@ impl Scheduler {
             state: Mutex::new(SchedState {
                 queues: HashMap::new(),
                 order: VecDeque::new(),
+                total: 0,
+                draining: false,
                 stop: false,
             }),
             ready: Condvar::new(),
         }
     }
 
-    /// Enqueues a job; returns `false` if the scheduler has stopped (the
-    /// caller should answer the connection itself).
-    fn submit(&self, job: Job) -> bool {
+    /// Enqueues a job, enforcing the admission bounds. On `Err` the job
+    /// was not queued and the caller must answer the connection itself.
+    fn submit(&self, job: Job, limits: &Limits) -> Result<(), Shed> {
         let mut s = lock(&self.state);
-        if s.stop {
-            return false;
+        if s.stop || s.draining {
+            return Err(Shed::Draining);
         }
         // Fault-injection site for the poison-safety chaos suite: a panic
         // here unwinds through the reader thread with the state lock held
         // (and not yet mutated), poisoning the mutex exactly the way the
         // pre-fix `.expect` calls could not survive.
         xsynth_trace::fail_point!("serve.submit");
+        if admit_failpoint_tripped() {
+            return Err(Shed::Injected);
+        }
+        if s.total >= limits.global_queue {
+            return Err(Shed::GlobalFull(limits.global_queue));
+        }
         let conn = job.conn;
         let queue = s.queues.entry(conn).or_default();
+        if queue.len() >= limits.per_conn_queue {
+            return Err(Shed::PerConnFull(limits.per_conn_queue));
+        }
         queue.push_back(job);
+        s.total += 1;
         if !s.order.contains(&conn) {
             s.order.push_back(conn);
         }
         drop(s);
         self.ready.notify_one();
-        true
+        Ok(())
     }
 
     /// Blocks for the next job in round-robin order; `None` once stopped
@@ -171,6 +350,7 @@ impl Scheduler {
                 } else {
                     s.order.push_back(conn);
                 }
+                s.total -= 1;
                 return Some(job);
             }
             if s.stop {
@@ -180,6 +360,51 @@ impl Scheduler {
         }
     }
 
+    /// Discards every job still queued for a disconnected connection,
+    /// returning how many were cancelled. Workers double-check
+    /// [`ConnState`] for the jobs that raced past this.
+    fn cancel_conn(&self, conn: u64) -> usize {
+        let mut s = lock(&self.state);
+        let dropped = s.queues.remove(&conn).map_or(0, |q| q.len());
+        s.total -= dropped;
+        s.order.retain(|&c| c != conn);
+        dropped
+    }
+
+    /// Total queued jobs right now.
+    fn depth(&self) -> usize {
+        lock(&self.state).total
+    }
+
+    /// Stops admitting while still handing queued jobs to workers.
+    fn set_draining(&self) {
+        lock(&self.state).draining = true;
+        self.ready.notify_all();
+    }
+
+    /// Removes and returns everything still queued, and stops the
+    /// scheduler — the drain watchdog answers these with typed errors
+    /// outside the lock.
+    fn shed_remaining_and_stop(&self) -> Vec<Job> {
+        let mut s = lock(&self.state);
+        let mut out = Vec::new();
+        while let Some(conn) = s.order.pop_front() {
+            if let Some(q) = s.queues.remove(&conn) {
+                out.extend(q);
+            }
+        }
+        s.queues.clear();
+        s.total = 0;
+        s.stop = true;
+        drop(s);
+        self.ready.notify_all();
+        out
+    }
+
+    /// Hard stop without shedding — only the unit tests use this
+    /// directly; the production path goes through
+    /// [`Scheduler::shed_remaining_and_stop`].
+    #[cfg(test)]
     fn stop(&self) {
         lock(&self.state).stop = true;
         self.ready.notify_all();
@@ -192,9 +417,99 @@ struct Ctx {
     lib: Library,
     verify_budget: Budget,
     jobs_done: AtomicU64,
-    stop: AtomicBool,
+    /// Lifecycle state machine: `STATE_RUNNING` → `STATE_DRAINING` →
+    /// `STATE_STOPPED`, monotonic.
+    state: AtomicU8,
+    limits: Limits,
     sched: Scheduler,
     telemetry: Telemetry,
+}
+
+impl Ctx {
+    fn state(&self) -> u8 {
+        self.state.load(Ordering::SeqCst)
+    }
+
+    /// The backoff hint stamped on `overloaded` replies: current queue
+    /// depth times the median job latency (clamped), i.e. roughly how
+    /// long until the backlog ahead of a retry has cleared.
+    fn retry_after_hint(&self) -> u64 {
+        let depth = self.sched.depth() as u64;
+        let p50 = lock(&self.telemetry.hists).job_seconds.quantile(0.50);
+        let per_job_ms = if p50.is_finite() && p50 > 0.0 {
+            ((p50 * 1000.0) as u64).max(1)
+        } else {
+            DEFAULT_RETRY_HINT_MS
+        };
+        (depth + 1)
+            .saturating_mul(per_job_ms)
+            .clamp(MIN_RETRY_HINT_MS, MAX_RETRY_HINT_MS)
+    }
+}
+
+/// Moves the daemon from running to draining (idempotent) and spawns
+/// the drain watchdog that enforces the drain timeout.
+fn begin_drain(ctx: &Arc<Ctx>) {
+    if ctx
+        .state
+        .compare_exchange(
+            STATE_RUNNING,
+            STATE_DRAINING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_err()
+    {
+        return; // already draining or stopped
+    }
+    ctx.sched.set_draining();
+    let watchdog = ctx.clone();
+    if std::thread::Builder::new()
+        .name("xsynth-serve-drain".into())
+        .spawn(move || drain_watchdog(&watchdog))
+        .is_err()
+    {
+        // Thread spawn failed (resource exhaustion): drain inline so the
+        // daemon still reaches STOPPED instead of wedging in DRAINING.
+        drain_watchdog(ctx);
+    }
+}
+
+/// Waits out the drain grace window, then sheds whatever is still
+/// queued with typed `overloaded` replies and stops the scheduler. The
+/// `serve.drain` failpoint collapses the grace window to zero (error
+/// action) or panics mid-drain (panic action) — either way the shed-
+/// and-stop epilogue still runs, so a faulty drain can never hang the
+/// daemon or strand queued clients without replies.
+fn drain_watchdog(ctx: &Arc<Ctx>) {
+    let deadline = Instant::now() + ctx.limits.drain_timeout;
+    let skip_grace = catch_unwind(drain_failpoint_tripped).unwrap_or(true);
+    if !skip_grace {
+        while Instant::now() < deadline && ctx.sched.depth() > 0 {
+            std::thread::sleep(DRAIN_POLL);
+        }
+    }
+    for job in ctx.sched.shed_remaining_and_stop() {
+        if job.conn_state.is_alive() {
+            ctx.telemetry.jobs_shed.fetch_add(1, Ordering::Relaxed);
+            let err = Error::overloaded(
+                "daemon drained before this job started",
+                ctx.retry_after_hint(),
+            );
+            if !write_reply(&job.writer, &proto::error_response(None, &err)) {
+                job.conn_state.kill();
+            }
+        } else {
+            ctx.telemetry.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    ctx.state.store(STATE_STOPPED, Ordering::SeqCst);
+}
+
+/// The `serve.drain` fault-injection site (see [`drain_watchdog`]).
+fn drain_failpoint_tripped() -> bool {
+    xsynth_trace::fail_point!("serve.drain", true);
+    false
 }
 
 /// Engine-lifetime observability state behind the `metrics` and `recent`
@@ -213,6 +528,14 @@ struct Telemetry {
     jobs_ok: AtomicU64,
     /// Synthesis jobs answered with a typed error (panics included).
     jobs_error: AtomicU64,
+    /// Jobs refused admission or dropped at the drain deadline, all
+    /// answered with typed `overloaded` replies.
+    jobs_shed: AtomicU64,
+    /// Queued jobs discarded because their connection disconnected
+    /// before a worker started them.
+    jobs_cancelled: AtomicU64,
+    /// Connections reaped by the read (slow-loris) or idle timeout.
+    conns_reaped: AtomicU64,
     /// Server-assigned request-ID sequence (`job-N`) for synth requests
     /// that arrive without a client-supplied `id`.
     req_seq: AtomicU64,
@@ -232,6 +555,9 @@ impl Telemetry {
             busy: AtomicU64::new(0),
             jobs_ok: AtomicU64::new(0),
             jobs_error: AtomicU64::new(0),
+            jobs_shed: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            conns_reaped: AtomicU64::new(0),
             req_seq: AtomicU64::new(0),
             peak_nodes: AtomicU64::new(0),
             hists: Mutex::new(DaemonHists::default()),
@@ -345,7 +671,8 @@ impl Server {
             lib: Library::mcnc(),
             verify_budget: Budget::default().bdd_node_cap(Some(VERIFY_NODE_CAP)),
             jobs_done: AtomicU64::new(0),
-            stop: AtomicBool::new(false),
+            state: AtomicU8::new(STATE_RUNNING),
+            limits: Limits::from_options(&opts),
             sched: Scheduler::new(),
             telemetry: Telemetry::new(workers),
         });
@@ -441,19 +768,41 @@ impl Server {
         self.ctx.jobs_done.load(Ordering::Relaxed)
     }
 
-    /// Requests shutdown programmatically: equivalent to a `shutdown`
-    /// message — queued jobs drain, listeners close.
+    /// Requests graceful drain programmatically: equivalent to a
+    /// `shutdown` message — listeners close, queued jobs answer until
+    /// the drain timeout, the remainder is shed with typed errors.
     pub fn shutdown(&self) {
-        self.ctx.stop.store(true, Ordering::SeqCst);
-        self.ctx.sched.stop();
+        begin_drain(&self.ctx);
+    }
+
+    /// A cloneable handle that can request graceful drain from another
+    /// thread while the owner blocks in [`Server::wait`] — e.g. the
+    /// supervised daemon's stdin-EOF watcher.
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle {
+            ctx: self.ctx.clone(),
+        }
     }
 
     /// Joins the accept loops and worker pool. Returns once shutdown was
-    /// requested and all queued jobs have been answered.
+    /// requested and all queued jobs have been answered or shed.
     pub fn wait(self) {
         for h in self.handles {
             let _ = h.join();
         }
+    }
+}
+
+/// See [`Server::drain_handle`].
+#[derive(Clone)]
+pub struct DrainHandle {
+    ctx: Arc<Ctx>,
+}
+
+impl DrainHandle {
+    /// Requests graceful drain, exactly like [`Server::shutdown`].
+    pub fn shutdown(&self) {
+        begin_drain(&self.ctx);
     }
 }
 
@@ -476,7 +825,7 @@ fn bind_unix(path: &std::path::Path) -> Result<UnixListener, Error> {
 }
 
 fn accept_tcp(listener: TcpListener, ctx: &Arc<Ctx>, ids: &AtomicU64) {
-    while !ctx.stop.load(Ordering::SeqCst) {
+    while ctx.state() == STATE_RUNNING {
         match listener.accept() {
             Ok((stream, _)) => spawn_conn(stream, ctx, ids),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -489,7 +838,7 @@ fn accept_tcp(listener: TcpListener, ctx: &Arc<Ctx>, ids: &AtomicU64) {
 
 #[cfg(unix)]
 fn accept_unix(listener: UnixListener, path: PathBuf, ctx: &Arc<Ctx>, ids: &AtomicU64) {
-    while !ctx.stop.load(Ordering::SeqCst) {
+    while ctx.state() == STATE_RUNNING {
         match listener.accept() {
             Ok((stream, _)) => spawn_conn(stream, ctx, ids),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -502,14 +851,24 @@ fn accept_unix(listener: UnixListener, path: PathBuf, ctx: &Arc<Ctx>, ids: &Atom
 }
 
 /// A bidirectional stream the daemon can split into independently owned
-/// read and write halves.
+/// read and write halves. The read half ticks every [`READ_TICK`] so
+/// the reader thread can enforce lifecycle deadlines; the write half
+/// times out so a peer that stops reading cannot pin a worker.
 trait Conn: Send + 'static {
-    fn split(self) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)>;
+    fn split(
+        self,
+        write_timeout: Duration,
+    ) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)>;
 }
 
 impl Conn for TcpStream {
-    fn split(self) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+    fn split(
+        self,
+        write_timeout: Duration,
+    ) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
         self.set_nonblocking(false)?;
+        self.set_read_timeout(Some(READ_TICK))?;
+        self.set_write_timeout(Some(write_timeout))?;
         let reader = self.try_clone()?;
         Ok((Box::new(reader), Box::new(self)))
     }
@@ -517,62 +876,225 @@ impl Conn for TcpStream {
 
 #[cfg(unix)]
 impl Conn for UnixStream {
-    fn split(self) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+    fn split(
+        self,
+        write_timeout: Duration,
+    ) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
         self.set_nonblocking(false)?;
+        self.set_read_timeout(Some(READ_TICK))?;
+        self.set_write_timeout(Some(write_timeout))?;
         let reader = self.try_clone()?;
         Ok((Box::new(reader), Box::new(self)))
     }
 }
 
 /// Spawns the per-connection reader thread. Reader threads are detached:
-/// they exit on EOF/error, and at process shutdown any still blocked in
-/// `read` die with the process.
+/// they exit on EOF/error/timeout (cancelling their queued jobs on the
+/// way out), and at process shutdown any remainder exits within one
+/// read tick of the state machine reaching `STATE_STOPPED`.
 fn spawn_conn(stream: impl Conn, ctx: &Arc<Ctx>, ids: &AtomicU64) {
     let conn = ids.fetch_add(1, Ordering::Relaxed);
-    let Ok((read_half, write_half)) = stream.split() else {
+    let Ok((read_half, write_half)) = stream.split(ctx.limits.write_timeout) else {
         return;
     };
     let writer: SharedWriter = Arc::new(Mutex::new(write_half));
+    let conn_state = Arc::new(ConnState::new());
     let ctx = ctx.clone();
     let _ = std::thread::Builder::new()
         .name(format!("xsynth-serve-conn-{conn}"))
         .spawn(move || {
-            let mut reader = BufReader::new(read_half);
-            let mut line = String::new();
-            loop {
-                line.clear();
-                match reader.read_line(&mut line) {
-                    Ok(0) | Err(_) => break,
-                    Ok(_) => {}
+            read_loop(&ctx, conn, &conn_state, read_half, &writer);
+            // Teardown: nothing this connection still has queued will
+            // ever be read by the peer — cancel it before a worker
+            // burns a synthesis on it.
+            conn_state.kill();
+            let cancelled = ctx.sched.cancel_conn(conn) as u64;
+            ctx.telemetry
+                .jobs_cancelled
+                .fetch_add(cancelled, Ordering::Relaxed);
+        });
+}
+
+/// What one `fill_buf` round produced (see [`poll_line`]).
+enum LineEvent {
+    /// A complete line is in the caller's buffer.
+    Line,
+    /// The line under construction exceeded the byte cap; the rest of it
+    /// is being discarded up to the next newline.
+    TooLong,
+    /// Bytes arrived but no newline yet.
+    Progress,
+    /// The socket read timed out with nothing new (lifecycle tick).
+    Tick,
+    /// EOF or a hard I/O error.
+    Closed,
+}
+
+/// Pulls one buffered chunk from the socket and advances the line state
+/// machine: at most `cap` bytes accumulate in `line`, and an oversized
+/// line flips into `discarding` mode (swallow to the next newline)
+/// after reporting [`LineEvent::TooLong`] exactly once.
+fn poll_line(
+    reader: &mut BufReader<Box<dyn Read + Send>>,
+    line: &mut Vec<u8>,
+    discarding: &mut bool,
+    cap: usize,
+) -> LineEvent {
+    use std::io::ErrorKind;
+    let (consumed, event) = {
+        let buf = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                return LineEvent::Tick;
+            }
+            Err(_) => return LineEvent::Closed,
+        };
+        if buf.is_empty() {
+            return LineEvent::Closed;
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if *discarding {
+                    // tail of an oversized line, already answered
+                    *discarding = false;
+                    (pos + 1, LineEvent::Progress)
+                } else if line.len() + pos > cap {
+                    line.clear();
+                    (pos + 1, LineEvent::TooLong)
+                } else {
+                    line.extend_from_slice(&buf[..pos]);
+                    (pos + 1, LineEvent::Line)
                 }
-                if line.trim().is_empty() {
+            }
+            None => {
+                let n = buf.len();
+                if *discarding {
+                    (n, LineEvent::Progress)
+                } else if line.len() + n > cap {
+                    line.clear();
+                    *discarding = true;
+                    (n, LineEvent::TooLong)
+                } else {
+                    line.extend_from_slice(buf);
+                    (n, LineEvent::Progress)
+                }
+            }
+        }
+    };
+    reader.consume(consumed);
+    event
+}
+
+/// The per-connection reader: turns the byte stream into request lines
+/// under the admission bounds, answers sheds itself (so a flooded
+/// daemon replies within one read tick even with every worker busy),
+/// and enforces the read/idle timeouts.
+fn read_loop(
+    ctx: &Arc<Ctx>,
+    conn: u64,
+    conn_state: &Arc<ConnState>,
+    read_half: Box<dyn Read + Send>,
+    writer: &SharedWriter,
+) {
+    let limits = &ctx.limits;
+    let mut reader = BufReader::new(read_half);
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    let mut last_byte = Instant::now();
+    let mut line_started: Option<Instant> = None;
+    loop {
+        if !conn_state.is_alive() || ctx.state() == STATE_STOPPED {
+            return;
+        }
+        if let Some(t0) = line_started {
+            if t0.elapsed() >= limits.read_timeout {
+                // Slow loris: a half-sent line may not pin this thread.
+                ctx.telemetry.conns_reaped.fetch_add(1, Ordering::Relaxed);
+                let err = Error::Protocol(format!(
+                    "request line stalled for {} ms (read timeout)",
+                    limits.read_timeout.as_millis()
+                ));
+                let _ = write_reply(writer, &proto::error_response(None, &err));
+                return;
+            }
+        } else if last_byte.elapsed() >= limits.idle_timeout {
+            ctx.telemetry.conns_reaped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        match poll_line(
+            &mut reader,
+            &mut line,
+            &mut discarding,
+            limits.max_line_bytes,
+        ) {
+            LineEvent::Line => {
+                last_byte = Instant::now();
+                line_started = None;
+                let text = String::from_utf8_lossy(&line).into_owned();
+                line.clear();
+                if text.trim().is_empty() {
                     continue;
                 }
                 let job = Job {
                     conn,
-                    line: line.clone(),
+                    line: text,
                     writer: writer.clone(),
+                    conn_state: conn_state.clone(),
                     enqueued: Instant::now(),
                 };
-                if !ctx.sched.submit(job) {
-                    let resp = proto::error_response(None, &Error::msg("daemon is shutting down"));
-                    write_reply(&writer, &resp);
-                    break;
+                if let Err(shed) = ctx.sched.submit(job, limits) {
+                    ctx.telemetry.jobs_shed.fetch_add(1, Ordering::Relaxed);
+                    let err = shed.into_error(ctx.retry_after_hint());
+                    if !write_reply(writer, &proto::error_response(None, &err)) {
+                        return;
+                    }
                 }
             }
-        });
+            LineEvent::TooLong => {
+                last_byte = Instant::now();
+                line_started = None;
+                let err = Error::Protocol(format!(
+                    "request line exceeds {} bytes",
+                    limits.max_line_bytes
+                ));
+                if !write_reply(writer, &proto::error_response(None, &err)) {
+                    return;
+                }
+            }
+            LineEvent::Progress => {
+                last_byte = Instant::now();
+                if line_started.is_none() && (!line.is_empty() || discarding) {
+                    line_started = Some(last_byte);
+                }
+            }
+            LineEvent::Tick => {}
+            LineEvent::Closed => return,
+        }
+    }
 }
 
-fn write_reply(writer: &SharedWriter, line: &str) {
+/// Writes one reply line; `false` means the peer is unreachable (EOF,
+/// write timeout) and the caller should treat the connection as dead.
+fn write_reply(writer: &SharedWriter, line: &str) -> bool {
     let mut w = lock(writer);
     // A dead peer is not a daemon error; the reader side notices EOF.
-    let _ = w.write_all(line.as_bytes());
-    let _ = w.write_all(b"\n");
-    let _ = w.flush();
+    w.write_all(line.as_bytes()).is_ok() && w.write_all(b"\n").is_ok() && w.flush().is_ok()
 }
 
 fn worker_loop(ctx: &Arc<Ctx>) {
     while let Some(job) = ctx.sched.next() {
+        if !job.conn_state.is_alive() {
+            // The connection dropped after this job was queued but
+            // before cancel_conn ran (or mid-queue): nobody can read
+            // the reply, so don't synthesize one.
+            ctx.telemetry.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
         let queued_for = job.enqueued.elapsed();
         lock(&ctx.telemetry.hists)
             .queue_seconds
@@ -598,10 +1120,14 @@ fn worker_loop(ctx: &Arc<Ctx>) {
         // received N replies must never observe `jobs_done` < N via a
         // subsequent `stats` request handled by a sibling worker.
         ctx.jobs_done.fetch_add(1, Ordering::Relaxed);
-        write_reply(&job.writer, &reply);
+        if !write_reply(&job.writer, &reply) {
+            // The peer stopped reading (write timeout / EOF): mark the
+            // connection dead so its remaining queued jobs cancel
+            // instead of each burning a synthesis plus a timeout.
+            job.conn_state.kill();
+        }
         if shutdown {
-            ctx.stop.store(true, Ordering::SeqCst);
-            ctx.sched.stop();
+            begin_drain(ctx);
         }
     }
 }
@@ -636,6 +1162,7 @@ fn handle_line(ctx: &Ctx, line: &str, queued_for: Duration) -> (String, bool) {
             Ok(resp) => (resp, false),
             Err(e) => (proto::error_response(None, &e), false),
         },
+        Request::Health => (health_response(ctx), false),
         Request::Recent { limit } => (recent_response(ctx, limit), false),
         Request::Shutdown => {
             let mut o = proto::Obj::new();
@@ -657,6 +1184,11 @@ fn handle_line(ctx: &Ctx, line: &str, queued_for: Duration) -> (String, bool) {
             match run_job(ctx, job, queued_for) {
                 Ok(resp) => (resp, false),
                 Err(e) => {
+                    if matches!(e, Error::Overloaded { .. }) {
+                        // a deadline expired in the queue: the job was
+                        // shed, not merely failed
+                        ctx.telemetry.jobs_shed.fetch_add(1, Ordering::Relaxed);
+                    }
                     ctx.telemetry.jobs_error.fetch_add(1, Ordering::Relaxed);
                     ctx.telemetry.record(JobSummary {
                         id: id.clone(),
@@ -702,6 +1234,37 @@ fn stats_response(ctx: &Ctx) -> String {
     o.finish()
 }
 
+/// Answers the `health` wire op: the lifecycle state (`ready`,
+/// `shedding` when the global queue is at capacity, `draining`, or
+/// `stopped`), plus the queue gauges a load balancer needs to steer
+/// traffic — all without touching the engine, so the probe stays cheap
+/// under load.
+fn health_response(ctx: &Ctx) -> String {
+    let depth = ctx.sched.depth();
+    let state = match ctx.state() {
+        STATE_RUNNING if depth >= ctx.limits.global_queue => "shedding",
+        STATE_RUNNING => "ready",
+        STATE_DRAINING => "draining",
+        _ => "stopped",
+    };
+    let mut o = proto::Obj::new();
+    o.num("protocol_version", proto::PROTOCOL_VERSION as f64);
+    o.str("status", "ok");
+    o.str("op", "health");
+    o.str("state", state);
+    o.num("queue_depth", depth as f64);
+    o.num("queue_capacity", ctx.limits.global_queue as f64);
+    o.num(
+        "workers_busy",
+        ctx.telemetry.busy.load(Ordering::Relaxed) as f64,
+    );
+    o.num(
+        "uptime_seconds",
+        ctx.telemetry.start.elapsed().as_secs_f64(),
+    );
+    o.finish()
+}
+
 /// Renders the engine-lifetime Prometheus-style text exposition behind
 /// the `metrics` wire op. The `serve.metrics` failpoint injects a typed
 /// failure here for the chaos suite: a broken exposition must answer
@@ -727,10 +1290,27 @@ fn metrics_response(ctx: &Ctx) -> Result<String, Error> {
         tel.jobs_error.load(Ordering::Relaxed),
     );
     exp.counter(
+        "xsynth_jobs_shed_total",
+        &[],
+        tel.jobs_shed.load(Ordering::Relaxed),
+    );
+    exp.counter(
+        "xsynth_jobs_cancelled_total",
+        &[],
+        tel.jobs_cancelled.load(Ordering::Relaxed),
+    );
+    exp.counter(
+        "xsynth_conns_reaped_total",
+        &[],
+        tel.conns_reaped.load(Ordering::Relaxed),
+    );
+    exp.counter(
         "xsynth_requests_total",
         &[],
         ctx.jobs_done.load(Ordering::Relaxed),
     );
+    exp.gauge("xsynth_queue_depth", &[], ctx.sched.depth() as f64);
+    exp.gauge("xsynth_queue_capacity", &[], ctx.limits.global_queue as f64);
     exp.gauge(
         "xsynth_uptime_seconds",
         &[],
@@ -873,6 +1453,24 @@ fn run_job(ctx: &Ctx, job: JobRequest, queued_for: Duration) -> Result<String, E
             cause: "injected fault: job admission refused".into(),
         })
     );
+    // Deadline discipline: a job whose client-supplied allowance was
+    // already consumed by queueing is shed before any parsing or
+    // synthesis; one that starts in time runs with its phase timeout
+    // clamped to the remaining allowance.
+    let mut remaining: Option<Duration> = None;
+    if let Some(ms) = job.deadline_ms {
+        let deadline = Duration::from_millis(ms);
+        if queued_for >= deadline {
+            return Err(Error::overloaded(
+                format!(
+                    "deadline_ms {ms} expired after {} ms in queue",
+                    queued_for.as_millis()
+                ),
+                ctx.retry_after_hint(),
+            ));
+        }
+        remaining = Some(deadline - queued_for);
+    }
     // Scope the peak-RSS gauge to this job; overlapping jobs observe
     // shared upper bounds instead of resetting each other (`MemScope`).
     let mem = xsynth_trace::mem::MemScope::begin();
@@ -885,6 +1483,12 @@ fn run_job(ctx: &Ctx, job: JobRequest, queued_for: Duration) -> Result<String, E
     let mut opts = ctx.engine.options().clone();
     if let Some(budget) = job.budget {
         opts.budget = budget;
+    }
+    if let Some(rem) = remaining {
+        opts.budget.phase_timeout = Some(match opts.budget.phase_timeout {
+            Some(t) => t.min(rem),
+            None => rem,
+        });
     }
     let t0 = Instant::now();
     let mut outcome = ctx.engine.try_synthesize_with(&spec, &opts)?;
@@ -1011,25 +1615,96 @@ mod tests {
             conn,
             line: tag.to_string(),
             writer: writer.clone(),
+            conn_state: Arc::new(ConnState::new()),
             enqueued: Instant::now(),
         }
+    }
+
+    /// Bounds loose enough that only tests targeting them trip them.
+    fn loose_limits() -> Limits {
+        Limits::from_options(&ServeOptions::default())
     }
 
     #[test]
     fn scheduler_rotates_across_connections() {
         let sched = Scheduler::new();
+        let limits = loose_limits();
         let w: SharedWriter = Arc::new(Mutex::new(Box::new(Vec::<u8>::new())));
         // conn 0 pipelines three jobs before conn 1's single job arrives
         for tag in ["a0", "a1", "a2"] {
-            assert!(sched.submit(dummy_job(0, tag, &w)));
+            assert!(sched.submit(dummy_job(0, tag, &w), &limits).is_ok());
         }
-        assert!(sched.submit(dummy_job(1, "b0", &w)));
+        assert!(sched.submit(dummy_job(1, "b0", &w), &limits).is_ok());
+        assert_eq!(sched.depth(), 4);
         let order: Vec<String> = std::iter::from_fn(|| {
             sched.stop_if_empty();
             sched.next().map(|j| j.line)
         })
         .collect();
         assert_eq!(order, ["a0", "b0", "a1", "a2"]);
+        assert_eq!(sched.depth(), 0);
+    }
+
+    #[test]
+    fn scheduler_sheds_at_the_per_conn_and_global_bounds() {
+        let sched = Scheduler::new();
+        let mut limits = loose_limits();
+        limits.per_conn_queue = 2;
+        limits.global_queue = 3;
+        let w: SharedWriter = Arc::new(Mutex::new(Box::new(Vec::<u8>::new())));
+        assert!(sched.submit(dummy_job(0, "a0", &w), &limits).is_ok());
+        assert!(sched.submit(dummy_job(0, "a1", &w), &limits).is_ok());
+        // conn 0 is at its own bound while the global bound still has room
+        assert_eq!(
+            sched.submit(dummy_job(0, "a2", &w), &limits),
+            Err(Shed::PerConnFull(2))
+        );
+        assert!(sched.submit(dummy_job(1, "b0", &w), &limits).is_ok());
+        // now the global bound is reached, even for a fresh connection
+        assert_eq!(
+            sched.submit(dummy_job(2, "c0", &w), &limits),
+            Err(Shed::GlobalFull(3))
+        );
+        // handing out one job frees global capacity again
+        assert_eq!(sched.next().expect("a0").line, "a0");
+        assert!(sched.submit(dummy_job(2, "c0", &w), &limits).is_ok());
+    }
+
+    #[test]
+    fn cancel_conn_discards_only_that_connections_jobs() {
+        let sched = Scheduler::new();
+        let limits = loose_limits();
+        let w: SharedWriter = Arc::new(Mutex::new(Box::new(Vec::<u8>::new())));
+        for tag in ["a0", "a1"] {
+            assert!(sched.submit(dummy_job(7, tag, &w), &limits).is_ok());
+        }
+        assert!(sched.submit(dummy_job(8, "b0", &w), &limits).is_ok());
+        assert_eq!(sched.cancel_conn(7), 2);
+        assert_eq!(sched.depth(), 1);
+        assert_eq!(sched.next().expect("b0 survives").line, "b0");
+        assert_eq!(sched.cancel_conn(99), 0, "unknown conn is a no-op");
+    }
+
+    #[test]
+    fn draining_sheds_submissions_and_shed_remaining_stops() {
+        let sched = Scheduler::new();
+        let limits = loose_limits();
+        let w: SharedWriter = Arc::new(Mutex::new(Box::new(Vec::<u8>::new())));
+        for tag in ["a0", "a1"] {
+            assert!(sched.submit(dummy_job(0, tag, &w), &limits).is_ok());
+        }
+        sched.set_draining();
+        assert_eq!(
+            sched.submit(dummy_job(1, "late", &w), &limits),
+            Err(Shed::Draining)
+        );
+        // queued work is still handed out while draining
+        assert_eq!(sched.next().expect("a0").line, "a0");
+        let leftover = sched.shed_remaining_and_stop();
+        assert_eq!(leftover.len(), 1);
+        assert_eq!(leftover[0].line, "a1");
+        assert_eq!(sched.depth(), 0);
+        assert!(sched.next().is_none(), "stopped and empty");
     }
 
     impl Scheduler {
@@ -1047,15 +1722,20 @@ mod tests {
     #[test]
     fn scheduler_rejects_after_stop() {
         let sched = Scheduler::new();
+        let limits = loose_limits();
         sched.stop();
         let w: SharedWriter = Arc::new(Mutex::new(Box::new(Vec::<u8>::new())));
-        assert!(!sched.submit(dummy_job(0, "late", &w)));
+        assert_eq!(
+            sched.submit(dummy_job(0, "late", &w), &limits),
+            Err(Shed::Draining)
+        );
         assert!(sched.next().is_none());
     }
 
     #[test]
     fn scheduler_survives_a_poisoned_state_mutex() {
         let sched = Arc::new(Scheduler::new());
+        let limits = loose_limits();
         // poison the state mutex the way a panicking reader thread would:
         // die while holding the lock, before mutating anything
         let poisoner = sched.clone();
@@ -1067,11 +1747,32 @@ mod tests {
         assert!(sched.state.is_poisoned(), "the panic must have poisoned it");
         // submit, next, and stop all keep working on the poisoned mutex
         let w: SharedWriter = Arc::new(Mutex::new(Box::new(Vec::<u8>::new())));
-        assert!(sched.submit(dummy_job(0, "after-poison", &w)));
+        assert!(sched
+            .submit(dummy_job(0, "after-poison", &w), &limits)
+            .is_ok());
         assert_eq!(sched.next().expect("job comes back").line, "after-poison");
         sched.stop();
-        assert!(!sched.submit(dummy_job(0, "late", &w)));
+        assert_eq!(
+            sched.submit(dummy_job(0, "late", &w), &limits),
+            Err(Shed::Draining)
+        );
         assert!(sched.next().is_none());
+    }
+
+    #[test]
+    fn shed_reasons_map_to_typed_overloaded_errors() {
+        for (shed, needle) in [
+            (Shed::PerConnFull(4), "per-connection"),
+            (Shed::GlobalFull(16), "global queue"),
+            (Shed::Draining, "draining"),
+            (Shed::Injected, "injected"),
+        ] {
+            let err = shed.into_error(321);
+            assert_eq!(err.exit_code(), 11, "{err}");
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text}");
+            assert!(text.contains("321"), "{text}");
+        }
     }
 
     #[test]

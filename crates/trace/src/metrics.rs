@@ -383,9 +383,7 @@ fn check_histogram(name: &str, fam: &ParsedFamily) -> Result<(), String> {
 }
 
 fn parse_sample(line: &str) -> Result<Sample, String> {
-    let name_end = line
-        .find(['{', ' '])
-        .ok_or("missing value")?;
+    let name_end = line.find(['{', ' ']).ok_or("missing value")?;
     let name = &line[..name_end];
     if !valid_name(name) {
         return Err(format!("invalid sample name `{name}`"));

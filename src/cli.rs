@@ -68,6 +68,21 @@ pub struct Command {
     pub workers: usize,
     /// `serve`: result-cache byte budget in MiB (`--cache-mb`).
     pub cache_mb: Option<usize>,
+    /// `serve`: per-connection queue bound (`--queue`).
+    pub per_conn_queue: Option<usize>,
+    /// `serve`: daemon-wide queue bound (`--global-queue`).
+    pub global_queue: Option<usize>,
+    /// `serve`: partial-request-line timeout in ms (`--read-timeout-ms`).
+    pub read_timeout_ms: Option<u64>,
+    /// `serve`: idle-connection reap timeout in ms (`--idle-timeout-ms`).
+    pub idle_timeout_ms: Option<u64>,
+    /// `serve`: drain grace window in ms (`--drain-timeout-ms`).
+    pub drain_timeout_ms: Option<u64>,
+    /// `serve`: request-line byte cap in KiB (`--max-line-kb`).
+    pub max_line_kb: Option<u64>,
+    /// `serve`: run under a supervisor process so SIGTERM triggers a
+    /// graceful drain instead of an abrupt exit (`--drain-on-term`).
+    pub drain_on_term: bool,
     /// `top`: refresh interval in milliseconds (`--interval-ms`).
     pub interval_ms: u64,
     /// `top`: render one frame and exit (`--once`) — for scripts and CI.
@@ -134,6 +149,18 @@ serve options:
   --workers N           worker pool size (default: sized from CPU count)
   --cache-mb N          result-cache byte budget in MiB (default 64;
                         0 disables the result cache entirely)
+  --queue N             per-connection queue bound (default 64); excess
+                        pipelined jobs are shed as typed `overloaded`
+  --global-queue N      daemon-wide queue bound (default 1024)
+  --read-timeout-ms N   reap a connection whose partial request line
+                        stalls this long (slow-loris guard; default 30000)
+  --idle-timeout-ms N   reap a connection idle this long (default 300000)
+  --drain-timeout-ms N  grace window for queued jobs after a drain starts;
+                        the rest are shed with typed errors (default 5000)
+  --max-line-kb N       longest accepted request line in KiB (default 8192)
+  --drain-on-term       run the daemon under a supervisor process: when
+                        the supervisor dies (SIGTERM, kill), the daemon
+                        drains gracefully instead of dying mid-job
 
 top options:
   --interval-ms N       refresh interval (default 2000)
@@ -161,6 +188,8 @@ exit codes:
   5 netlist     6 input mismatch   7 verification failed   8 budget exceeded
   9 output failed (fault not recoverable by the salvage ladder)
   10 protocol violation (serve wire message outside the contract)
+  11 overloaded (daemon shed the request; safe to retry after the
+     reply's retry_after_ms hint)
 ";
 
 /// Parses the command line (excluding `argv[0]`).
@@ -219,6 +248,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut socket = None;
     let mut workers = 0usize;
     let mut cache_mb = None;
+    let mut per_conn_queue = None;
+    let mut global_queue = None;
+    let mut read_timeout_ms = None;
+    let mut idle_timeout_ms = None;
+    let mut drain_timeout_ms = None;
+    let mut max_line_kb = None;
+    let mut drain_on_term = false;
     let mut interval_ms = 2000u64;
     let mut once = false;
     while let Some(a) = it.next() {
@@ -287,6 +323,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--cache-mb" if action == Action::Serve => {
                 cache_mb = Some(number(a, it.next())? as usize);
             }
+            "--queue" if action == Action::Serve => {
+                per_conn_queue = Some(number(a, it.next())? as usize);
+            }
+            "--global-queue" if action == Action::Serve => {
+                global_queue = Some(number(a, it.next())? as usize);
+            }
+            "--read-timeout-ms" if action == Action::Serve => {
+                read_timeout_ms = Some(number(a, it.next())?);
+            }
+            "--idle-timeout-ms" if action == Action::Serve => {
+                idle_timeout_ms = Some(number(a, it.next())?);
+            }
+            "--drain-timeout-ms" if action == Action::Serve => {
+                drain_timeout_ms = Some(number(a, it.next())?);
+            }
+            "--max-line-kb" if action == Action::Serve => {
+                max_line_kb = Some(number(a, it.next())?);
+            }
+            "--drain-on-term" if action == Action::Serve => drain_on_term = true,
             "--interval-ms" if action == Action::Top => {
                 interval_ms = number(a, it.next())?;
             }
@@ -310,6 +365,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         socket,
         workers,
         cache_mb,
+        per_conn_queue,
+        global_queue,
+        read_timeout_ms,
+        idle_timeout_ms,
+        drain_timeout_ms,
+        max_line_kb,
+        drain_on_term,
         interval_ms,
         once,
     })
@@ -739,12 +801,28 @@ pub fn execute(cmd: &Command) -> Result<String, Error> {
     }
 }
 
+/// Environment marker the `--drain-on-term` supervisor sets on the
+/// daemon child it spawns, so the child knows to watch its stdin pipe
+/// for EOF (= the supervisor died) instead of spawning a supervisor of
+/// its own.
+const SUPERVISED_ENV: &str = "XSYNTH_SERVE_SUPERVISED";
+
 /// Runs the `serve` daemon: binds the configured listeners, announces
 /// them on stdout (so scripts using an ephemeral TCP port can read the
 /// bound address), and blocks until a `shutdown` request drains the
 /// queue. Jobs inherit the command's engine, redundancy/salvage flags
 /// and budget as daemon defaults; each job may override its budget.
+///
+/// With `--drain-on-term` the process forks into a supervisor/daemon
+/// pair (see [`run_serve_supervisor`]): the std-only daemon installs no
+/// signal handler, so SIGTERM delivery is detected as the supervisor's
+/// death closing the daemon's stdin pipe, which triggers a graceful
+/// drain instead of an abrupt exit.
 fn run_serve(cmd: &Command) -> Result<String, Error> {
+    let supervised = std::env::var_os(SUPERVISED_ENV).is_some();
+    if cmd.drain_on_term && !supervised {
+        return run_serve_supervisor(cmd);
+    }
     let method = match cmd.engine {
         Engine::Fprm => FactorMethod::Best,
         Engine::FprmCube => FactorMethod::Cube,
@@ -770,6 +848,24 @@ fn run_serve(cmd: &Command) -> Result<String, Error> {
     if let Some(mb) = cmd.cache_mb {
         opts.cache_bytes = mb << 20;
     }
+    if let Some(n) = cmd.per_conn_queue {
+        opts.per_conn_queue = n;
+    }
+    if let Some(n) = cmd.global_queue {
+        opts.global_queue = n;
+    }
+    if let Some(ms) = cmd.read_timeout_ms {
+        opts.read_timeout = Duration::from_millis(ms);
+    }
+    if let Some(ms) = cmd.idle_timeout_ms {
+        opts.idle_timeout = Duration::from_millis(ms);
+    }
+    if let Some(ms) = cmd.drain_timeout_ms {
+        opts.drain_timeout = Duration::from_millis(ms);
+    }
+    if let Some(kb) = cmd.max_line_kb {
+        opts.max_line_bytes = (kb as usize) << 10;
+    }
     let server = xsynth_serve::Server::bind(opts)?;
     if let Some(addr) = server.tcp_addr() {
         println!("# serve: listening on tcp {addr}");
@@ -777,27 +873,191 @@ fn run_serve(cmd: &Command) -> Result<String, Error> {
     if let Some(path) = server.unix_path() {
         println!("# serve: listening on unix {}", path.display());
     }
+    if cmd.drain_on_term && supervised {
+        spawn_supervisor_watch(server.drain_handle());
+    }
     server.wait();
     Ok("# serve: shutdown complete\n".to_string())
+}
+
+/// Watches the supervised daemon's stdin pipe and begins a graceful
+/// drain the moment it reaches EOF or errors — which happens exactly
+/// when the supervisor process dies (SIGTERM, SIGKILL, crash) and the
+/// kernel closes its end of the pipe.
+fn spawn_supervisor_watch(handle: xsynth_serve::DrainHandle) {
+    std::thread::Builder::new()
+        .name("xsynth-serve-term".into())
+        .spawn(move || {
+            use std::io::Read as _;
+            let mut stdin = std::io::stdin();
+            let mut buf = [0u8; 256];
+            loop {
+                match stdin.read(&mut buf) {
+                    // Any payload on the pipe is ignored; only its
+                    // closure carries meaning.
+                    Ok(n) if n > 0 => {}
+                    _ => {
+                        handle.shutdown();
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("spawn supervisor watch thread");
+}
+
+/// The `--drain-on-term` supervisor: re-executes this binary as a child
+/// daemon (same serve argv, [`SUPERVISED_ENV`] set, stdin piped) and
+/// waits for it. The supervisor keeps default signal dispositions, so a
+/// SIGTERM kills *it* immediately (the conventional 143 exit the service
+/// manager sees) while the orphaned daemon notices the closed stdin pipe
+/// and drains gracefully: queued work is answered or shed with typed
+/// `overloaded` errors within `--drain-timeout-ms`, listeners close, and
+/// unix socket files are unlinked.
+fn run_serve_supervisor(cmd: &Command) -> Result<String, Error> {
+    let exe = std::env::current_exe().map_err(|e| Error::io("current_exe", e))?;
+    let mut child = std::process::Command::new(exe)
+        .args(serve_argv(cmd))
+        .env(SUPERVISED_ENV, "1")
+        .stdin(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| Error::io("spawning supervised daemon", e))?;
+    // Hold the child's stdin write end for the supervisor's whole life:
+    // dropping it (normal return) or dying with it (signal) closes the
+    // pipe and the daemon drains. `Child::wait` closes any piped stdin
+    // before blocking, so the handle must be taken out of the child
+    // first or the daemon would drain the moment it starts.
+    let drain_pipe = child.stdin.take();
+    let status = child
+        .wait()
+        .map_err(|e| Error::io("supervised daemon", e))?;
+    drop(drain_pipe);
+    match status.code() {
+        Some(0) => Ok(String::new()), // the daemon already printed its epilogue
+        Some(code) => std::process::exit(code),
+        None => std::process::exit(1),
+    }
+}
+
+/// Reconstructs the `serve` argv of a parsed [`Command`] so the
+/// supervisor can re-execute itself as the daemon child. Inverse of
+/// [`parse_args`] for the serve-relevant subset (listeners, workers,
+/// cache, engine, redundancy/salvage, budget, overload limits).
+fn serve_argv(cmd: &Command) -> Vec<String> {
+    let mut v = vec!["serve".to_string()];
+    let mut flag = |name: &str, value: Option<String>| {
+        v.push(name.to_string());
+        if let Some(value) = value {
+            v.push(value);
+        }
+    };
+    if let Some(tcp) = &cmd.tcp {
+        flag("--tcp", Some(tcp.clone()));
+    }
+    if let Some(socket) = &cmd.socket {
+        flag("--socket", Some(socket.clone()));
+    }
+    if cmd.workers != 0 {
+        flag("--workers", Some(cmd.workers.to_string()));
+    }
+    if let Some(mb) = cmd.cache_mb {
+        flag("--cache-mb", Some(mb.to_string()));
+    }
+    if cmd.engine != Engine::Fprm {
+        let name = match cmd.engine {
+            Engine::Fprm => "fprm",
+            Engine::FprmCube => "cube",
+            Engine::FprmOfdd => "ofdd",
+            Engine::Kfdd => "kfdd",
+            Engine::Sop => "sop",
+            Engine::None => "none",
+        };
+        flag("--method", Some(name.to_string()));
+    }
+    if cmd.no_redundancy {
+        flag("--no-redundancy", None);
+    }
+    if cmd.no_salvage {
+        flag("--no-salvage", None);
+    }
+    if let Some(cap) = cmd.budget.bdd_node_cap {
+        flag("--bdd-node-cap", Some(cap.to_string()));
+    }
+    if let Some(t) = cmd.budget.phase_timeout {
+        flag("--phase-timeout-ms", Some(t.as_millis().to_string()));
+    }
+    if let Some(p) = cmd.budget.max_patterns {
+        flag("--max-patterns", Some(p.to_string()));
+    }
+    if let Some(n) = cmd.per_conn_queue {
+        flag("--queue", Some(n.to_string()));
+    }
+    if let Some(n) = cmd.global_queue {
+        flag("--global-queue", Some(n.to_string()));
+    }
+    if let Some(ms) = cmd.read_timeout_ms {
+        flag("--read-timeout-ms", Some(ms.to_string()));
+    }
+    if let Some(ms) = cmd.idle_timeout_ms {
+        flag("--idle-timeout-ms", Some(ms.to_string()));
+    }
+    if let Some(ms) = cmd.drain_timeout_ms {
+        flag("--drain-timeout-ms", Some(ms.to_string()));
+    }
+    if let Some(kb) = cmd.max_line_kb {
+        flag("--max-line-kb", Some(kb.to_string()));
+    }
+    if cmd.drain_on_term {
+        flag("--drain-on-term", None);
+    }
+    v
 }
 
 /// Runs `xsynth top <addr>`: polls the daemon's `metrics` and `recent`
 /// wire ops and renders a status table. `--once` returns a single frame
 /// (for scripts and CI); otherwise the loop clears the screen and
-/// redraws every `--interval-ms` until the daemon goes away.
+/// redraws every `--interval-ms`. A poll that fails — daemon restarting,
+/// connection refused, mid-read drop — does not exit the dashboard: the
+/// loop keeps retrying with backoff ([`reconnect_delay`]) and shows the
+/// error in place of the frame until the daemon answers again.
 fn run_top(cmd: &Command) -> Result<String, Error> {
     let addr = cmd.input.as_str();
     if cmd.once {
         return top_frame(addr);
     }
+    let mut failures: u32 = 0;
     loop {
-        let frame = top_frame(addr)?;
-        // plain full redraw — clear screen, cursor home, draw
-        print!("\x1b[2J\x1b[H{frame}");
         use std::io::Write as _;
+        let delay = match top_frame(addr) {
+            Ok(frame) => {
+                failures = 0;
+                // plain full redraw — clear screen, cursor home, draw
+                print!("\x1b[2J\x1b[H{frame}");
+                Duration::from_millis(cmd.interval_ms)
+            }
+            Err(e) => {
+                failures = failures.saturating_add(1);
+                let delay = reconnect_delay(failures, cmd.interval_ms);
+                print!(
+                    "\x1b[2J\x1b[Hxsynth top: {addr} unreachable ({e})\nretrying in {:.1}s (attempt {failures})\n",
+                    delay.as_secs_f64()
+                );
+                delay
+            }
+        };
         let _ = std::io::stdout().flush();
-        std::thread::sleep(Duration::from_millis(cmd.interval_ms));
+        std::thread::sleep(delay);
     }
+}
+
+/// Backoff between failed `top` polls: starts at the refresh interval
+/// (floored at 100 ms so `--interval-ms 0` cannot spin) and doubles per
+/// consecutive failure, capped at 10 s so a daemon restart is picked up
+/// promptly no matter how long the outage lasted.
+fn reconnect_delay(failures: u32, interval_ms: u64) -> Duration {
+    let base = interval_ms.clamp(100, 10_000);
+    let factor = 1u64 << failures.saturating_sub(1).min(7);
+    Duration::from_millis(base.saturating_mul(factor).min(10_000))
 }
 
 /// Fetches and renders one `top` frame. `host:port` addresses poll over
@@ -890,6 +1150,15 @@ fn render_top<S: std::io::Read + std::io::Write>(
         lookups,
         value("xsynth_cache_entries", None),
         value("xsynth_cache_bytes", None) / (1024.0 * 1024.0),
+    );
+    let _ = writeln!(
+        s,
+        "load: queue {:.0}/{:.0}   shed {:.0} / cancelled {:.0} / reaped {:.0}",
+        value("xsynth_queue_depth", None),
+        value("xsynth_queue_capacity", None),
+        value("xsynth_jobs_shed_total", None),
+        value("xsynth_jobs_cancelled_total", None),
+        value("xsynth_conns_reaped_total", None),
     );
     let _ = writeln!(
         s,
@@ -1105,6 +1374,13 @@ mod tests {
             socket: None,
             workers: 0,
             cache_mb: None,
+            per_conn_queue: None,
+            global_queue: None,
+            read_timeout_ms: None,
+            idle_timeout_ms: None,
+            drain_timeout_ms: None,
+            max_line_kb: None,
+            drain_on_term: false,
             interval_ms: 2000,
             once: false,
         };
@@ -1160,6 +1436,67 @@ mod tests {
     }
 
     #[test]
+    fn parse_overload_flags() {
+        let c = parse_args(&argv(
+            "serve --tcp 127.0.0.1:0 --queue 4 --global-queue 16 --read-timeout-ms 250 \
+             --idle-timeout-ms 9000 --drain-timeout-ms 1500 --max-line-kb 64 --drain-on-term",
+        ))
+        .unwrap();
+        assert_eq!(c.per_conn_queue, Some(4));
+        assert_eq!(c.global_queue, Some(16));
+        assert_eq!(c.read_timeout_ms, Some(250));
+        assert_eq!(c.idle_timeout_ms, Some(9000));
+        assert_eq!(c.drain_timeout_ms, Some(1500));
+        assert_eq!(c.max_line_kb, Some(64));
+        assert!(c.drain_on_term);
+        // defaults stay "inherit from ServeOptions"
+        let c = parse_args(&argv("serve --tcp 127.0.0.1:0")).unwrap();
+        assert_eq!(c.per_conn_queue, None);
+        assert!(!c.drain_on_term);
+        // overload flags are serve-only
+        assert!(parse_args(&argv("bench rd53 --queue 4")).is_err());
+        assert!(parse_args(&argv("top /tmp/x.sock --drain-on-term")).is_err());
+        assert!(parse_args(&argv("serve --tcp x --queue lots")).is_err());
+    }
+
+    #[test]
+    fn serve_argv_roundtrips_through_parse_args() {
+        let line = "serve --tcp 127.0.0.1:0 --socket /tmp/x.sock --workers 3 --cache-mb 8 \
+                    --method kfdd --no-redundancy --no-salvage --bdd-node-cap 5000 \
+                    --phase-timeout-ms 250 --max-patterns 64 --queue 4 --global-queue 16 \
+                    --read-timeout-ms 250 --idle-timeout-ms 9000 --drain-timeout-ms 1500 \
+                    --max-line-kb 64 --drain-on-term";
+        let cmd = parse_args(&argv(line)).unwrap();
+        let reparsed = parse_args(&serve_argv(&cmd)).unwrap();
+        assert_eq!(cmd, reparsed);
+        // a minimal command reconstructs minimally
+        let cmd = parse_args(&argv("serve --tcp 127.0.0.1:0")).unwrap();
+        assert_eq!(serve_argv(&cmd), vec!["serve", "--tcp", "127.0.0.1:0"]);
+    }
+
+    #[test]
+    fn reconnect_delay_backs_off_and_caps() {
+        // first failure retries at the poll interval
+        assert_eq!(reconnect_delay(1, 2000), Duration::from_millis(2000));
+        // doubles per consecutive failure
+        assert_eq!(reconnect_delay(2, 2000), Duration::from_millis(4000));
+        // capped at 10 s no matter how long the outage
+        assert_eq!(reconnect_delay(10, 2000), Duration::from_millis(10_000));
+        assert_eq!(
+            reconnect_delay(u32::MAX, 2000),
+            Duration::from_millis(10_000)
+        );
+        // a zero interval cannot busy-spin
+        assert!(reconnect_delay(1, 0) >= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn usage_documents_the_overloaded_exit_code() {
+        assert!(USAGE.contains("11 overloaded"), "{USAGE}");
+        assert!(USAGE.contains("--drain-on-term"), "{USAGE}");
+    }
+
+    #[test]
     fn parse_top_flags() {
         let c = parse_args(&argv("top 127.0.0.1:7171 --interval-ms 500 --once")).unwrap();
         assert_eq!(c.action, Action::Top);
@@ -1196,6 +1533,7 @@ mod tests {
         let frame = execute(&cmd).expect("one frame");
         assert!(frame.contains("xsynth serve @"), "{frame}");
         assert!(frame.contains("jobs: 1 ok"), "{frame}");
+        assert!(frame.contains("load: queue"), "{frame}");
         assert!(frame.contains("top-job"), "{frame}");
         assert!(frame.contains("cli_top"), "{frame}");
         client.shutdown().expect("shutdown");
@@ -1304,6 +1642,13 @@ mod tests {
                 socket: None,
                 workers: 0,
                 cache_mb: None,
+                per_conn_queue: None,
+                global_queue: None,
+                read_timeout_ms: None,
+                idle_timeout_ms: None,
+                drain_timeout_ms: None,
+                max_line_kb: None,
+                drain_on_term: false,
                 interval_ms: 2000,
                 once: false,
             };

@@ -3,7 +3,8 @@
 //!
 //! Exit codes follow the error taxonomy in `xsynth_core::Error` — 2 usage,
 //! 3 parse, 4 I/O, 5 netlist, 6 input mismatch, 7 verification failed,
-//! 8 budget exceeded, 9 output failed, 10 protocol violation.
+//! 8 budget exceeded, 9 output failed, 10 protocol violation,
+//! 11 overloaded (the daemon shed the request; safe to retry).
 
 fn main() {
     // Fault-injection builds honour `XSYNTH_FAILPOINTS`; release builds

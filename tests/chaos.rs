@@ -418,6 +418,154 @@ fn serve_metrics_faults_answer_typed_errors_not_dropped_connections() {
     server.wait();
 }
 
+/// The admission-control failpoint: `serve.admit=error` forces the
+/// scheduler to refuse every submission, which must surface as a typed
+/// `overloaded` reply — carrying the `retry_after_ms` hint — on a still-
+/// open connection. Disarmed, the same connection does real work again:
+/// the daemon always answers, never hangs, never dies.
+#[test]
+fn serve_admit_error_sheds_with_typed_overloaded_replies() {
+    let _g = exclusive();
+    let server = xsynth_serve::Server::bind(xsynth_serve::ServeOptions {
+        tcp: Some("127.0.0.1:0".into()),
+        workers: 1,
+        ..xsynth_serve::ServeOptions::default()
+    })
+    .expect("bind server");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+    let mut client = xsynth_serve::Client::connect_tcp(&addr).expect("connect");
+    let blif = ".model m\n.inputs a b\n.outputs y\n.names a b y\n10 1\n01 1\n.end\n";
+
+    failpoint::arm(&FailPlan::parse("serve.admit=error@1x2").expect("valid plan"));
+    for attempt in 0..2 {
+        let reply = client
+            .synth_blif(blif, Some("refused"))
+            .expect("sheds are replies, not drops");
+        assert_eq!(
+            reply.get("status").and_then(|v| v.as_str()),
+            Some("error"),
+            "attempt {attempt}: {reply:?}"
+        );
+        assert!(xsynth_serve::is_overloaded(&reply), "{reply:?}");
+        let error = reply.get("error").expect("error object");
+        assert_eq!(error.get("exit_code").and_then(|v| v.as_u64()), Some(11));
+        let hint = xsynth_serve::retry_after_hint(&reply).expect("retry hint");
+        assert!(hint >= 1, "{reply:?}");
+    }
+    failpoint::disarm();
+
+    // the fault window over, the very same connection synthesizes
+    let ok = client.synth_blif(blif, Some("clean")).expect("clean job");
+    assert_eq!(ok.get("status").and_then(|v| v.as_str()), Some("ok"));
+
+    server.shutdown();
+    server.wait();
+}
+
+/// `serve.admit=panic` unwinds the reader thread mid-submission with the
+/// scheduler lock held. The connection dies (its reader is gone), but the
+/// daemon must survive the poisoned lock and keep serving fresh
+/// connections — the same contract as the `serve.submit` poison test,
+/// through the admission path.
+#[test]
+fn serve_admit_panic_kills_only_that_connection() {
+    let _g = exclusive();
+    let server = xsynth_serve::Server::bind(xsynth_serve::ServeOptions {
+        tcp: Some("127.0.0.1:0".into()),
+        workers: 1,
+        ..xsynth_serve::ServeOptions::default()
+    })
+    .expect("bind server");
+    let addr = server.tcp_addr().expect("tcp bound");
+    let blif = ".model m\n.inputs a b\n.outputs y\n.names a b y\n10 1\n01 1\n.end\n";
+
+    failpoint::arm(&FailPlan::parse("serve.admit=panic@1x1").expect("valid plan"));
+    {
+        use std::io::{Read, Write};
+        let mut victim = std::net::TcpStream::connect(addr).expect("connect victim");
+        victim
+            .write_all(b"{\"protocol_version\":1,\"op\":\"ping\"}\n")
+            .expect("send the panicking request");
+        let mut sink = Vec::new();
+        let _ = victim.read_to_end(&mut sink);
+        assert!(sink.is_empty(), "no reply can precede the injected panic");
+    }
+    failpoint::disarm();
+
+    let mut client =
+        xsynth_serve::Client::connect_tcp(&addr.to_string()).expect("reconnect after panic");
+    let ok = client.synth_blif(blif, Some("survivor")).expect("job");
+    assert_eq!(
+        ok.get("status").and_then(|v| v.as_str()),
+        Some("ok"),
+        "{ok:?}"
+    );
+
+    server.shutdown();
+    server.wait();
+}
+
+/// The drain-watchdog failpoint: a fault in the drain path — error or
+/// panic — must not wedge the daemon in `draining` forever. The shed-and-
+/// stop epilogue still runs: every queued job is answered (ok or a typed
+/// `overloaded` shed), `Server::wait` returns, the process can exit.
+#[test]
+fn serve_drain_faults_still_stop_the_daemon_with_typed_replies() {
+    let _g = exclusive();
+    for plan in ["serve.drain=error@1x1", "serve.drain=panic@1x1"] {
+        let server = xsynth_serve::Server::bind(xsynth_serve::ServeOptions {
+            tcp: Some("127.0.0.1:0".into()),
+            workers: 1,
+            ..xsynth_serve::ServeOptions::default()
+        })
+        .expect("bind server");
+        let addr = server.tcp_addr().expect("tcp bound").to_string();
+        let blif = ".model m\n.inputs a b\n.outputs y\n.names a b y\n10 1\n01 1\n.end\n";
+
+        // a backlog the faulted drain has to dispose of
+        use std::io::{BufRead, BufReader, Write};
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        let mut burst = String::new();
+        for i in 0..8 {
+            let id = format!("d{i}");
+            burst.push_str(&xsynth_serve::proto::synth_request(
+                blif,
+                xsynth_serve::JobFormat::Blif,
+                Some(&id),
+                None,
+                None,
+                false,
+            ));
+            burst.push('\n');
+        }
+        stream.write_all(burst.as_bytes()).expect("burst");
+        stream.flush().expect("flush");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut first = String::new();
+        reader.read_line(&mut first).expect("first reply");
+
+        failpoint::arm(&FailPlan::parse(plan).expect("valid plan"));
+        server.shutdown();
+        server.wait(); // must return: a wedged drain would hang here
+        failpoint::disarm();
+
+        let mut answered = 1usize;
+        for line in reader.lines() {
+            let line = match line {
+                Ok(l) if !l.trim().is_empty() => l,
+                Ok(_) => continue,
+                Err(_) => break,
+            };
+            let reply = xsynth_trace::json::parse(&line).expect("reply JSON");
+            let status = reply.get("status").and_then(|v| v.as_str());
+            let overloaded = xsynth_serve::is_overloaded(&reply);
+            assert!(status == Some("ok") || overloaded, "{plan}: {reply:?}");
+            answered += 1;
+        }
+        assert_eq!(answered, 8, "{plan}: every queued job must be answered");
+    }
+}
+
 /// Daemon poison-safety: a panic that unwinds through a reader thread
 /// *inside* `Scheduler::submit` — past any worker `catch_unwind` boundary,
 /// with the scheduler's state mutex held — poisons that mutex. The old
